@@ -1,0 +1,46 @@
+//! Table 1 as a benchmark: evaluation throughput of each property
+//! predicate over generated traces (the checker's inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_trace::gen::{seeded, ReliableGen, TraceGen, UniversalGen, VsyncGen};
+use ps_trace::props::standard_suite;
+use ps_trace::{ProcessId, Trace};
+use std::hint::black_box;
+
+fn traces() -> Vec<Trace> {
+    let group: Vec<ProcessId> = (0..5).map(ProcessId).collect();
+    let mut rng = seeded(0xB1);
+    let mut out = Vec::new();
+    for size in [20usize, 80, 200] {
+        out.push(UniversalGen { procs: 5 }.generate(&mut rng, size));
+        out.push(ReliableGen { group: group.clone() }.generate(&mut rng, size));
+        out.push(VsyncGen { initial: group.clone() }.generate(&mut rng, size));
+    }
+    out
+}
+
+fn predicates(c: &mut Criterion) {
+    let trs = traces();
+    let mut g = c.benchmark_group("table1_predicates");
+    for prop in standard_suite(5) {
+        g.bench_with_input(
+            BenchmarkId::new("holds", prop.name()),
+            &trs,
+            |b, trs| {
+                b.iter(|| {
+                    let mut count = 0u32;
+                    for tr in trs {
+                        if prop.holds(black_box(tr)) {
+                            count += 1;
+                        }
+                    }
+                    black_box(count)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, predicates);
+criterion_main!(benches);

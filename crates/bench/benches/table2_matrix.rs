@@ -1,0 +1,52 @@
+//! Table 2 as a benchmark: meta-property checking cost, per cell class and
+//! for the whole matrix at the quick budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ps_trace::check::{check_cell, table2, CheckConfig};
+use ps_trace::gen::{ReliableGen, TotalOrderGen, TraceGen, VsyncGen};
+use ps_trace::meta::MetaKind;
+use ps_trace::props::{Reliability, TotalOrder, VirtualSynchrony};
+use ps_trace::ProcessId;
+use std::hint::black_box;
+
+fn cells(c: &mut Criterion) {
+    let group: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+    let cfg = CheckConfig::quick();
+
+    let mut g = c.benchmark_group("table2_cells");
+    g.sample_size(20);
+
+    // A ✗ cell found quickly (counterexample on the first prefixes).
+    g.bench_function("reliability_safety_negative", |b| {
+        let prop = Reliability::new(group.clone());
+        let gen = ReliableGen { group: group.clone() };
+        let gens: [&dyn TraceGen; 1] = [&gen];
+        b.iter(|| black_box(check_cell(&prop, MetaKind::Safety, &gens, &cfg)).preserved)
+    });
+
+    // A ✓ cell (full budget consumed).
+    g.bench_function("total_order_asynchrony_positive", |b| {
+        let gen = TotalOrderGen { group: group.clone() };
+        let gens: [&dyn TraceGen; 1] = [&gen];
+        b.iter(|| black_box(check_cell(&TotalOrder, MetaKind::Asynchrony, &gens, &cfg)).preserved)
+    });
+
+    // The most expensive predicate (virtual synchrony) under erasure.
+    g.bench_function("vsync_memoryless_negative", |b| {
+        let prop = VirtualSynchrony::new(group.clone());
+        let gen = VsyncGen { initial: group.clone() };
+        let gens: [&dyn TraceGen; 1] = [&gen];
+        b.iter(|| black_box(check_cell(&prop, MetaKind::Memoryless, &gens, &cfg)).preserved)
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("table2_full");
+    g.sample_size(10);
+    g.bench_function("quick_matrix_48_cells", |b| {
+        b.iter(|| black_box(table2(4, &cfg)).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, cells);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Shared fixtures for the Criterion benches that regenerate the paper's
+//! tables and figures. Each bench binary corresponds to one artifact:
+//!
+//! * `fig2_latency` — Figure 2 sweep points (sequencer / token / hybrid).
+//! * `table1_properties` — Table 1 predicate evaluation throughput.
+//! * `table2_matrix` — Table 2 meta-property checking.
+//! * `switch_overhead` — §7 switch cost end to end.
+//! * `oracle_ablation` — §7 oscillation/hysteresis and variant ablations.
+//! * `engine_micro` — substrate micro-benchmarks (event queue, codec,
+//!   simulator event loop).
+//!
+//! Bench configurations are intentionally small — Criterion repeats them —
+//! while the `repro` binary runs the full-size experiments once.
+
+use ps_core::{
+    hybrid_total_order, ManualOracle, NeverOracle, Oracle, SwitchConfig, SwitchVariant,
+};
+use ps_simnet::{EthernetConfig, SharedBus, SimTime};
+use ps_stack::{GroupSim, GroupSimBuilder, Stack};
+use ps_trace::ProcessId;
+
+/// Standard small hybrid group: `n` members on a shared bus, `msgs`
+/// messages, optional scripted switch plan.
+pub fn hybrid_group(n: u16, msgs: u64, plan: Vec<(SimTime, usize)>) -> GroupSim {
+    let mut b = GroupSimBuilder::new(n)
+        .seed(0xBE7C)
+        .medium(Box::new(SharedBus::new(EthernetConfig::default())))
+        .stack_factory(move |p, _, ids| {
+            let oracle: Box<dyn Oracle> = if p == ProcessId(0) {
+                Box::new(ManualOracle::new(plan.clone()))
+            } else {
+                Box::new(NeverOracle)
+            };
+            let cfg = SwitchConfig {
+                variant: SwitchVariant::TokenRing { idle_hold: SimTime::from_millis(2) },
+                observe_interval: SimTime::from_millis(20),
+                ..SwitchConfig::default()
+            };
+            hybrid_total_order(ids, cfg, ProcessId(0), oracle).0
+        });
+    for i in 0..msgs {
+        b = b.send_at(
+            SimTime::from_millis(2 + 2 * i),
+            ProcessId((i % u64::from(n)) as u16),
+            format!("b{i}"),
+        );
+    }
+    b.build()
+}
+
+/// A bare single-protocol group for baseline comparisons.
+pub fn plain_group(n: u16, msgs: u64, factory: fn() -> Box<dyn ps_stack::Layer>) -> GroupSim {
+    let mut b = GroupSimBuilder::new(n)
+        .seed(0xBE7C)
+        .medium(Box::new(SharedBus::new(EthernetConfig::default())))
+        .stack_factory(move |_, _, ids| Stack::with_ids(vec![factory()], ids));
+    for i in 0..msgs {
+        b = b.send_at(
+            SimTime::from_millis(2 + 2 * i),
+            ProcessId((i % u64::from(n)) as u16),
+            format!("b{i}"),
+        );
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_run() {
+        let mut g = hybrid_group(3, 5, vec![(SimTime::from_millis(8), 1)]);
+        g.run_until(SimTime::from_secs(1));
+        assert!(g.app_trace().len() > 5);
+
+        let mut p = plain_group(3, 5, || Box::new(ps_protocols::FifoLayer::new()));
+        p.run_until(SimTime::from_secs(1));
+        assert_eq!(p.app_trace().iter().filter(|e| e.is_deliver()).count(), 15);
+    }
+}

@@ -1,0 +1,174 @@
+//! Wire format of the switching protocol's control traffic (§2).
+//!
+//! The broadcast variant uses three messages — PREPARE, OK(member, count),
+//! SWITCH(vector) — while the token variant folds the same information into
+//! a token that rotates a logical ring three times per switch, changing
+//! mode NORMAL → PREPARE → SWITCH → FLUSH → NORMAL.
+
+use ps_trace::ProcessId;
+use ps_wire::{Decoder, Encoder, Wire, WireError};
+
+/// A per-member send-count vector: how many messages each member sent over
+/// the protocol being switched away from.
+pub type CountVector = Vec<(ProcessId, u64)>;
+
+/// Broadcast-variant control messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Control {
+    /// Manager → all: start switching era `era`.
+    Prepare {
+        /// The switch era being initiated (completed switches + 1).
+        era: u64,
+    },
+    /// Member → manager: my send count over the current protocol.
+    Ok {
+        /// Echoed era.
+        era: u64,
+        /// The replying member.
+        member: ProcessId,
+        /// Messages this member sent over the current protocol this era.
+        count: u64,
+    },
+    /// Manager → all: everyone's counts; flip once you've delivered them.
+    Switch {
+        /// Echoed era.
+        era: u64,
+        /// Send counts for every member.
+        vector: CountVector,
+    },
+}
+
+impl Wire for Control {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Control::Prepare { era } => {
+                enc.put_u8(0);
+                enc.put_varint(*era);
+            }
+            Control::Ok { era, member, count } => {
+                enc.put_u8(1);
+                enc.put_varint(*era);
+                member.encode(enc);
+                enc.put_varint(*count);
+            }
+            Control::Switch { era, vector } => {
+                enc.put_u8(2);
+                enc.put_varint(*era);
+                vector.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match dec.get_u8()? {
+            0 => Ok(Control::Prepare { era: dec.get_varint()? }),
+            1 => Ok(Control::Ok {
+                era: dec.get_varint()?,
+                member: ProcessId::decode(dec)?,
+                count: dec.get_varint()?,
+            }),
+            2 => Ok(Control::Switch { era: dec.get_varint()?, vector: Vec::decode(dec)? }),
+            tag => Err(WireError::InvalidTag { tag: tag.into(), ty: "Control" }),
+        }
+    }
+}
+
+/// The mode a ring token is in — "the token itself has a mode based on the
+/// phase of the protocol" (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenMode {
+    /// Idle circulation; an initiator may seize it.
+    Normal,
+    /// First rotation: collect per-member send counts.
+    Prepare,
+    /// Second rotation: disseminate the count vector.
+    Switch,
+    /// Third rotation: forwarded only once the member has drained the old
+    /// protocol.
+    Flush,
+}
+
+/// The ring token of the token-variant switching protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingToken {
+    /// Current phase.
+    pub mode: TokenMode,
+    /// Switch era the token is executing (stable while NORMAL).
+    pub era: u64,
+    /// The member that seized the token (meaningful outside NORMAL).
+    pub initiator: ProcessId,
+    /// Send counts accumulated during the PREPARE rotation and carried
+    /// through SWITCH.
+    pub counts: CountVector,
+}
+
+impl RingToken {
+    /// A fresh idle token for `era`.
+    pub fn normal(era: u64) -> Self {
+        Self { mode: TokenMode::Normal, era, initiator: ProcessId(0), counts: Vec::new() }
+    }
+}
+
+impl Wire for RingToken {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(match self.mode {
+            TokenMode::Normal => 0,
+            TokenMode::Prepare => 1,
+            TokenMode::Switch => 2,
+            TokenMode::Flush => 3,
+        });
+        enc.put_varint(self.era);
+        self.initiator.encode(enc);
+        self.counts.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let mode = match dec.get_u8()? {
+            0 => TokenMode::Normal,
+            1 => TokenMode::Prepare,
+            2 => TokenMode::Switch,
+            3 => TokenMode::Flush,
+            tag => return Err(WireError::InvalidTag { tag: tag.into(), ty: "TokenMode" }),
+        };
+        Ok(RingToken {
+            mode,
+            era: dec.get_varint()?,
+            initiator: ProcessId::decode(dec)?,
+            counts: Vec::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_roundtrips() {
+        let msgs = [
+            Control::Prepare { era: 3 },
+            Control::Ok { era: 3, member: ProcessId(2), count: 17 },
+            Control::Switch { era: 3, vector: vec![(ProcessId(0), 4), (ProcessId(1), 0)] },
+        ];
+        for m in msgs {
+            assert_eq!(Control::from_bytes(&m.to_bytes()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn token_roundtrips_all_modes() {
+        for mode in [TokenMode::Normal, TokenMode::Prepare, TokenMode::Switch, TokenMode::Flush] {
+            let t = RingToken {
+                mode,
+                era: 9,
+                initiator: ProcessId(4),
+                counts: vec![(ProcessId(4), 2)],
+            };
+            assert_eq!(RingToken::from_bytes(&t.to_bytes()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(Control::from_bytes(&[9]).is_err());
+        assert!(RingToken::from_bytes(&[9, 0, 0, 0, 0]).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Convenience constructors for the hybrid protocols the paper discusses.
+
+use crate::oracle::Oracle;
+use crate::stats::SwitchHandle;
+use crate::switch::{SwitchConfig, SwitchLayer};
+use ps_protocols::{SeqOrderLayer, TokenOrderLayer};
+use ps_simnet::SimTime;
+use ps_stack::{IdGen, Stack};
+use ps_trace::ProcessId;
+
+/// Builds the §7 hybrid total-order stack for one process: a switch
+/// between sequencer-based (protocol 0) and token-based (protocol 1) total
+/// order.
+///
+/// "Clearly, a hybrid protocol formed by switching at the cross-over point
+/// would achieve the best of both worlds."
+///
+/// # Examples
+///
+/// ```
+/// use ps_core::{hybrid_total_order, NeverOracle, SwitchConfig};
+/// use ps_stack::IdGen;
+/// use ps_trace::ProcessId;
+///
+/// let mut ids = IdGen::new();
+/// let (stack, handle) = hybrid_total_order(
+///     &mut ids,
+///     SwitchConfig::default(),
+///     ProcessId(0),
+///     Box::new(NeverOracle),
+/// );
+/// assert_eq!(stack.layer_names(), vec!["switch"]);
+/// assert_eq!(handle.current(), 0);
+/// ```
+pub fn hybrid_total_order(
+    ids: &mut IdGen,
+    cfg: SwitchConfig,
+    sequencer: ProcessId,
+    oracle: Box<dyn Oracle>,
+) -> (Stack, SwitchHandle) {
+    let seq = Stack::with_ids(vec![Box::new(SeqOrderLayer::new(sequencer))], ids);
+    let token = Stack::with_ids(
+        vec![Box::new(TokenOrderLayer::with_idle_hold(SimTime::from_millis(1)))],
+        ids,
+    );
+    let (layer, handle) = SwitchLayer::new(cfg, seq, token, oracle);
+    (Stack::with_ids(vec![Box::new(layer)], ids), handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::NeverOracle;
+
+    #[test]
+    fn builds_one_switch_layer() {
+        let mut ids = IdGen::new();
+        let (stack, handle) = hybrid_total_order(
+            &mut ids,
+            SwitchConfig::default(),
+            ProcessId(0),
+            Box::new(NeverOracle),
+        );
+        assert_eq!(stack.len(), 1);
+        assert_eq!(handle.switches_completed(), 0);
+    }
+}

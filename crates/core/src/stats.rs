@@ -1,0 +1,113 @@
+//! Observable switching-protocol state, shared out of the layer through a
+//! cheap clonable handle (the simulation is single-threaded; `Rc` suffices).
+
+use ps_simnet::SimTime;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// One completed switch as seen by one process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchRecord {
+    /// Protocol index switched away from.
+    pub from: usize,
+    /// Protocol index switched to.
+    pub to: usize,
+    /// When this process entered switching mode (PREPARE seen).
+    pub started_at: SimTime,
+    /// When this process flipped (old protocol drained, buffer released).
+    pub completed_at: SimTime,
+}
+
+impl SwitchRecord {
+    /// How long this process spent in switching mode.
+    pub fn duration(&self) -> SimTime {
+        self.completed_at.saturating_sub(self.started_at)
+    }
+}
+
+/// Counters maintained by a [`crate::SwitchLayer`].
+#[derive(Debug, Clone, Default)]
+pub struct SwitchStats {
+    /// Completed switches, in order.
+    pub records: Vec<SwitchRecord>,
+    /// Switches this process initiated (as manager/initiator).
+    pub initiated: u64,
+    /// Largest number of new-protocol messages buffered at once.
+    pub buffered_peak: usize,
+    /// Messages delivered to the application so far.
+    pub delivered: u64,
+    /// Index of the currently active protocol.
+    pub current: usize,
+    /// Whether the process is mid-switch right now.
+    pub switching: bool,
+}
+
+/// Clonable, thread-safe view onto a switch layer's [`SwitchStats`].
+#[derive(Clone, Default)]
+pub struct SwitchHandle {
+    inner: Arc<Mutex<SwitchStats>>,
+}
+
+impl fmt::Debug for SwitchHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.inner.lock().expect("switch stats poisoned");
+        write!(
+            f,
+            "SwitchHandle(current={}, switches={}, switching={})",
+            s.current,
+            s.records.len(),
+            s.switching
+        )
+    }
+}
+
+impl SwitchHandle {
+    /// Creates a fresh handle (one per process).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the stats.
+    pub fn snapshot(&self) -> SwitchStats {
+        self.inner.lock().expect("switch stats poisoned").clone()
+    }
+
+    /// Number of completed switches at this process.
+    pub fn switches_completed(&self) -> usize {
+        self.snapshot().records.len()
+    }
+
+    /// The currently active protocol index.
+    pub fn current(&self) -> usize {
+        self.snapshot().current
+    }
+
+    pub(crate) fn update<R>(&self, f: impl FnOnce(&mut SwitchStats) -> R) -> R {
+        f(&mut self.inner.lock().expect("switch stats poisoned"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_duration() {
+        let r = SwitchRecord {
+            from: 0,
+            to: 1,
+            started_at: SimTime::from_millis(10),
+            completed_at: SimTime::from_millis(41),
+        };
+        assert_eq!(r.duration(), SimTime::from_millis(31));
+    }
+
+    #[test]
+    fn handle_shares_state() {
+        let h = SwitchHandle::new();
+        let h2 = h.clone();
+        h.update(|s| s.initiated += 1);
+        assert_eq!(h2.snapshot().initiated, 1);
+        assert_eq!(h2.switches_completed(), 0);
+    }
+}

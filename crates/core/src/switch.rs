@@ -1,0 +1,651 @@
+use crate::control::{Control, CountVector, RingToken, TokenMode};
+use crate::oracle::{Oracle, SwitchObs};
+use crate::stats::{SwitchHandle, SwitchRecord};
+use bytes::Bytes;
+use ps_simnet::{DetRng, SimTime};
+use ps_stack::{channel, ChannelId, Frame, Layer, LayerCtx, LayerId, Stack, StackEnv};
+use ps_trace::{Message, ProcessId};
+use ps_wire::Wire;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Which switching protocol variant to run (§2 describes both).
+#[derive(Debug, Clone, Copy)]
+pub enum SwitchVariant {
+    /// PREPARE / OK / SWITCH over broadcast control messages.
+    Broadcast,
+    /// A token rotating a logical ring three times per switch — the
+    /// implementation the paper actually deploys, which "avoids congestion
+    /// on the network … \[and\] complicating issues with multiple members
+    /// trying to switch protocols concurrently". An idle NORMAL token is
+    /// held `idle_hold` at each member before being passed on.
+    TokenRing {
+        /// Idle-token hold time (zero = circulate continuously).
+        idle_hold: SimTime,
+    },
+}
+
+/// Configuration of a [`SwitchLayer`].
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// Protocol variant.
+    pub variant: SwitchVariant,
+    /// How often the oracle is consulted.
+    pub observe_interval: SimTime,
+    /// Sliding window over which "active senders" are counted.
+    pub observe_window: SimTime,
+    /// Announce each completed switch to the application as a virtually
+    /// synchronous **view change** (a [`ps_trace::Message::view_change`]
+    /// delivered at the flip, view number = switch era).
+    ///
+    /// This implements the paper's §8 future work: "virtually synchronous
+    /// view changes can be used to switch protocols, and this more
+    /// complicated mechanism does support the Virtual Synchrony property."
+    /// The SP already guarantees every member delivers exactly the same
+    /// per-sender message counts per era; announcing the era boundary as a
+    /// view makes that agreement *visible*, so the application-level trace
+    /// satisfies [`ps_trace::props::VirtualSynchrony`] with protocol eras
+    /// as views.
+    pub announce_views: bool,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        Self {
+            variant: SwitchVariant::TokenRing { idle_hold: SimTime::from_millis(2) },
+            observe_interval: SimTime::from_millis(100),
+            observe_window: SimTime::from_millis(500),
+            announce_views: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Normal,
+    Switching,
+}
+
+/// The switching protocol (SP) — the paper's contribution, as a composite
+/// layer embedding two complete protocol stacks.
+///
+/// Invariant (§2): **every process delivers all messages of the old
+/// protocol before delivering any message of the new one.** In normal mode
+/// application traffic flows through the current protocol; traffic
+/// arriving on the other protocol's channel is buffered. When the oracle
+/// requests a switch, members report how many messages they sent over the
+/// current protocol; once a member has delivered that many messages from
+/// every peer it flips — releasing the buffer — and the switch is complete
+/// when every member has flipped. **Sends are never blocked** during
+/// switching (they travel on the new protocol immediately), which is why
+/// the paper reports the application-perceived hiccup is smaller than the
+/// switch duration.
+///
+/// Assumes of the underlying protocols exactly what §2 states: no spurious
+/// deliveries, at-most-once delivery, and exactly-once for switch
+/// liveness. Control traffic must be loss-free (run the whole stack over a
+/// reliable transport otherwise).
+pub struct SwitchLayer {
+    cfg: SwitchConfig,
+    protos: [Stack; 2],
+    /// Transport for the switch's own control traffic (Figure 1's private
+    /// channel). Empty by default; give it a reliable layer to run the
+    /// switch over lossy networks.
+    control: Stack,
+    ctl_seq: u64,
+    oracle: Box<dyn Oracle>,
+    handle: SwitchHandle,
+    me: Option<ProcessId>,
+
+    current: usize,
+    era: u64,
+    mode: Mode,
+    /// Messages I sent over the current protocol this era.
+    sent_current: u64,
+    /// Messages I sent over the next protocol while switching.
+    sent_next: u64,
+    /// Per-sender count of messages delivered via the current protocol
+    /// this era.
+    delivered_from: BTreeMap<ProcessId, u64>,
+    /// Deliveries from the non-current protocol, held back.
+    buffer: Vec<(ProcessId, Message)>,
+    /// The SWITCH vector, once known.
+    expected: Option<CountVector>,
+    switch_started: SimTime,
+
+    // Broadcast-variant manager state.
+    am_manager: bool,
+    manager_oks: BTreeMap<ProcessId, u64>,
+
+    // Token-variant state.
+    /// Pending switch wish: the protocol index the oracle asked for. A
+    /// wish is dropped, not executed, if the switch it asked for has
+    /// already happened by the time a NORMAL token arrives (otherwise a
+    /// second initiator's stale wish would flip the group right back).
+    want_target: Option<usize>,
+    holding_flush: Option<RingToken>,
+    held_token: Option<RingToken>,
+    hold_gen: u32,
+
+    // Oracle observation.
+    recent: VecDeque<(SimTime, ProcessId)>,
+}
+
+impl std::fmt::Debug for SwitchLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwitchLayer")
+            .field("current", &self.current)
+            .field("era", &self.era)
+            .field("mode", &self.mode)
+            .field("buffered", &self.buffer.len())
+            .finish()
+    }
+}
+
+const OBSERVE: u32 = 1;
+const HOLD_FLAG: u32 = 0x8000_0000;
+/// Sequence-number base for control-message envelopes (never collides with
+/// application messages).
+const CTL_SEQ_BASE: u64 = 1 << 48;
+
+fn chan(idx: usize) -> ChannelId {
+    match idx {
+        0 => ChannelId::PROTO_A,
+        _ => ChannelId::PROTO_B,
+    }
+}
+
+/// Environment handed to a sub-stack: transmissions come out channel-
+/// tagged through the outer context, deliveries are captured for the
+/// switch logic, timers pass straight through (layer ids are globally
+/// unique per process).
+struct SubEnv<'a, 'b> {
+    ctx: &'a mut LayerCtx<'b>,
+    channel: ChannelId,
+    sink: &'a mut Vec<(ProcessId, Message)>,
+}
+
+impl StackEnv for SubEnv<'_, '_> {
+    fn me(&self) -> ProcessId {
+        self.ctx.me()
+    }
+    fn group(&self) -> Vec<ProcessId> {
+        self.ctx.group()
+    }
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+    fn rng(&mut self) -> &mut DetRng {
+        self.ctx.rng()
+    }
+    fn transmit(&mut self, frame: Frame) {
+        self.ctx.send_down(Frame::new(frame.dest, channel::mux(self.channel, frame.bytes)));
+    }
+    fn deliver(&mut self, src: ProcessId, msg: Message) {
+        self.sink.push((src, msg));
+    }
+    fn set_timer(&mut self, delay: SimTime, id: LayerId, token: u32) {
+        self.ctx.set_timer_for(id, delay, token);
+    }
+}
+
+impl SwitchLayer {
+    /// Creates a switch over two complete protocol stacks.
+    ///
+    /// `proto_a` is active first. Build both stacks with the same
+    /// [`ps_stack::IdGen`] the outer stack uses, so timer routing works.
+    /// The returned [`SwitchHandle`] observes this process's switch state.
+    pub fn new(
+        cfg: SwitchConfig,
+        proto_a: Stack,
+        proto_b: Stack,
+        oracle: Box<dyn Oracle>,
+    ) -> (Self, SwitchHandle) {
+        let handle = SwitchHandle::new();
+        let layer = Self {
+            cfg,
+            protos: [proto_a, proto_b],
+            control: Stack::new(vec![]),
+            ctl_seq: 0,
+            oracle,
+            handle: handle.clone(),
+            me: None,
+            current: 0,
+            era: 0,
+            mode: Mode::Normal,
+            sent_current: 0,
+            sent_next: 0,
+            delivered_from: BTreeMap::new(),
+            buffer: Vec::new(),
+            expected: None,
+            switch_started: SimTime::ZERO,
+            am_manager: false,
+            manager_oks: BTreeMap::new(),
+            want_target: None,
+            holding_flush: None,
+            held_token: None,
+            hold_gen: 0,
+            recent: VecDeque::new(),
+        };
+        (layer, handle)
+    }
+
+    /// Replaces the control-channel transport (default: none — control
+    /// frames ride the raw network). The switching protocol requires its
+    /// control traffic to be delivered exactly once; on a lossy network,
+    /// supply a stack containing `ps_protocols::ReliableLayer`.
+    pub fn with_control_stack(mut self, stack: Stack) -> Self {
+        self.control = stack;
+        self
+    }
+
+    /// Sends switch-control `bytes` to `dest` through the control stack,
+    /// wrapped in a message envelope so ordinary layers can transport it.
+    fn send_control(&mut self, dest: ps_stack::Cast, bytes: Bytes, ctx: &mut LayerCtx<'_>) {
+        self.ctl_seq += 1;
+        let envelope = Message::new(ctx.me(), CTL_SEQ_BASE + self.ctl_seq, bytes);
+        let mut sink = Vec::new();
+        {
+            let mut env = SubEnv { ctx, channel: ChannelId::CONTROL, sink: &mut sink };
+            self.control.send_bytes(dest, envelope.to_bytes(), &mut env);
+        }
+        debug_assert!(sink.is_empty(), "control stack delivered during send");
+    }
+
+    /// Index of the protocol new sends go to right now.
+    fn send_target(&self) -> usize {
+        match self.mode {
+            Mode::Normal => self.current,
+            Mode::Switching => 1 - self.current,
+        }
+    }
+
+    fn run_sub<R>(
+        &mut self,
+        idx: usize,
+        ctx: &mut LayerCtx<'_>,
+        f: impl FnOnce(&mut Stack, &mut SubEnv<'_, '_>) -> R,
+    ) -> (R, Vec<(ProcessId, Message)>) {
+        let mut sink = Vec::new();
+        let r = {
+            let mut env = SubEnv { ctx, channel: chan(idx), sink: &mut sink };
+            f(&mut self.protos[idx], &mut env)
+        };
+        (r, sink)
+    }
+
+    fn process_deliveries(
+        &mut self,
+        idx: usize,
+        sink: Vec<(ProcessId, Message)>,
+        ctx: &mut LayerCtx<'_>,
+    ) {
+        for (src, msg) in sink {
+            if idx == self.current {
+                self.deliver_current(src, msg, ctx);
+            } else {
+                self.buffer.push((src, msg));
+                let depth = self.buffer.len();
+                self.handle.update(|s| s.buffered_peak = s.buffered_peak.max(depth));
+            }
+        }
+        self.try_flip(ctx);
+    }
+
+    /// Delivers a current-protocol message to the application, with era
+    /// bookkeeping and load observation.
+    fn deliver_current(&mut self, src: ProcessId, msg: Message, ctx: &mut LayerCtx<'_>) {
+        *self.delivered_from.entry(msg.id.sender).or_insert(0) += 1;
+        self.recent.push_back((ctx.now(), msg.id.sender));
+        self.handle.update(|s| s.delivered += 1);
+        ctx.deliver_up(src, msg.to_bytes());
+    }
+
+    fn enter_switching(&mut self, ctx: &LayerCtx<'_>) {
+        if self.mode == Mode::Normal {
+            self.mode = Mode::Switching;
+            self.switch_started = ctx.now();
+            self.handle.update(|s| s.switching = true);
+        }
+    }
+
+    /// Flips to the new protocol if the SWITCH vector is satisfied.
+    fn try_flip(&mut self, ctx: &mut LayerCtx<'_>) {
+        if self.mode != Mode::Switching {
+            return;
+        }
+        let Some(vector) = &self.expected else { return };
+        let drained = vector
+            .iter()
+            .all(|(q, c)| self.delivered_from.get(q).copied().unwrap_or(0) >= *c);
+        if !drained {
+            return;
+        }
+        // Flip.
+        let from = self.current;
+        self.current = 1 - self.current;
+        self.era += 1;
+        self.mode = Mode::Normal;
+        self.sent_current = self.sent_next;
+        self.sent_next = 0;
+        self.delivered_from.clear();
+        self.expected = None;
+        self.am_manager = false;
+        self.manager_oks.clear();
+        let record = SwitchRecord {
+            from,
+            to: self.current,
+            started_at: self.switch_started,
+            completed_at: ctx.now(),
+        };
+        self.handle.update(|s| {
+            s.records.push(record);
+            s.switching = false;
+            s.current = 1 - from;
+        });
+        if self.cfg.announce_views {
+            // §8: the switch *is* a view change. Every member delivers the
+            // same message set per era (the count vector), so announcing
+            // the era boundary as a view yields a virtually synchronous
+            // application trace. The announcement is fabricated
+            // identically at every member (same id, same body).
+            let group = ctx.group();
+            let vm = Message::view_change(group[0], CTL_SEQ_BASE + self.era, self.era, group);
+            ctx.deliver_up(vm.id.sender, vm.to_bytes());
+        }
+        // Release the buffer — these are new-era deliveries.
+        let buffered = std::mem::take(&mut self.buffer);
+        for (src, msg) in buffered {
+            self.deliver_current(src, msg, ctx);
+        }
+        // Token variant: a FLUSH held for our drain can move on now.
+        if let Some(token) = self.holding_flush.take() {
+            self.forward_token(token, ctx);
+        }
+    }
+
+    // ---- broadcast variant -------------------------------------------------
+
+    fn initiate_broadcast(&mut self, ctx: &mut LayerCtx<'_>) {
+        self.enter_switching(ctx);
+        self.am_manager = true;
+        self.handle.update(|s| s.initiated += 1);
+        let msg = Control::Prepare { era: self.era + 1 };
+        self.send_control(ps_stack::Cast::All, msg.to_bytes(), ctx);
+    }
+
+    /// Handles a control envelope delivered by the control stack.
+    fn dispatch_control(&mut self, envelope: Message, ctx: &mut LayerCtx<'_>) {
+        let origin = envelope.id.sender;
+        match self.cfg.variant {
+            SwitchVariant::Broadcast => self.on_control(origin, envelope.body, ctx),
+            SwitchVariant::TokenRing { .. } => {
+                let Ok(token) = RingToken::from_bytes(&envelope.body) else { return };
+                self.handle_token(token, ctx);
+            }
+        }
+    }
+
+    fn on_control(&mut self, src: ProcessId, bytes: Bytes, ctx: &mut LayerCtx<'_>) {
+        let Ok(msg) = Control::from_bytes(&bytes) else { return };
+        match msg {
+            Control::Prepare { era } => {
+                if era != self.era + 1 {
+                    return;
+                }
+                self.enter_switching(ctx);
+                let ok = Control::Ok {
+                    era,
+                    member: ctx.me(),
+                    count: self.sent_current,
+                };
+                self.send_control(ps_stack::Cast::To(src), ok.to_bytes(), ctx);
+            }
+            Control::Ok { era, member, count } => {
+                if !self.am_manager || era != self.era + 1 {
+                    return;
+                }
+                self.manager_oks.insert(member, count);
+                let group = ctx.group();
+                if group.iter().all(|m| self.manager_oks.contains_key(m)) {
+                    let vector: CountVector =
+                        self.manager_oks.iter().map(|(&p, &c)| (p, c)).collect();
+                    let sw = Control::Switch { era, vector };
+                    self.send_control(ps_stack::Cast::All, sw.to_bytes(), ctx);
+                }
+            }
+            Control::Switch { era, vector } => {
+                if era != self.era + 1 {
+                    return;
+                }
+                self.expected = Some(vector);
+                self.try_flip(ctx);
+            }
+        }
+    }
+
+    // ---- token variant -----------------------------------------------------
+
+    fn ring_next(ctx: &LayerCtx<'_>) -> ProcessId {
+        let group = ctx.group();
+        let me = ctx.me();
+        let idx = group.iter().position(|&p| p == me).expect("member of own group");
+        group[(idx + 1) % group.len()]
+    }
+
+    fn forward_token(&mut self, token: RingToken, ctx: &mut LayerCtx<'_>) {
+        let next = Self::ring_next(ctx);
+        self.send_control(ps_stack::Cast::To(next), token.to_bytes(), ctx);
+    }
+
+    fn handle_token(&mut self, mut token: RingToken, ctx: &mut LayerCtx<'_>) {
+        let me = ctx.me();
+        match token.mode {
+            TokenMode::Normal => {
+                let wanted = self.want_target.take().filter(|&t| t != self.current);
+                if wanted.is_some() && self.mode == Mode::Normal {
+                    self.enter_switching(ctx);
+                    self.handle.update(|s| s.initiated += 1);
+                    token.mode = TokenMode::Prepare;
+                    token.era = self.era + 1;
+                    token.initiator = me;
+                    token.counts = vec![(me, self.sent_current)];
+                    self.forward_token(token, ctx);
+                    return;
+                }
+                let idle_hold = match self.cfg.variant {
+                    SwitchVariant::TokenRing { idle_hold } => idle_hold,
+                    SwitchVariant::Broadcast => SimTime::ZERO,
+                };
+                if idle_hold > SimTime::ZERO {
+                    self.held_token = Some(token);
+                    self.hold_gen = self.hold_gen.wrapping_add(1) & !HOLD_FLAG;
+                    ctx.set_timer(idle_hold, HOLD_FLAG | self.hold_gen);
+                } else {
+                    self.forward_token(token, ctx);
+                }
+            }
+            TokenMode::Prepare => {
+                if token.initiator == me {
+                    // Counts complete: disseminate the vector.
+                    self.expected = Some(token.counts.clone());
+                    token.mode = TokenMode::Switch;
+                    self.forward_token(token, ctx);
+                    self.try_flip(ctx);
+                } else {
+                    if token.era != self.era + 1 {
+                        return; // stale
+                    }
+                    self.enter_switching(ctx);
+                    token.counts.push((me, self.sent_current));
+                    self.forward_token(token, ctx);
+                }
+            }
+            TokenMode::Switch => {
+                if token.initiator == me {
+                    // Vector has gone all the way around: flush rotation.
+                    token.mode = TokenMode::Flush;
+                    if self.mode == Mode::Normal {
+                        self.forward_token(token, ctx);
+                    } else {
+                        self.holding_flush = Some(token);
+                    }
+                } else {
+                    if token.era != self.era + 1 {
+                        return;
+                    }
+                    self.expected = Some(token.counts.clone());
+                    self.forward_token(token, ctx);
+                    self.try_flip(ctx);
+                }
+            }
+            TokenMode::Flush => {
+                if token.initiator == me {
+                    // Third rotation complete: the switch has finished at
+                    // every member. Back to an idle token.
+                    self.handle_token(RingToken::normal(self.era), ctx);
+                } else if self.mode == Mode::Normal {
+                    self.forward_token(token, ctx);
+                } else {
+                    self.holding_flush = Some(token);
+                }
+            }
+        }
+    }
+
+    // ---- oracle ------------------------------------------------------------
+
+    fn observe(&mut self, ctx: &mut LayerCtx<'_>) {
+        let now = ctx.now();
+        let cutoff = now.saturating_sub(self.cfg.observe_window);
+        while self.recent.front().is_some_and(|&(t, _)| t < cutoff) {
+            self.recent.pop_front();
+        }
+        let mut senders: Vec<ProcessId> = self.recent.iter().map(|&(_, s)| s).collect();
+        senders.sort_unstable();
+        senders.dedup();
+        let obs = SwitchObs {
+            now,
+            current: self.current,
+            active_senders: senders.len(),
+            recent_deliveries: self.recent.len() as u64,
+            switching: self.mode == Mode::Switching,
+            last_switch: self.handle.update(|s| s.records.last().map(|r| r.completed_at)),
+        };
+        if let Some(target) = self.oracle.decide(&obs) {
+            if target != self.current && self.mode == Mode::Normal {
+                match self.cfg.variant {
+                    SwitchVariant::Broadcast => self.initiate_broadcast(ctx),
+                    SwitchVariant::TokenRing { .. } => {
+                        self.want_target = Some(target);
+                        // If we are sitting on an idle token, use it now.
+                        if let Some(token) = self.held_token.take() {
+                            self.handle_token(token, ctx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for SwitchLayer {
+    fn name(&self) -> &'static str {
+        "switch"
+    }
+
+    fn on_launch(&mut self, ctx: &mut LayerCtx<'_>) {
+        self.me = Some(ctx.me());
+        // Launch both sub-protocols (the inactive one keeps running — its
+        // tokens rotate, its timers fire — exactly as in Horus) and the
+        // control transport.
+        for idx in 0..2 {
+            let ((), sink) = self.run_sub(idx, ctx, |stack, env| stack.launch(env));
+            self.process_deliveries(idx, sink, ctx);
+        }
+        {
+            let mut sink = Vec::new();
+            let mut env = SubEnv { ctx, channel: ChannelId::CONTROL, sink: &mut sink };
+            self.control.launch(&mut env);
+            debug_assert!(sink.is_empty());
+        }
+        ctx.set_timer(self.cfg.observe_interval, OBSERVE);
+        if let SwitchVariant::TokenRing { .. } = self.cfg.variant {
+            if ctx.me() == ctx.group()[0] {
+                self.handle_token(RingToken::normal(0), ctx);
+            }
+        }
+    }
+
+    fn on_down(&mut self, frame: Frame, ctx: &mut LayerCtx<'_>) {
+        let target = self.send_target();
+        if target == self.current {
+            self.sent_current += 1;
+        } else {
+            self.sent_next += 1;
+        }
+        let ((), sink) =
+            self.run_sub(target, ctx, |stack, env| stack.send_bytes(frame.dest, frame.bytes, env));
+        self.process_deliveries(target, sink, ctx);
+    }
+
+    fn on_up(&mut self, src: ProcessId, bytes: Bytes, ctx: &mut LayerCtx<'_>) {
+        let Ok((ch, payload)) = channel::demux(&bytes) else { return };
+        match ch {
+            ChannelId::CONTROL => {
+                let mut sink = Vec::new();
+                {
+                    let mut env =
+                        SubEnv { ctx, channel: ChannelId::CONTROL, sink: &mut sink };
+                    self.control.receive(src, payload, &mut env);
+                }
+                for (_, envelope) in sink {
+                    self.dispatch_control(envelope, ctx);
+                }
+            }
+            ChannelId::PROTO_A | ChannelId::PROTO_B => {
+                let idx = usize::from(ch.0 - 1);
+                let ((), sink) =
+                    self.run_sub(idx, ctx, |stack, env| stack.receive(src, payload, env));
+                self.process_deliveries(idx, sink, ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u32, ctx: &mut LayerCtx<'_>) {
+        if token == OBSERVE {
+            self.observe(ctx);
+            ctx.set_timer(self.cfg.observe_interval, OBSERVE);
+        } else if token & HOLD_FLAG != 0 && token & !HOLD_FLAG == self.hold_gen {
+            if let Some(t) = self.held_token.take() {
+                if self.want_target.is_some() {
+                    self.handle_token(t, ctx);
+                } else {
+                    self.forward_token(t, ctx);
+                }
+            }
+        }
+    }
+
+    fn route_timer(&mut self, id: LayerId, token: u32, ctx: &mut LayerCtx<'_>) -> bool {
+        for idx in 0..2 {
+            let (handled, sink) =
+                self.run_sub(idx, ctx, |stack, env| stack.timer(id, token, env));
+            if handled {
+                self.process_deliveries(idx, sink, ctx);
+                return true;
+            }
+            debug_assert!(sink.is_empty(), "unhandled timer produced deliveries");
+        }
+        // Control-transport timers (e.g. a reliable layer's retransmits).
+        let mut sink = Vec::new();
+        let handled = {
+            let mut env = SubEnv { ctx, channel: ChannelId::CONTROL, sink: &mut sink };
+            self.control.timer(id, token, &mut env)
+        };
+        for (_, envelope) in sink {
+            self.dispatch_control(envelope, ctx);
+        }
+        handled
+    }
+}

@@ -1,0 +1,98 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [table1|table2|fig2|overhead|oscillation|all] [--quick] [--csv] [--counterexamples]
+//! ```
+
+use ps_harness::experiments::{ablation, fig2, oscillation, overhead, table1, table2};
+
+struct Opts {
+    what: String,
+    quick: bool,
+    csv: bool,
+    counterexamples: bool,
+}
+
+fn parse() -> Opts {
+    let mut what = String::from("all");
+    let mut quick = false;
+    let mut csv = false;
+    let mut counterexamples = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--csv" => csv = true,
+            "--counterexamples" => counterexamples = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|all] [--quick] [--csv] [--counterexamples]"
+                );
+                std::process::exit(0);
+            }
+            w if !w.starts_with('-') => what = w.to_owned(),
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    Opts { what, quick, csv, counterexamples }
+}
+
+fn emit(opts: &Opts, t: &ps_harness::Table) {
+    if opts.csv {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{t}");
+    }
+}
+
+fn main() {
+    let opts = parse();
+    let all = opts.what == "all";
+
+    if all || opts.what == "table1" {
+        let demos = table1::run();
+        emit(&opts, &table1::render(&demos));
+    }
+    if all || opts.what == "table2" {
+        let cfg =
+            if opts.quick { table2::Table2Config::quick() } else { table2::Table2Config::default() };
+        let rows = table2::run(&cfg);
+        emit(&opts, &table2::render(&rows));
+        let (agree, pinned) = table2::agreement(&rows);
+        println!("paper-pinned cells in agreement: {agree}/{pinned}\n");
+        if opts.counterexamples {
+            println!("{}", table2::render_counterexamples(&rows));
+        }
+    }
+    if all || opts.what == "fig2" {
+        let cfg = if opts.quick { fig2::Fig2Config::quick() } else { fig2::Fig2Config::default() };
+        let r = fig2::run(&cfg);
+        emit(&opts, &fig2::render(&r));
+    }
+    if all || opts.what == "overhead" {
+        let cfg = if opts.quick {
+            overhead::OverheadConfig::quick()
+        } else {
+            overhead::OverheadConfig::default()
+        };
+        let r = overhead::run(&cfg);
+        emit(&opts, &overhead::render(&r));
+    }
+    if all || opts.what == "ablation" {
+        let cfg =
+            if opts.quick { ablation::AblationConfig::quick() } else { ablation::AblationConfig::default() };
+        let r = ablation::run(&cfg);
+        emit(&opts, &ablation::render(&r));
+    }
+    if all || opts.what == "oscillation" {
+        let cfg = if opts.quick {
+            oscillation::OscillationConfig::quick()
+        } else {
+            oscillation::OscillationConfig::default()
+        };
+        let r = oscillation::run(&cfg);
+        emit(&opts, &oscillation::render(&r));
+    }
+}

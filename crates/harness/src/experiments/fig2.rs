@@ -1,0 +1,286 @@
+//! Figure 2: message latency vs. number of active senders.
+//!
+//! Paper setup: "a group of ten processes … A subgroup of varying size is
+//! sending 50 messages per second per member. In this case, there is a
+//! cross-over point when the size of the subset is between 5 and 6 active
+//! senders." The sequencer's latency is low until the shared medium and
+//! its own CPU saturate; the token protocol pays roughly half a ring
+//! rotation regardless of load. We additionally run the paper's hybrid —
+//! the switch with a threshold oracle — which should track the lower
+//! envelope of the two curves.
+
+use crate::measure::{latency_stats, LatencyStats, SteadyStateWindow};
+use crate::report::Table;
+use crate::workload::{periodic_senders, WorkloadSpec};
+use ps_core::{hybrid_total_order, NeverOracle, Oracle, SwitchConfig, SwitchHandle, SwitchVariant, ThresholdOracle};
+use ps_protocols::{SeqOrderLayer, TokenOrderLayer};
+use ps_simnet::{EthernetConfig, SharedBus, SimTime};
+use ps_stack::{GroupSim, GroupSimBuilder, Stack};
+use ps_trace::ProcessId;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Parameters of the Figure-2 sweep; defaults are the calibrated testbed
+/// stand-in (see DESIGN.md §1 and EXPERIMENTS.md).
+#[derive(Debug, Clone)]
+pub struct Fig2Config {
+    /// Group size (paper: 10).
+    pub group: u16,
+    /// Active-sender counts to sweep (paper: 1..=10).
+    pub senders: Vec<u16>,
+    /// Per-sender message rate (paper: 50 msg/s).
+    pub rate: f64,
+    /// Message body size in bytes.
+    pub body_bytes: usize,
+    /// Token idle-hold (sets the token protocol's latency floor).
+    pub idle_hold: SimTime,
+    /// Per-node CPU service time per event.
+    pub service: SimTime,
+    /// Workload warm-up excluded from measurement.
+    pub warmup: SimTime,
+    /// Measured workload duration.
+    pub measure: SimTime,
+    /// Hybrid oracle threshold (active senders) and hysteresis.
+    pub threshold: usize,
+    /// Hybrid oracle hysteresis.
+    pub hysteresis: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for Fig2Config {
+    fn default() -> Self {
+        Self {
+            group: 10,
+            senders: (1..=10).collect(),
+            rate: 50.0,
+            body_bytes: 2048,
+            idle_hold: SimTime::from_millis(1),
+            service: SimTime::from_micros(150),
+            warmup: SimTime::from_millis(800),
+            measure: SimTime::from_secs(4),
+            threshold: 5,
+            hysteresis: 0,
+            seed: 0xF16_2,
+        }
+    }
+}
+
+impl Fig2Config {
+    /// A reduced sweep for tests and CI.
+    pub fn quick() -> Self {
+        Self {
+            senders: vec![1, 2, 4, 5, 6, 8, 10],
+            warmup: SimTime::from_millis(500),
+            measure: SimTime::from_millis(1500),
+            ..Self::default()
+        }
+    }
+}
+
+/// Which protocol a sweep runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Series {
+    /// Fixed-sequencer total order.
+    Sequencer,
+    /// Rotating-token total order.
+    Token,
+    /// The switching hybrid with a threshold oracle.
+    Hybrid,
+}
+
+impl Series {
+    /// All three series.
+    pub const ALL: [Series; 3] = [Series::Sequencer, Series::Token, Series::Hybrid];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Series::Sequencer => "sequencer",
+            Series::Token => "token",
+            Series::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Fig2Point {
+    /// Active senders.
+    pub senders: u16,
+    /// Latency per series, in [`Series::ALL`] order.
+    pub latency: [LatencyStats; 3],
+    /// Switches the hybrid performed at this point.
+    pub hybrid_switches: usize,
+    /// Protocol the hybrid settled on (0 = sequencer, 1 = token).
+    pub hybrid_final: usize,
+    /// Hybrid latency measured only after its last switch settled —
+    /// isolates steady state from the one-off switching transient.
+    pub hybrid_settled: LatencyStats,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// Sweep points in sender order.
+    pub points: Vec<Fig2Point>,
+    /// Sender counts `(k, k')` between which sequencer and token mean
+    /// latencies cross, if they do.
+    pub crossover: Option<(u16, u16)>,
+}
+
+/// Runs one configuration (protocol × sender count) and returns the sim
+/// plus, for the hybrid, its switch handles.
+pub fn run_point(cfg: &Fig2Config, series: Series, k: u16) -> (GroupSim, Option<Vec<SwitchHandle>>) {
+    let spec = WorkloadSpec {
+        rate_per_sender: cfg.rate,
+        body_bytes: cfg.body_bytes,
+        start: SimTime::from_millis(100),
+        end: SimTime::from_millis(100) + cfg.warmup + cfg.measure,
+        seed: cfg.seed ^ u64::from(k),
+        ..WorkloadSpec::for_group(cfg.group, k)
+    };
+    let medium = Box::new(SharedBus::new(EthernetConfig::default()));
+    let idle_hold = cfg.idle_hold;
+    let (threshold, hysteresis) = (cfg.threshold, cfg.hysteresis);
+    let handles: Rc<RefCell<Vec<SwitchHandle>>> = Rc::new(RefCell::new(Vec::new()));
+    let h2 = handles.clone();
+    let mut b = GroupSimBuilder::new(cfg.group)
+        .seed(cfg.seed ^ (u64::from(k) << 8))
+        .service_time(cfg.service)
+        .medium(medium);
+    b = match series {
+        Series::Sequencer => {
+            b.stack_factory(|_, _, _| Stack::new(vec![Box::new(SeqOrderLayer::new(ProcessId(0)))]))
+        }
+        Series::Token => b.stack_factory(move |_, _, _| {
+            Stack::new(vec![Box::new(TokenOrderLayer::with_idle_hold(idle_hold))])
+        }),
+        Series::Hybrid => b.stack_factory(move |p, _, ids| {
+            let oracle: Box<dyn Oracle> = if p == ProcessId(0) {
+                // The cooldown stops the post-flip drain stall from being
+                // mistaken for an idle group (a flap back to the congested
+                // protocol would be catastrophic at high load).
+                Box::new(
+                    ThresholdOracle::new(threshold, hysteresis)
+                        .with_cooldown(SimTime::from_secs(1)),
+                )
+            } else {
+                Box::new(NeverOracle)
+            };
+            // React quickly: the paper's §7 warning is that waiting too
+            // long to leave a congesting protocol makes the flush (and so
+            // the switch) expensive.
+            let sw_cfg = SwitchConfig {
+                variant: SwitchVariant::TokenRing { idle_hold: SimTime::from_millis(2) },
+                observe_interval: SimTime::from_millis(50),
+                observe_window: SimTime::from_millis(250),
+                ..SwitchConfig::default()
+            };
+            let (stack, handle) = hybrid_total_order(ids, sw_cfg, ProcessId(0), oracle);
+            h2.borrow_mut().push(handle);
+            stack
+        }),
+    };
+    let mut sim = b.sends(periodic_senders(&spec)).build();
+    // Let in-flight messages drain past the workload end.
+    sim.run_until(spec.end + SimTime::from_secs(2));
+    let handles = if series == Series::Hybrid { Some(handles.borrow().clone()) } else { None };
+    (sim, handles)
+}
+
+/// Runs the whole sweep.
+pub fn run(cfg: &Fig2Config) -> Fig2Result {
+    let mut points = Vec::new();
+    for &k in &cfg.senders {
+        let window = SteadyStateWindow::between(
+            SimTime::from_millis(100) + cfg.warmup,
+            SimTime::from_millis(100) + cfg.warmup + cfg.measure,
+        );
+        let mut latency = [LatencyStats {
+            samples: 0,
+            mean: SimTime::ZERO,
+            p50: SimTime::ZERO,
+            p99: SimTime::ZERO,
+            max: SimTime::ZERO,
+            incomplete: 0,
+        }; 3];
+        let mut hybrid_switches = 0;
+        let mut hybrid_final = 0;
+        let mut hybrid_settled = latency[0];
+        let workload_end = SimTime::from_millis(100) + cfg.warmup + cfg.measure;
+        for (i, series) in Series::ALL.into_iter().enumerate() {
+            let (sim, handles) = run_point(cfg, series, k);
+            latency[i] = latency_stats(&sim, window);
+            if let Some(hs) = handles {
+                // Report the state at workload end (afterwards the oracle
+                // correctly adapts back down to the idle-optimal protocol).
+                let records = hs[0].snapshot().records;
+                let during: Vec<_> =
+                    records.iter().filter(|r| r.completed_at <= workload_end).collect();
+                hybrid_switches = during.len();
+                hybrid_final = during.last().map_or(0, |r| r.to);
+                // Steady state after the last mid-workload switch (every
+                // member must have flipped, hence the global max).
+                let all_flipped = hs
+                    .iter()
+                    .flat_map(|h| h.snapshot().records)
+                    .filter(|r| r.completed_at <= workload_end)
+                    .map(|r| r.completed_at)
+                    .max();
+                let settled_from = all_flipped
+                    .map(|t| t + SimTime::from_millis(200))
+                    .unwrap_or(window.from)
+                    .max(window.from);
+                hybrid_settled =
+                    latency_stats(&sim, SteadyStateWindow::between(settled_from, window.to));
+            }
+        }
+        points.push(Fig2Point {
+            senders: k,
+            latency,
+            hybrid_switches,
+            hybrid_final,
+            hybrid_settled,
+        });
+    }
+    let crossover = find_crossover(&points);
+    Fig2Result { points, crossover }
+}
+
+/// Finds adjacent sender counts where the sequencer goes from faster to
+/// slower than the token protocol.
+pub fn find_crossover(points: &[Fig2Point]) -> Option<(u16, u16)> {
+    points.windows(2).find_map(|w| {
+        let below = w[0].latency[0].mean <= w[0].latency[1].mean;
+        let above = w[1].latency[0].mean > w[1].latency[1].mean;
+        (below && above).then_some((w[0].senders, w[1].senders))
+    })
+}
+
+/// Renders the figure as a text table (one row per sender count).
+pub fn render(result: &Fig2Result) -> Table {
+    let mut t = Table::new(
+        "Figure 2 — message latency (ms) vs. active senders (n=10, 50 msg/s each)",
+        vec!["senders", "sequencer", "token", "hybrid", "hybrid settled", "hybrid proto", "switches"],
+    );
+    for p in &result.points {
+        t.row(vec![
+            p.senders.to_string(),
+            format!("{:.2}", p.latency[0].mean_ms()),
+            format!("{:.2}", p.latency[1].mean_ms()),
+            format!("{:.2}", p.latency[2].mean_ms()),
+            format!("{:.2}", p.hybrid_settled.mean_ms()),
+            if p.hybrid_final == 0 { "sequencer".into() } else { "token".into() },
+            p.hybrid_switches.to_string(),
+        ]);
+    }
+    t.note("'hybrid settled' excludes the one-off switching transient; at high load the transient is dominated by draining the congested old protocol (the paper's §7 caveat)");
+    match result.crossover {
+        Some((a, b)) => t.note(format!(
+            "sequencer/token cross-over between {a} and {b} active senders (paper: between 5 and 6)"
+        )),
+        None => t.note("no cross-over found in the sweep"),
+    }
+    t
+}

@@ -1,0 +1,9 @@
+//! One module per paper artifact; each exposes a `Config`, a typed result
+//! and a `run`/`render` pair.
+
+pub mod ablation;
+pub mod fig2;
+pub mod oscillation;
+pub mod overhead;
+pub mod table1;
+pub mod table2;

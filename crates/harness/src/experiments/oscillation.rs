@@ -1,0 +1,153 @@
+//! §7 oscillation: "If switching too aggressively, the resulting protocol
+//! starts oscillating. If we make our protocol less aggressive (by adding
+//! a hysteresis), we ran into an unexpected hitch" — the flush cost
+//! depending on the old protocol's latency, measured in
+//! [`crate::experiments::overhead`].
+//!
+//! Here: a load that hovers around the crossover, swept over hysteresis
+//! widths. Aggressive policies flap; hysteresis damps the flapping and
+//! improves delivered latency.
+
+use crate::measure::{latency_stats, SteadyStateWindow};
+use crate::report::Table;
+use crate::workload::{periodic_senders, WorkloadSpec};
+use ps_core::{
+    hybrid_total_order, NeverOracle, Oracle, SwitchConfig, SwitchHandle, SwitchVariant,
+    ThresholdOracle,
+};
+use ps_simnet::{EthernetConfig, SharedBus, SimTime};
+use ps_stack::GroupSimBuilder;
+use ps_trace::ProcessId;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Configuration of the oscillation experiment.
+#[derive(Debug, Clone)]
+pub struct OscillationConfig {
+    /// Group size.
+    pub group: u16,
+    /// Oracle threshold (put it at the crossover).
+    pub threshold: usize,
+    /// Hysteresis widths to sweep.
+    pub hysteresis: Vec<usize>,
+    /// Load alternates between `threshold - 1` and `threshold + 1` active
+    /// senders every `phase`.
+    pub phase: SimTime,
+    /// Number of load phases.
+    pub phases: usize,
+    /// Per-sender rate.
+    pub rate: f64,
+    /// Message body size.
+    pub body_bytes: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for OscillationConfig {
+    fn default() -> Self {
+        Self {
+            group: 10,
+            threshold: 5,
+            hysteresis: vec![0, 1, 2],
+            phase: SimTime::from_millis(400),
+            phases: 10,
+            rate: 50.0,
+            body_bytes: 1024,
+            seed: 0x05C1,
+        }
+    }
+}
+
+impl OscillationConfig {
+    /// Reduced sweep for tests.
+    pub fn quick() -> Self {
+        Self { hysteresis: vec![0, 2], phases: 6, ..Self::default() }
+    }
+}
+
+/// Result for one hysteresis setting.
+#[derive(Debug, Clone)]
+pub struct OscillationPoint {
+    /// Hysteresis width.
+    pub hysteresis: usize,
+    /// Completed switches over the run.
+    pub switches: usize,
+    /// Mean delivered latency over the whole run.
+    pub mean_latency: SimTime,
+}
+
+/// Runs the sweep.
+pub fn run(cfg: &OscillationConfig) -> Vec<OscillationPoint> {
+    cfg.hysteresis
+        .iter()
+        .map(|&h| {
+            let handles: Rc<RefCell<Vec<SwitchHandle>>> = Rc::new(RefCell::new(Vec::new()));
+            let h2 = handles.clone();
+            let threshold = cfg.threshold;
+            let mut b = GroupSimBuilder::new(cfg.group)
+                .seed(cfg.seed ^ (h as u64) << 4)
+                .medium(Box::new(SharedBus::new(EthernetConfig::default())))
+                .stack_factory(move |p, _, ids| {
+                    let oracle: Box<dyn Oracle> = if p == ProcessId(0) {
+                        Box::new(ThresholdOracle::new(threshold, h))
+                    } else {
+                        Box::new(NeverOracle)
+                    };
+                    let sw_cfg = SwitchConfig {
+                        variant: SwitchVariant::TokenRing { idle_hold: SimTime::from_millis(2) },
+                        observe_interval: SimTime::from_millis(50),
+                        observe_window: SimTime::from_millis(250),
+                        ..SwitchConfig::default()
+                    };
+                    let (stack, handle) = hybrid_total_order(ids, sw_cfg, ProcessId(0), oracle);
+                    h2.borrow_mut().push(handle);
+                    stack
+                });
+            // Alternating load phases straddling the threshold.
+            let mut t = SimTime::from_millis(100);
+            for phase in 0..cfg.phases {
+                let k = if phase % 2 == 0 {
+                    cfg.threshold as u16 - 1
+                } else {
+                    cfg.threshold as u16 + 1
+                };
+                let spec = WorkloadSpec {
+                    rate_per_sender: cfg.rate,
+                    body_bytes: cfg.body_bytes,
+                    start: t,
+                    end: t + cfg.phase,
+                    seed: cfg.seed ^ (phase as u64) << 8,
+                    ..WorkloadSpec::for_group(cfg.group, k)
+                };
+                b = b.sends(periodic_senders(&spec));
+                t += cfg.phase;
+            }
+            let mut sim = b.build();
+            sim.run_until(t + SimTime::from_secs(2));
+            let switches =
+                handles.borrow().iter().map(|h| h.switches_completed()).max().unwrap_or(0);
+            let stats = latency_stats(
+                &sim,
+                SteadyStateWindow::between(SimTime::from_millis(100), t),
+            );
+            OscillationPoint { hysteresis: h, switches, mean_latency: stats.mean }
+        })
+        .collect()
+}
+
+/// Renders the sweep.
+pub fn render(points: &[OscillationPoint]) -> Table {
+    let mut t = Table::new(
+        "§7 — oscillation vs. hysteresis (load hovering at the cross-over)",
+        vec!["hysteresis", "switches", "mean latency (ms)"],
+    );
+    for p in points {
+        t.row(vec![
+            p.hysteresis.to_string(),
+            p.switches.to_string(),
+            format!("{:.2}", p.mean_latency.as_millis_f64()),
+        ]);
+    }
+    t.note("aggressive (hysteresis 0) switching flaps with the load; wider bands damp it");
+    t
+}

@@ -1,0 +1,24 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! | Experiment | Paper artifact | Entry point |
+//! |---|---|---|
+//! | [`experiments::table1`] | Table 1 — each property implemented and violated | `repro table1` |
+//! | [`experiments::table2`] | Table 2 — properties × meta-properties matrix | `repro table2` |
+//! | [`experiments::fig2`] | Figure 2 — latency vs. active senders, sequencer vs. token vs. hybrid | `repro fig2` |
+//! | [`experiments::overhead`] | §7 — switching overhead near the crossover (~31 ms in the paper) | `repro overhead` |
+//! | [`experiments::oscillation`] | §7 — aggressive switching oscillates; hysteresis damps it | `repro oscillation` |
+//!
+//! Every experiment is deterministic given its config (all randomness is
+//! seeded) and returns a typed result that both the CLI and the Criterion
+//! benches render. Absolute numbers come from the simulated testbed
+//! (DESIGN.md §1), so the *shape* of each result is the claim, not the
+//! milliseconds.
+
+pub mod experiments;
+pub mod measure;
+pub mod report;
+pub mod workload;
+
+pub use measure::{LatencyStats, SteadyStateWindow};
+pub use report::Table;
+pub use workload::{periodic_senders, poisson_senders, WorkloadSpec};

@@ -1,0 +1,182 @@
+//! Latency measurement over a [`ps_stack::GroupSim`] run.
+
+use ps_simnet::SimTime;
+use ps_stack::GroupSim;
+use ps_trace::ProcessId;
+
+/// Which part of a run to measure: drop warm-up and drain phases so the
+/// numbers describe steady state.
+#[derive(Debug, Clone, Copy)]
+pub struct SteadyStateWindow {
+    /// Sends before this instant are ignored.
+    pub from: SimTime,
+    /// Sends after this instant are ignored.
+    pub to: SimTime,
+}
+
+impl SteadyStateWindow {
+    /// The whole run.
+    pub fn all() -> Self {
+        Self { from: SimTime::ZERO, to: SimTime::from_secs(u64::MAX / 2_000_000) }
+    }
+
+    /// A window between two instants.
+    pub fn between(from: SimTime, to: SimTime) -> Self {
+        Self { from, to }
+    }
+
+    /// Whether a send time falls in the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.from && t <= self.to
+    }
+}
+
+/// Summary statistics of send→deliver latency, over all (message,
+/// receiver) pairs with the send inside the measurement window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of (message, receiver) samples.
+    pub samples: usize,
+    /// Mean latency.
+    pub mean: SimTime,
+    /// Median latency.
+    pub p50: SimTime,
+    /// 99th percentile latency.
+    pub p99: SimTime,
+    /// Maximum latency.
+    pub max: SimTime,
+    /// Messages sent in the window that some receiver never delivered.
+    pub incomplete: usize,
+}
+
+impl LatencyStats {
+    /// Mean latency in milliseconds (Figure 2's unit).
+    pub fn mean_ms(&self) -> f64 {
+        self.mean.as_millis_f64()
+    }
+}
+
+/// Computes latency statistics for `sim` over `window`.
+///
+/// Expects `sim` to have finished running; a message counts as incomplete
+/// if fewer than `sim.group().len()` processes delivered it.
+pub fn latency_stats(sim: &GroupSim, window: SteadyStateWindow) -> LatencyStats {
+    let sends = sim.send_times();
+    let n = sim.group().len();
+    let mut lat: Vec<u64> = Vec::new();
+    let mut per_msg: std::collections::BTreeMap<ps_trace::MsgId, usize> = Default::default();
+    for d in sim.deliveries() {
+        let Some(&sent) = sends.get(&d.msg) else { continue };
+        if !window.contains(sent) {
+            continue;
+        }
+        lat.push(d.at.saturating_sub(sent).as_micros());
+        *per_msg.entry(d.msg).or_insert(0) += 1;
+    }
+    let in_window = sends.values().filter(|&&t| window.contains(t)).count();
+    let complete = per_msg.values().filter(|&&c| c >= n).count();
+    lat.sort_unstable();
+    let pick = |q: f64| -> SimTime {
+        if lat.is_empty() {
+            SimTime::ZERO
+        } else {
+            let idx = ((lat.len() - 1) as f64 * q).round() as usize;
+            SimTime::from_micros(lat[idx])
+        }
+    };
+    let mean = if lat.is_empty() {
+        SimTime::ZERO
+    } else {
+        SimTime::from_micros(lat.iter().sum::<u64>() / lat.len() as u64)
+    };
+    LatencyStats {
+        samples: lat.len(),
+        mean,
+        p50: pick(0.5),
+        p99: pick(0.99),
+        max: lat.last().copied().map(SimTime::from_micros).unwrap_or(SimTime::ZERO),
+        incomplete: in_window.saturating_sub(complete),
+    }
+}
+
+/// The largest gap between consecutive deliveries at `process` within
+/// `[from, to]` — the application-perceived "hiccup" of §7.
+pub fn max_delivery_gap(
+    sim: &GroupSim,
+    process: ProcessId,
+    from: SimTime,
+    to: SimTime,
+) -> SimTime {
+    let mut times: Vec<SimTime> = sim
+        .deliveries()
+        .into_iter()
+        .filter(|d| d.process == process && d.at >= from && d.at <= to)
+        .map(|d| d.at)
+        .collect();
+    times.sort_unstable();
+    times
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .max()
+        .unwrap_or(SimTime::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_simnet::PointToPoint;
+    use ps_stack::{GroupSimBuilder, Stack};
+
+    fn run() -> GroupSim {
+        let mut b = GroupSimBuilder::new(3)
+            .seed(1)
+            .medium(Box::new(PointToPoint::new(SimTime::from_micros(500))))
+            .stack_factory(|_, _, _| Stack::new(vec![]));
+        for i in 0..10u64 {
+            b = b.send_at(SimTime::from_millis(1 + i), ProcessId(0), b"x");
+        }
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(1));
+        sim
+    }
+
+    #[test]
+    fn stats_cover_all_samples() {
+        let sim = run();
+        let s = latency_stats(&sim, SteadyStateWindow::all());
+        assert_eq!(s.samples, 30); // 10 msgs × 3 receivers
+        assert_eq!(s.incomplete, 0);
+        assert!(s.mean >= SimTime::from_micros(500));
+        assert!(s.p50 <= s.p99);
+        assert!(s.p99 <= s.max);
+    }
+
+    #[test]
+    fn window_filters_sends() {
+        let sim = run();
+        let s = latency_stats(
+            &sim,
+            SteadyStateWindow::between(SimTime::from_millis(5), SimTime::from_millis(8)),
+        );
+        assert_eq!(s.samples, 4 * 3); // sends at 5,6,7,8 ms
+    }
+
+    #[test]
+    fn gap_measures_pauses() {
+        let sim = run();
+        // Deliveries are ~1 ms apart.
+        let gap = max_delivery_gap(&sim, ProcessId(1), SimTime::ZERO, SimTime::from_secs(1));
+        assert!(gap >= SimTime::from_micros(900) && gap <= SimTime::from_millis(3), "{gap}");
+    }
+
+    #[test]
+    fn empty_window_is_zeroes() {
+        let sim = run();
+        let s = latency_stats(
+            &sim,
+            SteadyStateWindow::between(SimTime::from_secs(100), SimTime::from_secs(200)),
+        );
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.mean, SimTime::ZERO);
+    }
+}

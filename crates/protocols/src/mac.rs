@@ -1,0 +1,91 @@
+//! Toy keyed hash used by the integrity and confidentiality layers.
+//!
+//! **Not cryptography.** The paper's Integrity/Confidentiality properties
+//! are statements about *traces* (who may deliver what); the layers here
+//! simulate the mechanism with an FNV-1a-based keyed hash and keystream,
+//! which exercises the same code paths and trace behaviour as a real MAC
+//! and cipher would. DESIGN.md records this substitution.
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Keyed hash of `data` under `key` with a domain-separation `label`.
+pub fn keyed_hash(key: u64, label: u8, data: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET ^ key.rotate_left(17);
+    h = (h ^ u64::from(label)).wrapping_mul(FNV_PRIME);
+    for &b in data {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    // Final avalanche (splitmix64 finalizer) so nearby inputs diverge.
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// XOR keystream derived from `key` and a per-message `nonce`; applying it
+/// twice restores the input.
+pub fn keystream_xor(key: u64, nonce: u64, data: &mut [u8]) {
+    let mut block = 0u64;
+    let mut ks = 0u64;
+    for (i, b) in data.iter_mut().enumerate() {
+        if i % 8 == 0 {
+            ks = keyed_hash(key, 0x5a, &[&nonce.to_le_bytes()[..], &block.to_le_bytes()[..]].concat());
+            block += 1;
+        }
+        *b ^= (ks >> ((i % 8) * 8)) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyed_hash_is_deterministic() {
+        assert_eq!(keyed_hash(1, 2, b"abc"), keyed_hash(1, 2, b"abc"));
+    }
+
+    #[test]
+    fn keyed_hash_depends_on_all_inputs() {
+        let base = keyed_hash(1, 2, b"abc");
+        assert_ne!(base, keyed_hash(2, 2, b"abc"));
+        assert_ne!(base, keyed_hash(1, 3, b"abc"));
+        assert_ne!(base, keyed_hash(1, 2, b"abd"));
+        assert_ne!(base, keyed_hash(1, 2, b"ab"));
+    }
+
+    #[test]
+    fn keystream_is_an_involution() {
+        let mut data = b"the quick brown fox jumps over".to_vec();
+        let orig = data.clone();
+        keystream_xor(9, 77, &mut data);
+        assert_ne!(data, orig, "ciphertext must differ");
+        keystream_xor(9, 77, &mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn keystream_differs_per_nonce_and_key() {
+        let mut a = vec![0u8; 16];
+        let mut b = vec![0u8; 16];
+        let mut c = vec![0u8; 16];
+        keystream_xor(9, 1, &mut a);
+        keystream_xor(9, 2, &mut b);
+        keystream_xor(8, 1, &mut c);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn keystream_handles_empty_and_odd_lengths() {
+        let mut empty: [u8; 0] = [];
+        keystream_xor(1, 1, &mut empty);
+        let mut odd = [7u8; 13];
+        let orig = odd;
+        keystream_xor(1, 1, &mut odd);
+        keystream_xor(1, 1, &mut odd);
+        assert_eq!(odd, orig);
+    }
+}

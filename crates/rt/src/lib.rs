@@ -1,0 +1,36 @@
+//! Real-time runtime: the same [`ps_stack::Stack`]s that run in the
+//! simulator, executed on OS threads over in-memory links with wall-clock
+//! timers.
+//!
+//! The simulator (`ps-simnet` + `ps_stack::GroupSim`) is the scientific
+//! instrument — deterministic, seeded, reproducible. This crate is the
+//! deployment-shaped counterpart: one thread per process, an inbox per
+//! process, configurable link latency/jitter/loss, and the identical
+//! [`ps_stack::Layer`] code in between. Nothing in any protocol layer (or
+//! in the switching protocol) knows which runtime it is on — the paper's
+//! transparency claim, taken one step further.
+//!
+//! Wall-clock runs are inherently nondeterministic; tests built on this
+//! runtime should assert *properties* of the recorded trace (total order,
+//! reliability, switch completion), never exact timings.
+//!
+//! # Examples
+//!
+//! ```
+//! use ps_rt::{RtConfig, RtGroup};
+//! use ps_stack::Stack;
+//! use ps_trace::props::{Property, Reliability};
+//! use ps_trace::ProcessId;
+//! use std::time::Duration;
+//!
+//! let group = RtGroup::spawn(3, RtConfig::default(), |_, _, _| Stack::new(vec![]));
+//! group.send(ProcessId(0), b"hello");
+//! std::thread::sleep(Duration::from_millis(100));
+//! let report = group.shutdown();
+//! assert!(Reliability::new([ProcessId(0), ProcessId(1), ProcessId(2)])
+//!     .holds(&report.trace));
+//! ```
+
+mod runtime;
+
+pub use runtime::{RtConfig, RtGroup, RtReport};

@@ -1,0 +1,385 @@
+use bytes::Bytes;
+use ps_simnet::{DetRng, SimTime};
+use ps_stack::{Cast, Frame, IdGen, LayerId, Stack, StackEnv};
+use ps_trace::{Event, Message, ProcessId, Trace};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Link and runtime parameters.
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    /// Base one-way link latency applied to every transmitted copy.
+    pub link_latency: Duration,
+    /// Uniform extra delay in `[0, jitter)` per copy.
+    pub link_jitter: Duration,
+    /// Probability each copy is dropped in "transit".
+    pub loss: f64,
+    /// Seed for per-process deterministic randomness (loss/jitter draws).
+    pub seed: u64,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        Self {
+            link_latency: Duration::from_micros(500),
+            link_jitter: Duration::from_micros(200),
+            loss: 0.0,
+            seed: 0x27,
+        }
+    }
+}
+
+/// Everything a run produced.
+#[derive(Debug, Clone)]
+pub struct RtReport {
+    /// The merged application-level trace, in wall-clock order — feed it
+    /// straight to the `ps-trace` property checkers.
+    pub trace: Trace,
+    /// Application messages delivered per process.
+    pub delivered_per_process: Vec<usize>,
+}
+
+enum Cmd {
+    /// A transmitted copy; hold until `deliver_at`.
+    Packet { src: ProcessId, bytes: Bytes, deliver_at: Instant },
+    /// The application multicasts a message body.
+    AppSend(Bytes),
+    /// Drain and exit.
+    Stop,
+}
+
+/// Heap entry ordering by due time.
+#[derive(PartialEq, Eq)]
+struct Due<T: Eq>(Reverse<Instant>, u64, T);
+
+impl<T: Eq> PartialOrd for Due<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Eq> Ord for Due<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: Reverse(instant) puts the earliest due first; ties
+        // break FIFO by insertion sequence.
+        self.0.cmp(&other.0).then(Reverse(self.1).cmp(&Reverse(other.1)))
+    }
+}
+
+type SharedLog = Arc<Mutex<Vec<(SimTime, u16, Event)>>>;
+
+struct ProcessThread {
+    me: ProcessId,
+    group: Vec<ProcessId>,
+    stack: Stack,
+    peers: Vec<Sender<Cmd>>,
+    epoch: Instant,
+    rng: DetRng,
+    cfg: RtConfig,
+    next_seq: u64,
+    log: SharedLog,
+    delivered: usize,
+    /// Timers armed by layers: (due, layer, token).
+    timers: BinaryHeap<Due<(LayerId, u32)>>,
+    /// Inbound copies still "in flight".
+    inbound: BinaryHeap<Due<(ProcessId, Bytes)>>,
+    heap_seq: u64,
+}
+
+/// The stack's environment inside a process thread. Emissions are staged
+/// and applied after each stack call, mirroring the simulator runtime.
+struct RtEnv<'a> {
+    me: ProcessId,
+    group: &'a [ProcessId],
+    epoch: Instant,
+    rng: &'a mut DetRng,
+    outbox: Vec<Frame>,
+    new_timers: Vec<(Duration, LayerId, u32)>,
+    log: &'a SharedLog,
+    delivered: &'a mut usize,
+}
+
+impl StackEnv for RtEnv<'_> {
+    fn me(&self) -> ProcessId {
+        self.me
+    }
+    fn group(&self) -> Vec<ProcessId> {
+        self.group.to_vec()
+    }
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+    fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+    fn transmit(&mut self, frame: Frame) {
+        self.outbox.push(frame);
+    }
+    fn deliver(&mut self, _src: ProcessId, msg: Message) {
+        *self.delivered += 1;
+        let at = self.now();
+        self.log
+            .lock()
+            .expect("rt log poisoned")
+            .push((at, self.me.0, Event::deliver(self.me, msg)));
+    }
+    fn set_timer(&mut self, delay: SimTime, id: LayerId, token: u32) {
+        self.new_timers.push((Duration::from_micros(delay.as_micros()), id, token));
+    }
+}
+
+impl ProcessThread {
+    fn push_heap<T: Eq>(heap: &mut BinaryHeap<Due<T>>, seq: &mut u64, at: Instant, item: T) {
+        *seq += 1;
+        heap.push(Due(Reverse(at), *seq, item));
+    }
+
+    /// Applies staged environment effects: transmit frames, arm timers.
+    fn apply(&mut self, outbox: Vec<Frame>, new_timers: Vec<(Duration, LayerId, u32)>) {
+        let now = Instant::now();
+        for (delay, id, token) in new_timers {
+            Self::push_heap(&mut self.timers, &mut self.heap_seq, now + delay, (id, token));
+        }
+        for frame in outbox {
+            let dests: Vec<ProcessId> = match frame.dest {
+                Cast::All => self.group.clone(),
+                Cast::Others => self.group.iter().copied().filter(|&p| p != self.me).collect(),
+                Cast::To(p) => vec![p],
+            };
+            for d in dests {
+                if self.rng.chance(self.cfg.loss) {
+                    continue;
+                }
+                let jitter_us = self.cfg.link_jitter.as_micros() as u64;
+                let extra = if jitter_us == 0 { 0 } else { self.rng.below(jitter_us) };
+                let deliver_at =
+                    now + self.cfg.link_latency + Duration::from_micros(extra);
+                // A disappeared peer (already shut down) is fine to ignore.
+                let _ = self.peers[d.index()].send(Cmd::Packet {
+                    src: self.me,
+                    bytes: frame.bytes.clone(),
+                    deliver_at,
+                });
+            }
+        }
+    }
+
+    fn with_env<R>(&mut self, f: impl FnOnce(&mut Stack, &mut RtEnv<'_>) -> R) -> R {
+        let group = self.group.clone();
+        let log = self.log.clone();
+        let (r, outbox, timers) = {
+            let mut env = RtEnv {
+                me: self.me,
+                group: &group,
+                epoch: self.epoch,
+                rng: &mut self.rng,
+                outbox: Vec::new(),
+                new_timers: Vec::new(),
+                log: &log,
+                delivered: &mut self.delivered,
+            };
+            let r = f(&mut self.stack, &mut env);
+            let outbox = std::mem::take(&mut env.outbox);
+            let timers = std::mem::take(&mut env.new_timers);
+            (r, outbox, timers)
+        };
+        self.apply(outbox, timers);
+        r
+    }
+
+    fn fire_due(&mut self) {
+        let now = Instant::now();
+        loop {
+            let timer_due = self.timers.peek().is_some_and(|d| d.0 .0 <= now);
+            let inbound_due = self.inbound.peek().is_some_and(|d| d.0 .0 <= now);
+            if timer_due {
+                let Due(_, _, (id, token)) = self.timers.pop().expect("peeked");
+                self.with_env(|stack, env| {
+                    stack.timer(id, token, env);
+                });
+            } else if inbound_due {
+                let Due(_, _, (src, bytes)) = self.inbound.pop().expect("peeked");
+                self.with_env(|stack, env| stack.receive(src, bytes, env));
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_deadline(&self) -> Option<Instant> {
+        let t = self.timers.peek().map(|d| d.0 .0);
+        let i = self.inbound.peek().map(|d| d.0 .0);
+        match (t, i) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+
+    fn run(mut self, rx: std::sync::mpsc::Receiver<Cmd>) -> usize {
+        self.with_env(|stack, env| stack.launch(env));
+        loop {
+            self.fire_due();
+            let wait = self
+                .next_deadline()
+                .map(|d| d.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(50));
+            match rx.recv_timeout(wait) {
+                Ok(Cmd::Packet { src, bytes, deliver_at }) => {
+                    Self::push_heap(&mut self.inbound, &mut self.heap_seq, deliver_at, (src, bytes));
+                }
+                Ok(Cmd::AppSend(body)) => {
+                    self.next_seq += 1;
+                    let msg = Message::new(self.me, self.next_seq, body);
+                    let at = SimTime::from_micros(self.epoch.elapsed().as_micros() as u64);
+                    self.log
+                        .lock()
+                        .expect("rt log poisoned")
+                        .push((at, self.me.0, Event::send(msg.clone())));
+                    self.with_env(|stack, env| stack.send(&msg, env));
+                }
+                Ok(Cmd::Stop) => break,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.delivered
+    }
+}
+
+/// A running group of processes, one OS thread each.
+pub struct RtGroup {
+    senders: Vec<Sender<Cmd>>,
+    threads: Vec<JoinHandle<usize>>,
+    log: SharedLog,
+}
+
+impl std::fmt::Debug for RtGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtGroup").field("processes", &self.senders.len()).finish()
+    }
+}
+
+impl RtGroup {
+    /// Spawns `n` process threads, each running the stack the factory
+    /// builds for it (same contract as
+    /// [`ps_stack::GroupSimBuilder::stack_factory`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn spawn<F>(n: u16, cfg: RtConfig, factory: F) -> Self
+    where
+        F: Fn(ProcessId, &[ProcessId], &mut IdGen) -> Stack,
+    {
+        assert!(n > 0, "a group needs at least one process");
+        let group: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+        let log: SharedLog = Arc::new(Mutex::new(Vec::new()));
+        let epoch = Instant::now();
+
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let mut threads = Vec::new();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let me = ProcessId(i as u16);
+            let mut ids = IdGen::new();
+            let stack = factory(me, &group, &mut ids);
+            let pt = ProcessThread {
+                me,
+                group: group.clone(),
+                stack,
+                peers: senders.clone(),
+                epoch,
+                rng: DetRng::new(cfg.seed ^ (i as u64) << 16),
+                cfg: cfg.clone(),
+                next_seq: 0,
+                log: log.clone(),
+                delivered: 0,
+                timers: BinaryHeap::new(),
+                inbound: BinaryHeap::new(),
+                heap_seq: 0,
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ps-rt-p{i}"))
+                    .spawn(move || pt.run(rx))
+                    .expect("spawn process thread"),
+            );
+        }
+        Self { senders, threads, log }
+    }
+
+    /// Asks process `p` to multicast a message with the given body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn send(&self, p: ProcessId, body: impl AsRef<[u8]>) {
+        self.senders[p.index()]
+            .send(Cmd::AppSend(Bytes::copy_from_slice(body.as_ref())))
+            .expect("process thread alive");
+    }
+
+    /// The trace recorded so far (the run keeps going).
+    pub fn trace_so_far(&self) -> Trace {
+        let mut evs = self.log.lock().expect("rt log poisoned").clone();
+        evs.sort_by_key(|&(at, node, _)| (at, node));
+        evs.into_iter().map(|(_, _, e)| e).collect()
+    }
+
+    /// Stops every process and returns the merged report.
+    pub fn shutdown(self) -> RtReport {
+        for tx in &self.senders {
+            let _ = tx.send(Cmd::Stop);
+        }
+        let delivered_per_process: Vec<usize> =
+            self.threads.into_iter().map(|t| t.join().expect("process thread panicked")).collect();
+        let mut evs = self.log.lock().expect("rt log poisoned").clone();
+        evs.sort_by_key(|&(at, node, _)| (at, node));
+        RtReport {
+            trace: evs.into_iter().map(|(_, _, e)| e).collect(),
+            delivered_per_process,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stack_group_delivers_everywhere() {
+        let g = RtGroup::spawn(3, RtConfig::default(), |_, _, _| Stack::new(vec![]));
+        g.send(ProcessId(0), b"a");
+        g.send(ProcessId(1), b"b");
+        std::thread::sleep(Duration::from_millis(150));
+        let report = g.shutdown();
+        assert_eq!(report.delivered_per_process.iter().sum::<usize>(), 6);
+        assert_eq!(report.trace.sent_ids().len(), 2);
+    }
+
+    #[test]
+    fn trace_so_far_grows_during_run() {
+        let g = RtGroup::spawn(2, RtConfig::default(), |_, _, _| Stack::new(vec![]));
+        assert!(g.trace_so_far().is_empty());
+        g.send(ProcessId(0), b"x");
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(!g.trace_so_far().is_empty());
+        g.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_rejected() {
+        let _ = RtGroup::spawn(0, RtConfig::default(), |_, _, _| Stack::new(vec![]));
+    }
+}

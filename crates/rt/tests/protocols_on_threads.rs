@@ -1,0 +1,108 @@
+//! The same protocol stacks — including the switching protocol — running
+//! on real OS threads with wall-clock timers. Assertions are on trace
+//! properties, never exact timings.
+
+use ps_core::{
+    hybrid_total_order, ManualOracle, NeverOracle, Oracle, SwitchConfig, SwitchHandle,
+};
+use ps_protocols::{ReliableConfig, ReliableLayer, SeqOrderLayer, TokenOrderLayer};
+use ps_rt::{RtConfig, RtGroup};
+use ps_simnet::SimTime;
+use ps_stack::Stack;
+use ps_trace::props::{NoReplay, Property, Reliability, TotalOrder};
+use ps_trace::ProcessId;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn drive(group: &RtGroup, n: u16, msgs: u32, gap: Duration) {
+    for i in 0..msgs {
+        group.send(ProcessId((i % u32::from(n)) as u16), format!("rt-{i}"));
+        std::thread::sleep(gap);
+    }
+}
+
+#[test]
+fn sequencer_total_order_on_threads() {
+    let n = 4;
+    let group = RtGroup::spawn(n, RtConfig::default(), |_, _, ids| {
+        Stack::with_ids(vec![Box::new(SeqOrderLayer::new(ProcessId(0)))], ids)
+    });
+    drive(&group, n, 16, Duration::from_millis(3));
+    std::thread::sleep(Duration::from_millis(300));
+    let report = group.shutdown();
+    assert!(TotalOrder.holds(&report.trace), "{}", report.trace);
+    let members: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+    assert!(Reliability::new(members).holds(&report.trace));
+    assert_eq!(report.delivered_per_process.iter().sum::<usize>(), 16 * 4);
+}
+
+#[test]
+fn token_total_order_on_threads() {
+    let n = 3;
+    let group = RtGroup::spawn(n, RtConfig::default(), |_, _, ids| {
+        Stack::with_ids(
+            vec![Box::new(TokenOrderLayer::with_idle_hold(SimTime::from_millis(1)))],
+            ids,
+        )
+    });
+    drive(&group, n, 12, Duration::from_millis(4));
+    std::thread::sleep(Duration::from_millis(400));
+    let report = group.shutdown();
+    assert!(TotalOrder.holds(&report.trace), "{}", report.trace);
+    assert!(Reliability::new((0..n).map(ProcessId).collect::<Vec<_>>()).holds(&report.trace));
+}
+
+#[test]
+fn reliable_exactly_once_under_loss_on_threads() {
+    let n = 3;
+    let cfg = RtConfig { loss: 0.25, ..RtConfig::default() };
+    let group = RtGroup::spawn(n, cfg, |_, _, ids| {
+        Stack::with_ids(
+            vec![Box::new(ReliableLayer::with_config(ReliableConfig {
+                retransmit_interval: SimTime::from_millis(5),
+            }))],
+            ids,
+        )
+    });
+    drive(&group, n, 10, Duration::from_millis(3));
+    // Give retransmissions room to finish.
+    std::thread::sleep(Duration::from_millis(700));
+    let report = group.shutdown();
+    let members: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+    assert!(Reliability::new(members).holds(&report.trace), "{}", report.trace);
+    assert!(NoReplay.holds(&report.trace));
+}
+
+#[test]
+fn protocol_switch_on_threads_preserves_total_order() {
+    let n = 4;
+    let handles: Arc<Mutex<Vec<SwitchHandle>>> = Arc::new(Mutex::new(Vec::new()));
+    let h2 = handles.clone();
+    let group = RtGroup::spawn(n, RtConfig::default(), move |p, _, ids| {
+        let oracle: Box<dyn Oracle> = if p == ProcessId(0) {
+            Box::new(ManualOracle::new(vec![(SimTime::from_millis(120), 1)]))
+        } else {
+            Box::new(NeverOracle)
+        };
+        let cfg = SwitchConfig {
+            observe_interval: SimTime::from_millis(20),
+            ..SwitchConfig::default()
+        };
+        let (stack, handle) = hybrid_total_order(ids, cfg, ProcessId(0), oracle);
+        h2.lock().expect("handles").push(handle);
+        stack
+    });
+    // Send across the switch instant.
+    drive(&group, n, 30, Duration::from_millis(10));
+    std::thread::sleep(Duration::from_millis(500));
+    let report = group.shutdown();
+
+    assert!(TotalOrder.holds(&report.trace), "{}", report.trace);
+    let members: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+    assert!(Reliability::new(members).holds(&report.trace));
+    let handles = handles.lock().expect("handles");
+    assert!(
+        handles.iter().all(|h| h.switches_completed() == 1 && h.current() == 1),
+        "every thread must have switched to the token protocol: {handles:?}"
+    );
+}

@@ -1,0 +1,106 @@
+use crate::{DetRng, Dest, NodeId, Packet, SimTime};
+use bytes::Bytes;
+
+/// Opaque timer identifier chosen by the agent.
+///
+/// The simulator never interprets tokens; agents route them to the layer
+/// that armed the timer. There is no cancellation — layers that re-arm
+/// timers should carry a generation counter in their own state and ignore
+/// stale firings, which keeps the simulator core simple and allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TimerToken(pub u64);
+
+/// Per-node behaviour plugged into the simulator.
+///
+/// A node's protocol stack implements this trait: the simulator calls in
+/// with packets and timer firings, the agent calls out through [`SimApi`].
+/// All callbacks run on the simulation thread; agents need no locking.
+pub trait Agent {
+    /// Called once at simulation start (virtual time zero).
+    fn on_start(&mut self, api: &mut SimApi<'_>);
+
+    /// Called when a packet addressed to this node arrives.
+    fn on_packet(&mut self, pkt: Packet, api: &mut SimApi<'_>);
+
+    /// Called when a timer armed via [`SimApi::set_timer`] (or scheduled
+    /// externally with [`crate::Sim::schedule`]) fires.
+    fn on_timer(&mut self, token: TimerToken, api: &mut SimApi<'_>);
+}
+
+/// What an agent asked the simulator to do during one callback.
+#[derive(Debug)]
+pub(crate) enum Action {
+    Send { dest: Dest, payload: Bytes },
+    Timer { delay: SimTime, token: TimerToken },
+}
+
+/// The agent's handle to the simulator during a callback.
+///
+/// Outgoing packets and timers requested through the API take effect when
+/// the node finishes processing the current event (i.e. after its CPU
+/// service time) — a node cannot transmit faster than it computes.
+#[derive(Debug)]
+pub struct SimApi<'a> {
+    me: NodeId,
+    now: SimTime,
+    num_nodes: usize,
+    rng: &'a mut DetRng,
+    pub(crate) actions: Vec<Action>,
+}
+
+impl<'a> SimApi<'a> {
+    pub(crate) fn new(me: NodeId, now: SimTime, num_nodes: usize, rng: &'a mut DetRng) -> Self {
+        Self { me, now, num_nodes, rng, actions: Vec::new() }
+    }
+
+    /// This node's identity.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Current virtual time (the instant this event began processing).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of nodes in the simulation.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Transmits `payload` to `dest` when the current event finishes
+    /// processing.
+    pub fn send(&mut self, dest: Dest, payload: Bytes) {
+        self.actions.push(Action::Send { dest, payload });
+    }
+
+    /// Arms a one-shot timer that fires `delay` after the current event
+    /// finishes processing.
+    pub fn set_timer(&mut self, delay: SimTime, token: TimerToken) {
+        self.actions.push(Action::Timer { delay, token });
+    }
+
+    /// The node's deterministic random stream.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_records_actions_in_order() {
+        let mut rng = DetRng::new(0);
+        let mut api = SimApi::new(NodeId(2), SimTime::from_micros(5), 4, &mut rng);
+        assert_eq!(api.me(), NodeId(2));
+        assert_eq!(api.now(), SimTime::from_micros(5));
+        assert_eq!(api.num_nodes(), 4);
+        api.send(Dest::All, Bytes::from_static(b"x"));
+        api.set_timer(SimTime::from_micros(10), TimerToken(7));
+        assert_eq!(api.actions.len(), 2);
+        assert!(matches!(api.actions[0], Action::Send { dest: Dest::All, .. }));
+        assert!(matches!(api.actions[1], Action::Timer { token: TimerToken(7), .. }));
+    }
+}

@@ -1,0 +1,523 @@
+use crate::{DetRng, NodeId, SimTime};
+use std::collections::HashSet;
+
+/// The planned fate of one transmitted frame: per-destination arrival times,
+/// plus a count of copies the medium dropped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TxPlan {
+    /// `(destination, arrival time)` for every copy that survives.
+    pub deliveries: Vec<(NodeId, SimTime)>,
+    /// Copies lost in transit (per-destination, not per-frame).
+    pub dropped: u32,
+}
+
+/// A network model: decides when (and whether) each destination receives a
+/// transmitted frame.
+///
+/// Implementations may hold state — the shared-bus model tracks when the
+/// medium frees up, which is what produces contention under load.
+pub trait Medium: Send {
+    /// Plans the transmission of a single frame of `size_bytes` from `src`
+    /// to each node in `dests`, starting no earlier than `now`.
+    fn transmit(
+        &mut self,
+        src: NodeId,
+        dests: &[NodeId],
+        size_bytes: usize,
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> TxPlan;
+
+    /// Human-readable model name for experiment logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Idealized point-to-point network: fixed one-way latency, infinite
+/// bandwidth, no loss. A multicast reaches every destination independently.
+///
+/// Useful for unit tests where contention effects would only add noise.
+#[derive(Debug, Clone)]
+pub struct PointToPoint {
+    latency: SimTime,
+    jitter: SimTime,
+}
+
+impl PointToPoint {
+    /// Creates the model with a fixed one-way `latency` and no jitter.
+    pub fn new(latency: SimTime) -> Self {
+        Self { latency, jitter: SimTime::ZERO }
+    }
+
+    /// Adds uniform per-destination jitter in `[0, jitter)`.
+    pub fn with_jitter(mut self, jitter: SimTime) -> Self {
+        self.jitter = jitter;
+        self
+    }
+}
+
+impl Medium for PointToPoint {
+    fn transmit(
+        &mut self,
+        _src: NodeId,
+        dests: &[NodeId],
+        _size_bytes: usize,
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> TxPlan {
+        let deliveries = dests
+            .iter()
+            .map(|&d| (d, now + self.latency + rng.jitter(self.jitter)))
+            .collect();
+        TxPlan { deliveries, dropped: 0 }
+    }
+
+    fn name(&self) -> &'static str {
+        "point-to-point"
+    }
+}
+
+/// Parameters of the shared-bus Ethernet model.
+///
+/// Defaults approximate the paper's testbed: a 10 Mbit/s half-duplex
+/// segment, ~42 bytes of Ethernet/IP/UDP framing overhead, and tens of
+/// microseconds of propagation plus NIC latency.
+#[derive(Debug, Clone)]
+pub struct EthernetConfig {
+    /// Raw medium bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// Link-layer + IP + UDP overhead added to every frame, in bytes.
+    pub frame_overhead: usize,
+    /// Propagation plus interface latency after serialization completes.
+    pub propagation: SimTime,
+    /// Uniform extra delay in `[0, jitter)` applied per destination.
+    pub jitter: SimTime,
+    /// Minimum on-wire frame size in bytes (Ethernet pads to 64).
+    pub min_frame: usize,
+}
+
+impl Default for EthernetConfig {
+    fn default() -> Self {
+        Self {
+            bandwidth_bps: 10_000_000,
+            frame_overhead: 42,
+            propagation: SimTime::from_micros(50),
+            jitter: SimTime::from_micros(20),
+            min_frame: 64,
+        }
+    }
+}
+
+/// Shared-bus Ethernet: one frame on the wire at a time.
+///
+/// A frame queues until the medium is free, occupies it for its
+/// serialization time, then arrives everywhere (a bus broadcast costs one
+/// frame regardless of the destination count — the property that makes
+/// broadcast-based protocols attractive on a LAN). Contention emerges
+/// naturally: when offered load approaches the bandwidth, queueing delay
+/// grows without bound, which is one of the two effects behind the paper's
+/// Figure 2.
+#[derive(Debug, Clone)]
+pub struct SharedBus {
+    config: EthernetConfig,
+    busy_until: SimTime,
+}
+
+impl SharedBus {
+    /// Creates a bus with the given configuration.
+    pub fn new(config: EthernetConfig) -> Self {
+        Self { config, busy_until: SimTime::ZERO }
+    }
+
+    /// Serialization time of a frame of `size_bytes` (payload + overhead,
+    /// padded to the minimum frame).
+    pub fn serialization_time(&self, size_bytes: usize) -> SimTime {
+        let on_wire = (size_bytes + self.config.frame_overhead).max(self.config.min_frame);
+        let bits = (on_wire as u64) * 8;
+        SimTime::from_micros(bits * 1_000_000 / self.config.bandwidth_bps)
+    }
+
+    /// The instant the medium next becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+}
+
+impl Medium for SharedBus {
+    fn transmit(
+        &mut self,
+        _src: NodeId,
+        dests: &[NodeId],
+        size_bytes: usize,
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> TxPlan {
+        let tx_start = now.max(self.busy_until);
+        let tx_end = tx_start + self.serialization_time(size_bytes);
+        self.busy_until = tx_end;
+        let base = tx_end + self.config.propagation;
+        let deliveries = dests
+            .iter()
+            .map(|&d| (d, base + rng.jitter(self.config.jitter)))
+            .collect();
+        TxPlan { deliveries, dropped: 0 }
+    }
+
+    fn name(&self) -> &'static str {
+        "shared-bus"
+    }
+}
+
+/// Fault-injection wrapper: drops (and optionally duplicates) copies.
+///
+/// Loss and duplication are decided independently per destination, matching
+/// how a receiver-side buffer overflow or a retransmit race behaves on a
+/// real LAN.
+pub struct Lossy {
+    inner: Box<dyn Medium>,
+    drop_prob: f64,
+    dup_prob: f64,
+}
+
+impl std::fmt::Debug for Lossy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lossy")
+            .field("inner", &self.inner.name())
+            .field("drop_prob", &self.drop_prob)
+            .field("dup_prob", &self.dup_prob)
+            .finish()
+    }
+}
+
+impl Lossy {
+    /// Wraps `inner`, dropping each delivered copy with probability
+    /// `drop_prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_prob` is outside `[0, 1]`.
+    pub fn new(inner: Box<dyn Medium>, drop_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_prob), "drop_prob must be a probability");
+        Self { inner, drop_prob, dup_prob: 0.0 }
+    }
+
+    /// Additionally duplicates each surviving copy with probability
+    /// `dup_prob` (the duplicate arrives 1 ms later).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dup_prob` is outside `[0, 1]`.
+    pub fn with_duplication(mut self, dup_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&dup_prob), "dup_prob must be a probability");
+        self.dup_prob = dup_prob;
+        self
+    }
+}
+
+impl Medium for Lossy {
+    fn transmit(
+        &mut self,
+        src: NodeId,
+        dests: &[NodeId],
+        size_bytes: usize,
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> TxPlan {
+        let base = self.inner.transmit(src, dests, size_bytes, now, rng);
+        let mut plan = TxPlan { deliveries: Vec::with_capacity(base.deliveries.len()), dropped: base.dropped };
+        for (d, at) in base.deliveries {
+            if rng.chance(self.drop_prob) {
+                plan.dropped += 1;
+                continue;
+            }
+            plan.deliveries.push((d, at));
+            if rng.chance(self.dup_prob) {
+                plan.deliveries.push((d, at + SimTime::from_millis(1)));
+            }
+        }
+        plan
+    }
+
+    fn name(&self) -> &'static str {
+        "lossy"
+    }
+}
+
+/// Fault-injection wrapper: severs chosen node pairs entirely.
+pub struct Partitioned {
+    inner: Box<dyn Medium>,
+    blocked: HashSet<(NodeId, NodeId)>,
+}
+
+impl std::fmt::Debug for Partitioned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Partitioned")
+            .field("inner", &self.inner.name())
+            .field("blocked_pairs", &self.blocked.len())
+            .finish()
+    }
+}
+
+impl Partitioned {
+    /// Wraps `inner` with no pairs blocked.
+    pub fn new(inner: Box<dyn Medium>) -> Self {
+        Self { inner, blocked: HashSet::new() }
+    }
+
+    /// Blocks traffic from `src` to `dst` (one direction).
+    pub fn block(&mut self, src: NodeId, dst: NodeId) {
+        self.blocked.insert((src, dst));
+    }
+
+    /// Blocks traffic in both directions between `a` and `b`.
+    pub fn block_pair(&mut self, a: NodeId, b: NodeId) {
+        self.block(a, b);
+        self.block(b, a);
+    }
+
+    /// Restores all connectivity.
+    pub fn heal(&mut self) {
+        self.blocked.clear();
+    }
+}
+
+impl Medium for Partitioned {
+    fn transmit(
+        &mut self,
+        src: NodeId,
+        dests: &[NodeId],
+        size_bytes: usize,
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> TxPlan {
+        let base = self.inner.transmit(src, dests, size_bytes, now, rng);
+        let mut plan = TxPlan { deliveries: Vec::new(), dropped: base.dropped };
+        for (d, at) in base.deliveries {
+            if self.blocked.contains(&(src, d)) {
+                plan.dropped += 1;
+            } else {
+                plan.deliveries.push((d, at));
+            }
+        }
+        plan
+    }
+
+    fn name(&self) -> &'static str {
+        "partitioned"
+    }
+}
+
+/// Fault-injection wrapper: severs chosen node pairs during a time window,
+/// healing automatically afterwards — a transient network partition.
+pub struct TimedPartition {
+    inner: Box<dyn Medium>,
+    from: SimTime,
+    until: SimTime,
+    blocked: HashSet<(NodeId, NodeId)>,
+}
+
+impl std::fmt::Debug for TimedPartition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimedPartition")
+            .field("inner", &self.inner.name())
+            .field("from", &self.from)
+            .field("until", &self.until)
+            .field("blocked_pairs", &self.blocked.len())
+            .finish()
+    }
+}
+
+impl TimedPartition {
+    /// Wraps `inner`; traffic between blocked pairs is dropped while
+    /// `from <= now < until`.
+    pub fn new(inner: Box<dyn Medium>, from: SimTime, until: SimTime) -> Self {
+        Self { inner, from, until, blocked: HashSet::new() }
+    }
+
+    /// Blocks both directions between `a` and `b` during the window.
+    pub fn block_pair(mut self, a: NodeId, b: NodeId) -> Self {
+        self.blocked.insert((a, b));
+        self.blocked.insert((b, a));
+        self
+    }
+
+    /// Isolates `node` from everyone during the window.
+    pub fn isolate(mut self, node: NodeId, world: u16) -> Self {
+        for i in 0..world {
+            let other = NodeId(i);
+            if other != node {
+                self.blocked.insert((node, other));
+                self.blocked.insert((other, node));
+            }
+        }
+        self
+    }
+}
+
+impl Medium for TimedPartition {
+    fn transmit(
+        &mut self,
+        src: NodeId,
+        dests: &[NodeId],
+        size_bytes: usize,
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> TxPlan {
+        let base = self.inner.transmit(src, dests, size_bytes, now, rng);
+        if now < self.from || now >= self.until {
+            return base;
+        }
+        let mut plan = TxPlan { deliveries: Vec::new(), dropped: base.dropped };
+        for (d, at) in base.deliveries {
+            if self.blocked.contains(&(src, d)) {
+                plan.dropped += 1;
+            } else {
+                plan.deliveries.push((d, at));
+            }
+        }
+        plan
+    }
+
+    fn name(&self) -> &'static str {
+        "timed-partition"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dests(n: u16) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn point_to_point_fixed_latency() {
+        let mut m = PointToPoint::new(SimTime::from_micros(500));
+        let mut rng = DetRng::new(1);
+        let plan = m.transmit(NodeId(0), &dests(3), 100, SimTime::from_micros(10), &mut rng);
+        assert_eq!(plan.dropped, 0);
+        for (_, at) in &plan.deliveries {
+            assert_eq!(*at, SimTime::from_micros(510));
+        }
+    }
+
+    #[test]
+    fn shared_bus_serialization_time() {
+        let bus = SharedBus::new(EthernetConfig::default());
+        // 1024 B payload + 42 B overhead = 1066 B = 8528 bits @ 10 Mbit/s = 852 us.
+        assert_eq!(bus.serialization_time(1024), SimTime::from_micros(852));
+        // Tiny frames pad to 64 B = 512 bits = 51 us.
+        assert_eq!(bus.serialization_time(1), SimTime::from_micros(51));
+    }
+
+    #[test]
+    fn shared_bus_contention_queues_frames() {
+        let mut cfg = EthernetConfig::default();
+        cfg.jitter = SimTime::ZERO;
+        cfg.propagation = SimTime::ZERO;
+        let mut bus = SharedBus::new(cfg);
+        let mut rng = DetRng::new(1);
+        let t0 = SimTime::ZERO;
+        let p1 = bus.transmit(NodeId(0), &dests(1), 1024, t0, &mut rng);
+        let p2 = bus.transmit(NodeId(1), &dests(1), 1024, t0, &mut rng);
+        let a1 = p1.deliveries[0].1;
+        let a2 = p2.deliveries[0].1;
+        // Second frame waits for the first to clear the wire.
+        assert_eq!(a2, a1 + SimTime::from_micros(852));
+    }
+
+    #[test]
+    fn shared_bus_broadcast_costs_one_frame() {
+        let mut cfg = EthernetConfig::default();
+        cfg.jitter = SimTime::ZERO;
+        let mut bus = SharedBus::new(cfg);
+        let mut rng = DetRng::new(1);
+        let plan = bus.transmit(NodeId(0), &dests(10), 1024, SimTime::ZERO, &mut rng);
+        assert_eq!(plan.deliveries.len(), 10);
+        let first = plan.deliveries[0].1;
+        assert!(plan.deliveries.iter().all(|&(_, at)| at == first));
+        // Medium busy only once.
+        assert_eq!(bus.busy_until(), SimTime::from_micros(852));
+    }
+
+    #[test]
+    fn lossy_drops_at_configured_rate() {
+        let inner = Box::new(PointToPoint::new(SimTime::from_micros(1)));
+        let mut m = Lossy::new(inner, 0.25);
+        let mut rng = DetRng::new(2);
+        let mut delivered = 0usize;
+        let mut dropped = 0u32;
+        for _ in 0..4000 {
+            let plan = m.transmit(NodeId(0), &dests(1), 10, SimTime::ZERO, &mut rng);
+            delivered += plan.deliveries.len();
+            dropped += plan.dropped;
+        }
+        let rate = f64::from(dropped) / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "drop rate {rate}");
+        assert_eq!(delivered + dropped as usize, 4000);
+    }
+
+    #[test]
+    fn lossy_duplicates_arrive_later() {
+        let inner = Box::new(PointToPoint::new(SimTime::from_micros(1)));
+        let mut m = Lossy::new(inner, 0.0).with_duplication(1.0);
+        let mut rng = DetRng::new(3);
+        let plan = m.transmit(NodeId(0), &dests(1), 10, SimTime::ZERO, &mut rng);
+        assert_eq!(plan.deliveries.len(), 2);
+        assert!(plan.deliveries[1].1 > plan.deliveries[0].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn lossy_rejects_bad_probability() {
+        let inner = Box::new(PointToPoint::new(SimTime::ZERO));
+        let _ = Lossy::new(inner, 1.5);
+    }
+
+    #[test]
+    fn timed_partition_blocks_only_in_window() {
+        let inner = Box::new(PointToPoint::new(SimTime::from_micros(1)));
+        let mut m = TimedPartition::new(inner, SimTime::from_millis(10), SimTime::from_millis(20))
+            .block_pair(NodeId(0), NodeId(1));
+        let mut rng = DetRng::new(7);
+        // Before the window: everything flows.
+        let plan = m.transmit(NodeId(0), &dests(2), 10, SimTime::from_millis(5), &mut rng);
+        assert_eq!(plan.deliveries.len(), 2);
+        // Inside: the pair is severed.
+        let plan = m.transmit(NodeId(0), &dests(2), 10, SimTime::from_millis(15), &mut rng);
+        assert_eq!(plan.deliveries.len(), 1);
+        assert_eq!(plan.dropped, 1);
+        // After: healed.
+        let plan = m.transmit(NodeId(0), &dests(2), 10, SimTime::from_millis(20), &mut rng);
+        assert_eq!(plan.deliveries.len(), 2);
+    }
+
+    #[test]
+    fn timed_partition_isolate_cuts_all_traffic() {
+        let inner = Box::new(PointToPoint::new(SimTime::from_micros(1)));
+        let mut m = TimedPartition::new(inner, SimTime::ZERO, SimTime::from_secs(1))
+            .isolate(NodeId(2), 4);
+        let mut rng = DetRng::new(8);
+        let plan = m.transmit(NodeId(2), &dests(4), 10, SimTime::from_millis(1), &mut rng);
+        // Only the self-copy survives.
+        assert_eq!(plan.deliveries.iter().map(|&(d, _)| d).collect::<Vec<_>>(), vec![NodeId(2)]);
+        let plan = m.transmit(NodeId(0), &dests(4), 10, SimTime::from_millis(1), &mut rng);
+        assert!(plan.deliveries.iter().all(|&(d, _)| d != NodeId(2)));
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        let inner = Box::new(PointToPoint::new(SimTime::from_micros(1)));
+        let mut m = Partitioned::new(inner);
+        m.block_pair(NodeId(0), NodeId(1));
+        let mut rng = DetRng::new(4);
+        let plan = m.transmit(NodeId(0), &dests(3), 10, SimTime::ZERO, &mut rng);
+        let reached: Vec<NodeId> = plan.deliveries.iter().map(|&(d, _)| d).collect();
+        assert_eq!(reached, vec![NodeId(0), NodeId(2)]);
+        assert_eq!(plan.dropped, 1);
+
+        m.heal();
+        let plan = m.transmit(NodeId(0), &dests(3), 10, SimTime::ZERO, &mut rng);
+        assert_eq!(plan.deliveries.len(), 3);
+    }
+}

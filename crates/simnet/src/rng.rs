@@ -1,0 +1,169 @@
+use crate::SimTime;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic random source for a simulation run.
+///
+/// Thin wrapper over a seeded [`SmallRng`] exposing only the operations the
+/// simulator needs, plus the exponential draw used for Poisson workloads.
+/// Two `DetRng`s created from the same seed produce identical streams, which
+/// makes every experiment in this workspace replayable.
+///
+/// # Examples
+///
+/// ```
+/// use ps_simnet::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent substream; useful for giving each node its own
+    /// stream so one node's draws don't perturb another's.
+    pub fn fork(&self, stream: u64) -> Self {
+        // Mix the stream id through splitmix64 so adjacent ids diverge.
+        let mut z = stream.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let mut clone = self.clone();
+        let base = clone.next_u64();
+        DetRng::new(base ^ z ^ (z >> 31))
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// Uniform draw in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.random::<f64>() < p
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random()
+    }
+
+    /// Exponentially distributed interarrival time with the given mean.
+    ///
+    /// Drives Poisson message workloads (the paper's 50 msg/s senders).
+    pub fn exp_time(&mut self, mean: SimTime) -> SimTime {
+        let u: f64 = self.inner.random::<f64>().max(1e-12);
+        SimTime::from_secs_f64(-u.ln() * mean.as_secs_f64())
+    }
+
+    /// Uniform jitter in `[0, max)`; returns zero when `max` is zero.
+    pub fn jitter(&mut self, max: SimTime) -> SimTime {
+        if max == SimTime::ZERO {
+            SimTime::ZERO
+        } else {
+            SimTime::from_micros(self.below(max.as_micros().max(1)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_distinct() {
+        let root = DetRng::new(9);
+        let mut f1 = root.fork(0);
+        let mut f1_again = root.fork(0);
+        let mut f2 = root.fork(1);
+        assert_eq!(f1.next_u64(), f1_again.next_u64());
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = DetRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(4);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn exp_time_mean_is_close() {
+        let mut r = DetRng::new(5);
+        let mean = SimTime::from_millis(20);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| r.exp_time(mean).as_secs_f64()).sum();
+        let avg = total / f64::from(n);
+        assert!((avg - 0.020).abs() < 0.001, "avg {avg}");
+    }
+
+    #[test]
+    fn jitter_zero_max() {
+        let mut r = DetRng::new(6);
+        assert_eq!(r.jitter(SimTime::ZERO), SimTime::ZERO);
+        assert!(r.jitter(SimTime::from_micros(10)) < SimTime::from_micros(10));
+    }
+}

@@ -1,0 +1,440 @@
+use crate::agent::Action;
+use crate::{Agent, DetRng, Dest, EventQueue, Medium, NetStats, NodeId, Packet, SimApi, SimTime, TimerToken};
+
+/// Per-node execution parameters.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// CPU time consumed by each handled event (packet or timer).
+    ///
+    /// This is what makes hot nodes into bottlenecks: a sequencer handling
+    /// every message in the group saturates when the aggregate message rate
+    /// reaches `1 / service_time`.
+    pub service_time: SimTime,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        Self { service_time: SimTime::from_micros(150) }
+    }
+}
+
+/// Whole-simulation parameters; construct with builder-style methods.
+///
+/// # Examples
+///
+/// ```
+/// use ps_simnet::{SimConfig, SimTime};
+///
+/// let cfg = SimConfig::default()
+///     .seed(42)
+///     .service_time(SimTime::from_micros(200));
+/// assert_eq!(cfg.seed, 42);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimConfig {
+    /// Seed for the run's deterministic random stream.
+    pub seed: u64,
+    /// Parameters applied to every node.
+    pub node: NodeConfig,
+}
+
+impl SimConfig {
+    /// Sets the random seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-event CPU service time for every node.
+    pub fn service_time(mut self, t: SimTime) -> Self {
+        self.node.service_time = t;
+        self
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Packet { to: NodeId, pkt: Packet },
+    Timer { node: NodeId, token: TimerToken },
+}
+
+/// The discrete-event simulation loop.
+///
+/// Owns the agents (one per node), the medium, the event queue, and the
+/// clock. Events are processed in time order; each node has a CPU that
+/// serves one event at a time, so a node flooded with packets processes
+/// them with queueing delay.
+pub struct Sim<A> {
+    config: SimConfig,
+    agents: Vec<A>,
+    /// Per-node instant the CPU becomes free.
+    busy_until: Vec<SimTime>,
+    medium: Box<dyn Medium>,
+    queue: EventQueue<Ev>,
+    now: SimTime,
+    rng: DetRng,
+    stats: NetStats,
+    started: bool,
+}
+
+impl<A> std::fmt::Debug for Sim<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("nodes", &self.agents.len())
+            .field("now", &self.now)
+            .field("pending_events", &self.queue.len())
+            .field("medium", &self.medium.name())
+            .finish()
+    }
+}
+
+impl<A: Agent> Sim<A> {
+    /// Creates a simulation of `agents.len()` nodes over `medium`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agents` is empty or has more than `u16::MAX` nodes.
+    pub fn new(config: SimConfig, medium: Box<dyn Medium>, agents: Vec<A>) -> Self {
+        assert!(!agents.is_empty(), "a simulation needs at least one node");
+        assert!(agents.len() <= usize::from(u16::MAX), "too many nodes");
+        let n = agents.len();
+        let rng = DetRng::new(config.seed);
+        Self {
+            config,
+            agents,
+            busy_until: vec![SimTime::ZERO; n],
+            medium,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng,
+            stats: NetStats::default(),
+            started: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Network counters accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Immutable access to a node's agent (for assertions and measurement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn agent(&self, id: NodeId) -> &A {
+        &self.agents[id.index()]
+    }
+
+    /// Mutable access to a node's agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn agent_mut(&mut self, id: NodeId) -> &mut A {
+        &mut self.agents[id.index()]
+    }
+
+    /// Iterates over all agents in node order.
+    pub fn agents(&self) -> impl Iterator<Item = &A> {
+        self.agents.iter()
+    }
+
+    /// Schedules an external timer event for `node` at absolute time `at`.
+    ///
+    /// Drivers use this to inject workload or trigger an oracle decision at
+    /// a chosen instant.
+    pub fn schedule(&mut self, at: SimTime, node: NodeId, token: TimerToken) {
+        self.queue.push(at.max(self.now), Ev::Timer { node, token });
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.agents.len() {
+            let node = NodeId(i as u16);
+            let mut rng = self.rng.fork(0x5354_4152_5400 | i as u64);
+            let mut api = SimApi::new(node, SimTime::ZERO, self.agents.len(), &mut rng);
+            self.agents[i].on_start(&mut api);
+            let actions = std::mem::take(&mut api.actions);
+            self.apply_actions(node, SimTime::ZERO + self.config.node.service_time, actions);
+        }
+    }
+
+    fn expand_dest(&self, src: NodeId, dest: Dest) -> Vec<NodeId> {
+        match dest {
+            Dest::All => (0..self.agents.len() as u16).map(NodeId).collect(),
+            Dest::Others => {
+                (0..self.agents.len() as u16).map(NodeId).filter(|&d| d != src).collect()
+            }
+            Dest::To(d) => {
+                assert!(d.index() < self.agents.len(), "destination {d} out of range");
+                vec![d]
+            }
+        }
+    }
+
+    fn apply_actions(&mut self, node: NodeId, effective_at: SimTime, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { dest, payload } => {
+                    let dests = self.expand_dest(node, dest);
+                    self.stats.frames_sent += 1;
+                    self.stats.bytes_sent += payload.len() as u64;
+                    let plan = self.medium.transmit(
+                        node,
+                        &dests,
+                        payload.len(),
+                        effective_at,
+                        &mut self.rng,
+                    );
+                    self.stats.copies_dropped += u64::from(plan.dropped);
+                    for (to, at) in plan.deliveries {
+                        self.stats.copies_delivered += 1;
+                        self.queue.push(at, Ev::Packet { to, pkt: Packet { src: node, payload: payload.clone() } });
+                    }
+                }
+                Action::Timer { delay, token } => {
+                    self.queue.push(effective_at + delay, Ev::Timer { node, token });
+                }
+            }
+        }
+    }
+
+    /// Processes the next event, if any. Returns `false` when the queue is
+    /// exhausted.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let Some((at, ev)) = self.queue.pop() else { return false };
+        let node = match &ev {
+            Ev::Packet { to, .. } => *to,
+            Ev::Timer { node, .. } => *node,
+        };
+        // CPU model: if the node is still busy, defer the event to the
+        // instant it frees up (re-queued, preserving FIFO among equals).
+        let start = at.max(self.busy_until[node.index()]);
+        if start > at {
+            self.queue.push(start, ev);
+            return true;
+        }
+        self.now = self.now.max(at);
+        let done = start + self.config.node.service_time;
+        self.busy_until[node.index()] = done;
+        self.stats.events_processed += 1;
+
+        let mut rng = self.rng.fork(0x4e4f_4445_0000 | u64::from(node.0) << 20 | (self.stats.events_processed & 0xfffff));
+        let mut api = SimApi::new(node, start, self.agents.len(), &mut rng);
+        match ev {
+            Ev::Packet { pkt, .. } => self.agents[node.index()].on_packet(pkt, &mut api),
+            Ev::Timer { token, .. } => {
+                self.stats.timers_fired += 1;
+                self.agents[node.index()].on_timer(token, &mut api)
+            }
+        }
+        let actions = std::mem::take(&mut api.actions);
+        self.apply_actions(node, done, actions);
+        true
+    }
+
+    /// Runs until virtual time `deadline` (events at exactly `deadline`
+    /// are processed) or until no events remain.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.ensure_started();
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs until the event queue drains completely.
+    ///
+    /// Only terminates for workloads that quiesce (no self-rearming
+    /// timers); prefer [`Sim::run_until`] for open-ended protocols.
+    pub fn run_to_quiescence(&mut self) {
+        self.ensure_started();
+        while self.step() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PointToPoint;
+    use bytes::Bytes;
+
+    /// Records every packet and timer it sees.
+    #[derive(Default)]
+    struct Recorder {
+        packets: Vec<(SimTime, NodeId)>,
+        timers: Vec<(SimTime, TimerToken)>,
+    }
+
+    impl Agent for Recorder {
+        fn on_start(&mut self, api: &mut SimApi<'_>) {
+            if api.me() == NodeId(0) {
+                api.send(Dest::Others, Bytes::from_static(b"hello"));
+                api.set_timer(SimTime::from_millis(1), TimerToken(42));
+            }
+        }
+        fn on_packet(&mut self, pkt: Packet, api: &mut SimApi<'_>) {
+            self.packets.push((api.now(), pkt.src));
+        }
+        fn on_timer(&mut self, token: TimerToken, api: &mut SimApi<'_>) {
+            self.timers.push((api.now(), token));
+        }
+    }
+
+    fn sim(n: usize) -> Sim<Recorder> {
+        Sim::new(
+            SimConfig::default().seed(1).service_time(SimTime::from_micros(100)),
+            Box::new(PointToPoint::new(SimTime::from_micros(500))),
+            (0..n).map(|_| Recorder::default()).collect(),
+        )
+    }
+
+    #[test]
+    fn broadcast_reaches_others_not_self() {
+        let mut s = sim(4);
+        s.run_to_quiescence();
+        assert!(s.agent(NodeId(0)).packets.is_empty());
+        for i in 1..4 {
+            assert_eq!(s.agent(NodeId(i)).packets.len(), 1);
+            assert_eq!(s.agent(NodeId(i)).packets[0].1, NodeId(0));
+        }
+    }
+
+    #[test]
+    fn packet_latency_includes_service_and_propagation() {
+        let mut s = sim(2);
+        s.run_to_quiescence();
+        // on_start completes at 100us (service), +500us propagation = 600us arrival.
+        let (at, _) = s.agent(NodeId(1)).packets[0];
+        assert_eq!(at, SimTime::from_micros(600));
+    }
+
+    #[test]
+    fn timer_fires_after_service_plus_delay() {
+        let mut s = sim(1);
+        s.run_to_quiescence();
+        let (at, token) = s.agent(NodeId(0)).timers[0];
+        assert_eq!(token, TimerToken(42));
+        assert_eq!(at, SimTime::from_micros(100) + SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut s = sim(2);
+        s.run_until(SimTime::from_micros(300));
+        // Packet arrives at 600us — not yet processed.
+        assert!(s.agent(NodeId(1)).packets.is_empty());
+        assert_eq!(s.now(), SimTime::from_micros(300));
+        s.run_until(SimTime::from_millis(10));
+        assert_eq!(s.agent(NodeId(1)).packets.len(), 1);
+    }
+
+    #[test]
+    fn external_schedule_reaches_agent() {
+        let mut s = sim(3);
+        s.schedule(SimTime::from_millis(5), NodeId(2), TimerToken(9));
+        s.run_until(SimTime::from_millis(10));
+        assert!(s.agent(NodeId(2)).timers.iter().any(|&(_, t)| t == TimerToken(9)));
+    }
+
+    #[test]
+    fn cpu_busy_defers_second_packet() {
+        // Two packets arrive at node 0 at the same instant: the second is
+        // processed one service time after the first.
+        struct Sender;
+        impl Agent for Sender {
+            fn on_start(&mut self, api: &mut SimApi<'_>) {
+                if api.me() != NodeId(0) {
+                    api.send(Dest::To(NodeId(0)), Bytes::from_static(b"x"));
+                }
+            }
+            fn on_packet(&mut self, _: Packet, _: &mut SimApi<'_>) {}
+            fn on_timer(&mut self, _: TimerToken, _: &mut SimApi<'_>) {}
+        }
+        struct Sink(Vec<SimTime>);
+        // Use the same agent type for all nodes; distinguish by behavior.
+        enum Node {
+            Sender(Sender),
+            Sink(Sink),
+        }
+        impl Agent for Node {
+            fn on_start(&mut self, api: &mut SimApi<'_>) {
+                if let Node::Sender(s) = self {
+                    s.on_start(api);
+                }
+            }
+            fn on_packet(&mut self, pkt: Packet, api: &mut SimApi<'_>) {
+                match self {
+                    Node::Sender(s) => s.on_packet(pkt, api),
+                    Node::Sink(s) => s.0.push(api.now()),
+                }
+            }
+            fn on_timer(&mut self, _: TimerToken, _: &mut SimApi<'_>) {}
+        }
+
+        let mut s = Sim::new(
+            SimConfig::default().seed(2).service_time(SimTime::from_micros(100)),
+            Box::new(PointToPoint::new(SimTime::from_micros(500))),
+            vec![Node::Sink(Sink(Vec::new())), Node::Sender(Sender), Node::Sender(Sender)],
+        );
+        s.run_to_quiescence();
+        let Node::Sink(sink) = s.agent(NodeId(0)) else { panic!("node 0 is the sink") };
+        assert_eq!(sink.0.len(), 2);
+        // Both arrive at 600us; second starts at 700us (after first's service).
+        assert_eq!(sink.0[0], SimTime::from_micros(600));
+        assert_eq!(sink.0[1], SimTime::from_micros(700));
+    }
+
+    #[test]
+    fn stats_count_frames_and_copies() {
+        let mut s = sim(4);
+        s.run_to_quiescence();
+        assert_eq!(s.stats().frames_sent, 1);
+        assert_eq!(s.stats().copies_delivered, 3);
+        assert_eq!(s.stats().copies_dropped, 0);
+        assert_eq!(s.stats().timers_fired, 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed: u64| {
+            let mut s = Sim::new(
+                SimConfig::default().seed(seed),
+                Box::new(PointToPoint::new(SimTime::from_micros(500)).with_jitter(SimTime::from_micros(200))),
+                (0..5).map(|_| Recorder::default()).collect::<Vec<_>>(),
+            );
+            s.run_to_quiescence();
+            s.agents().flat_map(|a| a.packets.iter().map(|&(t, _)| t.as_micros())).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_sim_rejected() {
+        let _ = Sim::<Recorder>::new(
+            SimConfig::default(),
+            Box::new(PointToPoint::new(SimTime::ZERO)),
+            vec![],
+        );
+    }
+}

@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Aggregate counters for one simulation run.
+///
+/// Exposed for experiment reports; none of the protocol logic reads these.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames handed to the medium (a multicast counts once).
+    pub frames_sent: u64,
+    /// Payload bytes handed to the medium (a multicast counts once).
+    pub bytes_sent: u64,
+    /// Per-destination copies that arrived.
+    pub copies_delivered: u64,
+    /// Per-destination copies the medium dropped.
+    pub copies_dropped: u64,
+    /// Timer firings dispatched.
+    pub timers_fired: u64,
+    /// Total events processed (packets + timers).
+    pub events_processed: u64,
+}
+
+impl NetStats {
+    /// Fraction of copies lost, or zero if nothing was transmitted.
+    pub fn loss_rate(&self) -> f64 {
+        let total = self.copies_delivered + self.copies_dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.copies_dropped as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frames={} bytes={} delivered={} dropped={} ({:.2}% loss) timers={} events={}",
+            self.frames_sent,
+            self.bytes_sent,
+            self.copies_delivered,
+            self.copies_dropped,
+            self.loss_rate() * 100.0,
+            self.timers_fired,
+            self.events_processed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_rate_handles_zero() {
+        assert_eq!(NetStats::default().loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn loss_rate_computes_fraction() {
+        let s = NetStats { copies_delivered: 75, copies_dropped: 25, ..Default::default() };
+        assert!((s.loss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let s = NetStats { frames_sent: 3, ..Default::default() };
+        let out = s.to_string();
+        assert!(out.contains("frames=3"));
+    }
+}

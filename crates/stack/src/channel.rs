@@ -1,0 +1,69 @@
+//! The MULTIPLEX component of the paper's Figure 1.
+//!
+//! The switching protocol needs "a private communication channel for
+//! itself, while each underlying protocol also needs a private channel".
+//! A [`ChannelId`] byte prepended to every frame provides exactly that:
+//! one physical transport carries several logical protocol channels.
+
+use bytes::Bytes;
+use ps_wire::{Decoder, Encoder, Wire, WireError};
+
+/// Logical channel number multiplexed over one transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub u8);
+
+impl ChannelId {
+    /// Conventional channel for switch-protocol control traffic.
+    pub const CONTROL: ChannelId = ChannelId(0);
+    /// Conventional channel for the first underlying protocol.
+    pub const PROTO_A: ChannelId = ChannelId(1);
+    /// Conventional channel for the second underlying protocol.
+    pub const PROTO_B: ChannelId = ChannelId(2);
+}
+
+impl Wire for ChannelId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(ChannelId(dec.get_u8()?))
+    }
+}
+
+/// Tags `payload` with a channel id.
+pub fn mux(channel: ChannelId, payload: Bytes) -> Bytes {
+    ps_wire::push_header(&channel, payload)
+}
+
+/// Splits a tagged frame back into channel id and payload.
+///
+/// # Errors
+///
+/// Returns [`WireError::UnexpectedEof`] on an empty frame.
+pub fn demux(frame: &[u8]) -> Result<(ChannelId, Bytes), WireError> {
+    ps_wire::pop_header(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mux_demux_roundtrip() {
+        let framed = mux(ChannelId::PROTO_B, Bytes::from_static(b"payload"));
+        let (ch, payload) = demux(&framed).unwrap();
+        assert_eq!(ch, ChannelId::PROTO_B);
+        assert_eq!(&payload[..], b"payload");
+    }
+
+    #[test]
+    fn distinct_conventional_channels() {
+        assert_ne!(ChannelId::CONTROL, ChannelId::PROTO_A);
+        assert_ne!(ChannelId::PROTO_A, ChannelId::PROTO_B);
+    }
+
+    #[test]
+    fn demux_empty_frame_errors() {
+        assert!(demux(&[]).is_err());
+    }
+}

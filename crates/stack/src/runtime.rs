@@ -1,0 +1,436 @@
+use crate::layer::{Cast, Frame, IdGen, LayerId};
+use crate::stack::{Stack, StackEnv};
+use bytes::Bytes;
+use ps_simnet::{
+    Agent, Dest, Medium, NetStats, NodeId, Packet, PointToPoint, Sim, SimApi, SimConfig, SimTime,
+    TimerToken,
+};
+use ps_trace::{Event, Message, MsgId, ProcessId, Trace};
+use std::collections::BTreeMap;
+
+/// Builds one process's protocol stack.
+///
+/// Called once per process with its id, the group membership, and the
+/// process-wide [`IdGen`] (so nested stacks get globally unique layer ids).
+/// Every process must run the same stack (§3), so factories typically
+/// ignore the process id except to parameterize roles (e.g. the sequencer).
+pub type StackFactory = Box<dyn Fn(ProcessId, &[ProcessId], &mut IdGen) -> Stack>;
+
+/// Timer-token marker for application-workload sends.
+const APP_MARKER: u32 = u32::MAX;
+
+fn pack(id: LayerId, token: u32) -> TimerToken {
+    TimerToken((u64::from(id.0) << 32) | u64::from(token))
+}
+
+fn unpack(t: TimerToken) -> (u32, u32) {
+    ((t.0 >> 32) as u32, (t.0 & 0xffff_ffff) as u32)
+}
+
+/// One application-level delivery observed during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// Which message.
+    pub msg: MsgId,
+    /// Which process delivered it.
+    pub process: ProcessId,
+    /// When.
+    pub at: SimTime,
+}
+
+/// Mutable per-process state shared between the agent and its environment
+/// adapter (split from the stack to satisfy the borrow checker).
+struct NodeCell {
+    me: ProcessId,
+    group: Vec<ProcessId>,
+    next_seq: u64,
+    scheduled: Vec<Bytes>,
+    log: Vec<(SimTime, Event)>,
+}
+
+struct ProcessAgent {
+    stack: Stack,
+    cell: NodeCell,
+}
+
+struct EnvAdapter<'a, 'b> {
+    cell: &'a mut NodeCell,
+    api: &'a mut SimApi<'b>,
+}
+
+impl StackEnv for EnvAdapter<'_, '_> {
+    fn me(&self) -> ProcessId {
+        self.cell.me
+    }
+    fn group(&self) -> Vec<ProcessId> {
+        self.cell.group.clone()
+    }
+    fn now(&self) -> SimTime {
+        self.api.now()
+    }
+    fn rng(&mut self) -> &mut ps_simnet::DetRng {
+        self.api.rng()
+    }
+    fn transmit(&mut self, frame: Frame) {
+        let dest = match frame.dest {
+            Cast::All => Dest::All,
+            Cast::Others => Dest::Others,
+            Cast::To(p) => Dest::To(NodeId(p.0)),
+        };
+        self.api.send(dest, frame.bytes);
+    }
+    fn deliver(&mut self, _src: ProcessId, msg: Message) {
+        let me = self.cell.me;
+        self.cell.log.push((self.api.now(), Event::deliver(me, msg)));
+    }
+    fn set_timer(&mut self, delay: SimTime, id: LayerId, token: u32) {
+        self.api.set_timer(delay, pack(id, token));
+    }
+}
+
+impl Agent for ProcessAgent {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        let mut env = EnvAdapter { cell: &mut self.cell, api };
+        self.stack.launch(&mut env);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, api: &mut SimApi<'_>) {
+        let src = ProcessId(pkt.src.0);
+        let mut env = EnvAdapter { cell: &mut self.cell, api };
+        self.stack.receive(src, pkt.payload, &mut env);
+    }
+
+    fn on_timer(&mut self, token: TimerToken, api: &mut SimApi<'_>) {
+        let (layer, tok) = unpack(token);
+        if layer == APP_MARKER {
+            let body = self.cell.scheduled[tok as usize].clone();
+            let msg = Message::new(self.cell.me, self.cell.next_seq, body);
+            self.cell.next_seq += 1;
+            self.cell.log.push((api.now(), Event::send(msg.clone())));
+            let mut env = EnvAdapter { cell: &mut self.cell, api };
+            self.stack.send(&msg, &mut env);
+        } else {
+            let mut env = EnvAdapter { cell: &mut self.cell, api };
+            self.stack.timer(LayerId(layer), tok, &mut env);
+        }
+    }
+}
+
+/// Builder for a [`GroupSim`].
+///
+/// # Examples
+///
+/// See the crate-level example.
+pub struct GroupSimBuilder {
+    n: u16,
+    config: SimConfig,
+    medium: Option<Box<dyn Medium>>,
+    factory: Option<StackFactory>,
+    sends: Vec<(SimTime, ProcessId, Bytes)>,
+}
+
+impl std::fmt::Debug for GroupSimBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupSimBuilder")
+            .field("n", &self.n)
+            .field("scheduled_sends", &self.sends.len())
+            .finish()
+    }
+}
+
+impl GroupSimBuilder {
+    /// Starts a builder for a group of `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u16) -> Self {
+        assert!(n > 0, "a group needs at least one process");
+        Self { n, config: SimConfig::default(), medium: None, factory: None, sends: Vec::new() }
+    }
+
+    /// Sets the random seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config = self.config.seed(seed);
+        self
+    }
+
+    /// Sets every node's per-event CPU service time.
+    pub fn service_time(mut self, t: SimTime) -> Self {
+        self.config = self.config.service_time(t);
+        self
+    }
+
+    /// Sets the network model (default: 100 µs point-to-point).
+    pub fn medium(mut self, medium: Box<dyn Medium>) -> Self {
+        self.medium = Some(medium);
+        self
+    }
+
+    /// Sets the per-process stack factory.
+    pub fn stack_factory<F>(mut self, f: F) -> Self
+    where
+        F: Fn(ProcessId, &[ProcessId], &mut IdGen) -> Stack + 'static,
+    {
+        self.factory = Some(Box::new(f));
+        self
+    }
+
+    /// Schedules `sender` to multicast a message with `body` at time `at`.
+    pub fn send_at(mut self, at: SimTime, sender: ProcessId, body: impl AsRef<[u8]>) -> Self {
+        self.sends.push((at, sender, Bytes::copy_from_slice(body.as_ref())));
+        self
+    }
+
+    /// Schedules a batch of sends.
+    pub fn sends(mut self, batch: impl IntoIterator<Item = (SimTime, ProcessId, Bytes)>) -> Self {
+        self.sends.extend(batch);
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no stack factory was provided, or a scheduled sender is
+    /// out of range.
+    pub fn build(self) -> GroupSim {
+        let factory = self.factory.expect("GroupSimBuilder requires a stack_factory");
+        let medium = self
+            .medium
+            .unwrap_or_else(|| Box::new(PointToPoint::new(SimTime::from_micros(100))));
+        let group: Vec<ProcessId> = (0..self.n).map(ProcessId).collect();
+
+        // Sort workload per process; token = index into its schedule.
+        let mut per_node: Vec<Vec<(SimTime, Bytes)>> = vec![Vec::new(); usize::from(self.n)];
+        for (at, p, body) in self.sends {
+            assert!(p.index() < group.len(), "scheduled sender {p} out of range");
+            per_node[p.index()].push((at, body));
+        }
+        for sends in &mut per_node {
+            sends.sort_by_key(|(at, _)| *at);
+        }
+
+        let agents: Vec<ProcessAgent> = group
+            .iter()
+            .map(|&p| {
+                let mut ids = IdGen::new();
+                let stack = factory(p, &group, &mut ids);
+                ProcessAgent {
+                    stack,
+                    cell: NodeCell {
+                        me: p,
+                        group: group.clone(),
+                        next_seq: 1,
+                        scheduled: per_node[p.index()].iter().map(|(_, b)| b.clone()).collect(),
+                        log: Vec::new(),
+                    },
+                }
+            })
+            .collect();
+
+        let mut sim = Sim::new(self.config, medium, agents);
+        for (p, sends) in per_node.iter().enumerate() {
+            for (idx, (at, _)) in sends.iter().enumerate() {
+                sim.schedule(*at, NodeId(p as u16), pack(LayerId(APP_MARKER), idx as u32));
+            }
+        }
+        GroupSim { sim, group }
+    }
+}
+
+/// A running group: one identical protocol stack per process over a
+/// simulated network, with application-level trace capture.
+pub struct GroupSim {
+    sim: Sim<ProcessAgent>,
+    group: Vec<ProcessId>,
+}
+
+impl std::fmt::Debug for GroupSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupSim")
+            .field("group", &self.group.len())
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}
+
+impl GroupSim {
+    /// Runs until virtual time `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.sim.run_until(deadline);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The group membership.
+    pub fn group(&self) -> &[ProcessId] {
+        &self.group
+    }
+
+    /// Network counters.
+    pub fn net_stats(&self) -> &NetStats {
+        self.sim.stats()
+    }
+
+    /// The application-level trace of the whole run: every process's `Send`
+    /// and `Deliver` events merged in time order — ready for the property
+    /// checkers in `ps-trace`.
+    pub fn app_trace(&self) -> Trace {
+        let mut events: Vec<(SimTime, u16, usize, &Event)> = Vec::new();
+        for (node, agent) in self.sim.agents().enumerate() {
+            for (idx, (at, ev)) in agent.cell.log.iter().enumerate() {
+                events.push((*at, node as u16, idx, ev));
+            }
+        }
+        events.sort_by_key(|&(at, node, idx, _)| (at, node, idx));
+        events.into_iter().map(|(_, _, _, ev)| ev.clone()).collect()
+    }
+
+    /// Send time of every message, by id.
+    pub fn send_times(&self) -> BTreeMap<MsgId, SimTime> {
+        let mut out = BTreeMap::new();
+        for agent in self.sim.agents() {
+            for (at, ev) in &agent.cell.log {
+                if let Event::Send(m) = ev {
+                    out.insert(m.id, *at);
+                }
+            }
+        }
+        out
+    }
+
+    /// Every delivery observed, in per-process log order.
+    pub fn deliveries(&self) -> Vec<DeliveryRecord> {
+        let mut out = Vec::new();
+        for agent in self.sim.agents() {
+            for (at, ev) in &agent.cell.log {
+                if let Event::Deliver(p, m) = ev {
+                    out.push(DeliveryRecord { msg: m.id, process: *p, at: *at });
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean latency from send to delivery, over all (message, receiver)
+    /// pairs that completed; `None` if nothing was delivered.
+    pub fn mean_delivery_latency(&self) -> Option<SimTime> {
+        let sends = self.send_times();
+        let mut total: u64 = 0;
+        let mut count: u64 = 0;
+        for d in self.deliveries() {
+            if let Some(&sent) = sends.get(&d.msg) {
+                total += d.at.saturating_sub(sent).as_micros();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(SimTime::from_micros(total / count))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_trace::props::{Property, Reliability};
+
+    fn passthrough(n: u16) -> GroupSimBuilder {
+        GroupSimBuilder::new(n)
+            .seed(1)
+            .medium(Box::new(PointToPoint::new(SimTime::from_micros(200))))
+            .stack_factory(|_, _, _| Stack::new(vec![]))
+    }
+
+    #[test]
+    fn single_send_reaches_everyone() {
+        let mut sim = passthrough(3)
+            .send_at(SimTime::from_millis(1), ProcessId(0), b"hi")
+            .build();
+        sim.run_until(SimTime::from_millis(20));
+        let tr = sim.app_trace();
+        assert_eq!(tr.sent_ids().len(), 1);
+        let group: Vec<ProcessId> = (0..3).map(ProcessId).collect();
+        assert!(Reliability::new(group).holds(&tr));
+    }
+
+    #[test]
+    fn send_precedes_deliveries_in_trace() {
+        let mut sim = passthrough(2)
+            .send_at(SimTime::from_millis(1), ProcessId(1), b"x")
+            .build();
+        sim.run_until(SimTime::from_millis(20));
+        let tr = sim.app_trace();
+        assert!(tr.events()[0].is_send());
+        assert_eq!(tr.len(), 3); // 1 send + 2 deliveries (incl. self)
+    }
+
+    #[test]
+    fn latency_accounts_for_network_and_cpu() {
+        let mut sim = passthrough(2)
+            .send_at(SimTime::from_millis(1), ProcessId(0), b"x")
+            .build();
+        sim.run_until(SimTime::from_millis(50));
+        let lat = sim.mean_delivery_latency().unwrap();
+        // 200us propagation + service times; must be positive and sane.
+        assert!(lat >= SimTime::from_micros(200), "latency {lat}");
+        assert!(lat < SimTime::from_millis(5), "latency {lat}");
+    }
+
+    #[test]
+    fn multiple_senders_multiple_messages() {
+        let mut b = passthrough(4);
+        for i in 0..10u64 {
+            b = b.send_at(
+                SimTime::from_millis(1 + i),
+                ProcessId((i % 4) as u16),
+                format!("m{i}"),
+            );
+        }
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_millis(100));
+        let tr = sim.app_trace();
+        assert_eq!(tr.sent_ids().len(), 10);
+        // 10 sends × 4 receivers.
+        assert_eq!(tr.iter().filter(|e| e.is_deliver()).count(), 40);
+    }
+
+    #[test]
+    fn seq_numbers_are_per_sender() {
+        let mut sim = passthrough(2)
+            .send_at(SimTime::from_millis(1), ProcessId(0), b"a")
+            .send_at(SimTime::from_millis(2), ProcessId(0), b"b")
+            .send_at(SimTime::from_millis(3), ProcessId(1), b"c")
+            .build();
+        sim.run_until(SimTime::from_millis(50));
+        let ids: Vec<MsgId> = sim.send_times().into_keys().collect();
+        assert!(ids.contains(&MsgId::new(ProcessId(0), 1)));
+        assert!(ids.contains(&MsgId::new(ProcessId(0), 2)));
+        assert!(ids.contains(&MsgId::new(ProcessId(1), 1)));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let mut sim = passthrough(3)
+                .send_at(SimTime::from_millis(1), ProcessId(0), b"a")
+                .send_at(SimTime::from_millis(1), ProcessId(1), b"b")
+                .build();
+            sim.run_until(SimTime::from_millis(30));
+            format!("{}", sim.app_trace())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "stack_factory")]
+    fn build_without_factory_panics() {
+        let _ = GroupSimBuilder::new(2).build();
+    }
+}

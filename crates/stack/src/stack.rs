@@ -1,0 +1,384 @@
+use crate::layer::{Frame, Layer, LayerCtx, LayerId, LayerOut};
+use bytes::Bytes;
+use ps_simnet::{DetRng, SimTime};
+use ps_trace::{Message, ProcessId};
+use ps_wire::Wire;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The stack's window onto the outside world: identity, time, randomness,
+/// the network below, the application above, and timers.
+///
+/// Implemented by the runtime ([`crate::GroupSim`]) and, recursively, by
+/// composite layers that host nested stacks (the switching protocol wraps
+/// the outer environment so a nested stack's transmissions come out
+/// channel-tagged).
+pub trait StackEnv {
+    /// This process's identity.
+    fn me(&self) -> ProcessId;
+    /// Current group membership (cheap; called often).
+    fn group(&self) -> Vec<ProcessId>;
+    /// Current virtual time.
+    fn now(&self) -> SimTime;
+    /// Deterministic random stream for this process.
+    fn rng(&mut self) -> &mut DetRng;
+    /// A frame leaving the bottom of the stack, bound for the network.
+    fn transmit(&mut self, frame: Frame);
+    /// A message leaving the top of the stack, bound for the application.
+    fn deliver(&mut self, src: ProcessId, msg: Message);
+    /// Arm a one-shot timer for layer `id`.
+    fn set_timer(&mut self, delay: SimTime, id: LayerId, token: u32);
+}
+
+struct Slot {
+    id: LayerId,
+    layer: Box<dyn Layer>,
+}
+
+impl fmt::Debug for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}@{:?}", self.layer.name(), self.id)
+    }
+}
+
+enum Work {
+    /// Give to layer `next` going down; `next == len` means transmit.
+    Down { next: usize, frame: Frame },
+    /// Give to layer `next` going up; `None` means deliver to the app.
+    Up { next: Option<usize>, src: ProcessId, bytes: Bytes },
+}
+
+/// An ordered composition of layers: index 0 is the top (application side),
+/// the last index is the bottom (network side).
+///
+/// A stack is itself "another protocol" (§3): the switching protocol embeds
+/// two of them. Processing uses an explicit queue, so a layer emitting
+/// multiple frames never re-enters itself or its neighbours.
+pub struct Stack {
+    slots: Vec<Slot>,
+}
+
+impl fmt::Debug for Stack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stack").field("layers", &self.slots).finish()
+    }
+}
+
+impl Stack {
+    /// Builds a stack from `layers` (top first), allocating ids internally.
+    ///
+    /// Use [`Stack::with_ids`] when layer ids must be globally unique
+    /// across nested stacks of one process.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        let mut ids = crate::IdGen::new();
+        Self::with_ids(layers, &mut ids)
+    }
+
+    /// Builds a stack from `layers` (top first) drawing ids from `ids`.
+    pub fn with_ids(layers: Vec<Box<dyn Layer>>, ids: &mut crate::IdGen) -> Self {
+        Self { slots: layers.into_iter().map(|layer| Slot { id: ids.next_id(), layer }).collect() }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` for the empty (pass-through) stack.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Layer names from top to bottom.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.slots.iter().map(|s| s.layer.name()).collect()
+    }
+
+    /// Launches every layer, top to bottom (starts tokens rotating, arms
+    /// initial timers, …).
+    pub fn launch(&mut self, env: &mut dyn StackEnv) {
+        for i in 0..self.slots.len() {
+            let id = self.slots[i].id;
+            let mut ctx = LayerCtx::new(env, id);
+            self.slots[i].layer.on_launch(&mut ctx);
+            self.slots[i].layer.launch_nested(&mut ctx);
+            let outs = std::mem::take(&mut ctx.outs);
+            self.run(outs_to_work(outs, i, self.slots.len()), env);
+        }
+    }
+
+    /// Injects an application message at the top (an app `Send`).
+    pub fn send(&mut self, msg: &Message, env: &mut dyn StackEnv) {
+        let frame = Frame::all(msg.to_bytes());
+        self.run(vec![Work::Down { next: 0, frame }], env);
+    }
+
+    /// Injects an already-encoded frame at the top (used by composite
+    /// layers such as the switching protocol, which feed their sub-stacks
+    /// the application's bytes without re-encoding).
+    pub fn send_bytes(&mut self, dest: crate::Cast, bytes: Bytes, env: &mut dyn StackEnv) {
+        self.run(vec![Work::Down { next: 0, frame: Frame::new(dest, bytes) }], env);
+    }
+
+    /// Injects bytes arriving from the network at the bottom.
+    pub fn receive(&mut self, src: ProcessId, bytes: Bytes, env: &mut dyn StackEnv) {
+        let next = self.slots.len().checked_sub(1);
+        self.run(vec![Work::Up { next, src, bytes }], env);
+    }
+
+    /// Delivers a timer firing to the owning layer (searching nested
+    /// stacks). Returns `false` if no layer claims `id`.
+    pub fn timer(&mut self, id: LayerId, token: u32, env: &mut dyn StackEnv) -> bool {
+        for i in 0..self.slots.len() {
+            let slot_id = self.slots[i].id;
+            if slot_id == id {
+                let mut ctx = LayerCtx::new(env, slot_id);
+                self.slots[i].layer.on_timer(token, &mut ctx);
+                let outs = std::mem::take(&mut ctx.outs);
+                self.run(outs_to_work(outs, i, self.slots.len()), env);
+                return true;
+            }
+            // Search nested stacks (composite layers).
+            let mut ctx = LayerCtx::new(env, slot_id);
+            let handled = self.slots[i].layer.route_timer(id, token, &mut ctx);
+            let outs = std::mem::take(&mut ctx.outs);
+            if handled {
+                self.run(outs_to_work(outs, i, self.slots.len()), env);
+                return true;
+            }
+            debug_assert!(outs.is_empty(), "route_timer emitted without handling");
+        }
+        false
+    }
+
+    fn run(&mut self, initial: Vec<Work>, env: &mut dyn StackEnv) {
+        let mut queue: VecDeque<Work> = initial.into();
+        let n = self.slots.len();
+        while let Some(work) = queue.pop_front() {
+            match work {
+                Work::Down { next, frame } => {
+                    if next == n {
+                        env.transmit(frame);
+                        continue;
+                    }
+                    let id = self.slots[next].id;
+                    let mut ctx = LayerCtx::new(env, id);
+                    self.slots[next].layer.on_down(frame, &mut ctx);
+                    let outs = std::mem::take(&mut ctx.outs);
+                    queue.extend(outs_to_work(outs, next, n));
+                }
+                Work::Up { next, src, bytes } => {
+                    let Some(idx) = next else {
+                        match Message::from_bytes(&bytes) {
+                            Ok(msg) => env.deliver(src, msg),
+                            Err(_) => {
+                                // Corrupt frame reaching the app boundary:
+                                // dropped, per robustness convention.
+                            }
+                        }
+                        continue;
+                    };
+                    let id = self.slots[idx].id;
+                    let mut ctx = LayerCtx::new(env, id);
+                    self.slots[idx].layer.on_up(src, bytes, &mut ctx);
+                    let outs = std::mem::take(&mut ctx.outs);
+                    queue.extend(outs_to_work(outs, idx, n));
+                }
+            }
+        }
+    }
+}
+
+/// Converts a layer's emissions (at position `idx` of `n`) into queue work.
+fn outs_to_work(outs: Vec<LayerOut>, idx: usize, n: usize) -> Vec<Work> {
+    let _ = n;
+    outs.into_iter()
+        .map(|out| match out {
+            LayerOut::Down(frame) => Work::Down { next: idx + 1, frame },
+            LayerOut::Up(src, bytes) => {
+                Work::Up { next: idx.checked_sub(1), src, bytes }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Cast;
+    
+
+    /// Minimal in-memory environment capturing boundary crossings.
+    struct TestEnv {
+        me: ProcessId,
+        group: Vec<ProcessId>,
+        rng: DetRng,
+        transmitted: Vec<Frame>,
+        delivered: Vec<(ProcessId, Message)>,
+        timers: Vec<(SimTime, LayerId, u32)>,
+    }
+
+    impl TestEnv {
+        fn new(me: u16, n: u16) -> Self {
+            Self {
+                me: ProcessId(me),
+                group: (0..n).map(ProcessId).collect(),
+                rng: DetRng::new(1),
+                transmitted: Vec::new(),
+                delivered: Vec::new(),
+                timers: Vec::new(),
+            }
+        }
+    }
+
+    impl StackEnv for TestEnv {
+        fn me(&self) -> ProcessId {
+            self.me
+        }
+        fn group(&self) -> Vec<ProcessId> {
+            self.group.clone()
+        }
+        fn now(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn rng(&mut self) -> &mut DetRng {
+            &mut self.rng
+        }
+        fn transmit(&mut self, frame: Frame) {
+            self.transmitted.push(frame);
+        }
+        fn deliver(&mut self, src: ProcessId, msg: Message) {
+            self.delivered.push((src, msg));
+        }
+        fn set_timer(&mut self, delay: SimTime, id: LayerId, token: u32) {
+            self.timers.push((delay, id, token));
+        }
+    }
+
+    /// Layer that pushes/pops a constant byte header and counts traffic.
+    struct Tagger {
+        tag: u8,
+        downs: u32,
+        ups: u32,
+    }
+
+    impl Layer for Tagger {
+        fn name(&self) -> &'static str {
+            "tagger"
+        }
+        fn on_down(&mut self, frame: Frame, ctx: &mut LayerCtx<'_>) {
+            self.downs += 1;
+            let bytes = ps_wire::push_header(&self.tag, frame.bytes);
+            ctx.send_down(Frame::new(frame.dest, bytes));
+        }
+        fn on_up(&mut self, src: ProcessId, bytes: Bytes, ctx: &mut LayerCtx<'_>) {
+            self.ups += 1;
+            let (tag, rest) = ps_wire::pop_header::<u8>(&bytes).expect("tag header");
+            assert_eq!(tag, self.tag, "headers must pop in reverse push order");
+            ctx.deliver_up(src, rest);
+        }
+    }
+
+    fn msg(sender: u16, seq: u64) -> Message {
+        Message::with_tag(ProcessId(sender), seq, 9)
+    }
+
+    #[test]
+    fn empty_stack_passes_send_to_wire_and_back() {
+        let mut env = TestEnv::new(0, 2);
+        let mut stack = Stack::new(vec![]);
+        let m = msg(0, 1);
+        stack.send(&m, &mut env);
+        assert_eq!(env.transmitted.len(), 1);
+        assert_eq!(env.transmitted[0].dest, Cast::All);
+
+        let bytes = env.transmitted[0].bytes.clone();
+        stack.receive(ProcessId(0), bytes, &mut env);
+        assert_eq!(env.delivered.len(), 1);
+        assert_eq!(env.delivered[0].1, m);
+    }
+
+    #[test]
+    fn headers_nest_in_stack_order() {
+        let mut env = TestEnv::new(0, 2);
+        let mut stack = Stack::new(vec![
+            Box::new(Tagger { tag: 1, downs: 0, ups: 0 }),
+            Box::new(Tagger { tag: 2, downs: 0, ups: 0 }),
+        ]);
+        let m = msg(0, 1);
+        stack.send(&m, &mut env);
+        // Bottom layer's header is outermost.
+        let bytes = env.transmitted[0].bytes.clone();
+        let (outer, rest) = ps_wire::pop_header::<u8>(&bytes).unwrap();
+        assert_eq!(outer, 2);
+        let (inner, _) = ps_wire::pop_header::<u8>(&rest).unwrap();
+        assert_eq!(inner, 1);
+
+        stack.receive(ProcessId(0), bytes, &mut env);
+        assert_eq!(env.delivered[0].1, m);
+    }
+
+    #[test]
+    fn corrupt_frame_at_app_boundary_is_dropped() {
+        let mut env = TestEnv::new(0, 2);
+        let mut stack = Stack::new(vec![]);
+        stack.receive(ProcessId(1), Bytes::from_static(&[0xff, 0x01]), &mut env);
+        assert!(env.delivered.is_empty());
+    }
+
+    /// Layer that fans one frame out into two (tests queue, no recursion).
+    struct Duplicator;
+    impl Layer for Duplicator {
+        fn name(&self) -> &'static str {
+            "dup"
+        }
+        fn on_down(&mut self, frame: Frame, ctx: &mut LayerCtx<'_>) {
+            ctx.send_down(frame.clone());
+            ctx.send_down(frame);
+        }
+    }
+
+    #[test]
+    fn fan_out_is_processed_in_order() {
+        let mut env = TestEnv::new(0, 2);
+        let mut stack = Stack::new(vec![Box::new(Duplicator)]);
+        stack.send(&msg(0, 1), &mut env);
+        assert_eq!(env.transmitted.len(), 2);
+        assert_eq!(env.transmitted[0], env.transmitted[1]);
+    }
+
+    /// Layer that arms a timer on launch and resends on fire.
+    struct Beacon;
+    impl Layer for Beacon {
+        fn name(&self) -> &'static str {
+            "beacon"
+        }
+        fn on_launch(&mut self, ctx: &mut LayerCtx<'_>) {
+            ctx.set_timer(SimTime::from_millis(5), 42);
+        }
+        fn on_timer(&mut self, token: u32, ctx: &mut LayerCtx<'_>) {
+            assert_eq!(token, 42);
+            ctx.send_down(Frame::all(Bytes::from_static(b"beacon")));
+        }
+    }
+
+    #[test]
+    fn launch_arms_timer_and_timer_routes_back() {
+        let mut env = TestEnv::new(0, 2);
+        let mut stack = Stack::new(vec![Box::new(Beacon)]);
+        stack.launch(&mut env);
+        assert_eq!(env.timers.len(), 1);
+        let (_, id, token) = env.timers[0];
+        assert!(stack.timer(id, token, &mut env));
+        assert_eq!(env.transmitted.len(), 1);
+        assert!(!stack.timer(LayerId(999), 0, &mut env));
+    }
+
+    #[test]
+    fn layer_ids_are_unique_across_stacks_with_shared_gen() {
+        let mut ids = crate::IdGen::new();
+        let a = Stack::with_ids(vec![Box::new(Duplicator)], &mut ids);
+        let b = Stack::with_ids(vec![Box::new(Duplicator)], &mut ids);
+        assert_ne!(a.slots[0].id, b.slots[0].id);
+    }
+}

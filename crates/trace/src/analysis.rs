@@ -1,0 +1,202 @@
+//! Trace analysis: quantitative summaries of how far a trace is from the
+//! Table-1 ideals.
+//!
+//! The [`props`](crate::props) predicates answer yes/no; experiment reports
+//! often want *how much* — how many ordering inversions, what fraction of
+//! deliveries completed, how many duplicates. These helpers compute those
+//! numbers from any [`Trace`], live or generated.
+
+use crate::{Event, MsgId, ProcessId, Trace};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Quantitative summary of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Send events.
+    pub sends: usize,
+    /// Delivery events.
+    pub deliveries: usize,
+    /// Distinct processes appearing in the trace.
+    pub processes: usize,
+    /// Fraction of (sent message, group member) pairs that were delivered.
+    pub completeness: f64,
+    /// Pairwise delivery-order inversions between processes (0 ⇔ the
+    /// common-message orders are consistent, i.e. Total Order holds).
+    pub inversions: usize,
+    /// Deliveries beyond the first of the same message at the same process.
+    pub duplicates: usize,
+    /// View-change messages delivered.
+    pub view_changes: usize,
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sends={} deliveries={} procs={} complete={:.1}% inversions={} dups={} views={}",
+            self.sends,
+            self.deliveries,
+            self.processes,
+            self.completeness * 100.0,
+            self.inversions,
+            self.duplicates,
+            self.view_changes,
+        )
+    }
+}
+
+/// Counts pairwise ordering inversions between every pair of processes
+/// over the messages both deliver.
+///
+/// Zero inversions on every pair is exactly the Total Order property;
+/// the count is a useful "distance from total order" for reports.
+pub fn order_inversions(tr: &Trace) -> usize {
+    let mut per_process: HashMap<ProcessId, HashMap<MsgId, usize>> = HashMap::new();
+    for e in tr.iter() {
+        if let Event::Deliver(p, m) = e {
+            let seq = per_process.entry(*p).or_default();
+            let next = seq.len();
+            seq.entry(m.id).or_insert(next);
+        }
+    }
+    let procs: Vec<_> = per_process.keys().copied().collect();
+    let mut inversions = 0;
+    for (i, &p) in procs.iter().enumerate() {
+        for &q in &procs[i + 1..] {
+            let sp = &per_process[&p];
+            let sq = &per_process[&q];
+            let common: Vec<MsgId> = sp.keys().filter(|id| sq.contains_key(id)).copied().collect();
+            for (a_idx, &a) in common.iter().enumerate() {
+                for &b in &common[a_idx + 1..] {
+                    if sp[&a].cmp(&sp[&b]) != sq[&a].cmp(&sq[&b]) {
+                        inversions += 1;
+                    }
+                }
+            }
+        }
+    }
+    inversions
+}
+
+/// Fraction of (sent message, member) pairs delivered — 1.0 is exactly the
+/// Reliability property over `group`.
+pub fn completeness(tr: &Trace, group: &[ProcessId]) -> f64 {
+    let sent = tr.sent_ids();
+    if sent.is_empty() || group.is_empty() {
+        return 1.0;
+    }
+    let mut got = 0usize;
+    for &id in &sent {
+        let reached: BTreeSet<ProcessId> = tr.deliveries_of(id).collect();
+        got += group.iter().filter(|p| reached.contains(p)).count();
+    }
+    got as f64 / (sent.len() * group.len()) as f64
+}
+
+/// Deliveries beyond the first of the same message id at the same process.
+pub fn duplicate_deliveries(tr: &Trace) -> usize {
+    let mut seen: HashSet<(ProcessId, MsgId)> = HashSet::new();
+    let mut dups = 0;
+    for e in tr.iter() {
+        if let Event::Deliver(p, m) = e {
+            if !seen.insert((*p, m.id)) {
+                dups += 1;
+            }
+        }
+    }
+    dups
+}
+
+/// Computes the full [`TraceSummary`] against `group`.
+pub fn summarize(tr: &Trace, group: &[ProcessId]) -> TraceSummary {
+    TraceSummary {
+        sends: tr.iter().filter(|e| e.is_send()).count(),
+        deliveries: tr.iter().filter(|e| e.is_deliver()).count(),
+        processes: tr.processes().len(),
+        completeness: completeness(tr, group),
+        inversions: order_inversions(tr),
+        duplicates: duplicate_deliveries(tr),
+        view_changes: tr
+            .iter()
+            .filter(|e| e.is_deliver() && e.message().is_view_change())
+            .count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Message;
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn msg(s: u16, seq: u64) -> Message {
+        Message::with_tag(p(s), seq, (seq % 250) as u8)
+    }
+
+    #[test]
+    fn perfect_trace_summary() {
+        let group = [p(0), p(1)];
+        let tr = Trace::broadcast_all(&group, &[msg(0, 1), msg(1, 1)]);
+        let s = summarize(&tr, &group);
+        assert_eq!(s.sends, 2);
+        assert_eq!(s.deliveries, 4);
+        assert_eq!(s.completeness, 1.0);
+        assert_eq!(s.inversions, 0);
+        assert_eq!(s.duplicates, 0);
+        assert_eq!(s.view_changes, 0);
+        assert!(s.to_string().contains("complete=100.0%"));
+    }
+
+    #[test]
+    fn inversions_count_disagreements() {
+        let (a, b, c) = (msg(0, 1), msg(0, 2), msg(0, 3));
+        // p1: a b c ; p2: c b a → 3 inverted pairs.
+        let mut tr = Trace::new();
+        for m in [&a, &b, &c] {
+            tr.push(Event::send((*m).clone()));
+        }
+        for m in [&a, &b, &c] {
+            tr.push(Event::deliver(p(1), (*m).clone()));
+        }
+        for m in [&c, &b, &a] {
+            tr.push(Event::deliver(p(2), (*m).clone()));
+        }
+        assert_eq!(order_inversions(&tr), 3);
+    }
+
+    #[test]
+    fn completeness_counts_missing_pairs() {
+        let a = msg(0, 1);
+        let tr = Trace::from_events(vec![Event::send(a.clone()), Event::deliver(p(0), a)]);
+        let c = completeness(&tr, &[p(0), p(1)]);
+        assert!((c - 0.5).abs() < 1e-9);
+        assert_eq!(completeness(&Trace::new(), &[p(0)]), 1.0);
+    }
+
+    #[test]
+    fn duplicates_counted_per_process() {
+        let a = msg(0, 1);
+        let tr = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::deliver(p(1), a.clone()),
+            Event::deliver(p(1), a.clone()),
+            Event::deliver(p(2), a),
+        ]);
+        assert_eq!(duplicate_deliveries(&tr), 1);
+    }
+
+    #[test]
+    fn view_changes_counted() {
+        let v = Message::view_change(p(0), 1, 1, vec![p(0), p(1)]);
+        let tr = Trace::from_events(vec![
+            Event::send(v.clone()),
+            Event::deliver(p(0), v.clone()),
+            Event::deliver(p(1), v),
+        ]);
+        assert_eq!(summarize(&tr, &[p(0), p(1)]).view_changes, 2);
+    }
+}

@@ -1,0 +1,282 @@
+use bytes::Bytes;
+use ps_wire::{Decoder, Encoder, Wire, WireError};
+use std::fmt;
+
+/// Identifier of a process in the trace model (§3).
+///
+/// In a live simulation this is the same number as the node's
+/// `ps_simnet::NodeId`; the two types are kept distinct so the formal model
+/// never accidentally depends on the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub u16);
+
+impl ProcessId {
+    /// The process's position as a `usize` index.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u16> for ProcessId {
+    fn from(v: u16) -> Self {
+        ProcessId(v)
+    }
+}
+
+impl Wire for ProcessId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u16(self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(ProcessId(dec.get_u16()?))
+    }
+}
+
+/// Globally unique message identity: the sender plus a per-sender sequence
+/// number.
+///
+/// The paper requires traces to contain "no duplicate Send events"; message
+/// identity is what makes that checkable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId {
+    /// The process that multicast the message (`m.sender` in the paper).
+    pub sender: ProcessId,
+    /// Sender-local sequence number.
+    pub seq: u64,
+}
+
+impl MsgId {
+    /// Creates an id.
+    pub fn new(sender: ProcessId, seq: u64) -> Self {
+        Self { sender, seq }
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.sender, self.seq)
+    }
+}
+
+impl Wire for MsgId {
+    fn encode(&self, enc: &mut Encoder) {
+        self.sender.encode(enc);
+        enc.put_varint(self.seq);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(MsgId { sender: ProcessId::decode(dec)?, seq: dec.get_varint()? })
+    }
+}
+
+/// Magic prefix marking a message body as a view-change notification.
+const VIEW_MAGIC: &[u8; 4] = b"\x00VW:";
+
+/// Contents of a view-change message body.
+///
+/// Virtual synchrony systems disseminate new views *as messages*; encoding
+/// them this way (rather than adding a third event kind) keeps the trace
+/// model exactly the paper's Send/Deliver — and is what makes the checker
+/// discover that Virtual Synchrony is not Memoryless: erasing a view
+/// message merges epochs differently at processes with different
+/// memberships.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ViewInfo {
+    /// Monotonically increasing view number.
+    pub view_no: u64,
+    /// The membership installed by this view.
+    pub members: Vec<ProcessId>,
+}
+
+impl Wire for ViewInfo {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.view_no);
+        self.members.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(ViewInfo { view_no: dec.get_varint()?, members: Vec::decode(dec)? })
+    }
+}
+
+/// A multicast message: identity plus opaque body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Message {
+    /// Unique identity.
+    pub id: MsgId,
+    /// Payload bytes. Properties like No Replay compare *bodies*, not ids.
+    pub body: Bytes,
+}
+
+impl Message {
+    /// Creates an application message.
+    pub fn new(sender: ProcessId, seq: u64, body: Bytes) -> Self {
+        Self { id: MsgId::new(sender, seq), body }
+    }
+
+    /// Creates a message whose body is a small integer tag — convenient in
+    /// tests and generators, where the tiny body alphabet makes No-Replay
+    /// body collisions likely (which is exactly what its ✗ cells need).
+    pub fn with_tag(sender: ProcessId, seq: u64, tag: u8) -> Self {
+        Self::new(sender, seq, Bytes::copy_from_slice(&[tag]))
+    }
+
+    /// Creates a view-change message installing `members` as view
+    /// `view_no`.
+    pub fn view_change(sender: ProcessId, seq: u64, view_no: u64, members: Vec<ProcessId>) -> Self {
+        let mut enc = Encoder::new();
+        enc.put_raw(VIEW_MAGIC);
+        ViewInfo { view_no, members }.encode(&mut enc);
+        Self::new(sender, seq, enc.finish())
+    }
+
+    /// Parses this message as a view change, if it is one.
+    pub fn as_view_change(&self) -> Option<ViewInfo> {
+        let rest = self.body.strip_prefix(&VIEW_MAGIC[..])?;
+        ViewInfo::from_bytes(rest).ok()
+    }
+
+    /// Returns `true` if this is a view-change message.
+    pub fn is_view_change(&self) -> bool {
+        self.as_view_change().is_some()
+    }
+}
+
+impl Wire for Message {
+    fn encode(&self, enc: &mut Encoder) {
+        self.id.encode(enc);
+        enc.put_bytes(&self.body);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Message {
+            id: MsgId::decode(dec)?,
+            body: Bytes::copy_from_slice(dec.get_bytes()?),
+        })
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(v) = self.as_view_change() {
+            write!(f, "{}=view{}{:?}", self.id, v.view_no, v.members.iter().map(|p| p.0).collect::<Vec<_>>())
+        } else {
+            write!(f, "{}", self.id)
+        }
+    }
+}
+
+/// One event of a trace: a multicast submission or a delivery (§3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// Process `m.id.sender` multicast message `m`.
+    Send(Message),
+    /// The named process delivered message `m`.
+    Deliver(ProcessId, Message),
+}
+
+impl Event {
+    /// Shorthand for a send event.
+    pub fn send(m: Message) -> Self {
+        Event::Send(m)
+    }
+
+    /// Shorthand for a delivery event.
+    pub fn deliver(p: ProcessId, m: Message) -> Self {
+        Event::Deliver(p, m)
+    }
+
+    /// The process this event "belongs to" in the sense of the asynchrony
+    /// and delayable relations: the sender for a send, the delivering
+    /// process for a delivery.
+    pub fn process(&self) -> ProcessId {
+        match self {
+            Event::Send(m) => m.id.sender,
+            Event::Deliver(p, _) => *p,
+        }
+    }
+
+    /// The message this event pertains to.
+    pub fn message(&self) -> &Message {
+        match self {
+            Event::Send(m) => m,
+            Event::Deliver(_, m) => m,
+        }
+    }
+
+    /// Returns `true` for send events.
+    pub fn is_send(&self) -> bool {
+        matches!(self, Event::Send(_))
+    }
+
+    /// Returns `true` for delivery events.
+    pub fn is_deliver(&self) -> bool {
+        matches!(self, Event::Deliver(..))
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Send(m) => write!(f, "S({m})"),
+            Event::Deliver(p, m) => write!(f, "D({p}:{m})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_of_event() {
+        let m = Message::with_tag(ProcessId(3), 1, 0);
+        assert_eq!(Event::send(m.clone()).process(), ProcessId(3));
+        assert_eq!(Event::deliver(ProcessId(5), m).process(), ProcessId(5));
+    }
+
+    #[test]
+    fn view_change_roundtrip() {
+        let members = vec![ProcessId(0), ProcessId(2)];
+        let m = Message::view_change(ProcessId(0), 9, 4, members.clone());
+        assert!(m.is_view_change());
+        let v = m.as_view_change().unwrap();
+        assert_eq!(v.view_no, 4);
+        assert_eq!(v.members, members);
+    }
+
+    #[test]
+    fn ordinary_message_is_not_a_view() {
+        let m = Message::with_tag(ProcessId(0), 1, 42);
+        assert!(!m.is_view_change());
+        assert!(m.as_view_change().is_none());
+    }
+
+    #[test]
+    fn hostile_body_with_magic_prefix_is_not_a_view() {
+        // Magic prefix but garbage afterwards must not parse.
+        let mut body = VIEW_MAGIC.to_vec();
+        body.push(0xff);
+        body.extend([0xff; 30]);
+        let m = Message::new(ProcessId(0), 1, Bytes::from(body));
+        assert!(m.as_view_change().is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        let m = Message::with_tag(ProcessId(1), 2, 0);
+        assert_eq!(Event::send(m.clone()).to_string(), "S(p1#2)");
+        assert_eq!(Event::deliver(ProcessId(0), m).to_string(), "D(p0:p1#2)");
+        let vm = Message::view_change(ProcessId(0), 1, 3, vec![ProcessId(0), ProcessId(1)]);
+        assert!(vm.to_string().contains("view3"));
+    }
+
+    #[test]
+    fn msgid_wire_roundtrip() {
+        let id = MsgId::new(ProcessId(7), 123456);
+        assert_eq!(MsgId::from_bytes(&id.to_bytes()).unwrap(), id);
+    }
+}

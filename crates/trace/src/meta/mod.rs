@@ -1,0 +1,367 @@
+//! The six meta-properties (§5–§6) as executable trace-rewrite relations.
+//!
+//! Each meta-property is "preservation of the property through a relation
+//! `R` on traces" (Equation 1). This module implements, for each relation,
+//! the *single-step* rewrites whose reflexive–transitive closure is `R`:
+//!
+//! | Meta-property | Single step (`tr_below` → `tr_above`) |
+//! |---|---|
+//! | Safety (§5.1) | take any prefix |
+//! | Asynchrony (§5.2) | swap adjacent events of *different* processes |
+//! | Delayable (§5.3) | swap an adjacent send/deliver pair of the *same* process |
+//! | Send Enabled (§5.4) | append fresh `Send` events |
+//! | Memoryless (§6.1) | erase every event of some set of messages |
+//! | Composable (§6.2) | concatenate two traces with no messages in common |
+//!
+//! All swap-based rewrites refuse to move a delivery of a message before
+//! that message's send (see [`Trace::swap_inverts_causality`]): delay can
+//! reorder independent events, never invert causality.
+
+use crate::{Event, Message, MsgId, Trace};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which of the paper's six meta-properties a check refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetaKind {
+    /// §5.1 — preserved under taking prefixes.
+    Safety,
+    /// §5.2 — preserved under reordering events of different processes.
+    Asynchrony,
+    /// §5.3 — preserved under local send/deliver delays.
+    Delayable,
+    /// §5.4 — preserved under appending new sends.
+    SendEnabled,
+    /// §6.1 — preserved under erasing all events of chosen messages.
+    Memoryless,
+    /// §6.2 — preserved under concatenating message-disjoint traces.
+    Composable,
+}
+
+impl MetaKind {
+    /// All six, in the paper's Table-2 column order.
+    pub const ALL: [MetaKind; 6] = [
+        MetaKind::Safety,
+        MetaKind::Asynchrony,
+        MetaKind::SendEnabled,
+        MetaKind::Delayable,
+        MetaKind::Memoryless,
+        MetaKind::Composable,
+    ];
+
+    /// Column heading used in Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetaKind::Safety => "Safety",
+            MetaKind::Asynchrony => "Asynchronous",
+            MetaKind::Delayable => "Delayable",
+            MetaKind::SendEnabled => "Send Enabled",
+            MetaKind::Memoryless => "Memoryless",
+            MetaKind::Composable => "Composable",
+        }
+    }
+}
+
+impl fmt::Display for MetaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// All proper and improper prefixes of `tr`, shortest first (the Safety
+/// relation's reachable set — already its own closure).
+pub fn prefixes(tr: &Trace) -> Vec<Trace> {
+    (0..=tr.len()).map(|n| tr.prefix(n)).collect()
+}
+
+/// Indices `i` where swapping events `i, i+1` is a legal asynchrony step:
+/// different processes, no causal inversion.
+pub fn async_swap_sites(tr: &Trace) -> Vec<usize> {
+    (0..tr.len().saturating_sub(1))
+        .filter(|&i| {
+            let (a, b) = (&tr.events()[i], &tr.events()[i + 1]);
+            a.process() != b.process() && !tr.swap_inverts_causality(i)
+        })
+        .collect()
+}
+
+/// Indices `i` where swapping events `i, i+1` is a legal delayable step:
+/// same process, one send and one deliver, no causal inversion.
+pub fn delayable_swap_sites(tr: &Trace) -> Vec<usize> {
+    (0..tr.len().saturating_sub(1))
+        .filter(|&i| {
+            let (a, b) = (&tr.events()[i], &tr.events()[i + 1]);
+            a.process() == b.process()
+                && a.is_send() != b.is_send()
+                && !tr.swap_inverts_causality(i)
+        })
+        .collect()
+}
+
+/// All single asynchrony steps from `tr`.
+pub fn async_steps(tr: &Trace) -> Vec<Trace> {
+    async_swap_sites(tr).into_iter().map(|i| tr.swap_adjacent(i)).collect()
+}
+
+/// All single delayable steps from `tr`.
+pub fn delayable_steps(tr: &Trace) -> Vec<Trace> {
+    delayable_swap_sites(tr).into_iter().map(|i| tr.swap_adjacent(i)).collect()
+}
+
+/// One random walk through a swap relation: applies up to `depth` random
+/// legal steps, yielding every intermediate trace (each is related to the
+/// start by the closure).
+pub fn swap_walk(
+    tr: &Trace,
+    sites: fn(&Trace) -> Vec<usize>,
+    depth: usize,
+    rng: &mut SmallRng,
+) -> Vec<Trace> {
+    let mut current = tr.clone();
+    let mut out = Vec::new();
+    for _ in 0..depth {
+        let candidates = sites(&current);
+        if candidates.is_empty() {
+            break;
+        }
+        let i = candidates[rng.random_range(0..candidates.len())];
+        current = current.swap_adjacent(i);
+        out.push(current.clone());
+    }
+    out
+}
+
+/// Appends `count` fresh `Send` events to `tr` (a Send-Enabled step).
+///
+/// Senders are drawn from the processes already in the trace (plus one new
+/// process id); sequence numbers are fresh, so well-formedness is kept.
+/// Bodies reuse the generator alphabet so body collisions stay possible.
+pub fn send_extension(tr: &Trace, count: usize, rng: &mut SmallRng) -> Trace {
+    let mut procs: Vec<_> = tr.processes().into_iter().collect();
+    procs.push(crate::ProcessId(procs.last().map_or(0, |p| p.0 + 1)));
+    let mut next_seq = tr
+        .message_ids()
+        .iter()
+        .map(|id| id.seq)
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let mut out = tr.clone();
+    for _ in 0..count {
+        let sender = procs[rng.random_range(0..procs.len())];
+        let tag = crate::gen::BODY_ALPHABET[rng.random_range(0..crate::gen::BODY_ALPHABET.len())];
+        out.push(Event::send(Message::with_tag(sender, next_seq, tag)));
+        next_seq += 1;
+    }
+    out
+}
+
+/// All single-message erasures of `tr` (Memoryless steps); erasing larger
+/// sets is reachable by composing these... except that the relation is
+/// defined on sets directly, so [`erase_random_subset`] also samples
+/// multi-message erasures.
+pub fn single_erasures(tr: &Trace) -> Vec<Trace> {
+    tr.message_ids()
+        .into_iter()
+        .map(|id| {
+            let mut s = BTreeSet::new();
+            s.insert(id);
+            tr.erase_messages(&s)
+        })
+        .collect()
+}
+
+/// Erases a random non-empty subset of the trace's messages.
+pub fn erase_random_subset(tr: &Trace, rng: &mut SmallRng) -> Trace {
+    let ids: Vec<MsgId> = tr.message_ids().into_iter().collect();
+    if ids.is_empty() {
+        return tr.clone();
+    }
+    let mut subset = BTreeSet::new();
+    for id in &ids {
+        if rng.random_bool(0.3) {
+            subset.insert(*id);
+        }
+    }
+    if subset.is_empty() {
+        subset.insert(ids[rng.random_range(0..ids.len())]);
+    }
+    tr.erase_messages(&subset)
+}
+
+/// Rewrites `tr2` so it shares no message ids with `tr1`, preserving
+/// everything else (bodies included), then returns the concatenation
+/// `tr1 · tr2'` — a Composable step.
+///
+/// Renumbering only bumps sequence numbers; two messages with equal bodies
+/// in the two traces stay equal-bodied, which is how the No-Replay
+/// composability counterexample arises.
+pub fn compose_disjoint(tr1: &Trace, tr2: &Trace) -> Trace {
+    let offset = tr1
+        .message_ids()
+        .iter()
+        .map(|id| id.seq)
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let remap = |m: &Message| Message { id: MsgId::new(m.id.sender, m.id.seq + offset), body: m.body.clone() };
+    let tr2r: Trace = tr2
+        .iter()
+        .map(|e| match e {
+            Event::Send(m) => Event::Send(remap(m)),
+            Event::Deliver(p, m) => Event::Deliver(*p, remap(m)),
+        })
+        .collect();
+    tr1.concat(&tr2r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{seeded, TraceGen as _};
+    use crate::{Event, Message, ProcessId};
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn sample() -> Trace {
+        let a = Message::with_tag(p(0), 1, 1);
+        let b = Message::with_tag(p(1), 1, 2);
+        Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::deliver(p(0), a.clone()),
+            Event::send(b.clone()),
+            Event::deliver(p(1), a),
+            Event::deliver(p(0), b),
+        ])
+    }
+
+    #[test]
+    fn prefixes_include_empty_and_full() {
+        let tr = sample();
+        let ps = prefixes(&tr);
+        assert_eq!(ps.len(), tr.len() + 1);
+        assert!(ps[0].is_empty());
+        assert_eq!(ps[tr.len()], tr);
+    }
+
+    #[test]
+    fn async_sites_exclude_same_process_and_causality() {
+        let tr = sample();
+        let sites = async_swap_sites(&tr);
+        // Index 0 is S(a)/D(p0:a): same process AND causal — excluded.
+        assert!(!sites.contains(&0));
+        // Index 1: D(p0:a)/S(b) — different processes — included.
+        assert!(sites.contains(&1));
+        // Index 2: S(b)/D(p1:a) — p1 vs p1? S(b) belongs to p1, D(p1:a) to p1 — same process, excluded.
+        assert!(!sites.contains(&2));
+        // Index 3: D(p1:a)/D(p0:b) — different processes — included.
+        assert!(sites.contains(&3));
+    }
+
+    #[test]
+    fn delayable_sites_require_same_process_send_deliver() {
+        let tr = sample();
+        let sites = delayable_swap_sites(&tr);
+        // Index 2: S(b) and D(p1:a), both p1, send+deliver, not causal.
+        assert_eq!(sites, vec![2]);
+    }
+
+    #[test]
+    fn causal_inversion_never_generated() {
+        // In every async/delayable step of many random traces, each
+        // delivery must still be preceded by its send (when the send is
+        // present and originally preceded it).
+        let g = crate::gen::ReliableGen { group: vec![p(0), p(1), p(2)] };
+        let mut rng = seeded(11);
+        for _ in 0..50 {
+            let tr = g.generate(&mut rng, 20);
+            for above in async_steps(&tr).into_iter().chain(delayable_steps(&tr)) {
+                assert!(above.is_well_formed());
+                assert!(causality_respected(&above), "inverted causality in {above}");
+            }
+        }
+    }
+
+    fn causality_respected(tr: &Trace) -> bool {
+        let mut sent = BTreeSet::new();
+        let all_sent = tr.sent_ids();
+        for e in tr.iter() {
+            match e {
+                Event::Send(m) => {
+                    sent.insert(m.id);
+                }
+                Event::Deliver(_, m) => {
+                    if all_sent.contains(&m.id) && !sent.contains(&m.id) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn swap_walk_yields_related_traces() {
+        let tr = sample();
+        let mut rng = seeded(3);
+        let walk = swap_walk(&tr, async_swap_sites, 10, &mut rng);
+        for t in &walk {
+            assert_eq!(t.len(), tr.len());
+            assert!(t.is_well_formed());
+        }
+    }
+
+    #[test]
+    fn send_extension_appends_only_fresh_sends() {
+        let tr = sample();
+        let mut rng = seeded(4);
+        let ext = send_extension(&tr, 3, &mut rng);
+        assert_eq!(ext.len(), tr.len() + 3);
+        assert!(ext.is_well_formed());
+        assert_eq!(&ext.events()[..tr.len()], tr.events());
+        assert!(ext.events()[tr.len()..].iter().all(Event::is_send));
+    }
+
+    #[test]
+    fn single_erasures_remove_each_message() {
+        let tr = sample();
+        let erased = single_erasures(&tr);
+        assert_eq!(erased.len(), 2);
+        for t in &erased {
+            assert!(t.len() < tr.len());
+            assert!(t.is_well_formed());
+        }
+    }
+
+    #[test]
+    fn erase_random_subset_is_nonempty_erasure() {
+        let tr = sample();
+        let mut rng = seeded(5);
+        let t = erase_random_subset(&tr, &mut rng);
+        assert!(t.len() < tr.len());
+    }
+
+    #[test]
+    fn compose_disjoint_renumbers_second_trace() {
+        let tr = sample();
+        let composed = compose_disjoint(&tr, &tr);
+        assert!(composed.is_well_formed(), "ids must not collide: {composed}");
+        assert_eq!(composed.len(), tr.len() * 2);
+        // Bodies survive the renumbering.
+        assert_eq!(
+            composed.events()[tr.len()].message().body,
+            tr.events()[0].message().body
+        );
+    }
+
+    #[test]
+    fn metakind_names_and_order() {
+        assert_eq!(MetaKind::ALL.len(), 6);
+        assert_eq!(MetaKind::Safety.to_string(), "Safety");
+        assert_eq!(MetaKind::Asynchrony.name(), "Asynchronous");
+    }
+}

@@ -1,0 +1,132 @@
+use crate::props::Property;
+use crate::{Event, Trace};
+use std::collections::HashMap;
+
+/// **Amoeba** (Table 1): a process is blocked from sending while it is
+/// awaiting its own messages.
+///
+/// Named for the Amoeba distributed OS's broadcast protocol (Kaashoek et
+/// al.), where a sender waits to see its own message come back from the
+/// sequencer before issuing the next one. Formally: between two consecutive
+/// sends by the same process, that process must deliver the earlier of the
+/// two messages.
+///
+/// The property relates a process's *send* stream to its *deliver* stream,
+/// so it is neither Delayable (§5.3) — a layer may present the self-delivery
+/// after the next send — nor Send Enabled (§5.4) — appending a send while a
+/// self-delivery is outstanding violates it. The paper confirms it is not
+/// preserved by switching.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Amoeba;
+
+impl Property for Amoeba {
+    fn name(&self) -> &'static str {
+        "Amoeba"
+    }
+
+    fn description(&self) -> &'static str {
+        "a process is blocked from sending while it is awaiting its own messages"
+    }
+
+    fn holds(&self, tr: &Trace) -> bool {
+        // Per process: the id of the message it is still awaiting, if any.
+        let mut awaiting = HashMap::new();
+        for e in tr.iter() {
+            match e {
+                Event::Send(m) => {
+                    if awaiting.contains_key(&m.id.sender) {
+                        return false;
+                    }
+                    awaiting.insert(m.id.sender, m.id);
+                }
+                Event::Deliver(p, m) => {
+                    if awaiting.get(p) == Some(&m.id) {
+                        awaiting.remove(p);
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Message, ProcessId};
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn send_wait_send_holds() {
+        let a = Message::with_tag(p(0), 1, 0);
+        let b = Message::with_tag(p(0), 2, 1);
+        let tr = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::deliver(p(0), a),
+            Event::send(b.clone()),
+            Event::deliver(p(0), b),
+        ]);
+        assert!(Amoeba.holds(&tr));
+    }
+
+    #[test]
+    fn back_to_back_sends_fail() {
+        let a = Message::with_tag(p(0), 1, 0);
+        let b = Message::with_tag(p(0), 2, 1);
+        let tr = Trace::from_events(vec![Event::send(a), Event::send(b)]);
+        assert!(!Amoeba.holds(&tr));
+    }
+
+    #[test]
+    fn other_processes_interleave_freely() {
+        let a = Message::with_tag(p(0), 1, 0);
+        let b = Message::with_tag(p(1), 1, 1);
+        let tr = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::send(b.clone()),
+            Event::deliver(p(0), a),
+            Event::deliver(p(1), b),
+        ]);
+        assert!(Amoeba.holds(&tr));
+    }
+
+    #[test]
+    fn outstanding_wait_at_end_is_fine() {
+        // Awaiting at end of trace without further sends: no violation.
+        let a = Message::with_tag(p(0), 1, 0);
+        let tr = Trace::from_events(vec![Event::send(a)]);
+        assert!(Amoeba.holds(&tr));
+    }
+
+    #[test]
+    fn delayable_swap_breaks_it() {
+        // §5.3, concretely: swap the adjacent self-delivery and next send.
+        let a = Message::with_tag(p(0), 1, 0);
+        let b = Message::with_tag(p(0), 2, 1);
+        let tr = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::deliver(p(0), a),
+            Event::send(b),
+        ]);
+        assert!(Amoeba.holds(&tr));
+        let swapped = tr.swap_adjacent(1); // deliver/send, same process, different msgs
+        assert!(!Amoeba.holds(&swapped));
+    }
+
+    #[test]
+    fn delivery_of_someone_elses_message_does_not_release() {
+        let a = Message::with_tag(p(0), 1, 0);
+        let x = Message::with_tag(p(1), 1, 2);
+        let b = Message::with_tag(p(0), 2, 1);
+        let tr = Trace::from_events(vec![
+            Event::send(a),
+            Event::send(x.clone()),
+            Event::deliver(p(0), x),
+            Event::send(b),
+        ]);
+        assert!(!Amoeba.holds(&tr));
+    }
+}

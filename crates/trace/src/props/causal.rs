@@ -1,0 +1,192 @@
+use crate::props::Property;
+use crate::{Event, MsgId, Trace};
+use std::collections::{BTreeSet, HashMap};
+
+/// **Causal Order** (extension; not in the paper's Table 1): processes
+/// deliver causally related messages in causal order.
+///
+/// Potential causality is read off the trace: when process `q` sends `m2`,
+/// every message `q` had previously sent or delivered (transitively with
+/// *its* causal past) precedes `m2`. The property requires that any process
+/// delivering two causally ordered messages delivers them in that order.
+///
+/// This property is an instructive companion to Reliability in the §6.3
+/// discussion: the checker shows it is **not Delayable** (delaying a
+/// delivery past the next send *adds* a causal edge that other processes
+/// may already have violated), so it sits outside the paper's sufficient
+/// class — yet the switching protocol preserves it operationally: SP
+/// delivers all old-protocol messages before any new-protocol message at
+/// every process, and a message can never causally follow a message of a
+/// *newer* era. Sufficient, not necessary, exactly as the paper notes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CausalOrder;
+
+impl Property for CausalOrder {
+    fn name(&self) -> &'static str {
+        "Causal Order"
+    }
+
+    fn description(&self) -> &'static str {
+        "processes deliver causally related messages in causal order"
+    }
+
+    fn holds(&self, tr: &Trace) -> bool {
+        // context[p]: p's causal past (message ids). preds[m]: m's causal
+        // predecessors, frozen at its send.
+        let mut context: HashMap<crate::ProcessId, BTreeSet<MsgId>> = HashMap::new();
+        let mut preds: HashMap<MsgId, BTreeSet<MsgId>> = HashMap::new();
+        // Per process: delivery position of each message.
+        let mut pos: HashMap<crate::ProcessId, HashMap<MsgId, usize>> = HashMap::new();
+
+        for e in tr.iter() {
+            match e {
+                Event::Send(m) => {
+                    let ctx = context.entry(m.id.sender).or_default();
+                    preds.entry(m.id).or_insert_with(|| ctx.clone());
+                    ctx.insert(m.id);
+                }
+                Event::Deliver(p, m) => {
+                    let seq = pos.entry(*p).or_default();
+                    let next = seq.len();
+                    seq.entry(m.id).or_insert(next);
+                    let ctx = context.entry(*p).or_default();
+                    if let Some(ps) = preds.get(&m.id) {
+                        ctx.extend(ps.iter().copied());
+                    }
+                    ctx.insert(m.id);
+                }
+            }
+        }
+
+        // Check every (process, delivered pair) against the causal order.
+        for seq in pos.values() {
+            for (&m2, &i2) in seq {
+                let Some(ps) = preds.get(&m2) else { continue };
+                for m1 in ps {
+                    if let Some(&i1) = seq.get(m1) {
+                        if i1 > i2 {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Message, ProcessId};
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn reply_after_delivery_is_causal() {
+        // p1 replies (b) after delivering a: everyone must order a before b.
+        let a = Message::with_tag(p(0), 1, 1);
+        let b = Message::with_tag(p(1), 1, 2);
+        let good = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::deliver(p(1), a.clone()),
+            Event::send(b.clone()),
+            Event::deliver(p(2), a.clone()),
+            Event::deliver(p(2), b.clone()),
+        ]);
+        assert!(CausalOrder.holds(&good));
+
+        let bad = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::deliver(p(1), a.clone()),
+            Event::send(b.clone()),
+            Event::deliver(p(2), b),
+            Event::deliver(p(2), a),
+        ]);
+        assert!(!CausalOrder.holds(&bad));
+    }
+
+    #[test]
+    fn concurrent_messages_may_order_freely() {
+        let a = Message::with_tag(p(0), 1, 1);
+        let b = Message::with_tag(p(1), 1, 2);
+        let tr = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::send(b.clone()),
+            Event::deliver(p(2), b.clone()),
+            Event::deliver(p(2), a.clone()),
+            Event::deliver(p(0), a),
+            Event::deliver(p(0), b),
+        ]);
+        assert!(CausalOrder.holds(&tr), "concurrent sends are unordered");
+    }
+
+    #[test]
+    fn fifo_is_a_special_case() {
+        // Two sends by the same process are causally ordered.
+        let a = Message::with_tag(p(0), 1, 1);
+        let b = Message::with_tag(p(0), 2, 2);
+        let bad = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::send(b.clone()),
+            Event::deliver(p(1), b),
+            Event::deliver(p(1), a),
+        ]);
+        assert!(!CausalOrder.holds(&bad));
+    }
+
+    #[test]
+    fn transitive_chains_are_tracked() {
+        // a → b (p1 saw a) and b → c (p2 saw b): delivering c before a at
+        // p3 violates the transitive edge a → c.
+        let a = Message::with_tag(p(0), 1, 1);
+        let b = Message::with_tag(p(1), 1, 2);
+        let c = Message::with_tag(p(2), 1, 3);
+        let bad = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::deliver(p(1), a.clone()),
+            Event::send(b.clone()),
+            Event::deliver(p(2), b.clone()),
+            Event::send(c.clone()),
+            Event::deliver(p(3), c),
+            Event::deliver(p(3), a),
+        ]);
+        assert!(!CausalOrder.holds(&bad));
+    }
+
+    #[test]
+    fn delaying_a_delivery_past_a_send_adds_an_edge() {
+        // The Delayable counterexample shape: below, p1's delivery of a
+        // comes *after* its send of b (a and b concurrent; p2 may order
+        // them b-then-a). The delayable swap moves p1's delivery before
+        // its send, creating a → b — which p2's order now violates.
+        let a = Message::with_tag(p(0), 1, 1);
+        let b = Message::with_tag(p(1), 1, 2);
+        let below = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::deliver(p(2), a.clone()),
+            Event::send(b.clone()),
+            Event::deliver(p(1), a.clone()),
+            Event::deliver(p(2), b.clone()),
+        ]);
+        assert!(CausalOrder.holds(&below), "a and b are concurrent below");
+        // Reorder p2's deliveries to b-then-a (still concurrent: fine)…
+        let below2 = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::send(b.clone()),
+            Event::deliver(p(1), a.clone()),
+            Event::deliver(p(2), b.clone()),
+            Event::deliver(p(2), a.clone()),
+        ]);
+        // …here Send(b) and Deliver(p1,a) are adjacent at indices 1,2 —
+        // same process p1, swappable by the delayable relation.
+        assert!(CausalOrder.holds(&below2));
+        let above = below2.swap_adjacent(1);
+        assert!(
+            !CausalOrder.holds(&above),
+            "the delay-created edge a → b must now be violated by p2: {above}"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+use crate::props::Property;
+use crate::{Event, Trace};
+use std::collections::HashSet;
+
+/// **No Replay** (Table 1): a message body can be delivered at most once to
+/// a process.
+///
+/// Note *body*, not message id: two distinct messages with equal payloads
+/// count as a replay. This is what breaks composability (§6.2): two traces
+/// with disjoint message ids can each deliver the same body once, and the
+/// concatenation delivers it twice — which is precisely why switching
+/// between two individually no-replay protocols can violate No Replay.
+///
+/// It *is* memoryless (§6.1): erasing all events of a message cannot create
+/// a duplicate delivery. (An implementation still has to remember seen
+/// bodies — memoryless is a property of the *predicate*, not a license for
+/// stateless implementations, as the paper is careful to point out.)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoReplay;
+
+impl Property for NoReplay {
+    fn name(&self) -> &'static str {
+        "No Replay"
+    }
+
+    fn description(&self) -> &'static str {
+        "a message body can be delivered at most once to a process"
+    }
+
+    fn holds(&self, tr: &Trace) -> bool {
+        let mut seen = HashSet::new();
+        for e in tr.iter() {
+            if let Event::Deliver(p, m) = e {
+                if !seen.insert((*p, m.body.clone())) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Message, ProcessId};
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn single_delivery_per_process_ok() {
+        let m = Message::with_tag(p(0), 1, 7);
+        let tr = Trace::from_events(vec![
+            Event::send(m.clone()),
+            Event::deliver(p(0), m.clone()),
+            Event::deliver(p(1), m),
+        ]);
+        assert!(NoReplay.holds(&tr));
+    }
+
+    #[test]
+    fn duplicate_delivery_of_same_message_fails() {
+        let m = Message::with_tag(p(0), 1, 7);
+        let tr = Trace::from_events(vec![
+            Event::send(m.clone()),
+            Event::deliver(p(1), m.clone()),
+            Event::deliver(p(1), m),
+        ]);
+        assert!(!NoReplay.holds(&tr));
+    }
+
+    #[test]
+    fn same_body_different_id_is_still_a_replay() {
+        let a = Message::with_tag(p(0), 1, 7);
+        let b = Message::with_tag(p(0), 2, 7); // different id, same body
+        let tr = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::send(b.clone()),
+            Event::deliver(p(1), a),
+            Event::deliver(p(1), b),
+        ]);
+        assert!(!NoReplay.holds(&tr));
+    }
+
+    #[test]
+    fn different_bodies_are_fine() {
+        let a = Message::with_tag(p(0), 1, 7);
+        let b = Message::with_tag(p(0), 2, 8);
+        let tr = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::send(b.clone()),
+            Event::deliver(p(1), a),
+            Event::deliver(p(1), b),
+        ]);
+        assert!(NoReplay.holds(&tr));
+    }
+
+    #[test]
+    fn composition_counterexample_from_the_paper() {
+        // §6.2: each half satisfies No Replay, the concatenation does not.
+        let a = Message::with_tag(p(0), 1, 7);
+        let b = Message::with_tag(p(0), 2, 7);
+        let tr1 = Trace::from_events(vec![Event::send(a.clone()), Event::deliver(p(1), a)]);
+        let tr2 = Trace::from_events(vec![Event::send(b.clone()), Event::deliver(p(1), b)]);
+        assert!(NoReplay.holds(&tr1));
+        assert!(NoReplay.holds(&tr2));
+        assert!(!NoReplay.holds(&tr1.concat(&tr2)));
+    }
+}

@@ -1,0 +1,114 @@
+use crate::props::Property;
+use crate::{Event, ProcessId, Trace};
+use std::collections::BTreeSet;
+
+/// **Prioritized Delivery** (Table 1): the master process always delivers a
+/// message before any one else.
+///
+/// This property constrains the *relative order of events at different
+/// processes* (the master's delivery vs. everyone else's), so it is not
+/// Asynchronous (§5.2) — layering delay can present the non-master delivery
+/// first — and the paper notes it is indeed not preserved by the switching
+/// protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct PrioritizedDelivery {
+    master: ProcessId,
+}
+
+impl PrioritizedDelivery {
+    /// Creates the property with the given master process.
+    pub fn new(master: ProcessId) -> Self {
+        Self { master }
+    }
+
+    /// The configured master.
+    pub fn master(&self) -> ProcessId {
+        self.master
+    }
+}
+
+impl Property for PrioritizedDelivery {
+    fn name(&self) -> &'static str {
+        "Prioritized Delivery"
+    }
+
+    fn description(&self) -> &'static str {
+        "the master process always delivers a message before any one else"
+    }
+
+    fn holds(&self, tr: &Trace) -> bool {
+        let mut master_has = BTreeSet::new();
+        for e in tr.iter() {
+            if let Event::Deliver(p, m) = e {
+                if *p == self.master {
+                    master_has.insert(m.id);
+                } else if !master_has.contains(&m.id) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Message;
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn master_first_holds() {
+        let m = Message::with_tag(p(1), 1, 0);
+        let tr = Trace::from_events(vec![
+            Event::send(m.clone()),
+            Event::deliver(p(0), m.clone()),
+            Event::deliver(p(1), m.clone()),
+            Event::deliver(p(2), m),
+        ]);
+        assert!(PrioritizedDelivery::new(p(0)).holds(&tr));
+    }
+
+    #[test]
+    fn non_master_first_fails() {
+        let m = Message::with_tag(p(1), 1, 0);
+        let tr = Trace::from_events(vec![
+            Event::send(m.clone()),
+            Event::deliver(p(1), m.clone()),
+            Event::deliver(p(0), m),
+        ]);
+        assert!(!PrioritizedDelivery::new(p(0)).holds(&tr));
+    }
+
+    #[test]
+    fn master_never_delivering_blocks_everyone() {
+        let m = Message::with_tag(p(1), 1, 0);
+        let tr = Trace::from_events(vec![Event::send(m.clone()), Event::deliver(p(2), m)]);
+        assert!(!PrioritizedDelivery::new(p(0)).holds(&tr));
+    }
+
+    #[test]
+    fn sends_are_unconstrained() {
+        let m = Message::with_tag(p(1), 1, 0);
+        let tr = Trace::from_events(vec![Event::send(m)]);
+        assert!(PrioritizedDelivery::new(p(0)).holds(&tr));
+    }
+
+    #[test]
+    fn adjacent_swap_across_processes_breaks_it() {
+        // The §5.2 claim, concretely: the asynchrony rewrite violates it.
+        let m = Message::with_tag(p(1), 1, 0);
+        let tr = Trace::from_events(vec![
+            Event::send(m.clone()),
+            Event::deliver(p(0), m.clone()),
+            Event::deliver(p(2), m),
+        ]);
+        let pd = PrioritizedDelivery::new(p(0));
+        assert!(pd.holds(&tr));
+        let swapped = tr.swap_adjacent(1);
+        assert!(!pd.holds(&swapped));
+    }
+}

@@ -1,0 +1,109 @@
+use crate::props::Property;
+use crate::{ProcessId, Trace};
+use std::collections::BTreeSet;
+
+/// **Reliability** (Table 1): every message that is sent is delivered to
+/// all receivers.
+///
+/// "All receivers" is the configured group — the trace model has no
+/// membership of its own, so the property is parameterized the way the
+/// paper's experiments fix a group of ten processes.
+///
+/// Reliability is the paper's canonical example of a property that is *not
+/// Safe* (§5.1): chop a suffix off a reliable trace and the remaining sends
+/// may lack deliveries. It is nevertheless preserved by the switching
+/// protocol (§6.3) — SP delays messages but never destroys them.
+#[derive(Debug, Clone)]
+pub struct Reliability {
+    group: BTreeSet<ProcessId>,
+}
+
+impl Reliability {
+    /// Creates the property for the given receiver group.
+    pub fn new(group: impl IntoIterator<Item = ProcessId>) -> Self {
+        Self { group: group.into_iter().collect() }
+    }
+
+    /// The configured receiver group.
+    pub fn group(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.group.iter().copied()
+    }
+}
+
+impl Property for Reliability {
+    fn name(&self) -> &'static str {
+        "Reliability"
+    }
+
+    fn description(&self) -> &'static str {
+        "every message that is sent is delivered to all receivers"
+    }
+
+    fn holds(&self, tr: &Trace) -> bool {
+        tr.sent_ids().iter().all(|&id| {
+            let reached: BTreeSet<ProcessId> = tr.deliveries_of(id).collect();
+            self.group.iter().all(|p| reached.contains(p))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, Message};
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn holds_when_everyone_delivers_everything() {
+        let group = [p(0), p(1), p(2)];
+        let msgs = [Message::with_tag(p(0), 1, 1), Message::with_tag(p(1), 1, 2)];
+        let tr = Trace::broadcast_all(&group, &msgs);
+        assert!(Reliability::new(group).holds(&tr));
+    }
+
+    #[test]
+    fn fails_when_one_receiver_misses_one_message() {
+        let m = Message::with_tag(p(0), 1, 1);
+        let tr = Trace::from_events(vec![
+            Event::send(m.clone()),
+            Event::deliver(p(0), m.clone()),
+            Event::deliver(p(1), m),
+        ]);
+        assert!(!Reliability::new([p(0), p(1), p(2)]).holds(&tr));
+        assert!(Reliability::new([p(0), p(1)]).holds(&tr));
+    }
+
+    #[test]
+    fn delivery_order_is_irrelevant() {
+        // Deliver-before-send in trace order still counts (asynchrony).
+        let m = Message::with_tag(p(0), 1, 1);
+        let tr = Trace::from_events(vec![
+            Event::deliver(p(1), m.clone()),
+            Event::deliver(p(0), m.clone()),
+            Event::send(m),
+        ]);
+        assert!(Reliability::new([p(0), p(1)]).holds(&tr));
+    }
+
+    #[test]
+    fn unsent_deliveries_do_not_matter() {
+        // Reliability constrains sent messages only; spurious deliveries
+        // are Integrity's concern.
+        let m = Message::with_tag(p(0), 1, 1);
+        let tr = Trace::from_events(vec![Event::deliver(p(1), m)]);
+        assert!(Reliability::new([p(0), p(1)]).holds(&tr));
+    }
+
+    #[test]
+    fn prefix_can_break_it() {
+        // The paper's §5.1 example: reliability is not a safety property.
+        let group = [p(0), p(1)];
+        let tr = Trace::broadcast_all(&group, &[Message::with_tag(p(0), 1, 1)]);
+        let rel = Reliability::new(group);
+        assert!(rel.holds(&tr));
+        assert!(!rel.holds(&tr.prefix(tr.len() - 1)));
+    }
+}

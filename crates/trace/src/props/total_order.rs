@@ -1,0 +1,148 @@
+use crate::props::Property;
+use crate::{MsgId, Trace};
+use std::collections::HashMap;
+
+/// **Total Order** (Table 1): processes that deliver the same two messages
+/// deliver them in the same order.
+///
+/// The pairwise formulation makes the predicate local to each process's
+/// delivery subsequence, which is why total order is preserved under the
+/// asynchrony and delayable rewrites — no cross-process ordering is
+/// constrained. The paper's §7 evaluates two implementations of this
+/// property (a fixed sequencer and a rotating token) and switches between
+/// them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TotalOrder;
+
+impl Property for TotalOrder {
+    fn name(&self) -> &'static str {
+        "Total Order"
+    }
+
+    fn description(&self) -> &'static str {
+        "processes that deliver the same two messages deliver them in the same order"
+    }
+
+    fn holds(&self, tr: &Trace) -> bool {
+        // For each process, the position of each delivered message in its
+        // local delivery sequence (first delivery counts; duplicates are
+        // No-Replay's concern).
+        let mut per_process: HashMap<crate::ProcessId, HashMap<MsgId, usize>> = HashMap::new();
+        for e in tr.iter() {
+            if let crate::Event::Deliver(p, m) = e {
+                let seq = per_process.entry(*p).or_default();
+                let next = seq.len();
+                seq.entry(m.id).or_insert(next);
+            }
+        }
+        let procs: Vec<_> = per_process.keys().copied().collect();
+        for (i, &p) in procs.iter().enumerate() {
+            for &q in &procs[i + 1..] {
+                let sp = &per_process[&p];
+                let sq = &per_process[&q];
+                // Every pair of messages delivered by both must agree.
+                let common: Vec<MsgId> =
+                    sp.keys().filter(|id| sq.contains_key(id)).copied().collect();
+                for (a_idx, &a) in common.iter().enumerate() {
+                    for &b in &common[a_idx + 1..] {
+                        let p_order = sp[&a].cmp(&sp[&b]);
+                        let q_order = sq[&a].cmp(&sq[&b]);
+                        if p_order != q_order {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, Message, ProcessId};
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn m(s: u16, seq: u64) -> Message {
+        Message::with_tag(p(s), seq, 0)
+    }
+
+    #[test]
+    fn consistent_orders_hold() {
+        let (a, b, c) = (m(0, 1), m(1, 1), m(2, 1));
+        let tr = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::send(b.clone()),
+            Event::send(c.clone()),
+            Event::deliver(p(0), a.clone()),
+            Event::deliver(p(0), b.clone()),
+            Event::deliver(p(1), a.clone()),
+            Event::deliver(p(0), c.clone()),
+            Event::deliver(p(1), b.clone()),
+            Event::deliver(p(1), c.clone()),
+        ]);
+        assert!(TotalOrder.holds(&tr));
+    }
+
+    #[test]
+    fn gaps_are_allowed() {
+        // q skips message b entirely; only common pairs constrain.
+        let (a, b, c) = (m(0, 1), m(1, 1), m(2, 1));
+        let tr = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::send(b.clone()),
+            Event::send(c.clone()),
+            Event::deliver(p(0), a.clone()),
+            Event::deliver(p(0), b.clone()),
+            Event::deliver(p(0), c.clone()),
+            Event::deliver(p(1), a.clone()),
+            Event::deliver(p(1), c.clone()),
+        ]);
+        assert!(TotalOrder.holds(&tr));
+    }
+
+    #[test]
+    fn inversion_detected() {
+        let (a, b) = (m(0, 1), m(1, 1));
+        let tr = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::send(b.clone()),
+            Event::deliver(p(0), a.clone()),
+            Event::deliver(p(0), b.clone()),
+            Event::deliver(p(1), b.clone()),
+            Event::deliver(p(1), a.clone()),
+        ]);
+        assert!(!TotalOrder.holds(&tr));
+    }
+
+    #[test]
+    fn duplicate_delivery_uses_first_position() {
+        let (a, b) = (m(0, 1), m(1, 1));
+        let tr = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::send(b.clone()),
+            Event::deliver(p(0), a.clone()),
+            Event::deliver(p(0), b.clone()),
+            Event::deliver(p(0), a.clone()), // duplicate after b
+            Event::deliver(p(1), a.clone()),
+            Event::deliver(p(1), b.clone()),
+        ]);
+        assert!(TotalOrder.holds(&tr));
+    }
+
+    #[test]
+    fn single_process_always_ordered() {
+        let (a, b) = (m(0, 1), m(0, 2));
+        let tr = Trace::from_events(vec![
+            Event::send(a.clone()),
+            Event::send(b.clone()),
+            Event::deliver(p(0), b),
+            Event::deliver(p(0), a),
+        ]);
+        assert!(TotalOrder.holds(&tr));
+    }
+}

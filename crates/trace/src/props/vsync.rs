@@ -1,0 +1,246 @@
+use crate::props::Property;
+use crate::{Event, MsgId, ProcessId, Trace, ViewInfo};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// **Virtual Synchrony** (Table 1): a process only delivers messages from
+/// processes in some common view.
+///
+/// Views are disseminated as distinguished view-change *messages* (see
+/// [`crate::Message::view_change`]), so the trace model stays pure
+/// Send/Deliver. The predicate checks, per the classic virtual synchrony
+/// contract:
+///
+/// 1. **Monotone installation** — each process installs views with strictly
+///    increasing view numbers, and only views that include it.
+/// 2. **View agreement** — any two processes installing view number `v`
+///    install the same membership.
+/// 3. **Delivery in view** — every data message is delivered while both the
+///    deliverer and the message's sender belong to the deliverer's current
+///    view.
+/// 4. **Synchrony** — two processes that move from view `v` to the same
+///    next view deliver the same *set* of data messages while in `v`.
+///    (Epochs still open at the end of the trace are not compared.)
+///
+/// Virtual Synchrony is **not memoryless** (§6.1): erase a view-change
+/// message (the Memoryless relation erases all events of a chosen message)
+/// and a joining member's deliveries suddenly happen under an old view that
+/// excludes it — condition 3 fails. This is the formal shadow of the
+/// operational fact the paper cites: switching between two virtually
+/// synchronous protocols does not yield a virtually synchronous execution.
+/// The paper's future-work remark — that *view-synchronous* switching could
+/// support this property — is implemented in `ps-core` as the
+/// view-based switch variant.
+#[derive(Debug, Clone)]
+pub struct VirtualSynchrony {
+    initial: Vec<ProcessId>,
+}
+
+impl VirtualSynchrony {
+    /// Creates the property; `initial` is view 0's membership.
+    pub fn new(initial: impl IntoIterator<Item = ProcessId>) -> Self {
+        Self { initial: initial.into_iter().collect() }
+    }
+}
+
+impl Property for VirtualSynchrony {
+    fn name(&self) -> &'static str {
+        "Virtual Synchrony"
+    }
+
+    fn description(&self) -> &'static str {
+        "a process only delivers messages from processes in some common view"
+    }
+
+    fn holds(&self, tr: &Trace) -> bool {
+        let initial = ViewInfo { view_no: 0, members: self.initial.clone() };
+
+        // Per process: current view, plus the data messages delivered in
+        // the current (open) epoch.
+        struct Cursor {
+            view: ViewInfo,
+            open_epoch: BTreeSet<MsgId>,
+        }
+        let mut cursors: BTreeMap<ProcessId, Cursor> = BTreeMap::new();
+        // Completed epochs: (from_view, to_view) → per-process delivered set.
+        let mut epochs: BTreeMap<(u64, u64), Vec<BTreeSet<MsgId>>> = BTreeMap::new();
+        // View agreement: view_no → members.
+        let mut view_members: BTreeMap<u64, Vec<ProcessId>> = BTreeMap::new();
+
+        for e in tr.iter() {
+            let Event::Deliver(p, m) = e else { continue };
+            let cursor = cursors.entry(*p).or_insert_with(|| Cursor {
+                view: initial.clone(),
+                open_epoch: BTreeSet::new(),
+            });
+            if let Some(v) = m.as_view_change() {
+                // 1. Monotone installation of views containing the installer.
+                if v.view_no <= cursor.view.view_no || !v.members.contains(p) {
+                    return false;
+                }
+                // 2. View agreement across installers.
+                if let Some(members) = view_members.get(&v.view_no) {
+                    if *members != v.members {
+                        return false;
+                    }
+                } else {
+                    view_members.insert(v.view_no, v.members.clone());
+                }
+                // Close the epoch. Synchrony only constrains *survivors* —
+                // processes that were members of the closing view; a
+                // joiner's pre-membership epoch is vacuous.
+                let was_member = cursor.view.members.contains(p);
+                let closed = std::mem::take(&mut cursor.open_epoch);
+                if was_member {
+                    let key = (cursor.view.view_no, v.view_no);
+                    epochs.entry(key).or_default().push(closed);
+                }
+                cursor.view = v;
+            } else {
+                // 3. Delivery in view.
+                if !cursor.view.members.contains(p) || !cursor.view.members.contains(&m.id.sender)
+                {
+                    return false;
+                }
+                cursor.open_epoch.insert(m.id);
+            }
+        }
+
+        // 4. Synchrony on completed epochs.
+        epochs
+            .values()
+            .all(|sets| sets.windows(2).all(|w| w[0] == w[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Message;
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn vs() -> VirtualSynchrony {
+        VirtualSynchrony::new([p(0), p(1)])
+    }
+
+    #[test]
+    fn plain_epoch_holds() {
+        let m = Message::with_tag(p(0), 1, 1);
+        let tr = Trace::from_events(vec![
+            Event::send(m.clone()),
+            Event::deliver(p(0), m.clone()),
+            Event::deliver(p(1), m),
+        ]);
+        assert!(vs().holds(&tr));
+    }
+
+    #[test]
+    fn sender_outside_view_fails() {
+        let m = Message::with_tag(p(5), 1, 1);
+        let tr = Trace::from_events(vec![Event::send(m.clone()), Event::deliver(p(0), m)]);
+        assert!(!vs().holds(&tr));
+    }
+
+    #[test]
+    fn join_through_view_change_holds() {
+        let v1 = Message::view_change(p(0), 1, 1, vec![p(0), p(1), p(2)]);
+        let c = Message::with_tag(p(2), 1, 3);
+        let tr = Trace::from_events(vec![
+            Event::send(v1.clone()),
+            Event::deliver(p(0), v1.clone()),
+            Event::deliver(p(1), v1.clone()),
+            Event::deliver(p(2), v1),
+            Event::send(c.clone()),
+            Event::deliver(p(0), c.clone()),
+            Event::deliver(p(1), c.clone()),
+            Event::deliver(p(2), c),
+        ]);
+        assert!(vs().holds(&tr));
+    }
+
+    #[test]
+    fn erasing_the_view_breaks_it() {
+        // The memoryless counterexample: without the view change, p2's
+        // deliveries happen under a view that excludes it.
+        let v1 = Message::view_change(p(0), 1, 1, vec![p(0), p(1), p(2)]);
+        let c = Message::with_tag(p(2), 1, 3);
+        let tr = Trace::from_events(vec![
+            Event::send(v1.clone()),
+            Event::deliver(p(0), v1.clone()),
+            Event::deliver(p(1), v1.clone()),
+            Event::deliver(p(2), v1.clone()),
+            Event::send(c.clone()),
+            Event::deliver(p(0), c.clone()),
+            Event::deliver(p(2), c),
+        ]);
+        assert!(vs().holds(&tr));
+        let mut erase = BTreeSet::new();
+        erase.insert(v1.id);
+        assert!(!vs().holds(&tr.erase_messages(&erase)));
+    }
+
+    #[test]
+    fn divergent_epoch_sets_fail() {
+        // p0 and p1 both move from view 0 to view 1, but p1 missed message m.
+        let m = Message::with_tag(p(0), 1, 1);
+        let v1 = Message::view_change(p(0), 2, 1, vec![p(0), p(1)]);
+        let tr = Trace::from_events(vec![
+            Event::send(m.clone()),
+            Event::deliver(p(0), m),
+            Event::send(v1.clone()),
+            Event::deliver(p(0), v1.clone()),
+            Event::deliver(p(1), v1),
+        ]);
+        assert!(!vs().holds(&tr));
+    }
+
+    #[test]
+    fn open_epochs_are_not_compared() {
+        // p0 has moved to view 1; p1 is still in view 0 with a different
+        // delivered set — allowed, its epoch is still open.
+        let m = Message::with_tag(p(0), 1, 1);
+        let v1 = Message::view_change(p(0), 2, 1, vec![p(0), p(1)]);
+        let tr = Trace::from_events(vec![
+            Event::send(m.clone()),
+            Event::deliver(p(0), m),
+            Event::send(v1.clone()),
+            Event::deliver(p(0), v1),
+        ]);
+        assert!(vs().holds(&tr));
+    }
+
+    #[test]
+    fn view_number_must_increase() {
+        let v1 = Message::view_change(p(0), 1, 1, vec![p(0), p(1)]);
+        let v1b = Message::view_change(p(1), 1, 1, vec![p(0), p(1)]);
+        let tr = Trace::from_events(vec![
+            Event::send(v1.clone()),
+            Event::send(v1b.clone()),
+            Event::deliver(p(0), v1),
+            Event::deliver(p(0), v1b),
+        ]);
+        assert!(!vs().holds(&tr));
+    }
+
+    #[test]
+    fn conflicting_view_memberships_fail() {
+        let v1 = Message::view_change(p(0), 1, 1, vec![p(0), p(1)]);
+        let v1_alt = Message::view_change(p(1), 1, 1, vec![p(1)]);
+        let tr = Trace::from_events(vec![
+            Event::send(v1.clone()),
+            Event::send(v1_alt.clone()),
+            Event::deliver(p(0), v1),
+            Event::deliver(p(1), v1_alt),
+        ]);
+        assert!(!vs().holds(&tr));
+    }
+
+    #[test]
+    fn installer_must_be_member() {
+        let v1 = Message::view_change(p(0), 1, 1, vec![p(0)]);
+        let tr = Trace::from_events(vec![Event::send(v1.clone()), Event::deliver(p(1), v1)]);
+        assert!(!vs().holds(&tr));
+    }
+}

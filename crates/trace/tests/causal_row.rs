@@ -1,0 +1,66 @@
+//! The Causal Order meta-property row — an extension beyond the paper's
+//! Table 2 showing (alongside Reliability) that the §6.3 class is
+//! sufficient but not necessary: Causal Order fails Delayable, yet the
+//! live switching protocol preserves it (see `tests/causal_switch.rs` at
+//! the workspace root).
+
+use ps_trace::check::{check_cell, CheckConfig};
+use ps_trace::exhaustive::{check_cell_exhaustive, event_universe, ExhaustiveConfig};
+use ps_trace::gen::{CausalGen, TraceGen};
+use ps_trace::meta::MetaKind;
+use ps_trace::props::{CausalOrder, Property};
+use ps_trace::{Message, ProcessId};
+
+/// Columns in MetaKind::ALL order: Safety, Asynchronous, Send Enabled,
+/// Delayable, Memoryless, Composable.
+const EXPECTED: [bool; 6] = [true, true, true, false, true, true];
+
+#[test]
+fn causal_gen_produces_satisfying_traces() {
+    let g = CausalGen { procs: 3 };
+    let mut rng = ps_trace::gen::seeded(5);
+    for _ in 0..50 {
+        let tr = g.generate(&mut rng, 24);
+        assert!(tr.is_well_formed());
+        assert!(CausalOrder.holds(&tr), "{tr}");
+    }
+}
+
+#[test]
+fn causal_row_randomized() {
+    let g = CausalGen { procs: 3 };
+    let gens: [&dyn TraceGen; 1] = [&g];
+    let cfg = CheckConfig::quick();
+    for (&meta, &want) in MetaKind::ALL.iter().zip(&EXPECTED) {
+        let v = check_cell(&CausalOrder, meta, &gens, &cfg);
+        assert_eq!(
+            v.preserved,
+            want,
+            "Causal Order / {meta}: {}",
+            v.counterexample.map(|c| c.to_string()).unwrap_or_else(|| "no witness".into())
+        );
+    }
+}
+
+#[test]
+fn causal_row_exhaustive() {
+    // Three messages over three processes: enough for a reply chain.
+    let universe = event_universe(
+        3,
+        &[
+            Message::with_tag(ProcessId(0), 1, 1),
+            Message::with_tag(ProcessId(1), 1, 2),
+            Message::with_tag(ProcessId(2), 1, 3),
+        ],
+    );
+    let cfg = ExhaustiveConfig { max_len: 4, ..ExhaustiveConfig::default() };
+    for (&meta, &want) in MetaKind::ALL.iter().zip(&EXPECTED) {
+        let v = check_cell_exhaustive(&CausalOrder, meta, &universe, &cfg);
+        assert_eq!(
+            v.preserved,
+            want,
+            "Causal Order / {meta} (exhaustive): {}",
+            v.counterexample.map(|c| c.to_string()).unwrap_or_else(|| "no witness".into())
+        );
+    }
+}

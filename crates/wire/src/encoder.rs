@@ -1,0 +1,170 @@
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Append-only binary encoder.
+///
+/// Integers are little-endian; varints are unsigned LEB128; byte strings are
+/// varint-length-prefixed. An `Encoder` never fails — all fallibility lives
+/// on the decode side.
+///
+/// # Examples
+///
+/// ```
+/// use ps_wire::Encoder;
+///
+/// let mut enc = Encoder::new();
+/// enc.put_u32(7);
+/// enc.put_str("hello");
+/// let bytes = enc.finish();
+/// assert_eq!(bytes.len(), 4 + 1 + 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self { buf: BytesMut::new() }
+    }
+
+    /// Creates an encoder with `cap` bytes of pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: BytesMut::with_capacity(cap) }
+    }
+
+    /// Number of bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    /// Appends a little-endian IEEE-754 `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Appends a boolean as a single `0`/`1` byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends an unsigned LEB128 varint (1–10 bytes).
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.put_u8(byte);
+                return;
+            }
+            self.buf.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Appends raw bytes with **no** length prefix.
+    ///
+    /// Use this for trailing payloads whose length is implied by the frame.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.put_slice(bytes);
+    }
+
+    /// Appends a varint length prefix followed by the bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_varint(bytes.len() as u64);
+        self.buf.put_slice(bytes);
+    }
+
+    /// Appends a varint length prefix followed by the UTF-8 bytes of `s`.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Consumes the encoder and returns the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Consumes the encoder and returns the mutable buffer, for callers that
+    /// want to keep appending (e.g. header-then-payload framing).
+    pub fn into_bytes_mut(self) -> BytesMut {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_width_layout_is_little_endian() {
+        let mut enc = Encoder::new();
+        enc.put_u16(0x0102);
+        enc.put_u32(0x0304_0506);
+        enc.put_u64(0x0708_090a_0b0c_0d0e);
+        let b = enc.finish();
+        assert_eq!(&b[..2], &[0x02, 0x01]);
+        assert_eq!(&b[2..6], &[0x06, 0x05, 0x04, 0x03]);
+        assert_eq!(&b[6..], &[0x0e, 0x0d, 0x0c, 0x0b, 0x0a, 0x09, 0x08, 0x07]);
+    }
+
+    #[test]
+    fn varint_small_values_are_one_byte() {
+        for v in 0..128u64 {
+            let mut enc = Encoder::new();
+            enc.put_varint(v);
+            assert_eq!(enc.len(), 1, "value {v}");
+        }
+    }
+
+    #[test]
+    fn varint_max_is_ten_bytes() {
+        let mut enc = Encoder::new();
+        enc.put_varint(u64::MAX);
+        assert_eq!(enc.len(), 10);
+    }
+
+    #[test]
+    fn bytes_are_length_prefixed() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(b"abc");
+        let b = enc.finish();
+        assert_eq!(&b[..], &[3, b'a', b'b', b'c']);
+    }
+
+    #[test]
+    fn with_capacity_reserves() {
+        let enc = Encoder::with_capacity(64);
+        assert!(enc.is_empty());
+        assert_eq!(enc.len(), 0);
+    }
+}

@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when decoding malformed wire data.
+///
+/// All decode failures are recoverable values, never panics: a protocol
+/// layer that receives garbage from the network must be able to drop the
+/// packet and keep running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The input ended before the value was fully decoded.
+    UnexpectedEof {
+        /// How many more bytes were needed.
+        needed: usize,
+        /// How many bytes remained.
+        remaining: usize,
+    },
+    /// An enum tag byte did not correspond to any known variant.
+    InvalidTag {
+        /// The offending tag value.
+        tag: u64,
+        /// The type being decoded, for diagnostics.
+        ty: &'static str,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    InvalidUtf8,
+    /// A varint used more than 10 bytes (would overflow `u64`).
+    VarintOverflow,
+    /// A declared length exceeded the configured or remaining size.
+    LengthOverflow {
+        /// The declared length.
+        declared: u64,
+        /// The number of bytes actually available.
+        available: usize,
+    },
+    /// Input bytes remained after a complete decode where none were expected.
+    TrailingBytes {
+        /// The number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of input: needed {needed} more bytes, {remaining} remaining"
+            ),
+            WireError::InvalidTag { tag, ty } => {
+                write!(f, "invalid tag {tag} while decoding {ty}")
+            }
+            WireError::InvalidUtf8 => write!(f, "length-prefixed string was not valid utf-8"),
+            WireError::VarintOverflow => write!(f, "varint exceeded 10 bytes"),
+            WireError::LengthOverflow { declared, available } => write!(
+                f,
+                "declared length {declared} exceeds available {available} bytes"
+            ),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after complete decode")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            WireError::UnexpectedEof { needed: 4, remaining: 1 },
+            WireError::InvalidTag { tag: 9, ty: "Dest" },
+            WireError::InvalidUtf8,
+            WireError::VarintOverflow,
+            WireError::LengthOverflow { declared: 10, available: 2 },
+            WireError::TrailingBytes { remaining: 3 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.chars().next().unwrap().is_uppercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WireError>();
+    }
+}

@@ -1,0 +1,76 @@
+use crate::{Decoder, Encoder, Wire, WireError};
+use bytes::{BufMut, Bytes};
+
+/// Prepends `header` to `payload`, producing the frame a layer passes down
+/// the stack.
+///
+/// This is the Lego-block composition primitive of the Horus model: each
+/// layer treats the payload as opaque bytes and contributes only its own
+/// header.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use ps_wire::{pop_header, push_header};
+///
+/// # fn main() -> Result<(), ps_wire::WireError> {
+/// let framed = push_header(&42u32, Bytes::from_static(b"data"));
+/// let (hdr, payload) = pop_header::<u32>(&framed)?;
+/// assert_eq!(hdr, 42);
+/// assert_eq!(&payload[..], b"data");
+/// # Ok(())
+/// # }
+/// ```
+pub fn push_header<H: Wire>(header: &H, payload: Bytes) -> Bytes {
+    let mut enc = Encoder::with_capacity(16 + payload.len());
+    header.encode(&mut enc);
+    let mut buf = enc.into_bytes_mut();
+    buf.put_slice(&payload);
+    buf.freeze()
+}
+
+/// Splits a frame produced by [`push_header`] back into header and payload.
+///
+/// # Errors
+///
+/// Returns any [`WireError`] produced while decoding the header; the payload
+/// itself is never inspected.
+pub fn pop_header<H: Wire>(frame: &[u8]) -> Result<(H, Bytes), WireError> {
+    let mut dec = Decoder::new(frame);
+    let header = H::decode(&mut dec)?;
+    let payload = dec.rest();
+    Ok((header, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_headers_pop_in_reverse_order() {
+        let app = Bytes::from_static(b"app");
+        let l2 = push_header(&7u8, app.clone());
+        let l1 = push_header(&String::from("outer"), l2);
+
+        let (h1, rest1) = pop_header::<String>(&l1).unwrap();
+        assert_eq!(h1, "outer");
+        let (h2, rest2) = pop_header::<u8>(&rest1).unwrap();
+        assert_eq!(h2, 7);
+        assert_eq!(rest2, app);
+    }
+
+    #[test]
+    fn empty_payload_supported() {
+        let framed = push_header(&1u8, Bytes::new());
+        let (h, payload) = pop_header::<u8>(&framed).unwrap();
+        assert_eq!(h, 1);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn corrupt_header_reported() {
+        let err = pop_header::<u64>(&[1, 2]).unwrap_err();
+        assert!(matches!(err, WireError::UnexpectedEof { .. }));
+    }
+}

@@ -1,0 +1,92 @@
+//! The paper's "On-line Upgrading" use case (§1): "Protocol switching can
+//! be used to upgrade networking protocols at run-time without having to
+//! restart applications. Even minor bug fixes may be done in this way."
+//!
+//! Here: a group running a reliable-multicast "v1" with a sluggish
+//! retransmission timer is upgraded, live and under 20% packet loss, to a
+//! "v2" with a sensible timer. No message is lost or duplicated across the
+//! upgrade, and the application keeps its FIFO guarantees throughout.
+//!
+//! ```text
+//! cargo run --example online_upgrade
+//! ```
+
+use protocol_switching::prelude::*;
+use protocol_switching::protocols::ReliableConfig;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    let n = 4u16;
+    let handles: Rc<RefCell<Vec<SwitchHandle>>> = Rc::new(RefCell::new(Vec::new()));
+    let h2 = handles.clone();
+
+    let mut builder = GroupSimBuilder::new(n)
+        .seed(31)
+        .medium(Box::new(Lossy::new(
+            Box::new(PointToPoint::new(SimTime::from_micros(300))),
+            0.20,
+        )))
+        .stack_factory(move |p, _, ids| {
+            // v1: a "buggy" release with a 150 ms retransmit timer.
+            let v1 = Stack::with_ids(
+                vec![
+                    Box::new(FifoLayer::new()),
+                    Box::new(ReliableLayer::with_config(ReliableConfig {
+                        retransmit_interval: SimTime::from_millis(150),
+                    })),
+                ],
+                ids,
+            );
+            // v2: the fix — 10 ms retransmit timer.
+            let v2 = Stack::with_ids(
+                vec![
+                    Box::new(FifoLayer::new()),
+                    Box::new(ReliableLayer::with_config(ReliableConfig {
+                        retransmit_interval: SimTime::from_millis(10),
+                    })),
+                ],
+                ids,
+            );
+            let oracle: Box<dyn Oracle> = if p == ProcessId(0) {
+                Box::new(ManualOracle::new(vec![(SimTime::from_millis(500), 1)]))
+            } else {
+                Box::new(NeverOracle)
+            };
+            // The switch's own control traffic must survive the lossy
+            // network too: give it a reliable private channel (Figure 1).
+            let control = Stack::with_ids(vec![Box::new(ReliableLayer::new())], ids);
+            let (layer, handle) = SwitchLayer::new(SwitchConfig::default(), v1, v2, oracle);
+            let layer = layer.with_control_stack(control);
+            h2.borrow_mut().push(handle);
+            Stack::with_ids(vec![Box::new(layer)], ids)
+        });
+
+    for i in 0..60u64 {
+        builder = builder.send_at(
+            SimTime::from_millis(10 + 15 * i),
+            ProcessId((i % u64::from(n)) as u16),
+            format!("update-{i}"),
+        );
+    }
+
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(10));
+
+    let tr = sim.app_trace();
+    let group: Vec<ProcessId> = sim.group().to_vec();
+    let reliable = Reliability::new(group).holds(&tr);
+    let exactly_once = NoReplay.holds(&tr);
+    let upgraded = handles.borrow().iter().all(|h| h.current() == 1);
+
+    println!("messages sent:        {}", tr.sent_ids().len());
+    println!("deliveries:           {}", tr.iter().filter(|e| e.is_deliver()).count());
+    println!("all members upgraded: {upgraded}");
+    println!("reliability held:     {reliable}");
+    println!("exactly-once held:    {exactly_once}");
+    assert!(upgraded && reliable && exactly_once);
+
+    // The upgrade is worth it: v2 recovers from loss ~15x faster.
+    let lat = sim.mean_delivery_latency().unwrap();
+    println!("mean latency across the whole run: {lat}");
+}

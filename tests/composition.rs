@@ -1,0 +1,218 @@
+//! Figure 1's contract: the composition (SWITCH over two SPECs over
+//! MULTIPLEX) must satisfy the same specification as SPEC — for the
+//! properties in the preserved class. For properties outside the class,
+//! the composition visibly fails while each underlying protocol succeeds.
+
+use protocol_switching::prelude::*;
+use protocol_switching::protocols::ReliableConfig;
+
+fn decider(p: ProcessId, plan: Vec<(SimTime, usize)>) -> Box<dyn Oracle> {
+    if p == ProcessId(0) {
+        Box::new(ManualOracle::new(plan))
+    } else {
+        Box::new(NeverOracle)
+    }
+}
+
+/// Runs a switched composition of two identical-factory stacks with a
+/// mid-run switch, returning the app trace.
+fn switched<F>(n: u16, seed: u64, medium: Box<dyn Medium>, msgs: u64, factory: F) -> Trace
+where
+    F: Fn(ProcessId, &mut IdGen) -> Stack + 'static,
+{
+    let plan = vec![(SimTime::from_millis(60), 1), (SimTime::from_millis(160), 0)];
+    let mut b = GroupSimBuilder::new(n).seed(seed).medium(medium).stack_factory(
+        move |p, _, ids| {
+            let a = factory(p, ids);
+            let bb = factory(p, ids);
+            let control = Stack::with_ids(vec![Box::new(ReliableLayer::new())], ids);
+            let (layer, _h) = SwitchLayer::new(SwitchConfig::default(), a, bb, decider(p, plan.clone()));
+            Stack::with_ids(vec![Box::new(layer.with_control_stack(control))], ids)
+        },
+    );
+    for i in 0..msgs {
+        b = b.send_at(
+            SimTime::from_millis(2 + 4 * i),
+            ProcessId((i % u64::from(n)) as u16),
+            format!("c{i}"),
+        );
+    }
+    let mut sim = b.build();
+    sim.run_until(SimTime::from_secs(8));
+    sim.app_trace()
+}
+
+#[test]
+fn total_order_is_preserved_for_many_seeds() {
+    for seed in 0..8 {
+        let tr = switched(
+            4,
+            seed,
+            Box::new(PointToPoint::new(SimTime::from_micros(300)).with_jitter(SimTime::from_millis(1))),
+            50,
+            |_, ids| Stack::with_ids(vec![Box::new(SeqOrderLayer::new(ProcessId(0)))], ids),
+        );
+        assert!(TotalOrder.holds(&tr), "seed {seed}: {tr}");
+        assert_eq!(tr.iter().filter(|e| e.is_deliver()).count(), 200, "seed {seed}");
+    }
+}
+
+#[test]
+fn reliability_is_preserved_under_loss() {
+    // Both sub-protocols reliable, control channel reliable, 20% loss:
+    // the composition stays reliable across the switch — the paper notes
+    // Reliability is preserved by SP even though it is not Safe.
+    let tr = switched(
+        3,
+        7,
+        Box::new(Lossy::new(Box::new(PointToPoint::new(SimTime::from_micros(300))), 0.20)),
+        30,
+        |_, ids| {
+            Stack::with_ids(
+                vec![Box::new(ReliableLayer::with_config(ReliableConfig {
+                    retransmit_interval: SimTime::from_millis(15),
+                }))],
+                ids,
+            )
+        },
+    );
+    let group: Vec<ProcessId> = (0..3).map(ProcessId).collect();
+    assert!(Reliability::new(group).holds(&tr), "{tr}");
+    assert!(NoReplay.holds(&tr), "exactly-once across the switch");
+}
+
+#[test]
+fn integrity_and_confidentiality_are_preserved() {
+    let trusted = [ProcessId(0), ProcessId(1), ProcessId(2)];
+    let key = 0xC0DE;
+    let tr = switched(
+        4,
+        3,
+        Box::new(PointToPoint::new(SimTime::from_micros(300))),
+        40,
+        move |p, ids| {
+            let layers: Vec<Box<dyn Layer>> = if trusted.contains(&p) {
+                vec![
+                    Box::new(IntegrityLayer::new(key, trusted)),
+                    Box::new(ConfidentialityLayer::new(key)),
+                ]
+            } else {
+                vec![
+                    Box::new(IntegrityLayer::untrusted(trusted)),
+                    Box::new(ConfidentialityLayer::keyless()),
+                ]
+            };
+            Stack::with_ids(layers, ids)
+        },
+    );
+    assert!(Integrity::new(trusted).holds(&tr), "{tr}");
+    assert!(Confidentiality::new(trusted).holds(&tr), "{tr}");
+    // The trusted members really did communicate.
+    assert!(!tr.delivered_by(ProcessId(1)).is_empty());
+}
+
+#[test]
+fn virtual_synchrony_is_not_preserved() {
+    // Each sub-protocol is individually view-synchronous; protocol A drops
+    // p2 from the view before the switch, protocol B knows nothing of it.
+    // Above the switch, B's post-switch deliveries from p2 appear inside
+    // A's shrunken view — exactly the paper's §6.1/§8 warning, and the
+    // motivation for view-synchronous switching as future work.
+    // Timeline: everyone chats in view 0; protocol A drops p2 at t=40ms;
+    // the group quiesces; the switch runs at t=60ms (a view-changing
+    // protocol can only satisfy SP's §2 delivery assumptions while
+    // quiescent — itself a symptom of the mismatch); then everyone,
+    // including p2, resumes through protocol B.
+    let plan = vec![(SimTime::from_millis(60), 1)];
+    let group: Vec<ProcessId> = (0..3).map(ProcessId).collect();
+    let mut b = GroupSimBuilder::new(3)
+        .seed(5)
+        .medium(Box::new(PointToPoint::new(SimTime::from_micros(300))))
+        .stack_factory(move |p, _, ids| {
+            let a = Stack::with_ids(
+                vec![Box::new(VsyncLayer::new(VsyncConfig {
+                    changes: vec![(SimTime::from_millis(40), vec![ProcessId(0), ProcessId(1)])],
+                    ..VsyncConfig::default()
+                }))],
+                ids,
+            );
+            let bb = Stack::with_ids(
+                vec![Box::new(VsyncLayer::new(VsyncConfig::default()))],
+                ids,
+            );
+            let cfg = SwitchConfig {
+                observe_interval: SimTime::from_millis(20),
+                ..SwitchConfig::default()
+            };
+            let (layer, _h) = SwitchLayer::new(cfg, a, bb, decider(p, plan.clone()));
+            Stack::with_ids(vec![Box::new(layer)], ids)
+        });
+    // Phase 1: view-0 traffic from everyone.
+    for i in 0..9u64 {
+        b = b.send_at(SimTime::from_millis(2 + 3 * i), ProcessId((i % 3) as u16), format!("v{i}"));
+    }
+    // Phase 2 (post-switch): everyone resumes, including the dropped p2.
+    for i in 0..9u64 {
+        b = b.send_at(SimTime::from_millis(200 + 5 * i), ProcessId((i % 3) as u16), format!("w{i}"));
+    }
+    let mut sim = b.build();
+    sim.run_until(SimTime::from_secs(5));
+    let tr = sim.app_trace();
+    let vs = VirtualSynchrony::new(group.clone());
+    assert!(
+        !vs.holds(&tr),
+        "switching between two individually view-synchronous protocols must break VS: {tr}"
+    );
+    // Control: the same run without the switch (protocol A only, same
+    // workload minus p2's stranded sends) is view-synchronous.
+    let mut b2 = GroupSimBuilder::new(3)
+        .seed(5)
+        .medium(Box::new(PointToPoint::new(SimTime::from_micros(300))))
+        .stack_factory(|_, _, ids| {
+            Stack::with_ids(
+                vec![Box::new(VsyncLayer::new(VsyncConfig {
+                    changes: vec![(SimTime::from_millis(40), vec![ProcessId(0), ProcessId(1)])],
+                    ..VsyncConfig::default()
+                }))],
+                ids,
+            )
+        });
+    for i in 0..9u64 {
+        b2 = b2.send_at(SimTime::from_millis(2 + 3 * i), ProcessId((i % 3) as u16), format!("v{i}"));
+    }
+    let mut sim2 = b2.build();
+    sim2.run_until(SimTime::from_secs(5));
+    assert!(vs.holds(&sim2.app_trace()), "protocol A alone is view-synchronous");
+}
+
+#[test]
+fn composition_is_deterministic_per_seed() {
+    let run = |seed| {
+        switched(
+            3,
+            seed,
+            Box::new(PointToPoint::new(SimTime::from_micros(200)).with_jitter(SimTime::from_micros(500))),
+            20,
+            |_, ids| Stack::with_ids(vec![Box::new(FifoLayer::new())], ids),
+        )
+        .to_string()
+    };
+    assert_eq!(run(1), run(1));
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn standard_suite_evaluates_on_live_traces() {
+    // Smoke-test the whole Table-1 suite against a live composed run.
+    let tr = switched(
+        4,
+        9,
+        Box::new(PointToPoint::new(SimTime::from_micros(300))),
+        24,
+        |_, ids| Stack::with_ids(vec![Box::new(SeqOrderLayer::new(ProcessId(0)))], ids),
+    );
+    for prop in standard_suite(4) {
+        // No panics, deterministic answers; specific values covered above.
+        let _ = prop.holds(&tr);
+    }
+}
