@@ -1,102 +1,92 @@
 //! Substrate micro-benchmarks: the event queue, wire codec, shared-bus
 //! model, and the end-to-end simulator event loop.
 
-use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ps_bench::plain_group;
+use ps_bench::timing::Bench;
+use ps_bytes::Bytes;
 use ps_simnet::{DetRng, EthernetConfig, EventQueue, Medium as _, NodeId, SharedBus, SimTime};
 use ps_wire::{Decoder, Encoder};
 use std::hint::black_box;
 
-fn event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.push(SimTime::from_micros(i * 37 % 5000), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, e)) = q.pop() {
-                acc = acc.wrapping_add(e);
-            }
-            black_box(acc)
-        })
+fn event_queue(bench: &mut Bench) {
+    let mut g = bench.group("event_queue");
+    g.bench("push_pop_10k", || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_micros(i * 37 % 5000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        black_box(acc)
     });
-    g.finish();
 }
 
-fn codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wire_codec");
+fn codec(bench: &mut Bench) {
+    let mut g = bench.group("wire_codec");
+    g.batch(64);
     let payload = vec![0xA5u8; 1024];
-    g.throughput(Throughput::Bytes(1024));
-    g.bench_function("encode_1k_frame", |b| {
-        b.iter(|| {
-            let mut enc = Encoder::with_capacity(1100);
-            enc.put_varint(black_box(123456));
-            enc.put_u16(7);
-            enc.put_bytes(&payload);
-            black_box(enc.finish())
-        })
+    g.bench("encode_1k_frame", || {
+        let mut enc = Encoder::with_capacity(1100);
+        enc.put_varint(black_box(123456));
+        enc.put_u16(7);
+        enc.put_bytes(&payload);
+        black_box(enc.finish())
     });
     let mut enc = Encoder::new();
     enc.put_varint(123456);
     enc.put_u16(7);
     enc.put_bytes(&payload);
     let framed = enc.finish();
-    g.bench_function("decode_1k_frame", |b| {
-        b.iter(|| {
-            let mut dec = Decoder::new(black_box(&framed));
-            let a = dec.get_varint().unwrap();
-            let b2 = dec.get_u16().unwrap();
-            let p = dec.get_bytes().unwrap();
-            black_box((a, b2, p.len()))
-        })
+    g.bench("decode_1k_frame", || {
+        let mut dec = Decoder::new(black_box(&framed));
+        let a = dec.get_varint().unwrap();
+        let b2 = dec.get_u16().unwrap();
+        let p = dec.get_bytes().unwrap();
+        black_box((a, b2, p.len()))
     });
-    g.bench_function("header_push_pop", |b| {
-        let body = Bytes::from(payload.clone());
-        b.iter(|| {
-            let framed = ps_wire::push_header(&0xDEAD_BEEFu64, body.clone());
-            let (h, rest) = ps_wire::pop_header::<u64>(&framed).unwrap();
-            black_box((h, rest.len()))
-        })
-    });
-    g.finish();
-}
-
-fn bus_model(c: &mut Criterion) {
-    c.bench_function("shared_bus_transmit_plan", |b| {
-        let mut bus = SharedBus::new(EthernetConfig::default());
-        let mut rng = DetRng::new(1);
-        let dests: Vec<NodeId> = (0..10).map(NodeId).collect();
-        let mut t = SimTime::ZERO;
-        b.iter(|| {
-            t += SimTime::from_micros(100);
-            black_box(bus.transmit(NodeId(0), &dests, 1024, t, &mut rng).deliveries.len())
-        })
+    let body = Bytes::from(payload.clone());
+    g.bench("header_push_pop", || {
+        let framed = ps_wire::push_header(&0xDEAD_BEEFu64, body.clone());
+        let (h, rest) = ps_wire::pop_header::<u64>(&framed).unwrap();
+        black_box((h, rest.len()))
     });
 }
 
-fn sim_loop(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_event_loop");
-    g.sample_size(10);
-    g.bench_function("fifo_group_200_messages", |b| {
-        b.iter(|| {
-            let mut sim = plain_group(5, 200, || Box::new(ps_protocols::FifoLayer::new()));
-            sim.run_until(SimTime::from_secs(2));
-            black_box(sim.net_stats().events_processed)
-        })
+fn bus_model(bench: &mut Bench) {
+    let mut g = bench.group("bus_model");
+    g.batch(64);
+    let mut bus = SharedBus::new(EthernetConfig::default());
+    let mut rng = DetRng::new(1);
+    let dests: Vec<NodeId> = (0..10).map(NodeId).collect();
+    let mut t = SimTime::ZERO;
+    g.bench("shared_bus_transmit_plan", || {
+        t += SimTime::from_micros(100);
+        black_box(bus.transmit(NodeId(0), &dests, 1024, t, &mut rng).deliveries.len())
     });
-    g.bench_function("token_order_group_100_messages", |b| {
-        b.iter(|| {
-            let mut sim = plain_group(5, 100, || Box::new(ps_protocols::TokenOrderLayer::new()));
-            sim.run_until(SimTime::from_secs(1));
-            black_box(sim.net_stats().events_processed)
-        })
-    });
-    g.finish();
 }
 
-criterion_group!(benches, event_queue, codec, bus_model, sim_loop);
-criterion_main!(benches);
+fn sim_loop(bench: &mut Bench) {
+    let mut g = bench.group("sim_event_loop");
+    g.iters(10);
+    g.bench("fifo_group_200_messages", || {
+        let mut sim = plain_group(5, 200, || Box::new(ps_protocols::FifoLayer::new()));
+        sim.run_until(SimTime::from_secs(2));
+        black_box(sim.net_stats().events_processed)
+    });
+    g.bench("token_order_group_100_messages", || {
+        let mut sim = plain_group(5, 100, || Box::new(ps_protocols::TokenOrderLayer::new()));
+        sim.run_until(SimTime::from_secs(1));
+        black_box(sim.net_stats().events_processed)
+    });
+}
+
+fn main() {
+    let mut bench = Bench::from_args();
+    event_queue(&mut bench);
+    codec(&mut bench);
+    bus_model(&mut bench);
+    sim_loop(&mut bench);
+    bench.finish();
+}

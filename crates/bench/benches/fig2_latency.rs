@@ -1,35 +1,28 @@
 //! Figure 2 as a benchmark: one sweep point per protocol per load level.
-//! Criterion's statistics quantify the simulation cost; the *scientific*
+//! The harness statistics quantify the simulation cost; the *scientific*
 //! output (latencies, crossover) is printed by `repro fig2`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_bench::timing::Bench;
 use ps_harness::experiments::fig2::{run_point, Fig2Config, Series};
 use std::hint::black_box;
 
-fn fig2_points(c: &mut Criterion) {
+fn main() {
     let cfg = Fig2Config {
         warmup: ps_simnet::SimTime::from_millis(200),
         measure: ps_simnet::SimTime::from_millis(600),
         ..Fig2Config::default()
     };
-    let mut group = c.benchmark_group("fig2");
-    group.sample_size(10);
+    let mut bench = Bench::from_args();
+    let mut group = bench.group("fig2");
+    group.iters(10);
     for series in Series::ALL {
         for k in [2u16, 8] {
-            group.bench_with_input(
-                BenchmarkId::new(series.name(), k),
-                &k,
-                |b, &k| {
-                    b.iter(|| {
-                        let (sim, _) = run_point(black_box(&cfg), series, k);
-                        black_box(sim.net_stats().frames_sent)
-                    })
-                },
-            );
+            group.bench(format!("{}/{k}", series.name()), || {
+                let (sim, _) = run_point(black_box(&cfg), series, k);
+                black_box(sim.net_stats().frames_sent)
+            });
         }
     }
-    group.finish();
+    drop(group);
+    bench.finish();
 }
-
-criterion_group!(benches, fig2_points);
-criterion_main!(benches);

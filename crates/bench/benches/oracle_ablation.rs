@@ -2,73 +2,69 @@
 //! (broadcast vs. token ring) and oracle hysteresis, measured as full
 //! simulation runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ps_core::{
-    hybrid_total_order, ManualOracle, NeverOracle, Oracle, SwitchConfig, SwitchVariant,
-};
+use ps_bench::timing::Bench;
+use ps_core::{hybrid_total_order, ManualOracle, NeverOracle, Oracle, SwitchConfig, SwitchVariant};
 use ps_harness::experiments::oscillation::{run as run_osc, OscillationConfig};
 use ps_simnet::{PointToPoint, SimTime};
 use ps_stack::GroupSimBuilder;
 use ps_trace::ProcessId;
 use std::hint::black_box;
 
-fn variant_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("switch_variant");
-    g.sample_size(10);
+fn variant_ablation(bench: &mut Bench) {
+    let mut g = bench.group("switch_variant");
+    g.iters(10);
     for (name, variant) in [
         ("broadcast", SwitchVariant::Broadcast),
         ("token_ring", SwitchVariant::TokenRing { idle_hold: SimTime::from_millis(2) }),
     ] {
-        g.bench_with_input(BenchmarkId::new("one_switch", name), &variant, |b, &variant| {
-            b.iter(|| {
-                let mut builder = GroupSimBuilder::new(5)
-                    .seed(1)
-                    .medium(Box::new(PointToPoint::new(SimTime::from_micros(300))))
-                    .stack_factory(move |p, _, ids| {
-                        let oracle: Box<dyn Oracle> = if p == ProcessId(0) {
-                            Box::new(ManualOracle::new(vec![(SimTime::from_millis(20), 1)]))
-                        } else {
-                            Box::new(NeverOracle)
-                        };
-                        let cfg = SwitchConfig {
-                            variant,
-                            observe_interval: SimTime::from_millis(10),
-                            ..SwitchConfig::default()
-                        };
-                        hybrid_total_order(ids, cfg, ProcessId(0), oracle).0
-                    });
-                for i in 0..20u64 {
-                    builder = builder.send_at(
-                        SimTime::from_millis(2 + 3 * i),
-                        ProcessId((i % 5) as u16),
-                        "x",
-                    );
-                }
-                let mut sim = builder.build();
-                sim.run_until(SimTime::from_millis(500));
-                black_box(sim.app_trace().len())
-            })
+        g.bench(format!("one_switch/{name}"), || {
+            let mut builder = GroupSimBuilder::new(5)
+                .seed(1)
+                .medium(Box::new(PointToPoint::new(SimTime::from_micros(300))))
+                .stack_factory(move |p, _, ids| {
+                    let oracle: Box<dyn Oracle> = if p == ProcessId(0) {
+                        Box::new(ManualOracle::new(vec![(SimTime::from_millis(20), 1)]))
+                    } else {
+                        Box::new(NeverOracle)
+                    };
+                    let cfg = SwitchConfig {
+                        variant,
+                        observe_interval: SimTime::from_millis(10),
+                        ..SwitchConfig::default()
+                    };
+                    hybrid_total_order(ids, cfg, ProcessId(0), oracle).0
+                });
+            for i in 0..20u64 {
+                builder = builder.send_at(
+                    SimTime::from_millis(2 + 3 * i),
+                    ProcessId((i % 5) as u16),
+                    "x",
+                );
+            }
+            let mut sim = builder.build();
+            sim.run_until(SimTime::from_millis(500));
+            black_box(sim.app_trace().len())
         });
     }
-    g.finish();
 }
 
-fn hysteresis_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("oracle_hysteresis");
-    g.sample_size(10);
+fn hysteresis_ablation(bench: &mut Bench) {
+    let mut g = bench.group("oracle_hysteresis");
+    g.iters(10);
     for h in [0usize, 2] {
-        g.bench_with_input(BenchmarkId::new("oscillation_run", h), &h, |b, &h| {
-            let cfg = OscillationConfig {
-                hysteresis: vec![h],
-                phases: 4,
-                phase: SimTime::from_millis(200),
-                ..OscillationConfig::default()
-            };
-            b.iter(|| black_box(run_osc(&cfg))[0].switches)
-        });
+        let cfg = OscillationConfig {
+            hysteresis: vec![h],
+            phases: 4,
+            phase: SimTime::from_millis(200),
+            ..OscillationConfig::default()
+        };
+        g.bench(format!("oscillation_run/{h}"), || black_box(run_osc(&cfg))[0].switches);
     }
-    g.finish();
 }
 
-criterion_group!(benches, variant_ablation, hysteresis_ablation);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_args();
+    variant_ablation(&mut bench);
+    hysteresis_ablation(&mut bench);
+    bench.finish();
+}

@@ -2,47 +2,40 @@
 //! switch, against a no-switch baseline of the same workload — the
 //! difference is the simulation cost of the switch machinery itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ps_bench::hybrid_group;
+use ps_bench::timing::Bench;
 use ps_simnet::SimTime;
 use std::hint::black_box;
 
-fn switch_cost(c: &mut Criterion) {
-    let mut g = c.benchmark_group("switch_overhead");
-    g.sample_size(10);
+fn main() {
+    let mut bench = Bench::from_args();
+    let mut g = bench.group("switch_overhead");
+    g.iters(10);
 
-    g.bench_function("no_switch_baseline", |b| {
-        b.iter(|| {
-            let mut sim = hybrid_group(6, 40, vec![]);
-            sim.run_until(SimTime::from_secs(1));
-            black_box(sim.app_trace().len())
-        })
+    g.bench("no_switch_baseline", || {
+        let mut sim = hybrid_group(6, 40, vec![]);
+        sim.run_until(SimTime::from_secs(1));
+        black_box(sim.app_trace().len())
     });
 
-    g.bench_function("one_switch", |b| {
-        b.iter(|| {
-            let mut sim = hybrid_group(6, 40, vec![(SimTime::from_millis(30), 1)]);
-            sim.run_until(SimTime::from_secs(1));
-            black_box(sim.app_trace().len())
-        })
+    g.bench("one_switch", || {
+        let mut sim = hybrid_group(6, 40, vec![(SimTime::from_millis(30), 1)]);
+        sim.run_until(SimTime::from_secs(1));
+        black_box(sim.app_trace().len())
     });
 
-    g.bench_function("four_switches", |b| {
-        b.iter(|| {
-            let plan = vec![
-                (SimTime::from_millis(20), 1),
-                (SimTime::from_millis(40), 0),
-                (SimTime::from_millis(60), 1),
-                (SimTime::from_millis(80), 0),
-            ];
-            let mut sim = hybrid_group(6, 40, plan);
-            sim.run_until(SimTime::from_secs(1));
-            black_box(sim.app_trace().len())
-        })
+    g.bench("four_switches", || {
+        let plan = vec![
+            (SimTime::from_millis(20), 1),
+            (SimTime::from_millis(40), 0),
+            (SimTime::from_millis(60), 1),
+            (SimTime::from_millis(80), 0),
+        ];
+        let mut sim = hybrid_group(6, 40, plan);
+        sim.run_until(SimTime::from_secs(1));
+        black_box(sim.app_trace().len())
     });
 
-    g.finish();
+    drop(g);
+    bench.finish();
 }
-
-criterion_group!(benches, switch_cost);
-criterion_main!(benches);

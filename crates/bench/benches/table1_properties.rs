@@ -1,7 +1,7 @@
 //! Table 1 as a benchmark: evaluation throughput of each property
 //! predicate over generated traces (the checker's inner loop).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_bench::timing::Bench;
 use ps_trace::gen::{seeded, ReliableGen, TraceGen, UniversalGen, VsyncGen};
 use ps_trace::props::standard_suite;
 use ps_trace::{ProcessId, Trace};
@@ -19,28 +19,22 @@ fn traces() -> Vec<Trace> {
     out
 }
 
-fn predicates(c: &mut Criterion) {
+fn main() {
     let trs = traces();
-    let mut g = c.benchmark_group("table1_predicates");
+    let mut bench = Bench::from_args();
+    let mut g = bench.group("table1_predicates");
+    g.batch(8);
     for prop in standard_suite(5) {
-        g.bench_with_input(
-            BenchmarkId::new("holds", prop.name()),
-            &trs,
-            |b, trs| {
-                b.iter(|| {
-                    let mut count = 0u32;
-                    for tr in trs {
-                        if prop.holds(black_box(tr)) {
-                            count += 1;
-                        }
-                    }
-                    black_box(count)
-                })
-            },
-        );
+        g.bench(format!("holds/{}", prop.name()), || {
+            let mut count = 0u32;
+            for tr in &trs {
+                if prop.holds(black_box(tr)) {
+                    count += 1;
+                }
+            }
+            black_box(count)
+        });
     }
-    g.finish();
+    drop(g);
+    bench.finish();
 }
-
-criterion_group!(benches, predicates);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Table 2 as a benchmark: meta-property checking cost, per cell class and
 //! for the whole matrix at the quick budget.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ps_bench::timing::Bench;
 use ps_trace::check::{check_cell, table2, CheckConfig};
 use ps_trace::gen::{ReliableGen, TotalOrderGen, TraceGen, VsyncGen};
 use ps_trace::meta::MetaKind;
@@ -9,44 +9,48 @@ use ps_trace::props::{Reliability, TotalOrder, VirtualSynchrony};
 use ps_trace::ProcessId;
 use std::hint::black_box;
 
-fn cells(c: &mut Criterion) {
+fn main() {
     let group: Vec<ProcessId> = (0..4).map(ProcessId).collect();
     let cfg = CheckConfig::quick();
 
-    let mut g = c.benchmark_group("table2_cells");
-    g.sample_size(20);
+    let mut bench = Bench::from_args();
+    let mut g = bench.group("table2_cells");
+    g.iters(20);
 
     // A ✗ cell found quickly (counterexample on the first prefixes).
-    g.bench_function("reliability_safety_negative", |b| {
+    {
         let prop = Reliability::new(group.clone());
         let gen = ReliableGen { group: group.clone() };
         let gens: [&dyn TraceGen; 1] = [&gen];
-        b.iter(|| black_box(check_cell(&prop, MetaKind::Safety, &gens, &cfg)).preserved)
-    });
+        g.bench("reliability_safety_negative", || {
+            black_box(check_cell(&prop, MetaKind::Safety, &gens, &cfg)).preserved
+        });
+    }
 
     // A ✓ cell (full budget consumed).
-    g.bench_function("total_order_asynchrony_positive", |b| {
+    {
         let gen = TotalOrderGen { group: group.clone() };
         let gens: [&dyn TraceGen; 1] = [&gen];
-        b.iter(|| black_box(check_cell(&TotalOrder, MetaKind::Asynchrony, &gens, &cfg)).preserved)
-    });
+        g.bench("total_order_asynchrony_positive", || {
+            black_box(check_cell(&TotalOrder, MetaKind::Asynchrony, &gens, &cfg)).preserved
+        });
+    }
 
     // The most expensive predicate (virtual synchrony) under erasure.
-    g.bench_function("vsync_memoryless_negative", |b| {
+    {
         let prop = VirtualSynchrony::new(group.clone());
         let gen = VsyncGen { initial: group.clone() };
         let gens: [&dyn TraceGen; 1] = [&gen];
-        b.iter(|| black_box(check_cell(&prop, MetaKind::Memoryless, &gens, &cfg)).preserved)
-    });
-    g.finish();
+        g.bench("vsync_memoryless_negative", || {
+            black_box(check_cell(&prop, MetaKind::Memoryless, &gens, &cfg)).preserved
+        });
+    }
+    drop(g);
 
-    let mut g = c.benchmark_group("table2_full");
-    g.sample_size(10);
-    g.bench_function("quick_matrix_48_cells", |b| {
-        b.iter(|| black_box(table2(4, &cfg)).len())
-    });
-    g.finish();
+    let mut g = bench.group("table2_full");
+    g.iters(10);
+    g.bench("quick_matrix_48_cells", || black_box(table2(4, &cfg)).len());
+    drop(g);
+
+    bench.finish();
 }
-
-criterion_group!(benches, cells);
-criterion_main!(benches);

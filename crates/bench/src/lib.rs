@@ -1,5 +1,6 @@
-//! Shared fixtures for the Criterion benches that regenerate the paper's
-//! tables and figures. Each bench binary corresponds to one artifact:
+//! Shared fixtures and the std-only [`timing`] harness for the benches
+//! that regenerate the paper's tables and figures. Each bench binary
+//! corresponds to one artifact:
 //!
 //! * `fig2_latency` — Figure 2 sweep points (sequencer / token / hybrid).
 //! * `table1_properties` — Table 1 predicate evaluation throughput.
@@ -9,12 +10,12 @@
 //! * `engine_micro` — substrate micro-benchmarks (event queue, codec,
 //!   simulator event loop).
 //!
-//! Bench configurations are intentionally small — Criterion repeats them —
-//! while the `repro` binary runs the full-size experiments once.
+//! Bench configurations are intentionally small — the harness repeats
+//! them — while the `repro` binary runs the full-size experiments once.
 
-use ps_core::{
-    hybrid_total_order, ManualOracle, NeverOracle, Oracle, SwitchConfig, SwitchVariant,
-};
+pub mod timing;
+
+use ps_core::{hybrid_total_order, ManualOracle, NeverOracle, Oracle, SwitchConfig, SwitchVariant};
 use ps_simnet::{EthernetConfig, SharedBus, SimTime};
 use ps_stack::{GroupSim, GroupSimBuilder, Stack};
 use ps_trace::ProcessId;

@@ -1,0 +1,292 @@
+//! Std-only timing harness for the `[[bench]]` binaries.
+//!
+//! Each bench target is a plain `fn main()` that builds a [`Bench`],
+//! registers closures under named groups, and exits. Per benchmark the
+//! harness runs `warmup` untimed iterations, then times `iters`
+//! iterations individually and reports min / mean / median / p99 / max.
+//! Results stream to stdout as JSON lines (one object per benchmark, the
+//! format the `BENCH_*.json` trajectory files are seeded from) with a
+//! human-readable summary on stderr.
+//!
+//! Knobs, all optional:
+//!
+//! * `PS_BENCH_ITERS` / `PS_BENCH_WARMUP` — override the per-group
+//!   defaults globally (useful for a quick smoke run: `PS_BENCH_ITERS=1`).
+//! * `PS_BENCH_OUT=path` — append the JSON lines to a file as well.
+//! * a positional CLI argument — substring filter on `group/id` names.
+//!   Flags such as the `--bench` that `cargo bench` appends are ignored.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Harness configuration, resolved from CLI args and environment.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Untimed iterations before measurement, unless a group overrides.
+    pub warmup: u32,
+    /// Timed iterations per benchmark, unless a group overrides.
+    pub iters: u32,
+    /// Substring filter on `group/id`; `None` runs everything.
+    pub filter: Option<String>,
+    /// Extra JSON-lines sink (`PS_BENCH_OUT`).
+    pub out_path: Option<String>,
+}
+
+impl Config {
+    /// Reads CLI arguments and `PS_BENCH_*` environment variables.
+    ///
+    /// Unknown flags are skipped so the binary tolerates whatever
+    /// `cargo bench` passes (`--bench`, `--exact`, …); the first bare
+    /// argument becomes the name filter, matching cargo's convention.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        let env_u32 =
+            |key: &str| std::env::var(key).ok().and_then(|v| v.trim().parse::<u32>().ok());
+        Config {
+            warmup: env_u32("PS_BENCH_WARMUP").unwrap_or(3),
+            iters: env_u32("PS_BENCH_ITERS").unwrap_or(30),
+            filter,
+            out_path: std::env::var("PS_BENCH_OUT").ok(),
+        }
+    }
+}
+
+/// Summary statistics over the per-iteration wall times, in nanoseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    pub min_ns: u64,
+    pub mean_ns: u64,
+    pub median_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+impl Stats {
+    /// Computes stats from raw samples. Panics on an empty slice.
+    pub fn from_samples(samples: &[u64]) -> Stats {
+        assert!(!samples.is_empty(), "no samples");
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let median_ns =
+            if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2 };
+        // Nearest-rank percentile; for small n this is just the max,
+        // which is the honest answer.
+        let rank = ((n as f64) * 0.99).ceil() as usize;
+        let p99_ns = sorted[rank.clamp(1, n) - 1];
+        Stats {
+            min_ns: sorted[0],
+            mean_ns: (sorted.iter().map(|&s| u128::from(s)).sum::<u128>() / n as u128) as u64,
+            median_ns,
+            p99_ns,
+            max_ns: sorted[n - 1],
+        }
+    }
+}
+
+/// Top-level harness owned by a bench binary's `main`.
+pub struct Bench {
+    cfg: Config,
+    ran: usize,
+}
+
+impl Bench {
+    /// Builds a harness from CLI args and environment (the usual entry).
+    pub fn from_args() -> Bench {
+        Bench { cfg: Config::from_args(), ran: 0 }
+    }
+
+    /// Builds a harness with an explicit config (used by tests).
+    pub fn with_config(cfg: Config) -> Bench {
+        Bench { cfg, ran: 0 }
+    }
+
+    /// Opens a named benchmark group. Groups exist for naming and for
+    /// per-group iteration overrides; drop the group (or let it go out of
+    /// scope) before opening the next.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        let iters = self.cfg.iters;
+        let warmup = self.cfg.warmup;
+        Group { bench: self, name: name.to_string(), iters, warmup, batch: 1 }
+    }
+
+    /// Prints the closing summary line. Call last in `main`.
+    pub fn finish(self) {
+        eprintln!("[ps-bench] {} benchmark(s) run", self.ran);
+    }
+
+    fn record(&mut self, group: &str, id: &str, iters: u32, warmup: u32, batch: u32, stats: Stats) {
+        self.ran += 1;
+        let json = format!(
+            concat!(
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"iters\":{},\"warmup\":{},",
+                "\"batch\":{},\"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},",
+                "\"p99_ns\":{},\"max_ns\":{}}}"
+            ),
+            group,
+            id,
+            iters,
+            warmup,
+            batch,
+            stats.min_ns,
+            stats.mean_ns,
+            stats.median_ns,
+            stats.p99_ns,
+            stats.max_ns,
+        );
+        println!("{json}");
+        if let Some(path) = &self.cfg.out_path {
+            if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(f, "{json}");
+            }
+        }
+        eprintln!(
+            "[ps-bench] {group}/{id}: median {} p99 {} (n={iters})",
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.p99_ns),
+        );
+    }
+}
+
+/// A named group of benchmarks; see [`Bench::group`].
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    iters: u32,
+    warmup: u32,
+    batch: u32,
+}
+
+impl Group<'_> {
+    /// Overrides the timed iteration count for this group (the analogue
+    /// of criterion's `sample_size`). `PS_BENCH_ITERS` still wins.
+    pub fn iters(&mut self, n: u32) -> &mut Self {
+        if std::env::var("PS_BENCH_ITERS").is_err() {
+            self.iters = n.max(1);
+        }
+        self
+    }
+
+    /// Runs the closure `k` times per timed sample and divides, for
+    /// benchmarks too fast for a single `Instant` read to resolve.
+    pub fn batch(&mut self, k: u32) -> &mut Self {
+        self.batch = k.max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark. The closure's return
+    /// value is passed through [`std::hint::black_box`] so the work is
+    /// not optimized away.
+    pub fn bench<R>(&mut self, id: impl Display, mut f: impl FnMut() -> R) {
+        let id = id.to_string();
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.bench.cfg.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            for _ in 0..self.batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as u64;
+            samples.push(elapsed / u64::from(self.batch));
+        }
+        let stats = Stats::from_samples(&samples);
+        let (name, iters, warmup, batch) = (self.name.clone(), self.iters, self.warmup, self.batch);
+        self.bench.record(&name, &id, iters, warmup, batch, stats);
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_samples() {
+        let s = Stats::from_samples(&[10, 20, 30, 40, 50]);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 50);
+        assert_eq!(s.median_ns, 30);
+        assert_eq!(s.mean_ns, 30);
+        assert_eq!(s.p99_ns, 50);
+    }
+
+    #[test]
+    fn even_sample_count_averages_middle_pair() {
+        let s = Stats::from_samples(&[10, 20, 30, 40]);
+        assert_eq!(s.median_ns, 25);
+    }
+
+    #[test]
+    fn p99_nearest_rank_on_large_sample() {
+        let samples: Vec<u64> = (1..=1000).collect();
+        let s = Stats::from_samples(&samples);
+        assert_eq!(s.p99_ns, 990);
+        assert_eq!(s.median_ns, 500);
+    }
+
+    #[test]
+    fn bench_runs_and_counts() {
+        let cfg = Config { warmup: 1, iters: 5, filter: None, out_path: None };
+        let mut b = Bench::with_config(cfg);
+        let mut calls = 0u32;
+        {
+            let mut g = b.group("self");
+            g.bench("count_calls", || {
+                calls += 1;
+                calls
+            });
+        }
+        // 1 warmup + 5 timed.
+        assert_eq!(calls, 6);
+        assert_eq!(b.ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let cfg = Config { warmup: 0, iters: 1, filter: Some("match_me".into()), out_path: None };
+        let mut b = Bench::with_config(cfg);
+        let mut hits = 0u32;
+        {
+            let mut g = b.group("self");
+            g.bench("other", || hits += 1);
+            g.bench("match_me_please", || hits += 1);
+        }
+        assert_eq!(hits, 1);
+        assert_eq!(b.ran, 1);
+    }
+
+    #[test]
+    fn batch_divides_per_iteration() {
+        let cfg = Config { warmup: 0, iters: 2, filter: None, out_path: None };
+        let mut b = Bench::with_config(cfg);
+        let mut calls = 0u32;
+        {
+            let mut g = b.group("self");
+            g.batch(10).bench("batched", || calls += 1);
+        }
+        assert_eq!(calls, 20);
+    }
+}

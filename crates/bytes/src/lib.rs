@@ -1,0 +1,488 @@
+//! Std-only byte buffers for the protocol-switching workspace.
+//!
+//! The workspace needs exactly two things from a byte-buffer library:
+//!
+//! * [`Bytes`] — an immutable, cheaply clonable, sliceable view of a byte
+//!   string, passed between protocol layers as an opaque payload.
+//! * [`BytesMut`] — an append-only build buffer that freezes into a
+//!   [`Bytes`] without copying.
+//!
+//! Both are implemented here on top of `Arc<[u8]>` (plus a zero-alloc
+//! `&'static [u8]` representation) so the workspace builds with **zero
+//! external dependencies**. The API is the subset of the `bytes` crate the
+//! repo actually uses; it is not a drop-in replacement for the full crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use ps_bytes::Bytes;
+//!
+//! let b = Bytes::from(vec![1u8, 2, 3, 4]);
+//! let tail = b.slice(2..);
+//! assert_eq!(&tail[..], &[3, 4]);
+//! // Clones share the underlying allocation.
+//! let c = b.clone();
+//! assert_eq!(b, c);
+//! ```
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Immutable, cheaply clonable byte string.
+///
+/// Cloning is O(1): the two clones share one allocation (or, for
+/// [`Bytes::from_static`], no allocation at all). [`Bytes::slice`] is also
+/// O(1) and shares storage with its parent.
+///
+/// Equality, ordering and hashing are all by content, so a sliced view
+/// compares equal to a freshly allocated buffer with the same bytes.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    start: usize,
+    end: usize,
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// Borrowed from static memory; never allocates or counts references.
+    Static(&'static [u8]),
+    /// Shared heap allocation.
+    Shared(Arc<[u8]>),
+}
+
+impl Repr {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a,
+        }
+    }
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`. Does not allocate.
+    pub const fn new() -> Self {
+        Bytes { repr: Repr::Static(&[]), start: 0, end: 0 }
+    }
+
+    /// Wraps a static byte slice without allocating.
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes { repr: Repr::Static(bytes), start: 0, end: bytes.len() }
+    }
+
+    /// Copies `data` into a new shared allocation.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from_arc(Arc::from(data))
+    }
+
+    fn from_arc(arc: Arc<[u8]>) -> Self {
+        let end = arc.len();
+        Bytes { repr: Repr::Shared(arc), start: 0, end }
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Borrows the viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.repr.as_slice()[self.start..self.end]
+    }
+
+    /// Returns a sub-view sharing storage with `self` (O(1), no copy).
+    ///
+    /// Accepts any range kind: `b.slice(1..3)`, `b.slice(..2)`,
+    /// `b.slice(4..)`, `b.slice(..)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted, matching slice
+    /// indexing semantics.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(lo <= hi, "slice range inverted: {lo} > {hi}");
+        assert!(hi <= len, "slice range {hi} out of bounds for length {len}");
+        Bytes { repr: self.repr.clone(), start: self.start + lo, end: self.start + hi }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes::from_arc(Arc::from(v))
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Bytes {
+    fn from(s: &'static [u8; N]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Content hash, consistent with `Borrow<[u8]>`.
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            // ASCII-escape, like the `bytes` crate: printable chars pass
+            // through, the rest render as \xNN.
+            match b {
+                b'"' => write!(f, "\\\"")?,
+                b'\\' => write!(f, "\\\\")?,
+                b'\n' => write!(f, "\\n")?,
+                b'\r' => write!(f, "\\r")?,
+                b'\t' => write!(f, "\\t")?,
+                0x20..=0x7e => write!(f, "{}", b as char)?,
+                _ => write!(f, "\\x{b:02x}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = IntoIter;
+    fn into_iter(self) -> IntoIter {
+        IntoIter { bytes: self, pos: 0 }
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Owning byte iterator returned by [`Bytes::into_iter`].
+#[derive(Debug)]
+pub struct IntoIter {
+    bytes: Bytes,
+    pos: usize,
+}
+
+impl Iterator for IntoIter {
+    type Item = u8;
+    fn next(&mut self) -> Option<u8> {
+        let b = self.bytes.as_slice().get(self.pos).copied();
+        self.pos += 1;
+        b
+    }
+}
+
+/// Append-only byte buffer that freezes into a shared [`Bytes`].
+///
+/// All integer appends are explicitly little-endian (`put_u16_le` etc.),
+/// matching the wire format used throughout the workspace.
+///
+/// # Examples
+///
+/// ```
+/// use ps_bytes::BytesMut;
+///
+/// let mut buf = BytesMut::with_capacity(16);
+/// buf.put_u8(1);
+/// buf.put_u32_le(0xdead_beef);
+/// buf.put_slice(b"tail");
+/// let frozen = buf.freeze();
+/// assert_eq!(frozen.len(), 9);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub const fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Creates an empty buffer with `cap` bytes of pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16_le(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64_le(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian IEEE-754 `f64`.
+    pub fn put_f64_le(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a byte slice.
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`] (single move of the
+    /// backing storage into a shared allocation, no extra copy of content).
+    pub fn freeze(self) -> Bytes {
+        if self.buf.is_empty() {
+            Bytes::new()
+        } else {
+            Bytes::from(self.buf)
+        }
+    }
+
+    /// Consumes the buffer and returns the raw `Vec<u8>`.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn static_and_owned_compare_equal() {
+        let s = Bytes::from_static(b"abc");
+        let o = Bytes::from(vec![b'a', b'b', b'c']);
+        assert_eq!(s, o);
+        assert_eq!(hash_of(&s), hash_of(&o));
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![0u8; 1024]);
+        let b = a.clone();
+        // Same backing allocation: pointer equality of the slices.
+        assert!(std::ptr::eq(a.as_slice(), b.as_slice()));
+    }
+
+    #[test]
+    fn slice_is_a_view() {
+        let a = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let mid = a.slice(1..4);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        let mid2 = mid.slice(1..);
+        assert_eq!(&mid2[..], &[3, 4]);
+        assert_eq!(a.slice(..), a);
+        assert!(a.slice(2..2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from_static(b"ab").slice(..3);
+    }
+
+    #[test]
+    fn freeze_roundtrip() {
+        let mut m = BytesMut::new();
+        m.put_u16_le(0x0102);
+        m.put_u8(9);
+        let b = m.freeze();
+        assert_eq!(&b[..], &[2, 1, 9]);
+    }
+
+    #[test]
+    fn empty_freeze_is_static_empty() {
+        assert_eq!(BytesMut::new().freeze(), Bytes::new());
+        assert!(BytesMut::new().freeze().is_empty());
+    }
+
+    #[test]
+    fn debug_escapes() {
+        let b = Bytes::from_static(b"a\"\n\x01");
+        assert_eq!(format!("{b:?}"), "b\"a\\\"\\n\\x01\"");
+    }
+}

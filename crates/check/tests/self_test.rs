@@ -1,0 +1,84 @@
+//! ps-check testing itself: passing properties stay quiet, failing
+//! properties produce a reproducible report, and case generation is
+//! bit-stable across runs.
+
+use ps_check::prelude::*;
+use std::cell::RefCell;
+
+props! {
+    #![config(cases = 32)]
+
+    fn passing_property_runs_clean(v in vec_of(arb::<u16>(), 0..32), flip in arb::<bool>()) {
+        let mut w = v.clone();
+        w.reverse();
+        if flip {
+            w.reverse();
+            assert_eq!(w, v);
+        } else {
+            assert_eq!(w.len(), v.len());
+        }
+    }
+}
+
+/// A deliberately failing property must report its seed, a minimal case,
+/// and a replay incantation.
+#[test]
+fn failing_property_reports_seed_and_minimal_case() {
+    let result = std::panic::catch_unwind(|| {
+        ps_check::check(
+            "self_test::no_vec_longer_than_two",
+            vec_of(arb::<u8>(), 0..64),
+            &Config::default(),
+            |v: Vec<u8>| {
+                assert!(v.len() < 3, "vec of len {} sneaked in", v.len());
+            },
+        );
+    });
+    let payload = result.expect_err("property must fail");
+    let msg = payload.downcast_ref::<String>().expect("ps-check panics with a String");
+    assert!(msg.contains("no_vec_longer_than_two"), "{msg}");
+    assert!(msg.contains("seed: 0x"), "{msg}");
+    assert!(msg.contains("minimal"), "{msg}");
+    assert!(msg.contains("PS_CHECK_REPLAY="), "{msg}");
+    assert!(msg.contains("sneaked in"), "original assert message lost: {msg}");
+}
+
+/// The minimal case found for "no vec longer than two" is exactly length
+/// three — the smallest input that can violate the property.
+#[test]
+fn minimization_finds_smallest_failing_length() {
+    let result = std::panic::catch_unwind(|| {
+        ps_check::check(
+            "self_test::minimal_is_len_three",
+            vec_of(0u8..1, 0..64),
+            &Config::default(),
+            |v: Vec<u8>| assert!(v.len() < 3),
+        );
+    });
+    let payload = result.expect_err("property must fail");
+    let msg = payload.downcast_ref::<String>().unwrap();
+    // All elements are 0, so the minimal input line is exactly [0, 0, 0].
+    assert!(msg.contains("minimal input: [0, 0, 0]"), "{msg}");
+}
+
+/// Two runs of the same property draw identical case streams: the suite
+/// is deterministic end to end.
+#[test]
+fn case_streams_are_bit_stable_across_runs() {
+    let record = |log: &RefCell<Vec<(u64, Vec<u8>)>>| {
+        ps_check::check(
+            "self_test::recorder",
+            (arb::<u64>(), vec_of(arb::<u8>(), 0..16)),
+            &Config::default().cases(40),
+            |(n, v)| {
+                log.borrow_mut().push((n, v));
+            },
+        );
+    };
+    let first = RefCell::new(Vec::new());
+    let second = RefCell::new(Vec::new());
+    record(&first);
+    record(&second);
+    assert_eq!(*first.borrow(), *second.borrow());
+    assert_eq!(first.borrow().len(), 40);
+}

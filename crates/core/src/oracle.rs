@@ -175,10 +175,8 @@ mod tests {
 
     #[test]
     fn manual_fires_in_order() {
-        let mut o = ManualOracle::new(vec![
-            (SimTime::from_millis(10), 1),
-            (SimTime::from_millis(20), 0),
-        ]);
+        let mut o =
+            ManualOracle::new(vec![(SimTime::from_millis(10), 1), (SimTime::from_millis(20), 0)]);
         assert_eq!(o.decide(&obs(5, 0, 0)), None);
         assert_eq!(o.decide(&obs(11, 0, 0)), Some(1));
         assert_eq!(o.decide(&obs(12, 1, 0)), None);

@@ -1,7 +1,7 @@
 use crate::control::{Control, CountVector, RingToken, TokenMode};
 use crate::oracle::{Oracle, SwitchObs};
 use crate::stats::{SwitchHandle, SwitchRecord};
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_simnet::{DetRng, SimTime};
 use ps_stack::{channel, ChannelId, Frame, Layer, LayerCtx, LayerId, Stack, StackEnv};
 use ps_trace::{Message, ProcessId};
@@ -314,9 +314,8 @@ impl SwitchLayer {
             return;
         }
         let Some(vector) = &self.expected else { return };
-        let drained = vector
-            .iter()
-            .all(|(q, c)| self.delivered_from.get(q).copied().unwrap_or(0) >= *c);
+        let drained =
+            vector.iter().all(|(q, c)| self.delivered_from.get(q).copied().unwrap_or(0) >= *c);
         if !drained {
             return;
         }
@@ -393,11 +392,7 @@ impl SwitchLayer {
                     return;
                 }
                 self.enter_switching(ctx);
-                let ok = Control::Ok {
-                    era,
-                    member: ctx.me(),
-                    count: self.sent_current,
-                };
+                let ok = Control::Ok { era, member: ctx.me(), count: self.sent_current };
                 self.send_control(ps_stack::Cast::To(src), ok.to_bytes(), ctx);
             }
             Control::Ok { era, member, count } => {
@@ -594,8 +589,7 @@ impl Layer for SwitchLayer {
             ChannelId::CONTROL => {
                 let mut sink = Vec::new();
                 {
-                    let mut env =
-                        SubEnv { ctx, channel: ChannelId::CONTROL, sink: &mut sink };
+                    let mut env = SubEnv { ctx, channel: ChannelId::CONTROL, sink: &mut sink };
                     self.control.receive(src, payload, &mut env);
                 }
                 for (_, envelope) in sink {
@@ -629,8 +623,7 @@ impl Layer for SwitchLayer {
 
     fn route_timer(&mut self, id: LayerId, token: u32, ctx: &mut LayerCtx<'_>) -> bool {
         for idx in 0..2 {
-            let (handled, sink) =
-                self.run_sub(idx, ctx, |stack, env| stack.timer(id, token, env));
+            let (handled, sink) = self.run_sub(idx, ctx, |stack, env| stack.timer(id, token, env));
             if handled {
                 self.process_deliveries(idx, sink, ctx);
                 return true;

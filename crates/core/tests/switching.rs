@@ -1,9 +1,9 @@
 //! End-to-end tests of the switching protocol over live stacks.
 
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_core::{
-    hybrid_total_order, ManualOracle, NeverOracle, Oracle, SwitchConfig, SwitchHandle,
-    SwitchLayer, SwitchVariant, ThresholdOracle,
+    hybrid_total_order, ManualOracle, NeverOracle, Oracle, SwitchConfig, SwitchHandle, SwitchLayer,
+    SwitchVariant, ThresholdOracle,
 };
 use ps_protocols::{FifoLayer, NoReplayLayer, SeqOrderLayer};
 use ps_simnet::{PointToPoint, SimTime};
@@ -39,10 +39,8 @@ fn hybrid_sim(
 ) -> (GroupSim, Handles) {
     let handles: Handles = Rc::new(RefCell::new(Vec::new()));
     let h2 = handles.clone();
-    let mut b = GroupSimBuilder::new(n)
-        .seed(seed)
-        .medium(p2p(300))
-        .stack_factory(move |p, _, ids| {
+    let mut b =
+        GroupSimBuilder::new(n).seed(seed).medium(p2p(300)).stack_factory(move |p, _, ids| {
             let cfg = SwitchConfig {
                 variant,
                 observe_interval: SimTime::from_millis(10),
@@ -163,11 +161,7 @@ fn old_protocol_messages_all_precede_new_protocol_messages() {
     );
     let handles = handles.borrow();
     let started = handles[0].snapshot().records[0].started_at;
-    let completed = handles
-        .iter()
-        .map(|h| h.snapshot().records[0].completed_at)
-        .max()
-        .unwrap();
+    let completed = handles.iter().map(|h| h.snapshot().records[0].completed_at).max().unwrap();
     let sends = sim.send_times();
     let tr = sim.app_trace();
     // Old messages: sent before the initiator started switching.
@@ -224,15 +218,9 @@ fn no_replay_is_not_preserved_by_switching() {
         sim.app_trace()
     };
     let without = run(false);
-    assert!(
-        NoReplay.holds(&without),
-        "single protocol suppresses the replay: {without}"
-    );
+    assert!(NoReplay.holds(&without), "single protocol suppresses the replay: {without}");
     let with = run(true);
-    assert!(
-        !NoReplay.holds(&with),
-        "switching defeats per-protocol replay suppression: {with}"
-    );
+    assert!(!NoReplay.holds(&with), "switching defeats per-protocol replay suppression: {with}");
 }
 
 #[test]
@@ -241,36 +229,29 @@ fn threshold_oracle_adapts_to_load() {
     // (token wins): the hysteresis oracle must switch exactly once.
     let handles: Handles = Rc::new(RefCell::new(Vec::new()));
     let h2 = handles.clone();
-    let mut b = GroupSimBuilder::new(8)
-        .seed(7)
-        .medium(p2p(300))
-        .stack_factory(move |p, _, ids| {
-            let oracle: Box<dyn Oracle> = if p == ProcessId(0) {
-                Box::new(ThresholdOracle::new(4, 1))
-            } else {
-                Box::new(NeverOracle)
-            };
-            let cfg = SwitchConfig {
-                variant: SwitchVariant::TokenRing { idle_hold: SimTime::from_millis(1) },
-                observe_interval: SimTime::from_millis(50),
-                observe_window: SimTime::from_millis(300),
-                ..SwitchConfig::default()
-            };
-            let (stack, handle) = hybrid_total_order(ids, cfg, ProcessId(0), oracle);
-            h2.borrow_mut().push(handle);
-            stack
-        });
+    let mut b = GroupSimBuilder::new(8).seed(7).medium(p2p(300)).stack_factory(move |p, _, ids| {
+        let oracle: Box<dyn Oracle> = if p == ProcessId(0) {
+            Box::new(ThresholdOracle::new(4, 1))
+        } else {
+            Box::new(NeverOracle)
+        };
+        let cfg = SwitchConfig {
+            variant: SwitchVariant::TokenRing { idle_hold: SimTime::from_millis(1) },
+            observe_interval: SimTime::from_millis(50),
+            observe_window: SimTime::from_millis(300),
+            ..SwitchConfig::default()
+        };
+        let (stack, handle) = hybrid_total_order(ids, cfg, ProcessId(0), oracle);
+        h2.borrow_mut().push(handle);
+        stack
+    });
     // Phase 1 (0–300 ms): only p1 sends.
     for i in 0..15u64 {
         b = b.send_at(SimTime::from_millis(5 + 20 * i), ProcessId(1), b"lo");
     }
     // Phase 2 (400–900 ms): six senders at 50 msg/s each.
     for i in 0..150u64 {
-        b = b.send_at(
-            SimTime::from_millis(400 + 3 * i),
-            ProcessId((1 + i % 6) as u16),
-            b"hi",
-        );
+        b = b.send_at(SimTime::from_millis(400 + 3 * i), ProcessId((1 + i % 6) as u16), b"hi");
     }
     let mut sim = b.build();
     // Stop while the high-load phase is still active (the oracle would —
@@ -293,10 +274,8 @@ fn zero_hysteresis_oscillates_hysteresis_does_not() {
     let run = |hysteresis: usize| {
         let handles: Handles = Rc::new(RefCell::new(Vec::new()));
         let h2 = handles.clone();
-        let mut b = GroupSimBuilder::new(8)
-            .seed(8)
-            .medium(p2p(300))
-            .stack_factory(move |p, _, ids| {
+        let mut b =
+            GroupSimBuilder::new(8).seed(8).medium(p2p(300)).stack_factory(move |p, _, ids| {
                 let oracle: Box<dyn Oracle> = if p == ProcessId(0) {
                     Box::new(ThresholdOracle::new(4, hysteresis))
                 } else {
@@ -346,20 +325,17 @@ fn switch_between_identical_protocols_is_transparent() {
     // protocol — the application must see nothing but a complete, ordered
     // stream.
     let plan = vec![(SimTime::from_millis(50), 1), (SimTime::from_millis(120), 0)];
-    let mut b = GroupSimBuilder::new(4)
-        .seed(9)
-        .medium(p2p(300))
-        .stack_factory(move |p, _, ids| {
-            let a = Stack::with_ids(vec![Box::new(SeqOrderLayer::new(ProcessId(0)))], ids);
-            let b2 = Stack::with_ids(vec![Box::new(SeqOrderLayer::new(ProcessId(0)))], ids);
-            let cfg = SwitchConfig {
-                variant: SwitchVariant::Broadcast,
-                observe_interval: SimTime::from_millis(10),
-                ..SwitchConfig::default()
-            };
-            let (layer, _) = SwitchLayer::new(cfg, a, b2, decider_oracle(p, plan.clone()));
-            Stack::with_ids(vec![Box::new(layer)], ids)
-        });
+    let mut b = GroupSimBuilder::new(4).seed(9).medium(p2p(300)).stack_factory(move |p, _, ids| {
+        let a = Stack::with_ids(vec![Box::new(SeqOrderLayer::new(ProcessId(0)))], ids);
+        let b2 = Stack::with_ids(vec![Box::new(SeqOrderLayer::new(ProcessId(0)))], ids);
+        let cfg = SwitchConfig {
+            variant: SwitchVariant::Broadcast,
+            observe_interval: SimTime::from_millis(10),
+            ..SwitchConfig::default()
+        };
+        let (layer, _) = SwitchLayer::new(cfg, a, b2, decider_oracle(p, plan.clone()));
+        Stack::with_ids(vec![Box::new(layer)], ids)
+    });
     for i in 0..50u64 {
         b = b.send_at(SimTime::from_millis(2 + 4 * i), ProcessId((i % 4) as u16), format!("u{i}"));
     }
@@ -378,10 +354,8 @@ fn token_order_under_switch_with_single_member_group() {
     let plan = vec![(SimTime::from_millis(20), 1)];
     let handles: Handles = Rc::new(RefCell::new(Vec::new()));
     let h2 = handles.clone();
-    let mut b = GroupSimBuilder::new(1)
-        .seed(10)
-        .medium(p2p(100))
-        .stack_factory(move |p, _, ids| {
+    let mut b =
+        GroupSimBuilder::new(1).seed(10).medium(p2p(100)).stack_factory(move |p, _, ids| {
             let cfg = SwitchConfig {
                 variant: SwitchVariant::TokenRing { idle_hold: SimTime::from_millis(1) },
                 observe_interval: SimTime::from_millis(5),
@@ -431,10 +405,8 @@ fn concurrent_initiators_broadcast_variant_converges() {
     // completes exactly one switch and ends on the same protocol.
     let handles: Handles = Rc::new(RefCell::new(Vec::new()));
     let h2 = handles.clone();
-    let mut b = GroupSimBuilder::new(4)
-        .seed(21)
-        .medium(p2p(300))
-        .stack_factory(move |p, _, ids| {
+    let mut b =
+        GroupSimBuilder::new(4).seed(21).medium(p2p(300)).stack_factory(move |p, _, ids| {
             let oracle: Box<dyn Oracle> = if p == ProcessId(0) || p == ProcessId(1) {
                 Box::new(ManualOracle::new(vec![(SimTime::from_millis(40), 1)]))
             } else {
@@ -470,10 +442,8 @@ fn concurrent_initiators_token_variant_serialize() {
     // protocol 1; one seizes the token, the other's wish becomes a no-op.
     let handles: Handles = Rc::new(RefCell::new(Vec::new()));
     let h2 = handles.clone();
-    let mut b = GroupSimBuilder::new(4)
-        .seed(22)
-        .medium(p2p(300))
-        .stack_factory(move |p, _, ids| {
+    let mut b =
+        GroupSimBuilder::new(4).seed(22).medium(p2p(300)).stack_factory(move |p, _, ids| {
             let oracle: Box<dyn Oracle> = if p.0 <= 1 {
                 Box::new(ManualOracle::new(vec![(SimTime::from_millis(40), 1)]))
             } else {

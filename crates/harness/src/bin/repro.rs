@@ -56,8 +56,11 @@ fn main() {
         emit(&opts, &table1::render(&demos));
     }
     if all || opts.what == "table2" {
-        let cfg =
-            if opts.quick { table2::Table2Config::quick() } else { table2::Table2Config::default() };
+        let cfg = if opts.quick {
+            table2::Table2Config::quick()
+        } else {
+            table2::Table2Config::default()
+        };
         let rows = table2::run(&cfg);
         emit(&opts, &table2::render(&rows));
         let (agree, pinned) = table2::agreement(&rows);
@@ -81,8 +84,11 @@ fn main() {
         emit(&opts, &overhead::render(&r));
     }
     if all || opts.what == "ablation" {
-        let cfg =
-            if opts.quick { ablation::AblationConfig::quick() } else { ablation::AblationConfig::default() };
+        let cfg = if opts.quick {
+            ablation::AblationConfig::quick()
+        } else {
+            ablation::AblationConfig::default()
+        };
         let r = ablation::run(&cfg);
         emit(&opts, &ablation::render(&r));
     }

@@ -12,7 +12,10 @@
 use crate::measure::{latency_stats, LatencyStats, SteadyStateWindow};
 use crate::report::Table;
 use crate::workload::{periodic_senders, WorkloadSpec};
-use ps_core::{hybrid_total_order, NeverOracle, Oracle, SwitchConfig, SwitchHandle, SwitchVariant, ThresholdOracle};
+use ps_core::{
+    hybrid_total_order, NeverOracle, Oracle, SwitchConfig, SwitchHandle, SwitchVariant,
+    ThresholdOracle,
+};
 use ps_protocols::{SeqOrderLayer, TokenOrderLayer};
 use ps_simnet::{EthernetConfig, SharedBus, SimTime};
 use ps_stack::{GroupSim, GroupSimBuilder, Stack};
@@ -131,7 +134,11 @@ pub struct Fig2Result {
 
 /// Runs one configuration (protocol × sender count) and returns the sim
 /// plus, for the hybrid, its switch handles.
-pub fn run_point(cfg: &Fig2Config, series: Series, k: u16) -> (GroupSim, Option<Vec<SwitchHandle>>) {
+pub fn run_point(
+    cfg: &Fig2Config,
+    series: Series,
+    k: u16,
+) -> (GroupSim, Option<Vec<SwitchHandle>>) {
     let spec = WorkloadSpec {
         rate_per_sender: cfg.rate,
         body_bytes: cfg.body_bytes,
@@ -262,7 +269,15 @@ pub fn find_crossover(points: &[Fig2Point]) -> Option<(u16, u16)> {
 pub fn render(result: &Fig2Result) -> Table {
     let mut t = Table::new(
         "Figure 2 — message latency (ms) vs. active senders (n=10, 50 msg/s each)",
-        vec!["senders", "sequencer", "token", "hybrid", "hybrid settled", "hybrid proto", "switches"],
+        vec![
+            "senders",
+            "sequencer",
+            "token",
+            "hybrid",
+            "hybrid settled",
+            "hybrid proto",
+            "switches",
+        ],
     );
     for p in &result.points {
         t.row(vec![

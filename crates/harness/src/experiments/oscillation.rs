@@ -126,10 +126,8 @@ pub fn run(cfg: &OscillationConfig) -> Vec<OscillationPoint> {
             sim.run_until(t + SimTime::from_secs(2));
             let switches =
                 handles.borrow().iter().map(|h| h.switches_completed()).max().unwrap_or(0);
-            let stats = latency_stats(
-                &sim,
-                SteadyStateWindow::between(SimTime::from_millis(100), t),
-            );
+            let stats =
+                latency_stats(&sim, SteadyStateWindow::between(SimTime::from_millis(100), t));
             OscillationPoint { hysteresis: h, switches, mean_latency: stats.mean }
         })
         .collect()

@@ -140,10 +140,8 @@ pub fn run(cfg: &OverheadConfig) -> OverheadResult {
             cfg.switch_at.saturating_sub(SimTime::from_millis(100)),
         );
         for (i, &(from, to)) in [(0usize, 1usize), (1, 0)].iter().enumerate() {
-            let recs: Vec<_> = handles
-                .iter()
-                .filter_map(|h| h.snapshot().records.get(i).cloned())
-                .collect();
+            let recs: Vec<_> =
+                handles.iter().filter_map(|h| h.snapshot().records.get(i).cloned()).collect();
             if recs.len() < usize::from(cfg.group) {
                 continue; // switch did not complete everywhere
             }

@@ -2,7 +2,7 @@
 //! implemented by its protocol layer, violated by a baseline without it.
 
 use crate::report::Table;
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_protocols::{
     ConfidentialityLayer, IntegrityLayer, NoReplayLayer, PriorityLayer, ReliableLayer,
     SeqOrderLayer, VsyncConfig, VsyncLayer,
@@ -41,9 +41,10 @@ fn run_stack<F>(n: u16, seed: u64, medium: Box<dyn Medium>, msgs: usize, factory
 where
     F: Fn(ProcessId) -> Vec<Box<dyn Layer>> + 'static,
 {
-    let mut b = GroupSimBuilder::new(n).seed(seed).medium(medium).stack_factory(move |p, _, ids| {
-        Stack::with_ids(factory(p), ids)
-    });
+    let mut b = GroupSimBuilder::new(n)
+        .seed(seed)
+        .medium(medium)
+        .stack_factory(move |p, _, ids| Stack::with_ids(factory(p), ids));
     for i in 0..msgs {
         b = b.send_at(
             SimTime::from_millis(2 + 4 * i as u64),
@@ -66,9 +67,9 @@ fn release_boundary(tr: &Trace) -> Trace {
         match e {
             Event::Send(_) => {}
             Event::Deliver(_, m) => {
-                let first = !out.iter().any(
-                    |x: &Event| matches!(x, Event::Deliver(_, m2) if m2.id == m.id),
-                );
+                let first = !out
+                    .iter()
+                    .any(|x: &Event| matches!(x, Event::Deliver(_, m2) if m2.id == m.id));
                 if first {
                     out.push(Event::send(m.clone()));
                 }
@@ -87,7 +88,8 @@ pub fn run() -> Vec<Demo> {
     // Reliability: 25% loss; the reliable layer retransmits, the bare
     // stack loses messages.
     {
-        let lossy = || Box::new(Lossy::new(Box::new(PointToPoint::new(SimTime::from_micros(200))), 0.25));
+        let lossy =
+            || Box::new(Lossy::new(Box::new(PointToPoint::new(SimTime::from_micros(200))), 0.25));
         let with = run_stack(4, 11, lossy(), 12, |_| vec![Box::new(ReliableLayer::new())]);
         let base = run_stack(4, 11, lossy(), 12, |_| vec![]);
         let prop = Reliability::new(group4.clone());
@@ -201,10 +203,8 @@ pub fn run() -> Vec<Demo> {
         // One eager sender over a jittery network: without self-clocking,
         // a later message's fastest copy overtakes the earlier message's
         // self-delivery, violating the property at the release boundary.
-        let mut b = GroupSimBuilder::new(3)
-            .seed(17)
-            .medium(jittery(800, 3))
-            .stack_factory(|_, _, ids| {
+        let mut b =
+            GroupSimBuilder::new(3).seed(17).medium(jittery(800, 3)).stack_factory(|_, _, ids| {
                 Stack::with_ids(vec![Box::new(ps_protocols::AmoebaLayer::new())], ids)
             });
         let mut b2 = GroupSimBuilder::new(3)

@@ -101,12 +101,7 @@ pub fn latency_stats(sim: &GroupSim, window: SteadyStateWindow) -> LatencyStats 
 
 /// The largest gap between consecutive deliveries at `process` within
 /// `[from, to]` — the application-perceived "hiccup" of §7.
-pub fn max_delivery_gap(
-    sim: &GroupSim,
-    process: ProcessId,
-    from: SimTime,
-    to: SimTime,
-) -> SimTime {
+pub fn max_delivery_gap(sim: &GroupSim, process: ProcessId, from: SimTime, to: SimTime) -> SimTime {
     let mut times: Vec<SimTime> = sim
         .deliveries()
         .into_iter()
@@ -114,11 +109,7 @@ pub fn max_delivery_gap(
         .map(|d| d.at)
         .collect();
     times.sort_unstable();
-    times
-        .windows(2)
-        .map(|w| w[1] - w[0])
-        .max()
-        .unwrap_or(SimTime::ZERO)
+    times.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(SimTime::ZERO)
 }
 
 #[cfg(test)]

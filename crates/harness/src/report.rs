@@ -100,12 +100,8 @@ impl fmt::Display for Table {
             }
             out
         };
-        let header_line: String = self
-            .header
-            .iter()
-            .enumerate()
-            .map(|(i, h)| pad(h, w[i]))
-            .collect();
+        let header_line: String =
+            self.header.iter().enumerate().map(|(i, h)| pad(h, w[i])).collect();
         writeln!(f, "{}", header_line.trim_end())?;
         writeln!(f, "{}", "-".repeat(width(header_line.trim_end())))?;
         for r in &self.rows {
@@ -147,7 +143,8 @@ mod tests {
         let hdr = lines[1];
         let row = lines[3];
         let hdr_idx = hdr.find("long-header").unwrap();
-        let row_idx = row.char_indices().nth(hdr.chars().take_while(|c| *c != 'l').count()).map(|(i, _)| i);
+        let row_idx =
+            row.char_indices().nth(hdr.chars().take_while(|c| *c != 'l').count()).map(|(i, _)| i);
         assert!(row_idx.is_some());
         assert!(hdr_idx > 0);
     }

@@ -1,7 +1,7 @@
 //! Workload generators — the paper's "subgroup of varying size is sending
 //! 50 messages per second per member".
 
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_simnet::{DetRng, SimTime};
 use ps_trace::ProcessId;
 

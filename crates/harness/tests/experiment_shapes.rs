@@ -47,10 +47,7 @@ fn fig2_crossover_and_envelope() {
     assert_eq!(by_k(8).hybrid_final, 1);
     assert!(by_k(8).hybrid_switches >= 1);
     let settled = by_k(8).hybrid_settled.mean;
-    assert!(
-        settled < p8.latency[0].mean,
-        "settled hybrid must beat the protocol it abandoned"
-    );
+    assert!(settled < p8.latency[0].mean, "settled hybrid must beat the protocol it abandoned");
 }
 
 #[test]
@@ -136,8 +133,5 @@ fn ablation_both_variants_complete_and_token_scales_with_ring() {
     // broadcast variant's stays roughly flat.
     let token_small = r.iter().find(|p| p.variant == "token-ring" && p.group == 4).unwrap();
     let token_large = r.iter().find(|p| p.variant == "token-ring" && p.group == 10).unwrap();
-    assert!(
-        token_large.worst >= token_small.worst,
-        "{token_large:?} vs {token_small:?}"
-    );
+    assert!(token_large.worst >= token_small.worst, "{token_large:?} vs {token_small:?}");
 }

@@ -1,4 +1,4 @@
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_stack::{Frame, Layer, LayerCtx};
 use ps_trace::ProcessId;
 use ps_wire::{Decoder, Encoder, Wire, WireError};
@@ -109,10 +109,7 @@ mod tests {
         let log = TapLog::new();
         let log2 = log.clone();
         let sim = run_group(3, 1, p2p(500), 9, move |_, _, _| {
-            Stack::new(vec![
-                Box::new(AmoebaLayer::new()),
-                Box::new(TapLayer::new(log2.clone())),
-            ])
+            Stack::new(vec![Box::new(AmoebaLayer::new()), Box::new(TapLayer::new(log2.clone()))])
         });
         // Tap below Amoeba sees frames with the Amoeba header — those do
         // not decode as Messages, so nothing is recorded there. Instead,
@@ -196,9 +193,6 @@ mod tests {
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(1));
         // All five eventually flow.
-        assert_eq!(
-            sim.app_trace().iter().filter(|e| e.is_deliver()).count(),
-            5 * 2
-        );
+        assert_eq!(sim.app_trace().iter().filter(|e| e.is_deliver()).count(), 5 * 2);
     }
 }

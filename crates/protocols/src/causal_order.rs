@@ -1,4 +1,4 @@
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_stack::{Frame, Layer, LayerCtx};
 use ps_trace::ProcessId;
 use ps_wire::{Decoder, Encoder, Wire, WireError};
@@ -183,11 +183,7 @@ mod tests {
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(1));
         let tr = sim.app_trace();
-        let own: Vec<u64> = tr
-            .delivered_by(ProcessId(0))
-            .iter()
-            .map(|m| m.id.seq)
-            .collect();
+        let own: Vec<u64> = tr.delivered_by(ProcessId(0)).iter().map(|m| m.id.seq).collect();
         assert_eq!(own, vec![1, 2, 3, 4, 5]);
         assert!(CausalOrder.holds(&tr));
     }

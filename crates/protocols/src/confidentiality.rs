@@ -1,5 +1,5 @@
 use crate::mac::{keyed_hash, keystream_xor};
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_stack::{Frame, Layer, LayerCtx};
 use ps_trace::ProcessId;
 use ps_wire::{Decoder, Encoder, Wire, WireError};
@@ -146,10 +146,7 @@ mod tests {
         });
         let tr = sim.app_trace();
         // Nothing from p1 is delivered by p0 (checksum fails under KEY).
-        assert!(tr
-            .delivered_by(ProcessId(0))
-            .iter()
-            .all(|m| m.id.sender != ProcessId(1)));
+        assert!(tr.delivered_by(ProcessId(0)).iter().all(|m| m.id.sender != ProcessId(1)));
     }
 
     #[test]

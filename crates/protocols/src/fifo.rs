@@ -1,4 +1,4 @@
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_stack::{Frame, Layer, LayerCtx};
 use ps_trace::ProcessId;
 use ps_wire::{Decoder, Encoder, Wire, WireError};
@@ -94,11 +94,11 @@ mod tests {
     #[test]
     fn delivers_in_send_order_despite_jitter() {
         // Heavy jitter reorders frames in flight; FIFO restores order.
-        let medium =
-            Box::new(PointToPoint::new(SimTime::from_micros(100)).with_jitter(SimTime::from_millis(8)));
-        let sim = run_group(3, 7, medium, 12, |_, _, _| {
-            Stack::new(vec![Box::new(FifoLayer::new())])
-        });
+        let medium = Box::new(
+            PointToPoint::new(SimTime::from_micros(100)).with_jitter(SimTime::from_millis(8)),
+        );
+        let sim =
+            run_group(3, 7, medium, 12, |_, _, _| Stack::new(vec![Box::new(FifoLayer::new())]));
         let tr = sim.app_trace();
         // Per receiver, messages from each sender must arrive seq-ascending.
         for p in sim.group() {
@@ -193,9 +193,8 @@ mod tests {
 
     #[test]
     fn event_counts_match_on_clean_network() {
-        let sim = run_group(4, 2, p2p(200), 8, |_, _, _| {
-            Stack::new(vec![Box::new(FifoLayer::new())])
-        });
+        let sim =
+            run_group(4, 2, p2p(200), 8, |_, _, _| Stack::new(vec![Box::new(FifoLayer::new())]));
         let tr = sim.app_trace();
         assert_eq!(tr.iter().filter(|e| matches!(e, Event::Send(_))).count(), 8);
         assert_eq!(tr.iter().filter(|e| e.is_deliver()).count(), 8 * 4);

@@ -11,7 +11,7 @@
 //!   multicasts outstanding (unacknowledged by some member); adapts to
 //!   receiver speed at the cost of ack traffic.
 
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_simnet::SimTime;
 use ps_stack::{Frame, Layer, LayerCtx};
 use ps_trace::ProcessId;
@@ -140,8 +140,7 @@ impl CreditControlLayer {
         let seq = self.next_seq;
         self.next_seq += 1;
         // Await a credit from everyone but ourselves.
-        let waiting: BTreeSet<ProcessId> =
-            ctx.group().into_iter().filter(|&p| p != me).collect();
+        let waiting: BTreeSet<ProcessId> = ctx.group().into_iter().filter(|&p| p != me).collect();
         self.outstanding.insert(seq, waiting);
         let hdr = CreditHeader::Data { sender: me, seq };
         ctx.send_down(Frame::all(ps_wire::push_header(&hdr, frame.bytes)));
@@ -175,10 +174,7 @@ impl Layer for CreditControlLayer {
                 if sender != ctx.me() {
                     // Grant a credit back to the sender.
                     let credit = CreditHeader::Credit { seq };
-                    ctx.send_down(Frame::to(
-                        sender,
-                        ps_wire::push_header(&credit, Bytes::new()),
-                    ));
+                    ctx.send_down(Frame::to(sender, ps_wire::push_header(&credit, Bytes::new())));
                 }
                 ctx.deliver_up(sender, payload);
             }
@@ -207,10 +203,9 @@ mod tests {
 
     #[test]
     fn credit_header_roundtrip() {
-        for h in [
-            CreditHeader::Data { sender: ProcessId(1), seq: 9 },
-            CreditHeader::Credit { seq: 9 },
-        ] {
+        for h in
+            [CreditHeader::Data { sender: ProcessId(1), seq: 9 }, CreditHeader::Credit { seq: 9 }]
+        {
             assert_eq!(CreditHeader::from_bytes(&h.to_bytes()).unwrap(), h);
         }
     }
@@ -219,23 +214,17 @@ mod tests {
     fn rate_layer_paces_a_burst() {
         // 10 messages burst at t=0 through a 100 msg/s limiter: the last
         // leaves ~90 ms after the first.
-        let mut b = GroupSimBuilder::new(2)
-            .seed(1)
-            .medium(p2p(100))
-            .stack_factory(|_, _, ids| {
-                Stack::with_ids(vec![Box::new(RateControlLayer::new(100.0))], ids)
-            });
+        let mut b = GroupSimBuilder::new(2).seed(1).medium(p2p(100)).stack_factory(|_, _, ids| {
+            Stack::with_ids(vec![Box::new(RateControlLayer::new(100.0))], ids)
+        });
         for i in 0..10u64 {
             b = b.send_at(SimTime::from_micros(10 + i), ProcessId(0), format!("r{i}"));
         }
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(2));
         let deliveries = sim.deliveries();
-        let at_p1: Vec<SimTime> = deliveries
-            .iter()
-            .filter(|d| d.process == ProcessId(1))
-            .map(|d| d.at)
-            .collect();
+        let at_p1: Vec<SimTime> =
+            deliveries.iter().filter(|d| d.process == ProcessId(1)).map(|d| d.at).collect();
         assert_eq!(at_p1.len(), 10);
         let span = *at_p1.iter().max().unwrap() - *at_p1.iter().min().unwrap();
         assert!(span >= SimTime::from_millis(85), "span {span}");
@@ -271,12 +260,9 @@ mod tests {
     fn credit_window_throttles_a_burst() {
         // Window 1 serializes: each message waits for the previous one's
         // credits (one round trip), so 6 messages take >= 5 RTTs.
-        let mut b = GroupSimBuilder::new(2)
-            .seed(4)
-            .medium(p2p(1000))
-            .stack_factory(|_, _, ids| {
-                Stack::with_ids(vec![Box::new(CreditControlLayer::new(1))], ids)
-            });
+        let mut b = GroupSimBuilder::new(2).seed(4).medium(p2p(1000)).stack_factory(|_, _, ids| {
+            Stack::with_ids(vec![Box::new(CreditControlLayer::new(1))], ids)
+        });
         for i in 0..6u64 {
             b = b.send_at(SimTime::from_micros(10 + i), ProcessId(0), format!("c{i}"));
         }
@@ -297,12 +283,11 @@ mod tests {
     #[test]
     fn larger_window_is_faster() {
         let run = |window: usize| {
-            let mut b = GroupSimBuilder::new(2)
-                .seed(5)
-                .medium(p2p(1000))
-                .stack_factory(move |_, _, ids| {
+            let mut b = GroupSimBuilder::new(2).seed(5).medium(p2p(1000)).stack_factory(
+                move |_, _, ids| {
                     Stack::with_ids(vec![Box::new(CreditControlLayer::new(window))], ids)
-                });
+                },
+            );
             for i in 0..8u64 {
                 b = b.send_at(SimTime::from_micros(10 + i), ProcessId(0), format!("w{i}"));
             }

@@ -1,5 +1,5 @@
 use crate::mac::keyed_hash;
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_stack::{Frame, Layer, LayerCtx};
 use ps_trace::ProcessId;
 use ps_wire::{Decoder, Encoder, Wire, WireError};

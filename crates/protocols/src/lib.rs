@@ -50,7 +50,7 @@ pub use vsync::{VsyncConfig, VsyncLayer};
 
 #[cfg(test)]
 pub(crate) mod testutil {
-    use bytes::Bytes;
+    use ps_bytes::Bytes;
     use ps_simnet::{Medium, PointToPoint, SimTime};
     use ps_stack::{GroupSimBuilder, IdGen, Stack};
     use ps_trace::ProcessId;

@@ -31,7 +31,11 @@ pub fn keystream_xor(key: u64, nonce: u64, data: &mut [u8]) {
     let mut ks = 0u64;
     for (i, b) in data.iter_mut().enumerate() {
         if i % 8 == 0 {
-            ks = keyed_hash(key, 0x5a, &[&nonce.to_le_bytes()[..], &block.to_le_bytes()[..]].concat());
+            ks = keyed_hash(
+                key,
+                0x5a,
+                &[&nonce.to_le_bytes()[..], &block.to_le_bytes()[..]].concat(),
+            );
             block += 1;
         }
         *b ^= (ks >> ((i % 8) * 8)) as u8;

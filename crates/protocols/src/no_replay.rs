@@ -1,5 +1,5 @@
 use crate::mac::keyed_hash;
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_stack::{Layer, LayerCtx};
 use ps_trace::ProcessId;
 use ps_wire::Wire as _;
@@ -70,9 +70,8 @@ mod tests {
             Lossy::new(Box::new(PointToPoint::new(SimTime::from_micros(100))), 0.0)
                 .with_duplication(0.5),
         );
-        let sim = run_group(3, 3, medium, 8, |_, _, _| {
-            Stack::new(vec![Box::new(NoReplayLayer::new())])
-        });
+        let sim =
+            run_group(3, 3, medium, 8, |_, _, _| Stack::new(vec![Box::new(NoReplayLayer::new())]));
         let tr = sim.app_trace();
         assert!(NoReplay.holds(&tr));
         assert_eq!(tr.iter().filter(|e| e.is_deliver()).count(), 24);

@@ -1,4 +1,4 @@
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_trace::ProcessId;
 use std::collections::BTreeMap;
 

@@ -1,4 +1,4 @@
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_simnet::SimTime;
 use ps_stack::{Cast, Frame, Layer, LayerCtx};
 use ps_trace::ProcessId;
@@ -152,10 +152,8 @@ impl Layer for ReliableLayer {
         let hdr = RelHeader::Data { sender: me, seq };
         let wrapped = ps_wire::push_header(&hdr, frame.bytes.clone());
         let expect = Self::expected_receivers(frame.dest, me, &ctx.group());
-        self.outbound.insert(
-            seq,
-            Outbound { payload: frame.bytes, expect, acked: BTreeSet::new() },
-        );
+        self.outbound
+            .insert(seq, Outbound { payload: frame.bytes, expect, acked: BTreeSet::new() });
         ctx.send_down(Frame::new(frame.dest, wrapped));
         self.arm(ctx);
     }
@@ -248,10 +246,8 @@ mod tests {
     #[test]
     fn survives_heavy_loss_exactly_once() {
         // 30% loss on every copy, including acks.
-        let medium = Box::new(Lossy::new(
-            Box::new(PointToPoint::new(SimTime::from_micros(200))),
-            0.30,
-        ));
+        let medium =
+            Box::new(Lossy::new(Box::new(PointToPoint::new(SimTime::from_micros(200))), 0.30));
         let sim = run_group(4, 5, medium, 10, |_, _, _| {
             Stack::new(vec![Box::new(ReliableLayer::with_config(ReliableConfig {
                 retransmit_interval: SimTime::from_millis(10),
@@ -273,9 +269,8 @@ mod tests {
             Lossy::new(Box::new(PointToPoint::new(SimTime::from_micros(200))), 0.1)
                 .with_duplication(0.3),
         );
-        let sim = run_group(3, 9, medium, 8, |_, _, _| {
-            Stack::new(vec![Box::new(ReliableLayer::new())])
-        });
+        let sim =
+            run_group(3, 9, medium, 8, |_, _, _| Stack::new(vec![Box::new(ReliableLayer::new())]));
         let tr = sim.app_trace();
         assert!(Reliability::new(sim.group().to_vec()).holds(&tr));
         assert!(NoReplay.holds(&tr));
@@ -284,10 +279,8 @@ mod tests {
     #[test]
     fn without_reliability_loss_loses_messages() {
         // Control experiment: the bare stack under the same loss drops data.
-        let medium = Box::new(Lossy::new(
-            Box::new(PointToPoint::new(SimTime::from_micros(200))),
-            0.30,
-        ));
+        let medium =
+            Box::new(Lossy::new(Box::new(PointToPoint::new(SimTime::from_micros(200))), 0.30));
         let sim = run_group(4, 5, medium, 10, |_, _, _| Stack::new(vec![]));
         let tr = sim.app_trace();
         assert!(!Reliability::new(sim.group().to_vec()).holds(&tr));
@@ -299,10 +292,8 @@ mod tests {
             Stack::new(vec![Box::new(ReliableLayer::new())])
         });
         assert_eq!(clean.net_stats().copies_dropped, 0);
-        let lossy_medium = Box::new(Lossy::new(
-            Box::new(PointToPoint::new(SimTime::from_micros(100))),
-            0.4,
-        ));
+        let lossy_medium =
+            Box::new(Lossy::new(Box::new(PointToPoint::new(SimTime::from_micros(100))), 0.4));
         let lossy = run_group(3, 2, lossy_medium, 5, |_, _, _| {
             Stack::new(vec![Box::new(ReliableLayer::new())])
         });

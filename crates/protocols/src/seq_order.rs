@@ -1,5 +1,5 @@
 use crate::obuf::OrderedBuf;
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_stack::{Frame, Layer, LayerCtx};
 use ps_trace::ProcessId;
 use ps_wire::{Decoder, Encoder, Wire, WireError};
@@ -162,7 +162,8 @@ mod tests {
     #[test]
     fn sequencer_messages_also_ordered() {
         // Only the sequencer sends: still delivered everywhere in order.
-        let mut b = ps_stack::GroupSimBuilder::new(3).seed(1).medium(p2p(100)).stack_factory(seq_stack());
+        let mut b =
+            ps_stack::GroupSimBuilder::new(3).seed(1).medium(p2p(100)).stack_factory(seq_stack());
         for i in 0..5u64 {
             b = b.send_at(SimTime::from_millis(1 + i), ProcessId(0), format!("s{i}"));
         }

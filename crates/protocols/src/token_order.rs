@@ -1,5 +1,5 @@
 use crate::obuf::OrderedBuf;
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_simnet::SimTime;
 use ps_stack::{Frame, Layer, LayerCtx};
 use ps_trace::ProcessId;
@@ -187,10 +187,9 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        for h in [
-            TokHeader::Token { next_gseq: 42 },
-            TokHeader::Ordered { gseq: 7, orig: ProcessId(2) },
-        ] {
+        for h in
+            [TokHeader::Token { next_gseq: 42 }, TokHeader::Ordered { gseq: 7, orig: ProcessId(2) }]
+        {
             assert_eq!(TokHeader::from_bytes(&h.to_bytes()).unwrap(), h);
         }
     }

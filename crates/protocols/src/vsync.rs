@@ -1,4 +1,4 @@
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_simnet::SimTime;
 use ps_stack::{Frame, Layer, LayerCtx};
 use ps_trace::{Message, ProcessId};
@@ -311,11 +311,8 @@ impl Layer for VsyncLayer {
             VsHeader::Propose { view_no, members: _ } => {
                 if self.is_member(ctx.me()) && view_no == self.view_no + 1 {
                     self.flushing = true;
-                    let report = VsHeader::CountReport {
-                        view_no,
-                        from: ctx.me(),
-                        count: self.sent_in_view,
-                    };
+                    let report =
+                        VsHeader::CountReport { view_no, from: ctx.me(), count: self.sent_in_view };
                     ctx.send_down(Frame::to(
                         self.cfg.coordinator,
                         ps_wire::push_header(&report, Bytes::new()),
@@ -383,8 +380,8 @@ impl Layer for VsyncLayer {
 mod tests {
     use super::*;
     use crate::testutil::{p2p, run_group};
-    use ps_trace::props::{Property, VirtualSynchrony};
     use ps_stack::Stack;
+    use ps_trace::props::{Property, VirtualSynchrony};
 
     fn pids(ids: &[u16]) -> Vec<ProcessId> {
         ids.iter().map(|&i| ProcessId(i)).collect()
@@ -396,7 +393,11 @@ mod tests {
             VsHeader::Data { view_no: 2, sender: ProcessId(1), seq: 9 },
             VsHeader::Propose { view_no: 3, members: pids(&[0, 1]) },
             VsHeader::CountReport { view_no: 3, from: ProcessId(2), count: 4 },
-            VsHeader::Install { view_no: 3, members: pids(&[0, 2]), counts: vec![(ProcessId(0), 2)] },
+            VsHeader::Install {
+                view_no: 3,
+                members: pids(&[0, 2]),
+                counts: vec![(ProcessId(0), 2)],
+            },
         ];
         for h in hs {
             assert_eq!(VsHeader::from_bytes(&h.to_bytes()).unwrap(), h);
@@ -423,15 +424,10 @@ mod tests {
             }))])
         });
         let tr = sim.app_trace();
-        assert!(
-            VirtualSynchrony::new(sim.group().to_vec()).holds(&tr),
-            "trace: {tr}"
-        );
+        assert!(VirtualSynchrony::new(sim.group().to_vec()).holds(&tr), "trace: {tr}");
         // The view message is delivered by the surviving members.
-        let view_delivers = tr
-            .iter()
-            .filter(|e| e.is_deliver() && e.message().is_view_change())
-            .count();
+        let view_delivers =
+            tr.iter().filter(|e| e.is_deliver() && e.message().is_view_change()).count();
         assert_eq!(view_delivers, 2);
     }
 

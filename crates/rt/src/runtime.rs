@@ -1,4 +1,4 @@
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_simnet::{DetRng, SimTime};
 use ps_stack::{Cast, Frame, IdGen, LayerId, Stack, StackEnv};
 use ps_trace::{Event, Message, ProcessId, Trace};
@@ -121,10 +121,11 @@ impl StackEnv for RtEnv<'_> {
     fn deliver(&mut self, _src: ProcessId, msg: Message) {
         *self.delivered += 1;
         let at = self.now();
-        self.log
-            .lock()
-            .expect("rt log poisoned")
-            .push((at, self.me.0, Event::deliver(self.me, msg)));
+        self.log.lock().expect("rt log poisoned").push((
+            at,
+            self.me.0,
+            Event::deliver(self.me, msg),
+        ));
     }
     fn set_timer(&mut self, delay: SimTime, id: LayerId, token: u32) {
         self.new_timers.push((Duration::from_micros(delay.as_micros()), id, token));
@@ -155,8 +156,7 @@ impl ProcessThread {
                 }
                 let jitter_us = self.cfg.link_jitter.as_micros() as u64;
                 let extra = if jitter_us == 0 { 0 } else { self.rng.below(jitter_us) };
-                let deliver_at =
-                    now + self.cfg.link_latency + Duration::from_micros(extra);
+                let deliver_at = now + self.cfg.link_latency + Duration::from_micros(extra);
                 // A disappeared peer (already shut down) is fine to ignore.
                 let _ = self.peers[d.index()].send(Cmd::Packet {
                     src: self.me,
@@ -229,16 +229,22 @@ impl ProcessThread {
                 .unwrap_or(Duration::from_millis(50));
             match rx.recv_timeout(wait) {
                 Ok(Cmd::Packet { src, bytes, deliver_at }) => {
-                    Self::push_heap(&mut self.inbound, &mut self.heap_seq, deliver_at, (src, bytes));
+                    Self::push_heap(
+                        &mut self.inbound,
+                        &mut self.heap_seq,
+                        deliver_at,
+                        (src, bytes),
+                    );
                 }
                 Ok(Cmd::AppSend(body)) => {
                     self.next_seq += 1;
                     let msg = Message::new(self.me, self.next_seq, body);
                     let at = SimTime::from_micros(self.epoch.elapsed().as_micros() as u64);
-                    self.log
-                        .lock()
-                        .expect("rt log poisoned")
-                        .push((at, self.me.0, Event::send(msg.clone())));
+                    self.log.lock().expect("rt log poisoned").push((
+                        at,
+                        self.me.0,
+                        Event::send(msg.clone()),
+                    ));
                     self.with_env(|stack, env| stack.send(&msg, env));
                 }
                 Ok(Cmd::Stop) => break,
@@ -345,10 +351,7 @@ impl RtGroup {
             self.threads.into_iter().map(|t| t.join().expect("process thread panicked")).collect();
         let mut evs = self.log.lock().expect("rt log poisoned").clone();
         evs.sort_by_key(|&(at, node, _)| (at, node));
-        RtReport {
-            trace: evs.into_iter().map(|(_, _, e)| e).collect(),
-            delivered_per_process,
-        }
+        RtReport { trace: evs.into_iter().map(|(_, _, e)| e).collect(), delivered_per_process }
     }
 }
 

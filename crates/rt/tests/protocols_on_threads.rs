@@ -2,9 +2,7 @@
 //! on real OS threads with wall-clock timers. Assertions are on trace
 //! properties, never exact timings.
 
-use ps_core::{
-    hybrid_total_order, ManualOracle, NeverOracle, Oracle, SwitchConfig, SwitchHandle,
-};
+use ps_core::{hybrid_total_order, ManualOracle, NeverOracle, Oracle, SwitchConfig, SwitchHandle};
 use ps_protocols::{ReliableConfig, ReliableLayer, SeqOrderLayer, TokenOrderLayer};
 use ps_rt::{RtConfig, RtGroup};
 use ps_simnet::SimTime;
@@ -84,10 +82,8 @@ fn protocol_switch_on_threads_preserves_total_order() {
         } else {
             Box::new(NeverOracle)
         };
-        let cfg = SwitchConfig {
-            observe_interval: SimTime::from_millis(20),
-            ..SwitchConfig::default()
-        };
+        let cfg =
+            SwitchConfig { observe_interval: SimTime::from_millis(20), ..SwitchConfig::default() };
         let (stack, handle) = hybrid_total_order(ids, cfg, ProcessId(0), oracle);
         h2.lock().expect("handles").push(handle);
         stack

@@ -1,5 +1,5 @@
-use crate::{DetRng, Dest, NodeId, Packet, SimTime};
-use bytes::Bytes;
+use crate::{Dest, DetRng, NodeId, Packet, SimTime};
+use ps_bytes::Bytes;
 
 /// Opaque timer identifier chosen by the agent.
 ///

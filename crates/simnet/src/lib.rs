@@ -23,7 +23,7 @@
 //! A two-node ping-pong:
 //!
 //! ```
-//! use bytes::Bytes;
+//! use ps_bytes::Bytes;
 //! use ps_simnet::{Agent, Dest, NodeId, Packet, PointToPoint, Sim, SimApi, SimConfig, SimTime, TimerToken};
 //!
 //! struct Pinger { got: u32 }
@@ -62,14 +62,16 @@ mod stats;
 mod time;
 
 pub use agent::{Agent, SimApi, TimerToken};
-pub use medium::{EthernetConfig, Lossy, Medium, Partitioned, PointToPoint, SharedBus, TimedPartition, TxPlan};
+pub use medium::{
+    EthernetConfig, Lossy, Medium, Partitioned, PointToPoint, SharedBus, TimedPartition, TxPlan,
+};
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use sim::{NodeConfig, Sim, SimConfig};
 pub use stats::NetStats;
 pub use time::SimTime;
 
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use std::fmt;
 
 /// Identifier of a simulated node (a process in the paper's model).

@@ -64,10 +64,8 @@ impl Medium for PointToPoint {
         now: SimTime,
         rng: &mut DetRng,
     ) -> TxPlan {
-        let deliveries = dests
-            .iter()
-            .map(|&d| (d, now + self.latency + rng.jitter(self.jitter)))
-            .collect();
+        let deliveries =
+            dests.iter().map(|&d| (d, now + self.latency + rng.jitter(self.jitter))).collect();
         TxPlan { deliveries, dropped: 0 }
     }
 
@@ -155,10 +153,8 @@ impl Medium for SharedBus {
         let tx_end = tx_start + self.serialization_time(size_bytes);
         self.busy_until = tx_end;
         let base = tx_end + self.config.propagation;
-        let deliveries = dests
-            .iter()
-            .map(|&d| (d, base + rng.jitter(self.config.jitter)))
-            .collect();
+        let deliveries =
+            dests.iter().map(|&d| (d, base + rng.jitter(self.config.jitter))).collect();
         TxPlan { deliveries, dropped: 0 }
     }
 
@@ -223,7 +219,8 @@ impl Medium for Lossy {
         rng: &mut DetRng,
     ) -> TxPlan {
         let base = self.inner.transmit(src, dests, size_bytes, now, rng);
-        let mut plan = TxPlan { deliveries: Vec::with_capacity(base.deliveries.len()), dropped: base.dropped };
+        let mut plan =
+            TxPlan { deliveries: Vec::with_capacity(base.deliveries.len()), dropped: base.dropped };
         for (d, at) in base.deliveries {
             if rng.chance(self.drop_prob) {
                 plan.dropped += 1;
@@ -495,8 +492,8 @@ mod tests {
     #[test]
     fn timed_partition_isolate_cuts_all_traffic() {
         let inner = Box::new(PointToPoint::new(SimTime::from_micros(1)));
-        let mut m = TimedPartition::new(inner, SimTime::ZERO, SimTime::from_secs(1))
-            .isolate(NodeId(2), 4);
+        let mut m =
+            TimedPartition::new(inner, SimTime::ZERO, SimTime::from_secs(1)).isolate(NodeId(2), 4);
         let mut rng = DetRng::new(8);
         let plan = m.transmit(NodeId(2), &dests(4), 10, SimTime::from_millis(1), &mut rng);
         // Only the self-copy survives.

@@ -1,5 +1,7 @@
 use crate::agent::Action;
-use crate::{Agent, DetRng, Dest, EventQueue, Medium, NetStats, NodeId, Packet, SimApi, SimTime, TimerToken};
+use crate::{
+    Agent, Dest, DetRng, EventQueue, Medium, NetStats, NodeId, Packet, SimApi, SimTime, TimerToken,
+};
 
 /// Per-node execution parameters.
 #[derive(Debug, Clone)]
@@ -203,7 +205,10 @@ impl<A: Agent> Sim<A> {
                     self.stats.copies_dropped += u64::from(plan.dropped);
                     for (to, at) in plan.deliveries {
                         self.stats.copies_delivered += 1;
-                        self.queue.push(at, Ev::Packet { to, pkt: Packet { src: node, payload: payload.clone() } });
+                        self.queue.push(
+                            at,
+                            Ev::Packet { to, pkt: Packet { src: node, payload: payload.clone() } },
+                        );
                     }
                 }
                 Action::Timer { delay, token } => {
@@ -234,7 +239,9 @@ impl<A: Agent> Sim<A> {
         self.busy_until[node.index()] = done;
         self.stats.events_processed += 1;
 
-        let mut rng = self.rng.fork(0x4e4f_4445_0000 | u64::from(node.0) << 20 | (self.stats.events_processed & 0xfffff));
+        let mut rng = self.rng.fork(
+            0x4e4f_4445_0000 | u64::from(node.0) << 20 | (self.stats.events_processed & 0xfffff),
+        );
         let mut api = SimApi::new(node, start, self.agents.len(), &mut rng);
         match ev {
             Ev::Packet { pkt, .. } => self.agents[node.index()].on_packet(pkt, &mut api),
@@ -275,7 +282,7 @@ impl<A: Agent> Sim<A> {
 mod tests {
     use super::*;
     use crate::PointToPoint;
-    use bytes::Bytes;
+    use ps_bytes::Bytes;
 
     /// Records every packet and timer it sees.
     #[derive(Default)]
@@ -418,11 +425,16 @@ mod tests {
         let run = |seed: u64| {
             let mut s = Sim::new(
                 SimConfig::default().seed(seed),
-                Box::new(PointToPoint::new(SimTime::from_micros(500)).with_jitter(SimTime::from_micros(200))),
+                Box::new(
+                    PointToPoint::new(SimTime::from_micros(500))
+                        .with_jitter(SimTime::from_micros(200)),
+                ),
                 (0..5).map(|_| Recorder::default()).collect::<Vec<_>>(),
             );
             s.run_to_quiescence();
-            s.agents().flat_map(|a| a.packets.iter().map(|&(t, _)| t.as_micros())).collect::<Vec<_>>()
+            s.agents()
+                .flat_map(|a| a.packets.iter().map(|&(t, _)| t.as_micros()))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

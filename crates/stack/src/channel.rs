@@ -5,7 +5,7 @@
 //! A [`ChannelId`] byte prepended to every frame provides exactly that:
 //! one physical transport carries several logical protocol channels.
 
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_wire::{Decoder, Encoder, Wire, WireError};
 
 /// Logical channel number multiplexed over one transport.

@@ -1,5 +1,5 @@
 use crate::stack::StackEnv;
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_simnet::{DetRng, SimTime};
 use ps_trace::ProcessId;
 use std::fmt;

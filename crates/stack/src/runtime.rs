@@ -1,6 +1,6 @@
 use crate::layer::{Cast, Frame, IdGen, LayerId};
 use crate::stack::{Stack, StackEnv};
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_simnet::{
     Agent, Dest, Medium, NetStats, NodeId, Packet, PointToPoint, Sim, SimApi, SimConfig, SimTime,
     TimerToken,
@@ -196,9 +196,8 @@ impl GroupSimBuilder {
     /// out of range.
     pub fn build(self) -> GroupSim {
         let factory = self.factory.expect("GroupSimBuilder requires a stack_factory");
-        let medium = self
-            .medium
-            .unwrap_or_else(|| Box::new(PointToPoint::new(SimTime::from_micros(100))));
+        let medium =
+            self.medium.unwrap_or_else(|| Box::new(PointToPoint::new(SimTime::from_micros(100))));
         let group: Vec<ProcessId> = (0..self.n).map(ProcessId).collect();
 
         // Sort workload per process; token = index into its schedule.
@@ -350,9 +349,7 @@ mod tests {
 
     #[test]
     fn single_send_reaches_everyone() {
-        let mut sim = passthrough(3)
-            .send_at(SimTime::from_millis(1), ProcessId(0), b"hi")
-            .build();
+        let mut sim = passthrough(3).send_at(SimTime::from_millis(1), ProcessId(0), b"hi").build();
         sim.run_until(SimTime::from_millis(20));
         let tr = sim.app_trace();
         assert_eq!(tr.sent_ids().len(), 1);
@@ -362,9 +359,7 @@ mod tests {
 
     #[test]
     fn send_precedes_deliveries_in_trace() {
-        let mut sim = passthrough(2)
-            .send_at(SimTime::from_millis(1), ProcessId(1), b"x")
-            .build();
+        let mut sim = passthrough(2).send_at(SimTime::from_millis(1), ProcessId(1), b"x").build();
         sim.run_until(SimTime::from_millis(20));
         let tr = sim.app_trace();
         assert!(tr.events()[0].is_send());
@@ -373,9 +368,7 @@ mod tests {
 
     #[test]
     fn latency_accounts_for_network_and_cpu() {
-        let mut sim = passthrough(2)
-            .send_at(SimTime::from_millis(1), ProcessId(0), b"x")
-            .build();
+        let mut sim = passthrough(2).send_at(SimTime::from_millis(1), ProcessId(0), b"x").build();
         sim.run_until(SimTime::from_millis(50));
         let lat = sim.mean_delivery_latency().unwrap();
         // 200us propagation + service times; must be positive and sane.
@@ -387,11 +380,7 @@ mod tests {
     fn multiple_senders_multiple_messages() {
         let mut b = passthrough(4);
         for i in 0..10u64 {
-            b = b.send_at(
-                SimTime::from_millis(1 + i),
-                ProcessId((i % 4) as u16),
-                format!("m{i}"),
-            );
+            b = b.send_at(SimTime::from_millis(1 + i), ProcessId((i % 4) as u16), format!("m{i}"));
         }
         let mut sim = b.build();
         sim.run_until(SimTime::from_millis(100));

@@ -1,5 +1,5 @@
 use crate::layer::{Frame, Layer, LayerCtx, LayerId, LayerOut};
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_simnet::{DetRng, SimTime};
 use ps_trace::{Message, ProcessId};
 use ps_wire::Wire;
@@ -195,9 +195,7 @@ fn outs_to_work(outs: Vec<LayerOut>, idx: usize, n: usize) -> Vec<Work> {
     outs.into_iter()
         .map(|out| match out {
             LayerOut::Down(frame) => Work::Down { next: idx + 1, frame },
-            LayerOut::Up(src, bytes) => {
-                Work::Up { next: idx.checked_sub(1), src, bytes }
-            }
+            LayerOut::Up(src, bytes) => Work::Up { next: idx.checked_sub(1), src, bytes },
         })
         .collect()
 }
@@ -206,7 +204,6 @@ fn outs_to_work(outs: Vec<LayerOut>, idx: usize, n: usize) -> Vec<Work> {
 mod tests {
     use super::*;
     use crate::layer::Cast;
-    
 
     /// Minimal in-memory environment capturing boundary crossings.
     struct TestEnv {

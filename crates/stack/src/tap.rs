@@ -9,7 +9,7 @@
 //! can check a property below the switch and watch it hold or break above.
 
 use crate::layer::{Frame, Layer, LayerCtx};
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_simnet::SimTime;
 use ps_trace::{Event, Message, ProcessId, Trace};
 use ps_wire::Wire;

@@ -1,8 +1,8 @@
 //! Property-based tests of the layer-composition framework: arbitrary
 //! stacks of header-pushing layers are transparent end to end.
 
-use bytes::Bytes;
-use proptest::prelude::*;
+use ps_bytes::Bytes;
+use ps_check::prelude::*;
 use ps_simnet::{PointToPoint, SimTime};
 use ps_stack::{Frame, GroupSimBuilder, Layer, LayerCtx, Stack};
 use ps_trace::props::{Property, Reliability};
@@ -30,17 +30,16 @@ impl Layer for Tagger {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+props! {
+    #![config(cases = 32)]
 
     /// Whatever the depth and tags of the stack, every message makes it
     /// through intact to every member.
-    #[test]
     fn arbitrary_tagger_stacks_are_transparent(
-        tags in proptest::collection::vec(any::<u64>(), 0..8),
+        tags in vec_of(arb::<u64>(), 0..8),
         n in 2u16..5,
         msgs in 1usize..8,
-        seed in any::<u64>(),
+        seed in arb::<u64>(),
     ) {
         let tags2 = tags.clone();
         let mut b = GroupSimBuilder::new(n)
@@ -62,23 +61,22 @@ proptest! {
         sim.run_until(SimTime::from_secs(1));
         let tr = sim.app_trace();
         let group: Vec<ProcessId> = (0..n).map(ProcessId).collect();
-        prop_assert!(Reliability::new(group).holds(&tr));
-        prop_assert_eq!(tr.iter().filter(|e| e.is_deliver()).count(), msgs * usize::from(n));
+        assert!(Reliability::new(group).holds(&tr));
+        assert_eq!(tr.iter().filter(|e| e.is_deliver()).count(), msgs * usize::from(n));
         // Bodies survive the full stack round trip.
         for e in tr.iter().filter(|e| e.is_deliver()) {
             let body = &e.message().body;
-            prop_assert!(body.starts_with(b"pt-"));
+            assert!(body.starts_with(b"pt-"));
         }
     }
 
     /// Layer ids from a shared generator never collide across nested
     /// stacks, so timers route unambiguously.
-    #[test]
     fn id_generator_yields_unique_ids(count in 1usize..200) {
         let mut ids = ps_stack::IdGen::new();
         let mut seen = std::collections::HashSet::new();
         for _ in 0..count {
-            prop_assert!(seen.insert(ids.next_id()));
+            assert!(seen.insert(ids.next_id()));
         }
     }
 }

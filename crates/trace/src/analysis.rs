@@ -117,10 +117,7 @@ pub fn summarize(tr: &Trace, group: &[ProcessId]) -> TraceSummary {
         completeness: completeness(tr, group),
         inversions: order_inversions(tr),
         duplicates: duplicate_deliveries(tr),
-        view_changes: tr
-            .iter()
-            .filter(|e| e.is_deliver() && e.message().is_view_change())
-            .count(),
+        view_changes: tr.iter().filter(|e| e.is_deliver() && e.message().is_view_change()).count(),
     }
 }
 

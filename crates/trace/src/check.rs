@@ -18,7 +18,7 @@ use crate::gen::{
     UniversalGen, VsyncGen,
 };
 use crate::meta::{
-    async_swap_sites, async_steps, compose_disjoint, delayable_swap_sites, delayable_steps,
+    async_steps, async_swap_sites, compose_disjoint, delayable_steps, delayable_swap_sites,
     erase_random_subset, prefixes, send_extension, single_erasures, swap_walk, MetaKind,
 };
 use crate::props::{
@@ -141,19 +141,15 @@ pub fn check_cell(
     }
 
     let check_above = |below: &Trace,
-                           second: Option<&Trace>,
-                           above: Trace,
-                           samples: &mut usize|
+                       second: Option<&Trace>,
+                       above: Trace,
+                       samples: &mut usize|
      -> Option<Counterexample> {
         *samples += 1;
         if prop.holds(&above) {
             None
         } else {
-            Some(Counterexample {
-                below: below.clone(),
-                second_below: second.cloned(),
-                above,
-            })
+            Some(Counterexample { below: below.clone(), second_below: second.cloned(), above })
         }
     };
 
@@ -162,7 +158,12 @@ pub fn check_cell(
             for below in &pool {
                 for above in prefixes(below) {
                     if let Some(cx) = check_above(below, None, above, &mut samples) {
-                        return CellVerdict { meta, preserved: false, samples, counterexample: Some(cx) };
+                        return CellVerdict {
+                            meta,
+                            preserved: false,
+                            samples,
+                            counterexample: Some(cx),
+                        };
                     }
                 }
             }
@@ -177,13 +178,23 @@ pub fn check_cell(
             for below in &pool {
                 for above in steps(below) {
                     if let Some(cx) = check_above(below, None, above, &mut samples) {
-                        return CellVerdict { meta, preserved: false, samples, counterexample: Some(cx) };
+                        return CellVerdict {
+                            meta,
+                            preserved: false,
+                            samples,
+                            counterexample: Some(cx),
+                        };
                     }
                 }
                 for _ in 0..cfg.walks_per_trace {
                     for above in swap_walk(below, sites, cfg.walk_depth, &mut rng) {
                         if let Some(cx) = check_above(below, None, above, &mut samples) {
-                            return CellVerdict { meta, preserved: false, samples, counterexample: Some(cx) };
+                            return CellVerdict {
+                                meta,
+                                preserved: false,
+                                samples,
+                                counterexample: Some(cx),
+                            };
                         }
                     }
                 }
@@ -194,7 +205,12 @@ pub fn check_cell(
                 for draw in 0..cfg.extension_draws {
                     let above = send_extension(below, 1 + draw % 3, &mut rng);
                     if let Some(cx) = check_above(below, None, above, &mut samples) {
-                        return CellVerdict { meta, preserved: false, samples, counterexample: Some(cx) };
+                        return CellVerdict {
+                            meta,
+                            preserved: false,
+                            samples,
+                            counterexample: Some(cx),
+                        };
                     }
                 }
             }
@@ -203,13 +219,23 @@ pub fn check_cell(
             for below in &pool {
                 for above in single_erasures(below) {
                     if let Some(cx) = check_above(below, None, above, &mut samples) {
-                        return CellVerdict { meta, preserved: false, samples, counterexample: Some(cx) };
+                        return CellVerdict {
+                            meta,
+                            preserved: false,
+                            samples,
+                            counterexample: Some(cx),
+                        };
                     }
                 }
                 for _ in 0..cfg.erasure_draws {
                     let above = erase_random_subset(below, &mut rng);
                     if let Some(cx) = check_above(below, None, above, &mut samples) {
-                        return CellVerdict { meta, preserved: false, samples, counterexample: Some(cx) };
+                        return CellVerdict {
+                            meta,
+                            preserved: false,
+                            samples,
+                            counterexample: Some(cx),
+                        };
                     }
                 }
             }
@@ -224,7 +250,12 @@ pub fn check_cell(
                     // the pool guarantees it.
                     let (b1, b2) = (pool[i].clone(), pool[j].clone());
                     if let Some(cx) = check_above(&b1, Some(&b2), above, &mut samples) {
-                        return CellVerdict { meta, preserved: false, samples, counterexample: Some(cx) };
+                        return CellVerdict {
+                            meta,
+                            preserved: false,
+                            samples,
+                            counterexample: Some(cx),
+                        };
                     }
                 }
             }
@@ -233,8 +264,6 @@ pub fn check_cell(
 
     CellVerdict { meta, preserved: true, samples, counterexample: None }
 }
-
-use rand::RngExt;
 
 /// Where a Table-2 cell's expected value comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -311,10 +340,7 @@ pub const PAPER_PINNED: &[(&str, MetaKind, bool)] = &[
 ];
 
 fn pinned(property: &str, meta: MetaKind) -> Option<bool> {
-    PAPER_PINNED
-        .iter()
-        .find(|(p, m, _)| *p == property && *m == meta)
-        .map(|&(_, _, v)| v)
+    PAPER_PINNED.iter().find(|(p, m, _)| *p == property && *m == meta).map(|&(_, _, v)| v)
 }
 
 /// The standard (property, generators) pairing used to regenerate Table 2
@@ -328,10 +354,7 @@ pub fn property_gens(n: u16) -> Vec<(Box<dyn Property>, Vec<Box<dyn TraceGen>>)>
             Box::new(Reliability::new(group.clone())),
             vec![Box::new(ReliableGen { group: group.clone() }), uni()],
         ),
-        (
-            Box::new(TotalOrder),
-            vec![Box::new(TotalOrderGen { group: group.clone() }), uni()],
-        ),
+        (Box::new(TotalOrder), vec![Box::new(TotalOrderGen { group: group.clone() }), uni()]),
         (
             Box::new(Integrity::new(trusted.clone())),
             vec![

@@ -1,4 +1,4 @@
-use bytes::Bytes;
+use ps_bytes::Bytes;
 use ps_wire::{Decoder, Encoder, Wire, WireError};
 use std::fmt;
 
@@ -152,17 +152,20 @@ impl Wire for Message {
         enc.put_bytes(&self.body);
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
-        Ok(Message {
-            id: MsgId::decode(dec)?,
-            body: Bytes::copy_from_slice(dec.get_bytes()?),
-        })
+        Ok(Message { id: MsgId::decode(dec)?, body: Bytes::copy_from_slice(dec.get_bytes()?) })
     }
 }
 
 impl fmt::Display for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if let Some(v) = self.as_view_change() {
-            write!(f, "{}=view{}{:?}", self.id, v.view_no, v.members.iter().map(|p| p.0).collect::<Vec<_>>())
+            write!(
+                f,
+                "{}=view{}{:?}",
+                self.id,
+                v.view_no,
+                v.members.iter().map(|p| p.0).collect::<Vec<_>>()
+            )
         } else {
             write!(f, "{}", self.id)
         }

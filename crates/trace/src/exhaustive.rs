@@ -12,11 +12,9 @@
 //! `Deliver` per (process, message) pair. Traces are all ordered
 //! arrangements of distinct subsets up to a length bound.
 
-use crate::meta::{
-    async_swap_sites, compose_disjoint, delayable_swap_sites, prefixes, MetaKind,
-};
-use crate::props::Property;
 use crate::check::{CellVerdict, Counterexample};
+use crate::meta::{async_swap_sites, compose_disjoint, delayable_swap_sites, prefixes, MetaKind};
+use crate::props::Property;
 use crate::{Event, Message, ProcessId, Trace};
 use std::collections::{BTreeSet, HashSet, VecDeque};
 
@@ -154,10 +152,8 @@ pub fn check_cell_exhaustive(
     universe: &[Event],
     cfg: &ExhaustiveConfig,
 ) -> CellVerdict {
-    let pool: Vec<Trace> = enumerate_traces(universe, cfg.max_len)
-        .into_iter()
-        .filter(|tr| prop.holds(tr))
-        .collect();
+    let pool: Vec<Trace> =
+        enumerate_traces(universe, cfg.max_len).into_iter().filter(|tr| prop.holds(tr)).collect();
     let mut samples = 0usize;
 
     fn fail(
@@ -191,11 +187,8 @@ pub fn check_cell_exhaustive(
             }
         }
         MetaKind::Asynchrony | MetaKind::Delayable => {
-            let sites = if meta == MetaKind::Asynchrony {
-                async_swap_sites
-            } else {
-                delayable_swap_sites
-            };
+            let sites =
+                if meta == MetaKind::Asynchrony { async_swap_sites } else { delayable_swap_sites };
             for below in &pool {
                 for above in swap_closure(below, sites, cfg.closure_cap) {
                     samples += 1;

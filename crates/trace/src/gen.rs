@@ -12,8 +12,10 @@
 //! composability counterexample requires.
 
 use crate::{Event, Message, ProcessId, Trace};
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+
+/// The deterministic generator trace generation draws from (xoshiro256++,
+/// re-exported so downstream code never names the RNG crate directly).
+pub use ps_rand::Xoshiro256pp as Rng;
 
 /// The small payload alphabet generators draw bodies from.
 pub const BODY_ALPHABET: [u8; 4] = [10, 20, 30, 40];
@@ -24,20 +26,20 @@ pub trait TraceGen: std::fmt::Debug {
     fn name(&self) -> &'static str;
 
     /// Produces one trace with roughly `size` events.
-    fn generate(&self, rng: &mut SmallRng, size: usize) -> Trace;
+    fn generate(&self, rng: &mut Rng, size: usize) -> Trace;
 }
 
-fn pick(rng: &mut SmallRng, n: usize) -> usize {
+fn pick(rng: &mut Rng, n: usize) -> usize {
     rng.random_range(0..n.max(1))
 }
 
-fn body(rng: &mut SmallRng) -> u8 {
+fn body(rng: &mut Rng) -> u8 {
     BODY_ALPHABET[pick(rng, BODY_ALPHABET.len())]
 }
 
-/// Deterministic seeded RNG helper for callers outside proptest.
-pub fn seeded(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
+/// Deterministic seeded RNG helper for tests and benchmarks.
+pub fn seeded(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }
 
 /// Completely random well-formed traces (sends first come, deliveries drawn
@@ -54,7 +56,7 @@ impl TraceGen for UniversalGen {
         "universal"
     }
 
-    fn generate(&self, rng: &mut SmallRng, size: usize) -> Trace {
+    fn generate(&self, rng: &mut Rng, size: usize) -> Trace {
         let mut tr = Trace::new();
         let mut sent: Vec<Message> = Vec::new();
         let mut next_seq = vec![1u64; usize::from(self.procs)];
@@ -89,7 +91,7 @@ impl TraceGen for ReliableGen {
         "reliable"
     }
 
-    fn generate(&self, rng: &mut SmallRng, size: usize) -> Trace {
+    fn generate(&self, rng: &mut Rng, size: usize) -> Trace {
         let per_msg = self.group.len() + 1;
         let n_msgs = (size / per_msg).max(1);
         let mut pending: Vec<Event> = Vec::new();
@@ -127,7 +129,7 @@ impl TraceGen for TotalOrderGen {
         "total-order"
     }
 
-    fn generate(&self, rng: &mut SmallRng, size: usize) -> Trace {
+    fn generate(&self, rng: &mut Rng, size: usize) -> Trace {
         let n_msgs = (size / (self.group.len().max(1) + 1)).max(2);
         let msgs: Vec<Message> = (0..n_msgs)
             .map(|i| {
@@ -182,7 +184,7 @@ impl TraceGen for TrustedGen {
         }
     }
 
-    fn generate(&self, rng: &mut SmallRng, size: usize) -> Trace {
+    fn generate(&self, rng: &mut Rng, size: usize) -> Trace {
         let mut tr = Trace::new();
         let mut sent: Vec<Message> = Vec::new();
         let mut seq = 1u64;
@@ -219,7 +221,7 @@ impl TraceGen for NoReplayGen {
         "no-replay"
     }
 
-    fn generate(&self, rng: &mut SmallRng, size: usize) -> Trace {
+    fn generate(&self, rng: &mut Rng, size: usize) -> Trace {
         let mut tr = Trace::new();
         let mut seq = 1u64;
         let mut used: std::collections::HashSet<(ProcessId, u8)> = std::collections::HashSet::new();
@@ -260,7 +262,7 @@ impl TraceGen for PriorityGen {
         "prioritized"
     }
 
-    fn generate(&self, rng: &mut SmallRng, size: usize) -> Trace {
+    fn generate(&self, rng: &mut Rng, size: usize) -> Trace {
         let mut tr = Trace::new();
         let n_msgs = (size / 4).max(1);
         for i in 0..n_msgs {
@@ -292,7 +294,7 @@ impl TraceGen for AmoebaGen {
         "amoeba"
     }
 
-    fn generate(&self, rng: &mut SmallRng, size: usize) -> Trace {
+    fn generate(&self, rng: &mut Rng, size: usize) -> Trace {
         let mut tr = Trace::new();
         let mut seq = 1u64;
         for _ in 0..(size / 3).max(1) {
@@ -332,7 +334,7 @@ impl TraceGen for CausalGen {
         "causal"
     }
 
-    fn generate(&self, rng: &mut SmallRng, size: usize) -> Trace {
+    fn generate(&self, rng: &mut Rng, size: usize) -> Trace {
         use std::collections::{BTreeSet, HashMap};
         let mut tr = Trace::new();
         let mut seq = 1u64;
@@ -358,8 +360,7 @@ impl TraceGen for CausalGen {
                 let eligible: Vec<&Message> = sent
                     .iter()
                     .filter(|m| {
-                        !dset.contains(&m.id)
-                            && preds[&m.id].iter().all(|q| dset.contains(q))
+                        !dset.contains(&m.id) && preds[&m.id].iter().all(|q| dset.contains(q))
                     })
                     .collect();
                 if let Some(&m) = eligible.get(pick(rng, eligible.len().max(1))) {
@@ -390,7 +391,7 @@ impl TraceGen for VsyncGen {
         "vsync"
     }
 
-    fn generate(&self, rng: &mut SmallRng, size: usize) -> Trace {
+    fn generate(&self, rng: &mut Rng, size: usize) -> Trace {
         let mut tr = Trace::new();
         let mut members = self.initial.clone();
         let mut view_no = 0u64;
@@ -458,12 +459,7 @@ mod tests {
             for size in [4usize, 12, 30] {
                 let tr = g.generate(&mut rng, size);
                 assert!(tr.is_well_formed(), "{} produced ill-formed trace {tr}", g.name());
-                assert!(
-                    p.holds(&tr),
-                    "{} produced a trace violating {}: {tr}",
-                    g.name(),
-                    p.name()
-                );
+                assert!(p.holds(&tr), "{} produced a trace violating {}: {tr}", g.name(), p.name());
             }
         }
     }

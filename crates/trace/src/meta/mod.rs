@@ -17,9 +17,8 @@
 //! that message's send (see [`Trace::swap_inverts_causality`]): delay can
 //! reorder independent events, never invert causality.
 
+use crate::gen::Rng;
 use crate::{Event, Message, MsgId, Trace};
-use rand::rngs::SmallRng;
-use rand::RngExt;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -117,7 +116,7 @@ pub fn swap_walk(
     tr: &Trace,
     sites: fn(&Trace) -> Vec<usize>,
     depth: usize,
-    rng: &mut SmallRng,
+    rng: &mut Rng,
 ) -> Vec<Trace> {
     let mut current = tr.clone();
     let mut out = Vec::new();
@@ -138,16 +137,10 @@ pub fn swap_walk(
 /// Senders are drawn from the processes already in the trace (plus one new
 /// process id); sequence numbers are fresh, so well-formedness is kept.
 /// Bodies reuse the generator alphabet so body collisions stay possible.
-pub fn send_extension(tr: &Trace, count: usize, rng: &mut SmallRng) -> Trace {
+pub fn send_extension(tr: &Trace, count: usize, rng: &mut Rng) -> Trace {
     let mut procs: Vec<_> = tr.processes().into_iter().collect();
     procs.push(crate::ProcessId(procs.last().map_or(0, |p| p.0 + 1)));
-    let mut next_seq = tr
-        .message_ids()
-        .iter()
-        .map(|id| id.seq)
-        .max()
-        .unwrap_or(0)
-        + 1;
+    let mut next_seq = tr.message_ids().iter().map(|id| id.seq).max().unwrap_or(0) + 1;
     let mut out = tr.clone();
     for _ in 0..count {
         let sender = procs[rng.random_range(0..procs.len())];
@@ -174,7 +167,7 @@ pub fn single_erasures(tr: &Trace) -> Vec<Trace> {
 }
 
 /// Erases a random non-empty subset of the trace's messages.
-pub fn erase_random_subset(tr: &Trace, rng: &mut SmallRng) -> Trace {
+pub fn erase_random_subset(tr: &Trace, rng: &mut Rng) -> Trace {
     let ids: Vec<MsgId> = tr.message_ids().into_iter().collect();
     if ids.is_empty() {
         return tr.clone();
@@ -199,14 +192,11 @@ pub fn erase_random_subset(tr: &Trace, rng: &mut SmallRng) -> Trace {
 /// in the two traces stay equal-bodied, which is how the No-Replay
 /// composability counterexample arises.
 pub fn compose_disjoint(tr1: &Trace, tr2: &Trace) -> Trace {
-    let offset = tr1
-        .message_ids()
-        .iter()
-        .map(|id| id.seq)
-        .max()
-        .unwrap_or(0)
-        + 1;
-    let remap = |m: &Message| Message { id: MsgId::new(m.id.sender, m.id.seq + offset), body: m.body.clone() };
+    let offset = tr1.message_ids().iter().map(|id| id.seq).max().unwrap_or(0) + 1;
+    let remap = |m: &Message| Message {
+        id: MsgId::new(m.id.sender, m.id.seq + offset),
+        body: m.body.clone(),
+    };
     let tr2r: Trace = tr2
         .iter()
         .map(|e| match e {
@@ -352,10 +342,7 @@ mod tests {
         assert!(composed.is_well_formed(), "ids must not collide: {composed}");
         assert_eq!(composed.len(), tr.len() * 2);
         // Bodies survive the renumbering.
-        assert_eq!(
-            composed.events()[tr.len()].message().body,
-            tr.events()[0].message().body
-        );
+        assert_eq!(composed.events()[tr.len()].message().body, tr.events()[0].message().body);
     }
 
     #[test]

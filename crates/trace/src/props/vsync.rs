@@ -68,10 +68,9 @@ impl Property for VirtualSynchrony {
 
         for e in tr.iter() {
             let Event::Deliver(p, m) = e else { continue };
-            let cursor = cursors.entry(*p).or_insert_with(|| Cursor {
-                view: initial.clone(),
-                open_epoch: BTreeSet::new(),
-            });
+            let cursor = cursors
+                .entry(*p)
+                .or_insert_with(|| Cursor { view: initial.clone(), open_epoch: BTreeSet::new() });
             if let Some(v) = m.as_view_change() {
                 // 1. Monotone installation of views containing the installer.
                 if v.view_no <= cursor.view.view_no || !v.members.contains(p) {
@@ -97,8 +96,7 @@ impl Property for VirtualSynchrony {
                 cursor.view = v;
             } else {
                 // 3. Delivery in view.
-                if !cursor.view.members.contains(p) || !cursor.view.members.contains(&m.id.sender)
-                {
+                if !cursor.view.members.contains(p) || !cursor.view.members.contains(&m.id.sender) {
                     return false;
                 }
                 cursor.open_epoch.insert(m.id);
@@ -106,9 +104,7 @@ impl Property for VirtualSynchrony {
         }
 
         // 4. Synchrony on completed epochs.
-        epochs
-            .values()
-            .all(|sets| sets.windows(2).all(|w| w[0] == w[1]))
+        epochs.values().all(|sets| sets.windows(2).all(|w| w[0] == w[1]))
     }
 }
 

@@ -72,10 +72,7 @@ impl Trace {
     /// condition on traces).
     pub fn is_well_formed(&self) -> bool {
         let mut seen = BTreeSet::new();
-        self.events
-            .iter()
-            .filter(|e| e.is_send())
-            .all(|e| seen.insert(e.message().id))
+        self.events.iter().filter(|e| e.is_send()).all(|e| seen.insert(e.message().id))
     }
 
     /// The prefix consisting of the first `n` events.
@@ -97,11 +94,7 @@ impl Trace {
 
     /// Identities of all messages sent in the trace.
     pub fn sent_ids(&self) -> BTreeSet<MsgId> {
-        self.events
-            .iter()
-            .filter(|e| e.is_send())
-            .map(|e| e.message().id)
-            .collect()
+        self.events.iter().filter(|e| e.is_send()).map(|e| e.message().id).collect()
     }
 
     /// Identities of every message that appears in any event.

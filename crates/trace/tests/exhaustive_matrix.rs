@@ -30,7 +30,12 @@ fn data_universe() -> Vec<Event> {
 }
 
 /// Checks one property row exhaustively against the expected six cells.
-fn assert_row(prop: &dyn Property, universe: &[Event], cfg: &ExhaustiveConfig, expected: [bool; 6]) {
+fn assert_row(
+    prop: &dyn Property,
+    universe: &[Event],
+    cfg: &ExhaustiveConfig,
+    expected: [bool; 6],
+) {
     for (&meta, &want) in MetaKind::ALL.iter().zip(&expected) {
         let v = check_cell_exhaustive(prop, meta, universe, cfg);
         assert_eq!(
@@ -82,12 +87,7 @@ fn confidentiality_row_exhaustive() {
 #[test]
 fn no_replay_row_exhaustive() {
     let cfg = ExhaustiveConfig { max_len: 4, ..ExhaustiveConfig::default() };
-    assert_row(
-        &NoReplay,
-        &data_universe(),
-        &cfg,
-        [true, true, true, true, true, false],
-    );
+    assert_row(&NoReplay, &data_universe(), &cfg, [true, true, true, true, true, false]);
 }
 
 #[test]
@@ -104,12 +104,7 @@ fn prioritized_delivery_row_exhaustive() {
 #[test]
 fn amoeba_row_exhaustive() {
     let cfg = ExhaustiveConfig { max_len: 4, ..ExhaustiveConfig::default() };
-    assert_row(
-        &Amoeba,
-        &data_universe(),
-        &cfg,
-        [true, true, false, false, true, false],
-    );
+    assert_row(&Amoeba, &data_universe(), &cfg, [true, true, false, false, true, false]);
 }
 
 #[test]

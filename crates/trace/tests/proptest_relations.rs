@@ -1,6 +1,6 @@
 //! Property-based tests over the rewrite relations and predicates.
 
-use proptest::prelude::*;
+use ps_check::prelude::*;
 use ps_trace::gen::{seeded, TraceGen, UniversalGen};
 use ps_trace::meta::{
     async_steps, async_swap_sites, compose_disjoint, delayable_steps, erase_random_subset,
@@ -10,10 +10,9 @@ use ps_trace::props::{standard_suite, NoReplay, Property};
 use ps_trace::{Event, Trace};
 use std::collections::BTreeSet;
 
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    (any::<u64>(), 2u16..5, 1usize..40).prop_map(|(seed, procs, size)| {
-        UniversalGen { procs }.generate(&mut seeded(seed), size)
-    })
+fn arb_trace() -> impl Gen<Value = Trace> {
+    (arb::<u64>(), 2u16..5, 1usize..40)
+        .prop_map(|(seed, procs, size)| UniversalGen { procs }.generate(&mut seeded(seed), size))
 }
 
 /// A delivery preceded by its send below must stay preceded above.
@@ -35,38 +34,35 @@ fn causality_ok(tr: &Trace) -> bool {
     true
 }
 
-proptest! {
-    #[test]
-    fn rewrites_preserve_well_formedness(tr in arb_trace(), seed in any::<u64>()) {
+props! {
+    fn rewrites_preserve_well_formedness(tr in arb_trace(), seed in arb::<u64>()) {
         let mut rng = seeded(seed);
         for above in prefixes(&tr) {
-            prop_assert!(above.is_well_formed());
+            assert!(above.is_well_formed());
         }
         for above in async_steps(&tr).into_iter().chain(delayable_steps(&tr)) {
-            prop_assert!(above.is_well_formed());
+            assert!(above.is_well_formed());
         }
         for above in single_erasures(&tr) {
-            prop_assert!(above.is_well_formed());
+            assert!(above.is_well_formed());
         }
-        prop_assert!(send_extension(&tr, 3, &mut rng).is_well_formed());
-        prop_assert!(erase_random_subset(&tr, &mut rng).is_well_formed());
-        prop_assert!(compose_disjoint(&tr, &tr).is_well_formed());
+        assert!(send_extension(&tr, 3, &mut rng).is_well_formed());
+        assert!(erase_random_subset(&tr, &mut rng).is_well_formed());
+        assert!(compose_disjoint(&tr, &tr).is_well_formed());
     }
 
-    #[test]
-    fn swap_relations_never_invert_causality(tr in arb_trace(), seed in any::<u64>()) {
+    fn swap_relations_never_invert_causality(tr in arb_trace(), seed in arb::<u64>()) {
         // UniversalGen emits sends before deliveries, so causality holds below.
-        prop_assert!(causality_ok(&tr));
+        assert!(causality_ok(&tr));
         let mut rng = seeded(seed);
         for above in async_steps(&tr).into_iter().chain(delayable_steps(&tr)) {
-            prop_assert!(causality_ok(&above), "{above}");
+            assert!(causality_ok(&above), "{above}");
         }
         for above in swap_walk(&tr, async_swap_sites, 16, &mut rng) {
-            prop_assert!(causality_ok(&above), "{above}");
+            assert!(causality_ok(&above), "{above}");
         }
     }
 
-    #[test]
     fn swaps_preserve_event_multiset(tr in arb_trace()) {
         let count = |t: &Trace| {
             let mut v: Vec<String> = t.iter().map(|e| e.to_string()).collect();
@@ -75,35 +71,31 @@ proptest! {
         };
         let below = count(&tr);
         for above in async_steps(&tr).into_iter().chain(delayable_steps(&tr)) {
-            prop_assert_eq!(count(&above), below.clone());
+            assert_eq!(count(&above), below.clone());
         }
     }
 
-    #[test]
-    fn erasure_is_idempotent_per_subset(tr in arb_trace(), seed in any::<u64>()) {
+    fn erasure_is_idempotent_per_subset(tr in arb_trace(), seed in arb::<u64>()) {
         let mut rng = seeded(seed);
         let erased = erase_random_subset(&tr, &mut rng);
         // Erasing the same ids again changes nothing.
         let ids: BTreeSet<_> = tr.message_ids().difference(&erased.message_ids()).copied().collect();
-        prop_assert_eq!(erased.erase_messages(&ids), erased);
+        assert_eq!(erased.erase_messages(&ids), erased);
     }
 
-    #[test]
     fn compose_disjoint_components_are_disjoint(a in arb_trace(), b in arb_trace()) {
         let composed = compose_disjoint(&a, &b);
-        prop_assert_eq!(composed.len(), a.len() + b.len());
+        assert_eq!(composed.len(), a.len() + b.len());
         // First half ids and remapped second half ids do not overlap.
-        prop_assert!(composed.is_well_formed() || !a.is_well_formed() || !b.is_well_formed());
+        assert!(composed.is_well_formed() || !a.is_well_formed() || !b.is_well_formed());
     }
 
-    #[test]
     fn predicates_are_deterministic(tr in arb_trace()) {
         for p in standard_suite(5) {
-            prop_assert_eq!(p.holds(&tr), p.holds(&tr.clone()));
+            assert_eq!(p.holds(&tr), p.holds(&tr.clone()));
         }
     }
 
-    #[test]
     fn safety_props_are_prefix_closed_on_satisfying_traces(tr in arb_trace()) {
         // Every property our reconstruction marks Safe must be prefix-closed.
         for p in standard_suite(5) {
@@ -112,18 +104,17 @@ proptest! {
             }
             if p.holds(&tr) {
                 for pre in prefixes(&tr) {
-                    prop_assert!(p.holds(&pre), "{} broken by prefix of {tr}", p.name());
+                    assert!(p.holds(&pre), "{} broken by prefix of {tr}", p.name());
                 }
             }
         }
     }
 
-    #[test]
-    fn no_replay_violations_survive_extension(tr in arb_trace(), seed in any::<u64>()) {
+    fn no_replay_violations_survive_extension(tr in arb_trace(), seed in arb::<u64>()) {
         // ¬P is stable under appending sends for No Replay (dual sanity).
         if !NoReplay.holds(&tr) {
             let mut rng = seeded(seed);
-            prop_assert!(!NoReplay.holds(&send_extension(&tr, 2, &mut rng)));
+            assert!(!NoReplay.holds(&send_extension(&tr, 2, &mut rng)));
         }
     }
 }

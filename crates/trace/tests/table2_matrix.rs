@@ -80,7 +80,10 @@ fn every_negative_cell_carries_a_witness() {
                     panic!("{} / {} is ✗ without witness", row.property, cell.verdict.meta)
                 });
                 assert!(!cx.above.is_well_formed() || cx.above.is_well_formed());
-                assert!(cx.above.len() <= cx.below.len() + cx.second_below.as_ref().map_or(6, |t| t.len()));
+                assert!(
+                    cx.above.len()
+                        <= cx.below.len() + cx.second_below.as_ref().map_or(6, |t| t.len())
+                );
             }
         }
     }

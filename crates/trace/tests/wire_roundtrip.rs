@@ -1,33 +1,37 @@
 //! Wire round-trips for the trace model types carried between layers.
 
-use bytes::Bytes;
-use proptest::prelude::*;
+use ps_bytes::Bytes;
+use ps_check::prelude::*;
 use ps_trace::{Message, MsgId, ProcessId, ViewInfo};
 use ps_wire::Wire;
 
-proptest! {
-    #[test]
-    fn message_roundtrip(sender in any::<u16>(), seq in any::<u64>(), body in proptest::collection::vec(any::<u8>(), 0..256)) {
+props! {
+    fn message_roundtrip(
+        sender in arb::<u16>(),
+        seq in arb::<u64>(),
+        body in vec_of(arb::<u8>(), 0..256),
+    ) {
         let m = Message::new(ProcessId(sender), seq, Bytes::from(body));
-        prop_assert_eq!(Message::from_bytes(&m.to_bytes()).unwrap(), m);
+        assert_eq!(Message::from_bytes(&m.to_bytes()).unwrap(), m);
     }
 
-    #[test]
-    fn msgid_roundtrip(sender in any::<u16>(), seq in any::<u64>()) {
+    fn msgid_roundtrip(sender in arb::<u16>(), seq in arb::<u64>()) {
         let id = MsgId::new(ProcessId(sender), seq);
-        prop_assert_eq!(MsgId::from_bytes(&id.to_bytes()).unwrap(), id);
+        assert_eq!(MsgId::from_bytes(&id.to_bytes()).unwrap(), id);
     }
 
-    #[test]
-    fn view_info_roundtrip(view_no in any::<u64>(), members in proptest::collection::vec(any::<u16>(), 0..16)) {
+    fn view_info_roundtrip(view_no in arb::<u64>(), members in vec_of(arb::<u16>(), 0..16)) {
         let v = ViewInfo { view_no, members: members.into_iter().map(ProcessId).collect() };
-        prop_assert_eq!(ViewInfo::from_bytes(&v.to_bytes()).unwrap(), v);
+        assert_eq!(ViewInfo::from_bytes(&v.to_bytes()).unwrap(), v);
     }
 
-    #[test]
-    fn view_change_survives_wire(sender in any::<u16>(), seq in any::<u64>(), view_no in any::<u64>()) {
+    fn view_change_survives_wire(
+        sender in arb::<u16>(),
+        seq in arb::<u64>(),
+        view_no in arb::<u64>(),
+    ) {
         let m = Message::view_change(ProcessId(sender), seq, view_no, vec![ProcessId(0), ProcessId(3)]);
         let back = Message::from_bytes(&m.to_bytes()).unwrap();
-        prop_assert_eq!(back.as_view_change().unwrap().view_no, view_no);
+        assert_eq!(back.as_view_change().unwrap().view_no, view_no);
     }
 }

@@ -1,5 +1,5 @@
 use crate::WireError;
-use bytes::Bytes;
+use ps_bytes::Bytes;
 
 /// Cursor-style binary decoder over a borrowed byte slice.
 ///

@@ -1,4 +1,4 @@
-use bytes::{BufMut, Bytes, BytesMut};
+use ps_bytes::{Bytes, BytesMut};
 
 /// Append-only binary encoder.
 ///

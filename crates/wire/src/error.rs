@@ -53,10 +53,9 @@ impl fmt::Display for WireError {
             }
             WireError::InvalidUtf8 => write!(f, "length-prefixed string was not valid utf-8"),
             WireError::VarintOverflow => write!(f, "varint exceeded 10 bytes"),
-            WireError::LengthOverflow { declared, available } => write!(
-                f,
-                "declared length {declared} exceeds available {available} bytes"
-            ),
+            WireError::LengthOverflow { declared, available } => {
+                write!(f, "declared length {declared} exceeds available {available} bytes")
+            }
             WireError::TrailingBytes { remaining } => {
                 write!(f, "{remaining} trailing bytes after complete decode")
             }

@@ -1,5 +1,5 @@
 use crate::{Decoder, Encoder, Wire, WireError};
-use bytes::{BufMut, Bytes};
+use ps_bytes::Bytes;
 
 /// Prepends `header` to `payload`, producing the frame a layer passes down
 /// the stack.
@@ -11,7 +11,7 @@ use bytes::{BufMut, Bytes};
 /// # Examples
 ///
 /// ```
-/// use bytes::Bytes;
+/// use ps_bytes::Bytes;
 /// use ps_wire::{pop_header, push_header};
 ///
 /// # fn main() -> Result<(), ps_wire::WireError> {

@@ -1,5 +1,5 @@
 use crate::{Decoder, Encoder, WireError};
-use bytes::Bytes;
+use ps_bytes::Bytes;
 
 /// A type with a canonical binary wire representation.
 ///

@@ -1,60 +1,53 @@
-//! Property-based round-trip tests for the wire codec.
+//! Property-based round-trip tests for the wire codec (ps-check).
 
-use bytes::Bytes;
-use proptest::prelude::*;
+use ps_bytes::Bytes;
+use ps_check::prelude::*;
 use ps_wire::{pop_header, push_header, Decoder, Encoder, Wire};
 
-proptest! {
-    #[test]
-    fn varint_roundtrip(v in any::<u64>()) {
+props! {
+    fn varint_roundtrip(v in arb::<u64>()) {
         let mut enc = Encoder::new();
         enc.put_varint(v);
         let b = enc.finish();
         let mut dec = Decoder::new(&b);
-        prop_assert_eq!(dec.get_varint().unwrap(), v);
-        prop_assert!(dec.is_empty());
+        assert_eq!(dec.get_varint().unwrap(), v);
+        assert!(dec.is_empty());
     }
 
-    #[test]
-    fn varint_is_minimal_length(v in any::<u64>()) {
+    fn varint_is_minimal_length(v in arb::<u64>()) {
         let mut enc = Encoder::new();
         enc.put_varint(v);
         let expected = if v == 0 { 1 } else { (64 - v.leading_zeros()).div_ceil(7) as usize };
-        prop_assert_eq!(enc.len(), expected);
+        assert_eq!(enc.len(), expected);
     }
 
-    #[test]
-    fn bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+    fn bytes_roundtrip(data in vec_of(arb::<u8>(), 0..2048)) {
         let mut enc = Encoder::new();
         enc.put_bytes(&data);
         let b = enc.finish();
         let mut dec = Decoder::new(&b);
-        prop_assert_eq!(dec.get_bytes().unwrap(), &data[..]);
+        assert_eq!(dec.get_bytes().unwrap(), &data[..]);
     }
 
-    #[test]
-    fn string_roundtrip(s in "\\PC*") {
+    fn string_roundtrip(s in strings(0..64)) {
         let v = s.clone();
         let b = v.to_bytes();
-        prop_assert_eq!(String::from_bytes(&b).unwrap(), s);
+        assert_eq!(String::from_bytes(&b).unwrap(), s);
     }
 
-    #[test]
-    fn vec_of_tuples_roundtrip(v in proptest::collection::vec((any::<u64>(), any::<bool>()), 0..64)) {
+    fn vec_of_tuples_roundtrip(v in vec_of((arb::<u64>(), arb::<bool>()), 0..64)) {
         let b = v.to_bytes();
-        prop_assert_eq!(Vec::<(u64, bool)>::from_bytes(&b).unwrap(), v);
+        assert_eq!(Vec::<(u64, bool)>::from_bytes(&b).unwrap(), v);
     }
 
-    #[test]
-    fn header_framing_roundtrip(h in any::<u64>(), payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+    fn header_framing_roundtrip(h in arb::<u64>(), payload in vec_of(arb::<u8>(), 0..512)) {
         let framed = push_header(&h, Bytes::from(payload.clone()));
         let (got_h, got_p) = pop_header::<u64>(&framed).unwrap();
-        prop_assert_eq!(got_h, h);
-        prop_assert_eq!(&got_p[..], &payload[..]);
+        assert_eq!(got_h, h);
+        assert_eq!(&got_p[..], &payload[..]);
     }
 
-    #[test]
-    fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+    fn decoder_never_panics_on_garbage(data in vec_of(arb::<u8>(), 0..256)) {
         // Whatever the bytes, decoding assorted types must return, not panic.
         let _ = u64::from_bytes(&data);
         let _ = String::from_bytes(&data);

@@ -65,9 +65,6 @@ fn main() {
         let dir = if r.to == 1 { "sequencer -> token" } else { "token -> sequencer" };
         println!("  {:>10}  {dir}  (flush took {})", r.completed_at.to_string(), r.duration());
     }
-    assert!(
-        snap.records.len() >= 2,
-        "the oracle should ride the load up and back down"
-    );
+    assert!(snap.records.len() >= 2, "the oracle should ride the load up and back down");
     assert!(TotalOrder.holds(&tr));
 }

@@ -23,10 +23,7 @@ fn main() {
 
     let mut builder = GroupSimBuilder::new(n)
         .seed(31)
-        .medium(Box::new(Lossy::new(
-            Box::new(PointToPoint::new(SimTime::from_micros(300))),
-            0.20,
-        )))
+        .medium(Box::new(Lossy::new(Box::new(PointToPoint::new(SimTime::from_micros(300))), 0.20)))
         .stack_factory(move |p, _, ids| {
             // v1: a "buggy" release with a 150 ms retransmit timer.
             let v1 = Stack::with_ids(

@@ -22,10 +22,8 @@ fn main() {
         } else {
             Box::new(NeverOracle)
         };
-        let cfg = SwitchConfig {
-            observe_interval: SimTime::from_millis(20),
-            ..SwitchConfig::default()
-        };
+        let cfg =
+            SwitchConfig { observe_interval: SimTime::from_millis(20), ..SwitchConfig::default() };
         let (stack, handle) = hybrid_total_order(ids, cfg, ProcessId(0), oracle);
         h2.lock().expect("handles").push(handle);
         stack
@@ -40,23 +38,14 @@ fn main() {
     let report = group.shutdown();
 
     println!("events recorded: {}", report.trace.len());
-    println!(
-        "deliveries per process: {:?}",
-        report.delivered_per_process
-    );
+    println!("deliveries per process: {:?}", report.delivered_per_process);
     for h in handles.lock().expect("handles").iter().take(1) {
         for r in h.snapshot().records {
-            println!(
-                "switch {} -> {} took {} (wall clock)",
-                r.from,
-                r.to,
-                r.duration()
-            );
+            println!("switch {} -> {} took {} (wall clock)", r.from, r.to, r.duration());
         }
     }
     let ordered = TotalOrder.holds(&report.trace);
-    let complete = Reliability::new((0..n).map(ProcessId).collect::<Vec<_>>())
-        .holds(&report.trace);
+    let complete = Reliability::new((0..n).map(ProcessId).collect::<Vec<_>>()).holds(&report.trace);
     println!("total order preserved on real threads: {ordered}");
     println!("reliability preserved on real threads: {complete}");
     assert!(ordered && complete);

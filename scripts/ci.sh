@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Pre-merge gate. Everything runs with CARGO_NET_OFFLINE=true: the
+# workspace has zero external crate dependencies, and this is how we keep
+# it that way — any reintroduced registry dependency fails the build here
+# before it can land.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release (offline)"
+cargo build --release
+
+echo "==> cargo test (offline)"
+cargo test -q
+
+echo "==> cargo bench --no-run (offline)"
+cargo bench --workspace --no-run
+
+echo "ci: all gates green"

@@ -77,8 +77,8 @@ pub mod prelude {
         SharedBus, SimConfig, SimTime, TimedPartition,
     };
     pub use ps_stack::{
-        Cast, ChannelId, Frame, GroupSim, GroupSimBuilder, IdGen, Layer, LayerCtx, Stack,
-        StackEnv, TapLayer, TapLog,
+        Cast, ChannelId, Frame, GroupSim, GroupSimBuilder, IdGen, Layer, LayerCtx, Stack, StackEnv,
+        TapLayer, TapLog,
     };
     pub use ps_trace::props::{
         standard_suite, Amoeba, CausalOrder, Confidentiality, Integrity, NoReplay,

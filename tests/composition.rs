@@ -21,15 +21,15 @@ where
     F: Fn(ProcessId, &mut IdGen) -> Stack + 'static,
 {
     let plan = vec![(SimTime::from_millis(60), 1), (SimTime::from_millis(160), 0)];
-    let mut b = GroupSimBuilder::new(n).seed(seed).medium(medium).stack_factory(
-        move |p, _, ids| {
+    let mut b =
+        GroupSimBuilder::new(n).seed(seed).medium(medium).stack_factory(move |p, _, ids| {
             let a = factory(p, ids);
             let bb = factory(p, ids);
             let control = Stack::with_ids(vec![Box::new(ReliableLayer::new())], ids);
-            let (layer, _h) = SwitchLayer::new(SwitchConfig::default(), a, bb, decider(p, plan.clone()));
+            let (layer, _h) =
+                SwitchLayer::new(SwitchConfig::default(), a, bb, decider(p, plan.clone()));
             Stack::with_ids(vec![Box::new(layer.with_control_stack(control))], ids)
-        },
-    );
+        });
     for i in 0..msgs {
         b = b.send_at(
             SimTime::from_millis(2 + 4 * i),
@@ -48,7 +48,9 @@ fn total_order_is_preserved_for_many_seeds() {
         let tr = switched(
             4,
             seed,
-            Box::new(PointToPoint::new(SimTime::from_micros(300)).with_jitter(SimTime::from_millis(1))),
+            Box::new(
+                PointToPoint::new(SimTime::from_micros(300)).with_jitter(SimTime::from_millis(1)),
+            ),
             50,
             |_, ids| Stack::with_ids(vec![Box::new(SeqOrderLayer::new(ProcessId(0)))], ids),
         );
@@ -136,10 +138,7 @@ fn virtual_synchrony_is_not_preserved() {
                 }))],
                 ids,
             );
-            let bb = Stack::with_ids(
-                vec![Box::new(VsyncLayer::new(VsyncConfig::default()))],
-                ids,
-            );
+            let bb = Stack::with_ids(vec![Box::new(VsyncLayer::new(VsyncConfig::default()))], ids);
             let cfg = SwitchConfig {
                 observe_interval: SimTime::from_millis(20),
                 ..SwitchConfig::default()
@@ -153,7 +152,11 @@ fn virtual_synchrony_is_not_preserved() {
     }
     // Phase 2 (post-switch): everyone resumes, including the dropped p2.
     for i in 0..9u64 {
-        b = b.send_at(SimTime::from_millis(200 + 5 * i), ProcessId((i % 3) as u16), format!("w{i}"));
+        b = b.send_at(
+            SimTime::from_millis(200 + 5 * i),
+            ProcessId((i % 3) as u16),
+            format!("w{i}"),
+        );
     }
     let mut sim = b.build();
     sim.run_until(SimTime::from_secs(5));
@@ -178,7 +181,8 @@ fn virtual_synchrony_is_not_preserved() {
             )
         });
     for i in 0..9u64 {
-        b2 = b2.send_at(SimTime::from_millis(2 + 3 * i), ProcessId((i % 3) as u16), format!("v{i}"));
+        b2 =
+            b2.send_at(SimTime::from_millis(2 + 3 * i), ProcessId((i % 3) as u16), format!("v{i}"));
     }
     let mut sim2 = b2.build();
     sim2.run_until(SimTime::from_secs(5));
@@ -191,7 +195,9 @@ fn composition_is_deterministic_per_seed() {
         switched(
             3,
             seed,
-            Box::new(PointToPoint::new(SimTime::from_micros(200)).with_jitter(SimTime::from_micros(500))),
+            Box::new(
+                PointToPoint::new(SimTime::from_micros(200)).with_jitter(SimTime::from_micros(500)),
+            ),
             20,
             |_, ids| Stack::with_ids(vec![Box::new(FifoLayer::new())], ids),
         )
@@ -204,13 +210,10 @@ fn composition_is_deterministic_per_seed() {
 #[test]
 fn standard_suite_evaluates_on_live_traces() {
     // Smoke-test the whole Table-1 suite against a live composed run.
-    let tr = switched(
-        4,
-        9,
-        Box::new(PointToPoint::new(SimTime::from_micros(300))),
-        24,
-        |_, ids| Stack::with_ids(vec![Box::new(SeqOrderLayer::new(ProcessId(0)))], ids),
-    );
+    let tr =
+        switched(4, 9, Box::new(PointToPoint::new(SimTime::from_micros(300))), 24, |_, ids| {
+            Stack::with_ids(vec![Box::new(SeqOrderLayer::new(ProcessId(0)))], ids)
+        });
     for prop in standard_suite(4) {
         // No panics, deterministic answers; specific values covered above.
         let _ = prop.holds(&tr);

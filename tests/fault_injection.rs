@@ -10,40 +10,32 @@ use std::rc::Rc;
 
 type Handles = Rc<RefCell<Vec<SwitchHandle>>>;
 
-fn reliable_hybrid(
-    medium: Box<dyn Medium>,
-    switch_at: SimTime,
-) -> (GroupSimBuilder, Handles) {
+fn reliable_hybrid(medium: Box<dyn Medium>, switch_at: SimTime) -> (GroupSimBuilder, Handles) {
     let handles: Handles = Rc::new(RefCell::new(Vec::new()));
     let h2 = handles.clone();
     let plan = vec![(switch_at, 1)];
-    let b = GroupSimBuilder::new(4)
-        .seed(77)
-        .medium(medium)
-        .stack_factory(move |p, _, ids| {
-            let sub = |ids: &mut IdGen| {
-                Stack::with_ids(
-                    vec![Box::new(ReliableLayer::with_config(ReliableConfig {
-                        retransmit_interval: SimTime::from_millis(10),
-                    }))],
-                    ids,
-                )
-            };
-            let (a, bb) = (sub(ids), sub(ids));
-            let control = Stack::with_ids(vec![Box::new(ReliableLayer::new())], ids);
-            let oracle: Box<dyn Oracle> = if p == ProcessId(0) {
-                Box::new(ManualOracle::new(plan.clone()))
-            } else {
-                Box::new(NeverOracle)
-            };
-            let cfg = SwitchConfig {
-                observe_interval: SimTime::from_millis(10),
-                ..SwitchConfig::default()
-            };
-            let (layer, handle) = SwitchLayer::new(cfg, a, bb, oracle);
-            h2.borrow_mut().push(handle);
-            Stack::with_ids(vec![Box::new(layer.with_control_stack(control))], ids)
-        });
+    let b = GroupSimBuilder::new(4).seed(77).medium(medium).stack_factory(move |p, _, ids| {
+        let sub = |ids: &mut IdGen| {
+            Stack::with_ids(
+                vec![Box::new(ReliableLayer::with_config(ReliableConfig {
+                    retransmit_interval: SimTime::from_millis(10),
+                }))],
+                ids,
+            )
+        };
+        let (a, bb) = (sub(ids), sub(ids));
+        let control = Stack::with_ids(vec![Box::new(ReliableLayer::new())], ids);
+        let oracle: Box<dyn Oracle> = if p == ProcessId(0) {
+            Box::new(ManualOracle::new(plan.clone()))
+        } else {
+            Box::new(NeverOracle)
+        };
+        let cfg =
+            SwitchConfig { observe_interval: SimTime::from_millis(10), ..SwitchConfig::default() };
+        let (layer, handle) = SwitchLayer::new(cfg, a, bb, oracle);
+        h2.borrow_mut().push(handle);
+        Stack::with_ids(vec![Box::new(layer.with_control_stack(control))], ids)
+    });
     (b, handles)
 }
 
@@ -86,10 +78,7 @@ fn partition_during_prepare_heals_and_switch_completes() {
 fn loss_spike_during_switch_window() {
     // 40% loss for the entire run (covering the switch window): still
     // exactly-once, still one completed switch.
-    let medium = Box::new(Lossy::new(
-        Box::new(PointToPoint::new(SimTime::from_micros(300))),
-        0.40,
-    ));
+    let medium = Box::new(Lossy::new(Box::new(PointToPoint::new(SimTime::from_micros(300))), 0.40));
     let (b, handles) = reliable_hybrid(medium, SimTime::from_millis(60));
     let mut sim = workload(b).build();
     sim.run_until(SimTime::from_secs(30));

@@ -31,10 +31,18 @@ fn switching_between_rate_and_credit_flow_control() {
         });
     // Burst before the switch (rate-paced) and after it (credit-paced).
     for i in 0..10u64 {
-        b = b.send_at(SimTime::from_millis(5) + SimTime::from_micros(i), ProcessId(1), format!("pre{i}"));
+        b = b.send_at(
+            SimTime::from_millis(5) + SimTime::from_micros(i),
+            ProcessId(1),
+            format!("pre{i}"),
+        );
     }
     for i in 0..10u64 {
-        b = b.send_at(SimTime::from_millis(400) + SimTime::from_micros(i), ProcessId(1), format!("post{i}"));
+        b = b.send_at(
+            SimTime::from_millis(400) + SimTime::from_micros(i),
+            ProcessId(1),
+            format!("post{i}"),
+        );
     }
     let mut sim = b.build();
     sim.run_until(SimTime::from_secs(3));

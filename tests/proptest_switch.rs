@@ -2,8 +2,8 @@
 //! and whatever the (scripted) switch plan, the preserved-class properties
 //! hold on the composed trace.
 
-use proptest::prelude::*;
 use protocol_switching::prelude::*;
+use ps_check::prelude::*;
 
 #[derive(Debug, Clone)]
 struct Plan {
@@ -16,34 +16,28 @@ struct Plan {
     jitter_us: u64,
 }
 
-fn arb_plan() -> impl Strategy<Value = Plan> {
+fn arb_plan() -> impl Gen<Value = Plan> {
     (
-        any::<u64>(),
+        arb::<u64>(),
         2u16..6,
-        proptest::collection::vec(10u64..400, 0..4),
-        proptest::collection::vec((1u64..500, 0u16..6), 1..40),
+        vec_of(10u64..400, 0..4),
+        vec_of((1u64..500, 0u16..6), 1..40),
         0u64..2_000,
     )
         .prop_map(|(seed, n, mut switch_times, sends, jitter_us)| {
             switch_times.sort_unstable();
             switch_times.dedup();
             // Alternate targets 1,0,1,… so every entry is a real switch.
-            let switches = switch_times
-                .into_iter()
-                .enumerate()
-                .map(|(i, t)| (t, (i + 1) % 2))
-                .collect();
+            let switches =
+                switch_times.into_iter().enumerate().map(|(i, t)| (t, (i + 1) % 2)).collect();
             let sends = sends.into_iter().map(|(t, s)| (t, s % n)).collect();
             Plan { seed, n, switches, sends, jitter_us }
         })
 }
 
 fn run(plan: &Plan) -> (Trace, Vec<ProcessId>) {
-    let switches: Vec<(SimTime, usize)> = plan
-        .switches
-        .iter()
-        .map(|&(t, target)| (SimTime::from_millis(t), target))
-        .collect();
+    let switches: Vec<(SimTime, usize)> =
+        plan.switches.iter().map(|&(t, target)| (SimTime::from_millis(t), target)).collect();
     let jitter = SimTime::from_micros(plan.jitter_us);
     let mut b = GroupSimBuilder::new(plan.n)
         .seed(plan.seed)
@@ -71,25 +65,24 @@ fn run(plan: &Plan) -> (Trace, Vec<ProcessId>) {
     (sim.app_trace(), sim.group().to_vec())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+props! {
+    #![config(cases = 24)]
 
-    #[test]
     fn random_switch_plans_preserve_total_order_and_reliability(plan in arb_plan()) {
         let (tr, group) = run(&plan);
-        prop_assert!(
+        assert!(
             TotalOrder.holds(&tr),
             "total order violated for {plan:?}: {tr}"
         );
-        prop_assert!(
+        assert!(
             Reliability::new(group).holds(&tr),
             "reliability violated for {plan:?}: {tr}"
         );
-        prop_assert!(NoReplay.holds(&tr), "duplicate delivery for {plan:?}: {tr}");
+        assert!(NoReplay.holds(&tr), "duplicate delivery for {plan:?}: {tr}");
         // Everything the app sent shows up exactly once per process.
         let n_sends = plan.sends.len();
-        prop_assert_eq!(tr.sent_ids().len(), n_sends);
-        prop_assert_eq!(
+        assert_eq!(tr.sent_ids().len(), n_sends);
+        assert_eq!(
             tr.iter().filter(|e| e.is_deliver()).count(),
             n_sends * usize::from(plan.n)
         );

@@ -51,10 +51,8 @@ fn announced_switches_yield_virtual_synchrony() {
     assert_eq!(switches, 2);
     let group: Vec<ProcessId> = (0..4).map(ProcessId).collect();
     // Views 1 and 2 (the two eras) are delivered by every member…
-    let view_deliveries = tr
-        .iter()
-        .filter(|e| e.is_deliver() && e.message().is_view_change())
-        .count();
+    let view_deliveries =
+        tr.iter().filter(|e| e.is_deliver() && e.message().is_view_change()).count();
     assert_eq!(view_deliveries, 2 * 4);
     // …and the full application trace is virtually synchronous: every
     // member places the era boundary after the same message set.
@@ -70,10 +68,7 @@ fn announced_switches_yield_virtual_synchrony() {
 fn unannounced_switches_deliver_no_views() {
     let (tr, switches) = run(false, 1);
     assert_eq!(switches, 2);
-    assert!(
-        tr.iter().all(|e| !e.message().is_view_change()),
-        "plain SP must not fabricate views"
-    );
+    assert!(tr.iter().all(|e| !e.message().is_view_change()), "plain SP must not fabricate views");
 }
 
 #[test]
