@@ -1,0 +1,116 @@
+//! Raw simulator engine throughput: events/sec on the bare [`ps_simnet::Sim`]
+//! loop (no protocol stack), at 10/100/1000 nodes, under a broadcast-heavy
+//! workload (fan-out packets hammer the queue and the per-node busy/pending
+//! machinery) and a timer-heavy one (self-re-arming timers with spread-out
+//! delays walk every level of the timing wheel).
+//!
+//! Each case processes a fixed, deterministic number of events, so the
+//! per-iteration wall time is directly comparable across engine changes;
+//! divide the event count (printed nowhere, but stable by construction)
+//! by `median_ns` for events/sec. Baselines live in `BENCH_engine.json`.
+
+use ps_bench::timing::Bench;
+use ps_bytes::Bytes;
+use ps_simnet::{
+    Agent, Dest, NodeId, Packet, PointToPoint, Sim, SimApi, SimConfig, SimTime, TimerToken,
+};
+use std::hint::black_box;
+
+/// First `talkers` nodes broadcast to everyone else every `period`, for a
+/// fixed number of rounds, then the run quiesces.
+struct Broadcaster {
+    rounds_left: u32,
+    period: SimTime,
+    payload: Bytes,
+    received: u64,
+}
+
+impl Agent for Broadcaster {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        if self.rounds_left > 0 {
+            api.set_timer(self.period, TimerToken(0));
+        }
+    }
+    fn on_packet(&mut self, _: Packet, _: &mut SimApi<'_>) {
+        self.received += 1;
+    }
+    fn on_timer(&mut self, _: TimerToken, api: &mut SimApi<'_>) {
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            api.send(Dest::Others, self.payload.clone());
+            if self.rounds_left > 0 {
+                api.set_timer(self.period, TimerToken(0));
+            }
+        }
+    }
+}
+
+fn broadcast_run(nodes: u16, talkers: u16, rounds: u32) -> u64 {
+    let payload = Bytes::from_static(&[0xB7; 256]);
+    let agents = (0..nodes)
+        .map(|i| Broadcaster {
+            rounds_left: if i < talkers { rounds } else { 0 },
+            period: SimTime::from_micros(500),
+            payload: payload.clone(),
+            received: 0,
+        })
+        .collect();
+    let mut sim = Sim::new(
+        SimConfig::default().seed(7).service_time(SimTime::from_micros(5)),
+        Box::new(PointToPoint::new(SimTime::from_micros(120))),
+        agents,
+    );
+    sim.run_to_quiescence();
+    sim.stats().events_processed
+}
+
+/// Every node keeps four self-timers alive, re-arming each with a
+/// pseudo-random delay from its node stream — spreading entries across
+/// all wheel levels — until its round budget runs out.
+struct TimerChurn {
+    rounds_left: u32,
+}
+
+impl Agent for TimerChurn {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        for t in 0..4u64 {
+            api.set_timer(SimTime::from_micros(10 + t * 97), TimerToken(t));
+        }
+    }
+    fn on_packet(&mut self, _: Packet, _: &mut SimApi<'_>) {}
+    fn on_timer(&mut self, token: TimerToken, api: &mut SimApi<'_>) {
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            let delay = SimTime::from_micros(api.rng().range(10, 50_000));
+            api.set_timer(delay, token);
+        }
+    }
+}
+
+fn timer_run(nodes: u16, rounds: u32) -> u64 {
+    let agents = (0..nodes).map(|_| TimerChurn { rounds_left: rounds }).collect();
+    let mut sim = Sim::new(
+        SimConfig::default().seed(11).service_time(SimTime::from_micros(1)),
+        Box::new(PointToPoint::new(SimTime::from_micros(120))),
+        agents,
+    );
+    sim.run_to_quiescence();
+    sim.stats().events_processed
+}
+
+fn main() {
+    let mut bench = Bench::from_args();
+    {
+        let mut g = bench.group("engine_throughput");
+        g.iters(10);
+        // Broadcast-heavy: sends × (n − 1) packet deliveries dominate.
+        g.bench("broadcast_10", || black_box(broadcast_run(10, 10, 500)));
+        g.bench("broadcast_100", || black_box(broadcast_run(100, 20, 50)));
+        g.bench("broadcast_1000", || black_box(broadcast_run(1000, 4, 25)));
+        // Timer-heavy: 4 × rounds self-re-arming timers per node.
+        g.bench("timer_10", || black_box(timer_run(10, 2500)));
+        g.bench("timer_100", || black_box(timer_run(100, 250)));
+        g.bench("timer_1000", || black_box(timer_run(1000, 25)));
+    }
+    bench.finish();
+}

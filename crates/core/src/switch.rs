@@ -168,8 +168,8 @@ impl StackEnv for SubEnv<'_, '_> {
     fn me(&self) -> ProcessId {
         self.ctx.me()
     }
-    fn group(&self) -> Vec<ProcessId> {
-        self.ctx.group()
+    fn group(&self) -> &[ProcessId] {
+        self.ctx.group_slice()
     }
     fn now(&self) -> SimTime {
         self.ctx.now()

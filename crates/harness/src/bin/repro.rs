@@ -1,16 +1,21 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [table1|table2|fig2|overhead|oscillation|all] [--quick] [--csv] [--counterexamples]
+//! repro [table1|table2|fig2|overhead|oscillation|all] [--quick] [--csv] [--counterexamples] [--serial]
 //! ```
+//!
+//! Sweeps run on a worker pool by default (`PS_SWEEP_WORKERS` overrides
+//! the size); the output is byte-identical to `--serial` either way.
 
 use ps_harness::experiments::{ablation, fig2, oscillation, overhead, table1, table2};
+use ps_harness::SweepRunner;
 
 struct Opts {
     what: String,
     quick: bool,
     csv: bool,
     counterexamples: bool,
+    runner: SweepRunner,
 }
 
 fn parse() -> Opts {
@@ -18,14 +23,16 @@ fn parse() -> Opts {
     let mut quick = false;
     let mut csv = false;
     let mut counterexamples = false;
+    let mut runner = SweepRunner::from_env();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--quick" => quick = true,
             "--csv" => csv = true,
             "--counterexamples" => counterexamples = true,
+            "--serial" => runner = SweepRunner::serial(),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|all] [--quick] [--csv] [--counterexamples]"
+                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|all] [--quick] [--csv] [--counterexamples] [--serial]"
                 );
                 std::process::exit(0);
             }
@@ -36,7 +43,7 @@ fn parse() -> Opts {
             }
         }
     }
-    Opts { what, quick, csv, counterexamples }
+    Opts { what, quick, csv, counterexamples, runner }
 }
 
 fn emit(opts: &Opts, t: &ps_harness::Table) {
@@ -61,7 +68,7 @@ fn main() {
         } else {
             table2::Table2Config::default()
         };
-        let rows = table2::run(&cfg);
+        let rows = table2::run_with(&cfg, &opts.runner);
         emit(&opts, &table2::render(&rows));
         let (agree, pinned) = table2::agreement(&rows);
         println!("paper-pinned cells in agreement: {agree}/{pinned}\n");
@@ -71,7 +78,7 @@ fn main() {
     }
     if all || opts.what == "fig2" {
         let cfg = if opts.quick { fig2::Fig2Config::quick() } else { fig2::Fig2Config::default() };
-        let r = fig2::run(&cfg);
+        let r = fig2::run_with(&cfg, &opts.runner);
         emit(&opts, &fig2::render(&r));
     }
     if all || opts.what == "overhead" {
@@ -89,7 +96,7 @@ fn main() {
         } else {
             ablation::AblationConfig::default()
         };
-        let r = ablation::run(&cfg);
+        let r = ablation::run_with(&cfg, &opts.runner);
         emit(&opts, &ablation::render(&r));
     }
     if all || opts.what == "oscillation" {

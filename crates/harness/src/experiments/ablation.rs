@@ -9,6 +9,7 @@
 //! initiators for free.
 
 use crate::report::Table;
+use crate::sweep::SweepRunner;
 use crate::workload::{periodic_senders, WorkloadSpec};
 use ps_core::{
     hybrid_total_order, ManualOracle, NeverOracle, Oracle, SwitchConfig, SwitchHandle,
@@ -116,34 +117,46 @@ fn run_one(
     (frames, handles)
 }
 
-/// Runs the ablation.
+/// Runs the ablation serially.
 pub fn run(cfg: &AblationConfig) -> Vec<AblationPoint> {
-    let mut out = Vec::new();
-    for &n in &cfg.group_sizes {
-        for (name, variant) in [
-            ("broadcast", SwitchVariant::Broadcast),
-            ("token-ring", SwitchVariant::TokenRing { idle_hold: SimTime::from_millis(2) }),
-        ] {
-            // Per-variant baseline without a switch, so the frame
-            // subtraction isolates the switch itself (the token variant's
-            // idle circulation is present in both runs).
-            let (base_frames, _) = run_one(cfg, n, variant, false);
-            let (frames, handles) = run_one(cfg, n, variant, true);
-            let recs: Vec<_> =
-                handles.iter().filter_map(|h| h.snapshot().records.first().cloned()).collect();
-            if recs.len() < usize::from(n) {
-                continue;
-            }
-            out.push(AblationPoint {
-                group: n,
-                variant: name,
-                initiator: recs[0].duration(),
-                worst: recs.iter().map(|r| r.duration()).max().unwrap(),
-                extra_frames: frames as i64 - base_frames as i64,
-            });
+    run_with(cfg, &SweepRunner::serial())
+}
+
+/// Runs the ablation on `runner`, one (group size × variant) cell per
+/// sweep job; cells come back in grid order, so output matches [`run`]'s.
+pub fn run_with(cfg: &AblationConfig, runner: &SweepRunner) -> Vec<AblationPoint> {
+    let grid: Vec<(u16, (&'static str, SwitchVariant))> = cfg
+        .group_sizes
+        .iter()
+        .flat_map(|&n| {
+            [
+                ("broadcast", SwitchVariant::Broadcast),
+                ("token-ring", SwitchVariant::TokenRing { idle_hold: SimTime::from_millis(2) }),
+            ]
+            .into_iter()
+            .map(move |v| (n, v))
+        })
+        .collect();
+    let points = runner.run(grid, |_, (n, (name, variant))| {
+        // Per-variant baseline without a switch, so the frame
+        // subtraction isolates the switch itself (the token variant's
+        // idle circulation is present in both runs).
+        let (base_frames, _) = run_one(cfg, n, variant, false);
+        let (frames, handles) = run_one(cfg, n, variant, true);
+        let recs: Vec<_> =
+            handles.iter().filter_map(|h| h.snapshot().records.first().cloned()).collect();
+        if recs.len() < usize::from(n) {
+            return None;
         }
-    }
-    out
+        Some(AblationPoint {
+            group: n,
+            variant: name,
+            initiator: recs[0].duration(),
+            worst: recs.iter().map(|r| r.duration()).max().unwrap(),
+            extra_frames: frames as i64 - base_frames as i64,
+        })
+    });
+    points.into_iter().flatten().collect()
 }
 
 /// Renders the ablation table.

@@ -11,6 +11,7 @@
 
 use crate::measure::{latency_stats, LatencyStats, SteadyStateWindow};
 use crate::report::Table;
+use crate::sweep::SweepRunner;
 use crate::workload::{periodic_senders, WorkloadSpec};
 use ps_core::{
     hybrid_total_order, NeverOracle, Oracle, SwitchConfig, SwitchHandle, SwitchVariant,
@@ -196,61 +197,84 @@ pub fn run_point(
     (sim, handles)
 }
 
-/// Runs the whole sweep.
+/// Everything a single (protocol × sender count) run contributes to its
+/// sweep point — plain data, so points can be evaluated on worker threads
+/// and merged in input order.
+struct SeriesEval {
+    latency: LatencyStats,
+    /// For the hybrid: (switches, final protocol, settled latency).
+    hybrid: Option<(usize, usize, LatencyStats)>,
+}
+
+/// Builds, runs, and measures one (protocol × sender count) simulation.
+fn eval_series(cfg: &Fig2Config, series: Series, k: u16) -> SeriesEval {
+    let window = SteadyStateWindow::between(
+        SimTime::from_millis(100) + cfg.warmup,
+        SimTime::from_millis(100) + cfg.warmup + cfg.measure,
+    );
+    let workload_end = window.to;
+    let (sim, handles) = run_point(cfg, series, k);
+    let latency = latency_stats(&sim, window);
+    let hybrid = handles.map(|hs| {
+        // Report the state at workload end (afterwards the oracle
+        // correctly adapts back down to the idle-optimal protocol).
+        let records = hs[0].snapshot().records;
+        let during: Vec<_> = records.iter().filter(|r| r.completed_at <= workload_end).collect();
+        let switches = during.len();
+        let settled_on = during.last().map_or(0, |r| r.to);
+        // Steady state after the last mid-workload switch (every
+        // member must have flipped, hence the global max).
+        let all_flipped = hs
+            .iter()
+            .flat_map(|h| h.snapshot().records)
+            .filter(|r| r.completed_at <= workload_end)
+            .map(|r| r.completed_at)
+            .max();
+        let settled_from = all_flipped
+            .map(|t| t + SimTime::from_millis(200))
+            .unwrap_or(window.from)
+            .max(window.from);
+        let settled = latency_stats(&sim, SteadyStateWindow::between(settled_from, window.to));
+        (switches, settled_on, settled)
+    });
+    SeriesEval { latency, hybrid }
+}
+
+/// Runs the whole sweep serially.
 pub fn run(cfg: &Fig2Config) -> Fig2Result {
-    let mut points = Vec::new();
-    for &k in &cfg.senders {
-        let window = SteadyStateWindow::between(
-            SimTime::from_millis(100) + cfg.warmup,
-            SimTime::from_millis(100) + cfg.warmup + cfg.measure,
-        );
-        let mut latency = [LatencyStats {
-            samples: 0,
-            mean: SimTime::ZERO,
-            p50: SimTime::ZERO,
-            p99: SimTime::ZERO,
-            max: SimTime::ZERO,
-            incomplete: 0,
-        }; 3];
-        let mut hybrid_switches = 0;
-        let mut hybrid_final = 0;
-        let mut hybrid_settled = latency[0];
-        let workload_end = SimTime::from_millis(100) + cfg.warmup + cfg.measure;
-        for (i, series) in Series::ALL.into_iter().enumerate() {
-            let (sim, handles) = run_point(cfg, series, k);
-            latency[i] = latency_stats(&sim, window);
-            if let Some(hs) = handles {
-                // Report the state at workload end (afterwards the oracle
-                // correctly adapts back down to the idle-optimal protocol).
-                let records = hs[0].snapshot().records;
-                let during: Vec<_> =
-                    records.iter().filter(|r| r.completed_at <= workload_end).collect();
-                hybrid_switches = during.len();
-                hybrid_final = during.last().map_or(0, |r| r.to);
-                // Steady state after the last mid-workload switch (every
-                // member must have flipped, hence the global max).
-                let all_flipped = hs
-                    .iter()
-                    .flat_map(|h| h.snapshot().records)
-                    .filter(|r| r.completed_at <= workload_end)
-                    .map(|r| r.completed_at)
-                    .max();
-                let settled_from = all_flipped
-                    .map(|t| t + SimTime::from_millis(200))
-                    .unwrap_or(window.from)
-                    .max(window.from);
-                hybrid_settled =
-                    latency_stats(&sim, SteadyStateWindow::between(settled_from, window.to));
-            }
-        }
-        points.push(Fig2Point {
-            senders: k,
-            latency,
-            hybrid_switches,
-            hybrid_final,
-            hybrid_settled,
-        });
-    }
+    run_with(cfg, &SweepRunner::serial())
+}
+
+/// Runs the whole sweep on `runner`, fanning the independent
+/// (protocol × sender count) points across its workers. Each point owns
+/// its simulation and seed, and results are merged in grid order, so the
+/// result is identical to [`run`]'s whatever the worker count.
+pub fn run_with(cfg: &Fig2Config, runner: &SweepRunner) -> Fig2Result {
+    let grid: Vec<(u16, Series)> =
+        cfg.senders.iter().flat_map(|&k| Series::ALL.into_iter().map(move |s| (k, s))).collect();
+    let evals = runner.run(grid, |_, (k, series)| eval_series(cfg, series, k));
+    let points = cfg
+        .senders
+        .iter()
+        .zip(evals.chunks_exact(Series::ALL.len()))
+        .map(|(&k, chunk)| {
+            let latency = [chunk[0].latency, chunk[1].latency, chunk[2].latency];
+            let (hybrid_switches, hybrid_final, hybrid_settled) =
+                chunk.iter().find_map(|e| e.hybrid).unwrap_or((
+                    0,
+                    0,
+                    LatencyStats {
+                        samples: 0,
+                        mean: SimTime::ZERO,
+                        p50: SimTime::ZERO,
+                        p99: SimTime::ZERO,
+                        max: SimTime::ZERO,
+                        incomplete: 0,
+                    },
+                ));
+            Fig2Point { senders: k, latency, hybrid_switches, hybrid_final, hybrid_settled }
+        })
+        .collect::<Vec<_>>();
     let crossover = find_crossover(&points);
     Fig2Result { points, crossover }
 }

@@ -17,8 +17,10 @@
 pub mod experiments;
 pub mod measure;
 pub mod report;
+pub mod sweep;
 pub mod workload;
 
 pub use measure::{LatencyStats, SteadyStateWindow};
 pub use report::Table;
+pub use sweep::SweepRunner;
 pub use workload::{periodic_senders, poisson_senders, WorkloadSpec};

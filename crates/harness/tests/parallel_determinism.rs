@@ -1,0 +1,30 @@
+//! The parallel sweep runner must be invisible in the output: for the same
+//! config and seed, the rendered report tables are byte-identical to the
+//! serial path's, whatever the worker count.
+
+use ps_harness::experiments::{ablation, fig2, table2};
+use ps_harness::SweepRunner;
+
+#[test]
+fn fig2_parallel_table_is_byte_identical_to_serial() {
+    let cfg = fig2::Fig2Config::quick();
+    let serial = fig2::render(&fig2::run(&cfg)).to_string();
+    let parallel = fig2::render(&fig2::run_with(&cfg, &SweepRunner::new(4))).to_string();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn table2_parallel_rows_are_byte_identical_to_serial() {
+    let cfg = table2::Table2Config::quick();
+    let serial = table2::render(&table2::run(&cfg)).to_string();
+    let parallel = table2::render(&table2::run_with(&cfg, &SweepRunner::new(3))).to_string();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn ablation_parallel_table_is_byte_identical_to_serial() {
+    let cfg = ablation::AblationConfig::quick();
+    let serial = ablation::render(&ablation::run(&cfg)).to_string();
+    let parallel = ablation::render(&ablation::run_with(&cfg, &SweepRunner::new(4))).to_string();
+    assert_eq!(serial, parallel);
+}

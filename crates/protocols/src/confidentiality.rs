@@ -161,8 +161,8 @@ mod tests {
             fn me(&self) -> ProcessId {
                 ProcessId(0)
             }
-            fn group(&self) -> Vec<ProcessId> {
-                vec![ProcessId(0), ProcessId(1)]
+            fn group(&self) -> &[ProcessId] {
+                &[ProcessId(0), ProcessId(1)]
             }
             fn now(&self) -> ps_simnet::SimTime {
                 ps_simnet::SimTime::ZERO

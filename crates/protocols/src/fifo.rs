@@ -125,8 +125,8 @@ mod tests {
             fn me(&self) -> ProcessId {
                 ProcessId(1)
             }
-            fn group(&self) -> Vec<ProcessId> {
-                vec![ProcessId(0), ProcessId(1)]
+            fn group(&self) -> &[ProcessId] {
+                &[ProcessId(0), ProcessId(1)]
             }
             fn now(&self) -> SimTime {
                 SimTime::ZERO
@@ -168,8 +168,8 @@ mod tests {
             fn me(&self) -> ProcessId {
                 ProcessId(0)
             }
-            fn group(&self) -> Vec<ProcessId> {
-                vec![ProcessId(0)]
+            fn group(&self) -> &[ProcessId] {
+                &[ProcessId(0)]
             }
             fn now(&self) -> SimTime {
                 SimTime::ZERO

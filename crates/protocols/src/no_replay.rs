@@ -108,8 +108,8 @@ mod tests {
             fn me(&self) -> ProcessId {
                 ProcessId(0)
             }
-            fn group(&self) -> Vec<ProcessId> {
-                vec![ProcessId(0)]
+            fn group(&self) -> &[ProcessId] {
+                &[ProcessId(0)]
             }
             fn now(&self) -> SimTime {
                 SimTime::ZERO

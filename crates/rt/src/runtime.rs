@@ -106,8 +106,8 @@ impl StackEnv for RtEnv<'_> {
     fn me(&self) -> ProcessId {
         self.me
     }
-    fn group(&self) -> Vec<ProcessId> {
-        self.group.to_vec()
+    fn group(&self) -> &[ProcessId] {
+        self.group
     }
     fn now(&self) -> SimTime {
         SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)

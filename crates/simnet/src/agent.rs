@@ -49,8 +49,24 @@ pub struct SimApi<'a> {
 }
 
 impl<'a> SimApi<'a> {
-    pub(crate) fn new(me: NodeId, now: SimTime, num_nodes: usize, rng: &'a mut DetRng) -> Self {
-        Self { me, now, num_nodes, rng, actions: Vec::new() }
+    /// `actions` is the simulator's scratch buffer (cleared, capacity
+    /// retained across events so the hot path never allocates); it is
+    /// handed back via [`SimApi::into_actions`].
+    pub(crate) fn new(
+        me: NodeId,
+        now: SimTime,
+        num_nodes: usize,
+        rng: &'a mut DetRng,
+        actions: Vec<Action>,
+    ) -> Self {
+        debug_assert!(actions.is_empty());
+        Self { me, now, num_nodes, rng, actions }
+    }
+
+    /// Consumes the API, returning the recorded actions (and the scratch
+    /// buffer's capacity with them).
+    pub(crate) fn into_actions(self) -> Vec<Action> {
+        self.actions
     }
 
     /// This node's identity.
@@ -93,7 +109,7 @@ mod tests {
     #[test]
     fn api_records_actions_in_order() {
         let mut rng = DetRng::new(0);
-        let mut api = SimApi::new(NodeId(2), SimTime::from_micros(5), 4, &mut rng);
+        let mut api = SimApi::new(NodeId(2), SimTime::from_micros(5), 4, &mut rng, Vec::new());
         assert_eq!(api.me(), NodeId(2));
         assert_eq!(api.now(), SimTime::from_micros(5));
         assert_eq!(api.num_nodes(), 4);

@@ -60,12 +60,13 @@ mod rng;
 mod sim;
 mod stats;
 mod time;
+mod wheel;
 
 pub use agent::{Agent, SimApi, TimerToken};
 pub use medium::{
     EthernetConfig, Lossy, Medium, Partitioned, PointToPoint, SharedBus, TimedPartition, TxPlan,
 };
-pub use queue::EventQueue;
+pub use queue::{EventQueue, HeapEventQueue};
 pub use rng::DetRng;
 pub use sim::{NodeConfig, Sim, SimConfig};
 pub use stats::NetStats;

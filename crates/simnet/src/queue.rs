@@ -1,3 +1,4 @@
+use crate::wheel::TimingWheel;
 use crate::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -7,6 +8,10 @@ use std::collections::BinaryHeap;
 /// Events popped in nondecreasing time order; events scheduled for the same
 /// instant are popped in insertion order (FIFO), which keeps simulations
 /// deterministic without relying on heap tie-breaking accidents.
+///
+/// Backed by a hierarchical timing wheel (see [`crate::wheel`]) so the
+/// simulator hot path pushes in O(1); [`HeapEventQueue`] is the obviously
+/// correct binary-heap reference that the wheel is property-tested against.
 ///
 /// # Examples
 ///
@@ -24,15 +29,14 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    next_seq: u64,
+    wheel: TimingWheel<E>,
 }
 
 #[derive(Debug)]
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
+pub(crate) struct Entry<E> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -55,6 +59,56 @@ impl<E> Ord for Entry<E> {
 }
 
 impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { wheel: TimingWheel::new() }
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        self.wheel.push(at, event);
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.wheel.pop()
+    }
+
+    /// Time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.wheel.peek_time()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.wheel.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Binary-heap event queue with the same `(time, FIFO)` pop order as
+/// [`EventQueue`].
+///
+/// This is the original queue implementation, kept as the obviously correct
+/// reference: `tests/proptest_queue.rs` drives both queues with identical
+/// operation sequences and asserts the pops agree exactly.
+#[derive(Debug)]
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> HeapEventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self { heap: BinaryHeap::new(), next_seq: 0 }
@@ -88,7 +142,7 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -147,5 +201,20 @@ mod tests {
         q.push(SimTime::from_micros(2), ());
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(2)));
+    }
+
+    #[test]
+    fn heap_reference_matches_on_a_fixed_script() {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let times = [7u64, 7, 0, 65, 4096, 1 << 20, 7, u64::MAX / 2, 3];
+        for (i, t) in times.iter().enumerate() {
+            wheel.push(SimTime::from_micros(*t), i);
+            heap.push(SimTime::from_micros(*t), i);
+        }
+        for _ in 0..times.len() {
+            assert_eq!(wheel.pop(), heap.pop());
+        }
+        assert!(wheel.is_empty() && heap.is_empty());
     }
 }

@@ -56,8 +56,20 @@ impl SimConfig {
 
 #[derive(Debug)]
 enum Ev {
-    Packet { to: NodeId, pkt: Packet },
-    Timer { node: NodeId, token: TimerToken },
+    Packet {
+        to: NodeId,
+        pkt: Packet,
+    },
+    Timer {
+        node: NodeId,
+        token: TimerToken,
+    },
+    /// Marker at a node's `busy_until`: drains that node's deferred-event
+    /// FIFO instead of bouncing each deferred event through the global
+    /// queue again.
+    Wakeup {
+        node: NodeId,
+    },
 }
 
 /// The discrete-event simulation loop.
@@ -66,25 +78,44 @@ enum Ev {
 /// clock. Events are processed in time order; each node has a CPU that
 /// serves one event at a time, so a node flooded with packets processes
 /// them with queueing delay.
+///
+/// The steady-state event loop is allocation-free (see DESIGN.md): agent
+/// callbacks record actions into a reused scratch buffer, destination
+/// expansion reuses a scratch `Vec<NodeId>`, the last delivery of each
+/// transmit moves the payload instead of cloning it, and each node draws
+/// from a random stream forked once at startup.
 pub struct Sim<A> {
     config: SimConfig,
     agents: Vec<A>,
     /// Per-node instant the CPU becomes free.
     busy_until: Vec<SimTime>,
+    /// Per-node FIFO of events that arrived while the CPU was busy; a
+    /// single [`Ev::Wakeup`] marker per node stands in for them in `queue`.
+    pending: Vec<std::collections::VecDeque<Ev>>,
+    /// Whether `queue` currently holds a wakeup marker for the node.
+    wakeup_armed: Vec<bool>,
     medium: Box<dyn Medium>,
     queue: EventQueue<Ev>,
     now: SimTime,
+    /// Medium stream (propagation jitter, loss draws).
     rng: DetRng,
+    /// Per-node agent streams, forked from the seed once at startup.
+    node_rngs: Vec<DetRng>,
+    /// Reused buffer handed to [`SimApi`] for each callback.
+    action_scratch: Vec<Action>,
+    /// Reused buffer for destination expansion.
+    dest_scratch: Vec<NodeId>,
     stats: NetStats,
     started: bool,
 }
 
 impl<A> std::fmt::Debug for Sim<A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let deferred: usize = self.pending.iter().map(|p| p.len()).sum();
         f.debug_struct("Sim")
             .field("nodes", &self.agents.len())
             .field("now", &self.now)
-            .field("pending_events", &self.queue.len())
+            .field("pending_events", &(self.queue.len() + deferred))
             .field("medium", &self.medium.name())
             .finish()
     }
@@ -101,14 +132,23 @@ impl<A: Agent> Sim<A> {
         assert!(agents.len() <= usize::from(u16::MAX), "too many nodes");
         let n = agents.len();
         let rng = DetRng::new(config.seed);
+        // One independent stream per node, forked up front: the fork cost is
+        // paid once, and a node's draws depend only on the seed and its id —
+        // never on how events interleave with other nodes.
+        let node_rngs = (0..n).map(|i| rng.fork(0x4e4f_4445_0000 | i as u64)).collect();
         Self {
             config,
             agents,
             busy_until: vec![SimTime::ZERO; n],
+            pending: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+            wakeup_armed: vec![false; n],
             medium,
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             rng,
+            node_rngs,
+            action_scratch: Vec::new(),
+            dest_scratch: Vec::with_capacity(n),
             stats: NetStats::default(),
             started: false,
         }
@@ -167,32 +207,41 @@ impl<A: Agent> Sim<A> {
         self.started = true;
         for i in 0..self.agents.len() {
             let node = NodeId(i as u16);
-            let mut rng = self.rng.fork(0x5354_4152_5400 | i as u64);
-            let mut api = SimApi::new(node, SimTime::ZERO, self.agents.len(), &mut rng);
+            let scratch = std::mem::take(&mut self.action_scratch);
+            let mut api = SimApi::new(
+                node,
+                SimTime::ZERO,
+                self.agents.len(),
+                &mut self.node_rngs[i],
+                scratch,
+            );
             self.agents[i].on_start(&mut api);
-            let actions = std::mem::take(&mut api.actions);
-            self.apply_actions(node, SimTime::ZERO + self.config.node.service_time, actions);
+            let mut actions = api.into_actions();
+            self.apply_actions(node, SimTime::ZERO + self.config.node.service_time, &mut actions);
+            self.action_scratch = actions;
         }
     }
 
-    fn expand_dest(&self, src: NodeId, dest: Dest) -> Vec<NodeId> {
+    fn fill_dests(num_nodes: usize, src: NodeId, dest: Dest, out: &mut Vec<NodeId>) {
+        out.clear();
         match dest {
-            Dest::All => (0..self.agents.len() as u16).map(NodeId).collect(),
-            Dest::Others => {
-                (0..self.agents.len() as u16).map(NodeId).filter(|&d| d != src).collect()
-            }
+            Dest::All => out.extend((0..num_nodes as u16).map(NodeId)),
+            Dest::Others => out.extend((0..num_nodes as u16).map(NodeId).filter(|&d| d != src)),
             Dest::To(d) => {
-                assert!(d.index() < self.agents.len(), "destination {d} out of range");
-                vec![d]
+                assert!(d.index() < num_nodes, "destination {d} out of range");
+                out.push(d);
             }
         }
     }
 
-    fn apply_actions(&mut self, node: NodeId, effective_at: SimTime, actions: Vec<Action>) {
-        for action in actions {
+    /// Drains `actions` (leaving its capacity for reuse), turning sends
+    /// into scheduled deliveries and timers into queue entries.
+    fn apply_actions(&mut self, node: NodeId, effective_at: SimTime, actions: &mut Vec<Action>) {
+        let mut dests = std::mem::take(&mut self.dest_scratch);
+        for action in actions.drain(..) {
             match action {
                 Action::Send { dest, payload } => {
-                    let dests = self.expand_dest(node, dest);
+                    Self::fill_dests(self.agents.len(), node, dest, &mut dests);
                     self.stats.frames_sent += 1;
                     self.stats.bytes_sent += payload.len() as u64;
                     let plan = self.medium.transmit(
@@ -203,18 +252,56 @@ impl<A: Agent> Sim<A> {
                         &mut self.rng,
                     );
                     self.stats.copies_dropped += u64::from(plan.dropped);
-                    for (to, at) in plan.deliveries {
+                    // Clone the (refcounted) payload for all deliveries but
+                    // the last, which takes the original.
+                    let last = plan.deliveries.len();
+                    let mut payload = Some(payload);
+                    for (idx, (to, at)) in plan.deliveries.into_iter().enumerate() {
                         self.stats.copies_delivered += 1;
-                        self.queue.push(
-                            at,
-                            Ev::Packet { to, pkt: Packet { src: node, payload: payload.clone() } },
-                        );
+                        let copy = if idx + 1 == last {
+                            payload.take().expect("payload taken only by the last delivery")
+                        } else {
+                            payload.as_ref().expect("payload present before last").clone()
+                        };
+                        self.queue
+                            .push(at, Ev::Packet { to, pkt: Packet { src: node, payload: copy } });
                     }
                 }
                 Action::Timer { delay, token } => {
                     self.queue.push(effective_at + delay, Ev::Timer { node, token });
                 }
             }
+        }
+        self.dest_scratch = dests;
+    }
+
+    /// Runs one agent callback at `start` (the node's CPU is known free),
+    /// applies its actions, and re-arms the node's wakeup if more deferred
+    /// events are waiting.
+    fn dispatch(&mut self, node: NodeId, start: SimTime, ev: Ev) {
+        let i = node.index();
+        self.now = self.now.max(start);
+        let done = start + self.config.node.service_time;
+        self.busy_until[i] = done;
+        self.stats.events_processed += 1;
+
+        let scratch = std::mem::take(&mut self.action_scratch);
+        let mut api = SimApi::new(node, start, self.agents.len(), &mut self.node_rngs[i], scratch);
+        match ev {
+            Ev::Packet { pkt, .. } => self.agents[i].on_packet(pkt, &mut api),
+            Ev::Timer { token, .. } => {
+                self.stats.timers_fired += 1;
+                self.agents[i].on_timer(token, &mut api)
+            }
+            Ev::Wakeup { .. } => unreachable!("wakeup markers never reach dispatch"),
+        }
+        let mut actions = api.into_actions();
+        self.apply_actions(node, done, &mut actions);
+        self.action_scratch = actions;
+
+        if !self.pending[i].is_empty() && !self.wakeup_armed[i] {
+            self.queue.push(done, Ev::Wakeup { node });
+            self.wakeup_armed[i] = true;
         }
     }
 
@@ -225,33 +312,36 @@ impl<A: Agent> Sim<A> {
         let Some((at, ev)) = self.queue.pop() else { return false };
         let node = match &ev {
             Ev::Packet { to, .. } => *to,
-            Ev::Timer { node, .. } => *node,
+            Ev::Timer { node, .. } | Ev::Wakeup { node } => *node,
         };
-        // CPU model: if the node is still busy, defer the event to the
-        // instant it frees up (re-queued, preserving FIFO among equals).
-        let start = at.max(self.busy_until[node.index()]);
-        if start > at {
-            self.queue.push(start, ev);
+        let i = node.index();
+        if let Ev::Wakeup { .. } = ev {
+            self.wakeup_armed[i] = false;
+            if self.busy_until[i] <= at {
+                // CPU is free: run the longest-waiting deferred event now.
+                if let Some(first) = self.pending[i].pop_front() {
+                    self.dispatch(node, at, first);
+                }
+            } else if !self.pending[i].is_empty() {
+                // The node picked up other work at this same instant before
+                // the marker popped; chase the new free point.
+                self.queue.push(self.busy_until[i], Ev::Wakeup { node });
+                self.wakeup_armed[i] = true;
+            }
             return true;
         }
-        self.now = self.now.max(at);
-        let done = start + self.config.node.service_time;
-        self.busy_until[node.index()] = done;
-        self.stats.events_processed += 1;
-
-        let mut rng = self.rng.fork(
-            0x4e4f_4445_0000 | u64::from(node.0) << 20 | (self.stats.events_processed & 0xfffff),
-        );
-        let mut api = SimApi::new(node, start, self.agents.len(), &mut rng);
-        match ev {
-            Ev::Packet { pkt, .. } => self.agents[node.index()].on_packet(pkt, &mut api),
-            Ev::Timer { token, .. } => {
-                self.stats.timers_fired += 1;
-                self.agents[node.index()].on_timer(token, &mut api)
+        // CPU model: if the node is still busy, park the event in the
+        // node's FIFO (stats untouched — it has not run yet) and make sure
+        // one wakeup marker is queued for the instant the CPU frees up.
+        if self.busy_until[i] > at {
+            self.pending[i].push_back(ev);
+            if !self.wakeup_armed[i] {
+                self.queue.push(self.busy_until[i], Ev::Wakeup { node });
+                self.wakeup_armed[i] = true;
             }
+            return true;
         }
-        let actions = std::mem::take(&mut api.actions);
-        self.apply_actions(node, done, actions);
+        self.dispatch(node, at, ev);
         true
     }
 

@@ -22,6 +22,14 @@ impl SimTime {
     /// Time zero: the start of the simulation.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The latest representable instant.
+    ///
+    /// Use as an "unbounded" sentinel (e.g. a measurement window with no
+    /// upper edge). It is a bound, not an operand: adding any nonzero span
+    /// to it overflows, and `Sim::run_until(SimTime::MAX)` only terminates
+    /// for workloads that quiesce.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Creates a time from whole microseconds.
     pub const fn from_micros(us: u64) -> Self {
         SimTime(us)

@@ -1,0 +1,343 @@
+//! Hierarchical timing wheel backing [`crate::EventQueue`].
+//!
+//! Four levels of 64 slots each cover the next `2^24` microseconds
+//! (~16.7 s of virtual time) relative to a monotonically advancing cursor;
+//! pushes inside that horizon are O(1) bucket appends instead of the
+//! binary heap's O(log n) sift. Events beyond the horizon overflow into a
+//! far heap, and events pushed for an instant the cursor already passed
+//! land in a (normally empty) past heap — both keep the exact
+//! `(time, sequence)` order, so the wheel as a whole pops in the same
+//! order as [`crate::HeapEventQueue`]: nondecreasing time, FIFO among
+//! same-instant events. `tests/proptest_queue.rs` proves that equivalence
+//! property against the heap implementation.
+//!
+//! Invariants the correctness argument leans on:
+//!
+//! * the cursor never exceeds the earliest pending time, so every resident
+//!   entry of level `k` was filed with `delta = t - cursor < 64^(k+1)` and
+//!   two co-resident entries can never alias one slot from different wheel
+//!   rotations;
+//! * a level-0 slot therefore holds exactly one timestamp, and its deque
+//!   is kept sequence-sorted (a cascade can insert an *older* entry behind
+//!   a younger one, so inserts walk back from the tail);
+//! * levels ≥ 1 are unordered buckets with a cached `(time, seq)` minimum;
+//!   a whole slot cascades down (re-sorted) when that minimum becomes the
+//!   global front-runner.
+
+use crate::queue::Entry;
+use crate::SimTime;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels.
+const LEVELS: usize = 4;
+/// First delta (µs from the cursor) that no longer fits any level.
+const SPAN: u64 = 1 << (SLOT_BITS * LEVELS as u32);
+
+/// Hierarchical timing wheel with exact heap-equivalent pop order.
+pub(crate) struct TimingWheel<E> {
+    /// `slots[k][s]`: level-`k` bucket `s`. Level 0 is seq-sorted; higher
+    /// levels are unordered (see `slot_min`).
+    slots: Vec<Vec<VecDeque<Entry<E>>>>,
+    /// Per-level occupancy bitmap (bit `s` = slot `s` non-empty).
+    occupied: [u64; LEVELS],
+    /// Cached `(time µs, seq)` minimum per slot for levels ≥ 1.
+    slot_min: Vec<Vec<(u64, u64)>>,
+    /// Events beyond the wheel's reach when pushed (roughly `SPAN` µs or
+    /// more ahead of the cursor).
+    far: BinaryHeap<Entry<E>>,
+    /// Events pushed for instants the cursor already passed.
+    past: BinaryHeap<Entry<E>>,
+    /// Lower bound (µs) on every wheel- and far-resident event time.
+    cursor: u64,
+    next_seq: u64,
+    len: usize,
+}
+
+impl<E> std::fmt::Debug for TimingWheel<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimingWheel")
+            .field("len", &self.len)
+            .field("cursor_us", &self.cursor)
+            .field("far", &self.far.len())
+            .field("past", &self.past.len())
+            .finish()
+    }
+}
+
+impl<E> TimingWheel<E> {
+    pub(crate) fn new() -> Self {
+        Self {
+            slots: (0..LEVELS).map(|_| (0..SLOTS).map(|_| VecDeque::new()).collect()).collect(),
+            occupied: [0; LEVELS],
+            slot_min: (0..LEVELS).map(|_| vec![(u64::MAX, u64::MAX); SLOTS]).collect(),
+            far: BinaryHeap::new(),
+            past: BinaryHeap::new(),
+            cursor: 0,
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        self.insert(Entry { at, seq, event });
+    }
+
+    /// Files an entry by its delta from the cursor (keeps its original
+    /// sequence number — also used when cascading).
+    fn insert(&mut self, e: Entry<E>) {
+        let t = e.at.as_micros();
+        if t < self.cursor {
+            self.past.push(e);
+            return;
+        }
+        let delta = t - self.cursor;
+        if delta >= SPAN {
+            self.far.push(e);
+            return;
+        }
+        let mut k = level_for(delta);
+        // Carry guard: when `delta` is just shy of the next level's span,
+        // the carry out of the cursor's low bits can put `t` a full
+        // rotation (64 units) ahead, aliasing the cursor's own slot and
+        // breaking `slot_start`. Promote such entries one level (distance
+        // in the larger units is then exactly 1).
+        if k > 0
+            && (t >> (SLOT_BITS * k as u32)) - (self.cursor >> (SLOT_BITS * k as u32))
+                >= SLOTS as u64
+        {
+            k += 1;
+            if k == LEVELS {
+                self.far.push(e);
+                return;
+            }
+        }
+        let s = ((t >> (SLOT_BITS * k as u32)) & (SLOTS as u64 - 1)) as usize;
+        let slot = &mut self.slots[k][s];
+        if k == 0 {
+            // Same-timestamp bucket: keep it sequence-sorted. Pushes arrive
+            // in seq order, but a cascade can deliver an older entry after
+            // a younger direct push, so walk back from the tail.
+            let pos = slot.iter().rposition(|q| q.seq < e.seq).map_or(0, |p| p + 1);
+            debug_assert!(slot.iter().all(|q| q.at == e.at));
+            slot.insert(pos, e);
+        } else {
+            let min = &mut self.slot_min[k][s];
+            if (t, e.seq) < *min {
+                *min = (t, e.seq);
+            }
+            slot.push_back(e);
+        }
+        self.occupied[k] |= 1 << s;
+    }
+
+    /// First occupied slot of level `k` in window order from the cursor.
+    fn first_occupied(&self, k: usize) -> Option<usize> {
+        let occ = self.occupied[k];
+        if occ == 0 {
+            return None;
+        }
+        let cur = ((self.cursor >> (SLOT_BITS * k as u32)) & (SLOTS as u64 - 1)) as u32;
+        let off = occ.rotate_right(cur).trailing_zeros();
+        Some(((cur + off) as usize) & (SLOTS - 1))
+    }
+
+    /// Start instant (µs) of level-`k` slot `s` within the current window.
+    fn slot_start(&self, k: usize, s: usize) -> u64 {
+        let shift = SLOT_BITS * k as u32;
+        let base = self.cursor >> shift;
+        let cur_idx = base & (SLOTS as u64 - 1);
+        let ahead = ((s as u64).wrapping_sub(cur_idx)) & (SLOTS as u64 - 1);
+        (base + ahead) << shift
+    }
+
+    /// Exact `(time, seq)` of the earliest level-0 entry, if any.
+    fn level0_min(&self) -> Option<(u64, u64)> {
+        let s = self.first_occupied(0)?;
+        let front = self.slots[0][s].front().expect("occupied bit implies entries");
+        Some((front.at.as_micros(), front.seq))
+    }
+
+    /// Exact `(time, seq)` minimum of the earliest occupied slot of level
+    /// `k ≥ 1`, with the slot index.
+    fn high_level_min(&self, k: usize) -> Option<(u64, u64, usize)> {
+        let s = self.first_occupied(k)?;
+        let (t, seq) = self.slot_min[k][s];
+        Some((t, seq, s))
+    }
+
+    /// Moves every entry of level-`k` slot `s` one or more levels down,
+    /// advancing the cursor to the slot's window start first so the
+    /// re-filed deltas strictly shrink.
+    fn cascade(&mut self, k: usize, s: usize) {
+        debug_assert!(k >= 1);
+        self.cursor = self.cursor.max(self.slot_start(k, s));
+        let mut entries: Vec<Entry<E>> = std::mem::take(&mut self.slots[k][s]).into();
+        self.occupied[k] &= !(1 << s);
+        self.slot_min[k][s] = (u64::MAX, u64::MAX);
+        entries.sort_unstable_by_key(|e| (e.at, e.seq));
+        for e in entries {
+            self.insert(e);
+        }
+    }
+
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(e) = self.past.peek() {
+            // Strictly earlier than everything at or past the cursor.
+            return Some(e.at);
+        }
+        let mut best = u64::MAX;
+        if let Some((t, _)) = self.level0_min() {
+            best = best.min(t);
+        }
+        for k in 1..LEVELS {
+            if let Some((t, _, _)) = self.high_level_min(k) {
+                best = best.min(t);
+            }
+        }
+        if let Some(e) = self.far.peek() {
+            best = best.min(e.at.as_micros());
+        }
+        Some(SimTime::from_micros(best))
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(e) = self.past.pop() {
+            self.len -= 1;
+            return Some((e.at, e.event));
+        }
+        loop {
+            // Exact candidates: the level-0 front and the far-heap front.
+            let cand0 = self.level0_min();
+            let cand_far = self.far.peek().map(|e| (e.at.as_micros(), e.seq));
+            let exact = match (cand0, cand_far) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            // If any higher level's cached minimum beats the exact
+            // candidates, that slot holds the true front — cascade it and
+            // retry ((time, seq) pairs are unique, so `<` is decisive).
+            let mut cascade_from = None;
+            let mut best_hi = (u64::MAX, u64::MAX);
+            for k in 1..LEVELS {
+                if let Some((t, seq, s)) = self.high_level_min(k) {
+                    if (t, seq) < best_hi {
+                        best_hi = (t, seq);
+                        cascade_from = Some((k, s));
+                    }
+                }
+            }
+            if let Some((k, s)) = cascade_from {
+                if exact.is_none_or(|x| best_hi < x) {
+                    self.cascade(k, s);
+                    continue;
+                }
+            }
+            let (t, _) = exact.expect("len > 0 with empty past implies a candidate");
+            self.len -= 1;
+            self.cursor = self.cursor.max(t);
+            if cand0.is_some() && exact == cand0 {
+                let s = self.first_occupied(0).expect("level-0 candidate came from a slot");
+                let e = self.slots[0][s].pop_front().expect("occupied slot has a front");
+                if self.slots[0][s].is_empty() {
+                    self.occupied[0] &= !(1 << s);
+                }
+                return Some((e.at, e.event));
+            }
+            let e = self.far.pop().expect("far candidate was just peeked");
+            return Some((e.at, e.event));
+        }
+    }
+}
+
+/// Wheel level whose window covers `delta` (requires `delta < SPAN`).
+fn level_for(delta: u64) -> usize {
+    debug_assert!(delta < SPAN);
+    if delta < SLOTS as u64 {
+        0
+    } else {
+        ((63 - delta.leading_zeros()) / SLOT_BITS) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_for_boundaries() {
+        assert_eq!(level_for(0), 0);
+        assert_eq!(level_for(63), 0);
+        assert_eq!(level_for(64), 1);
+        assert_eq!(level_for(4095), 1);
+        assert_eq!(level_for(4096), 2);
+        assert_eq!(level_for((1 << 18) - 1), 2);
+        assert_eq!(level_for(1 << 18), 3);
+        assert_eq!(level_for(SPAN - 1), 3);
+    }
+
+    #[test]
+    fn far_and_past_round_trip() {
+        let mut w = TimingWheel::new();
+        w.push(SimTime::from_secs(100), "far"); // beyond the 16.7s horizon
+        w.push(SimTime::from_micros(10), "near");
+        assert_eq!(w.pop().unwrap().1, "near");
+        // Cursor is now at 10µs; push an earlier instant (past heap).
+        w.push(SimTime::from_micros(3), "late-arrival");
+        assert_eq!(w.pop().unwrap().1, "late-arrival");
+        assert_eq!(w.pop().unwrap().1, "far");
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn carry_aliasing_does_not_livelock() {
+        // Regression: with cursor at 70µs, t = 4160µs has delta 4090 →
+        // level 1 by magnitude, but (4160 >> 6) − (70 >> 6) = 64: a full
+        // rotation ahead, aliasing the cursor's own slot. Without the
+        // carry guard the cascade never advances the cursor and pop spins
+        // forever.
+        let mut w = TimingWheel::new();
+        w.push(SimTime::from_micros(70), "a");
+        assert_eq!(w.pop().unwrap().1, "a"); // cursor → 70
+        w.push(SimTime::from_micros(4160), "b");
+        w.push(SimTime::from_micros(100), "c");
+        assert_eq!(w.pop().unwrap().1, "c");
+        assert_eq!(w.pop().unwrap().1, "b");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cascade_preserves_fifo_between_levels() {
+        let mut w = TimingWheel::new();
+        let t = SimTime::from_millis(10); // lands in level ≥ 1 from cursor 0
+        w.push(t, 0u32); // older seq, parked high
+        w.push(SimTime::from_micros(9_999), 1u32);
+        // Pop the earlier event: cursor advances to 9_999µs, so the next
+        // push of the same instant t goes straight to level 0 …
+        assert_eq!(w.pop().unwrap().1, 1);
+        w.push(t, 2u32);
+        // … and the cascade must still deliver the older entry first.
+        assert_eq!(w.pop(), Some((t, 0)));
+        assert_eq!(w.pop(), Some((t, 2)));
+    }
+}

@@ -62,8 +62,8 @@ impl StackEnv for EnvAdapter<'_, '_> {
     fn me(&self) -> ProcessId {
         self.cell.me
     }
-    fn group(&self) -> Vec<ProcessId> {
-        self.cell.group.clone()
+    fn group(&self) -> &[ProcessId] {
+        &self.cell.group
     }
     fn now(&self) -> SimTime {
         self.api.now()

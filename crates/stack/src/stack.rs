@@ -16,8 +16,9 @@ use std::fmt;
 pub trait StackEnv {
     /// This process's identity.
     fn me(&self) -> ProcessId;
-    /// Current group membership (cheap; called often).
-    fn group(&self) -> Vec<ProcessId>;
+    /// Current group membership, borrowed (called on every frame — no
+    /// implementation should clone).
+    fn group(&self) -> &[ProcessId];
     /// Current virtual time.
     fn now(&self) -> SimTime;
     /// Deterministic random stream for this process.
@@ -232,8 +233,8 @@ mod tests {
         fn me(&self) -> ProcessId {
             self.me
         }
-        fn group(&self) -> Vec<ProcessId> {
-            self.group.clone()
+        fn group(&self) -> &[ProcessId] {
+            &self.group
         }
         fn now(&self) -> SimTime {
             SimTime::ZERO

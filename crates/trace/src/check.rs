@@ -393,29 +393,49 @@ pub fn property_gens(n: u16) -> Vec<(Box<dyn Property>, Vec<Box<dyn TraceGen>>)>
 /// Regenerates Table 2: checks all eight properties against all six
 /// meta-properties.
 pub fn table2(n: u16, cfg: &CheckConfig) -> Vec<Table2Row> {
-    property_gens(n)
-        .into_iter()
-        .map(|(prop, gens)| {
-            let gen_refs: Vec<&dyn TraceGen> = gens.iter().map(|g| g.as_ref()).collect();
-            let cells = MetaKind::ALL
-                .iter()
-                .map(|&meta| {
-                    let verdict = check_cell(prop.as_ref(), meta, &gen_refs, cfg);
-                    let paper_value = pinned(prop.name(), meta);
-                    Cell {
-                        verdict,
-                        provenance: if paper_value.is_some() {
-                            Provenance::Paper
-                        } else {
-                            Provenance::Derived
-                        },
-                        paper_value,
-                    }
-                })
-                .collect();
-            Table2Row { property: prop.name().to_owned(), cells }
+    property_gens(n).into_iter().map(|pg| build_row(pg, cfg)).collect()
+}
+
+/// Number of rows [`table2`] produces for a group of `n` processes.
+///
+/// Lets callers enumerate row indices for [`table2_row`] without building
+/// the generators twice.
+pub fn table2_len(n: u16) -> usize {
+    property_gens(n).len()
+}
+
+/// Computes a single row of [`table2`] — `table2(n, cfg)[row]` — or `None`
+/// if `row` is out of range.
+///
+/// The property and its generators are rebuilt from scratch inside the
+/// call (they are not `Send`), so independent rows can be computed on
+/// separate worker threads and reassembled in index order.
+pub fn table2_row(n: u16, row: usize, cfg: &CheckConfig) -> Option<Table2Row> {
+    property_gens(n).into_iter().nth(row).map(|pg| build_row(pg, cfg))
+}
+
+fn build_row(
+    (prop, gens): (Box<dyn Property>, Vec<Box<dyn TraceGen>>),
+    cfg: &CheckConfig,
+) -> Table2Row {
+    let gen_refs: Vec<&dyn TraceGen> = gens.iter().map(|g| g.as_ref()).collect();
+    let cells = MetaKind::ALL
+        .iter()
+        .map(|&meta| {
+            let verdict = check_cell(prop.as_ref(), meta, &gen_refs, cfg);
+            let paper_value = pinned(prop.name(), meta);
+            Cell {
+                verdict,
+                provenance: if paper_value.is_some() {
+                    Provenance::Paper
+                } else {
+                    Provenance::Derived
+                },
+                paper_value,
+            }
         })
-        .collect()
+        .collect();
+    Table2Row { property: prop.name().to_owned(), cells }
 }
 
 #[cfg(test)]

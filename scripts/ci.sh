@@ -22,4 +22,15 @@ cargo test -q
 echo "==> cargo bench --no-run (offline)"
 cargo bench --workspace --no-run
 
+echo "==> engine_throughput smoke run (1 warmup + 1 iter, offline)"
+# A real (if statistically meaningless) run: catches engine regressions
+# that only show up at bench scale, and proves the BENCH_engine.json
+# emission path works. Written under target/ so the committed baseline
+# stays pristine; refresh that baseline with more iters (see
+# EXPERIMENTS.md) when engine performance changes intentionally.
+rm -f target/BENCH_engine.json
+PS_BENCH_ITERS=1 PS_BENCH_WARMUP=1 PS_BENCH_OUT="$(pwd)/target/BENCH_engine.json" \
+    cargo bench --bench engine_throughput
+test -s target/BENCH_engine.json
+
 echo "ci: all gates green"
