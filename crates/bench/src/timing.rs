@@ -91,21 +91,45 @@ impl Stats {
     }
 }
 
+/// One finished benchmark: its identity plus the measured [`Stats`].
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Measured statistics.
+    pub stats: Stats,
+}
+
 /// Top-level harness owned by a bench binary's `main`.
 pub struct Bench {
     cfg: Config,
     ran: usize,
+    results: Vec<BenchResult>,
 }
 
 impl Bench {
     /// Builds a harness from CLI args and environment (the usual entry).
     pub fn from_args() -> Bench {
-        Bench { cfg: Config::from_args(), ran: 0 }
+        Bench { cfg: Config::from_args(), ran: 0, results: Vec::new() }
     }
 
     /// Builds a harness with an explicit config (used by tests).
     pub fn with_config(cfg: Config) -> Bench {
-        Bench { cfg, ran: 0 }
+        Bench { cfg, ran: 0, results: Vec::new() }
+    }
+
+    /// Every benchmark run so far, in execution order — lets a bench
+    /// binary assert regression bounds against a stored baseline before
+    /// [`Bench::finish`].
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// The resolved configuration (for guards around such assertions).
+    pub fn config(&self) -> &Config {
+        &self.cfg
     }
 
     /// Opens a named benchmark group. Groups exist for naming and for
@@ -124,6 +148,7 @@ impl Bench {
 
     fn record(&mut self, group: &str, id: &str, iters: u32, warmup: u32, batch: u32, stats: Stats) {
         self.ran += 1;
+        self.results.push(BenchResult { group: group.to_owned(), id: id.to_owned(), stats });
         let json = format!(
             concat!(
                 "{{\"group\":\"{}\",\"bench\":\"{}\",\"iters\":{},\"warmup\":{},",

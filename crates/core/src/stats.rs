@@ -1,5 +1,13 @@
 //! Observable switching-protocol state, shared out of the layer through a
-//! cheap clonable handle (the simulation is single-threaded; `Rc` suffices).
+//! cheap clonable handle. The handle is `Arc<Mutex<..>>`, not `Rc`: the
+//! parallel sweep runner reads handles from worker threads, and `Layer`
+//! itself is `Send` so stacks can run on real threads (`ps-rt`). Reads are
+//! poison-proof — the stats are plain counters, valid after any panic.
+//!
+//! The same switch phases also flow into the `ps-obs` event recorder when
+//! one is attached; [`SwitchRecord::from_events`] rebuilds these records
+//! from that event stream, and the two views must agree (property-tested
+//! in `ps-harness`).
 
 use ps_simnet::SimTime;
 use std::fmt;
@@ -22,6 +30,27 @@ impl SwitchRecord {
     /// How long this process spent in switching mode.
     pub fn duration(&self) -> SimTime {
         self.completed_at.saturating_sub(self.started_at)
+    }
+
+    /// Rebuilds `node`'s completed switch records from a recorded event
+    /// stream — the [`SwitchStats`] view over a `ps-obs` recorder.
+    ///
+    /// Only completed switches (those whose flip made it into the ring)
+    /// are returned, in completion order, matching what the live
+    /// [`SwitchStats::records`] accumulated at that process.
+    pub fn from_events(node: u16, events: &[ps_obs::TimedEvent]) -> Vec<SwitchRecord> {
+        ps_obs::switch_timeline(events)
+            .into_iter()
+            .filter(|iv| iv.node == node)
+            .filter_map(|iv| {
+                iv.flip_at_us.map(|flip| SwitchRecord {
+                    from: usize::from(iv.from),
+                    to: usize::from(iv.to),
+                    started_at: SimTime::from_micros(iv.prepare_at_us),
+                    completed_at: SimTime::from_micros(flip),
+                })
+            })
+            .collect()
     }
 }
 
@@ -50,7 +79,7 @@ pub struct SwitchHandle {
 
 impl fmt::Debug for SwitchHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = self.inner.lock().expect("switch stats poisoned");
+        let s = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         write!(
             f,
             "SwitchHandle(current={}, switches={}, switching={})",
@@ -69,7 +98,7 @@ impl SwitchHandle {
 
     /// Snapshot of the stats.
     pub fn snapshot(&self) -> SwitchStats {
-        self.inner.lock().expect("switch stats poisoned").clone()
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Number of completed switches at this process.
@@ -83,7 +112,7 @@ impl SwitchHandle {
     }
 
     pub(crate) fn update<R>(&self, f: impl FnOnce(&mut SwitchStats) -> R) -> R {
-        f(&mut self.inner.lock().expect("switch stats poisoned"))
+        f(&mut self.inner.lock().unwrap_or_else(|e| e.into_inner()))
     }
 }
 
@@ -100,6 +129,36 @@ mod tests {
             completed_at: SimTime::from_millis(41),
         };
         assert_eq!(r.duration(), SimTime::from_millis(31));
+    }
+
+    #[test]
+    fn from_events_rebuilds_completed_switches() {
+        use ps_obs::{ObsEvent, SpPhase, TimedEvent};
+        let sp = |at_us, node, phase, from, to| TimedEvent {
+            at_us,
+            node,
+            ev: ObsEvent::SwitchPhase { phase, from, to },
+        };
+        let events = vec![
+            sp(100, 0, SpPhase::PrepareSeen, 0, 1),
+            sp(130, 1, SpPhase::PrepareSeen, 0, 1),
+            sp(150, 0, SpPhase::DrainComplete, 0, 1),
+            sp(150, 0, SpPhase::Flip, 0, 1),
+            sp(150, 0, SpPhase::BufferRelease, 0, 1),
+            // Node 1 never flips: in-flight switch, must be excluded.
+        ];
+        let recs = SwitchRecord::from_events(0, &events);
+        assert_eq!(
+            recs,
+            vec![SwitchRecord {
+                from: 0,
+                to: 1,
+                started_at: SimTime::from_micros(100),
+                completed_at: SimTime::from_micros(150),
+            }]
+        );
+        assert_eq!(recs[0].duration(), SimTime::from_micros(50));
+        assert!(SwitchRecord::from_events(1, &events).is_empty());
     }
 
     #[test]

@@ -2,6 +2,7 @@ use crate::control::{Control, CountVector, RingToken, TokenMode};
 use crate::oracle::{Oracle, SwitchObs};
 use crate::stats::{SwitchHandle, SwitchRecord};
 use ps_bytes::Bytes;
+use ps_obs::{ObsEvent, SpPhase};
 use ps_simnet::{DetRng, SimTime};
 use ps_stack::{channel, ChannelId, Frame, Layer, LayerCtx, LayerId, Stack, StackEnv};
 use ps_trace::{Message, ProcessId};
@@ -186,6 +187,20 @@ impl StackEnv for SubEnv<'_, '_> {
     fn set_timer(&mut self, delay: SimTime, id: LayerId, token: u32) {
         self.ctx.set_timer_for(id, delay, token);
     }
+    fn obs(&self) -> Option<&ps_obs::Recorder> {
+        self.ctx.obs()
+    }
+}
+
+/// Records one switch-phase event if observability is on.
+fn record_phase(ctx: &LayerCtx<'_>, phase: SpPhase, from: usize, to: usize) {
+    if let Some(o) = ctx.obs() {
+        o.record(
+            ctx.now().as_micros(),
+            ctx.me().0,
+            ObsEvent::SwitchPhase { phase, from: from as u8, to: to as u8 },
+        );
+    }
 }
 
 impl SwitchLayer {
@@ -305,6 +320,7 @@ impl SwitchLayer {
             self.mode = Mode::Switching;
             self.switch_started = ctx.now();
             self.handle.update(|s| s.switching = true);
+            record_phase(ctx, SpPhase::PrepareSeen, self.current, 1 - self.current);
         }
     }
 
@@ -319,6 +335,7 @@ impl SwitchLayer {
         if !drained {
             return;
         }
+        record_phase(ctx, SpPhase::DrainComplete, self.current, 1 - self.current);
         // Flip.
         let from = self.current;
         self.current = 1 - self.current;
@@ -341,6 +358,7 @@ impl SwitchLayer {
             s.switching = false;
             s.current = 1 - from;
         });
+        record_phase(ctx, SpPhase::Flip, from, self.current);
         if self.cfg.announce_views {
             // §8: the switch *is* a view change. Every member delivers the
             // same message set per era (the count vector), so announcing
@@ -356,6 +374,7 @@ impl SwitchLayer {
         for (src, msg) in buffered {
             self.deliver_current(src, msg, ctx);
         }
+        record_phase(ctx, SpPhase::BufferRelease, from, self.current);
         // Token variant: a FLUSH held for our drain can move on now.
         if let Some(token) = self.holding_flush.take() {
             self.forward_token(token, ctx);

@@ -1,14 +1,20 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [table1|table2|fig2|overhead|oscillation|all] [--quick] [--csv] [--counterexamples] [--serial]
+//! repro [table1|table2|fig2|overhead|oscillation|ablation|trace|all]
+//!       [--quick] [--csv] [--counterexamples] [--serial]
+//!       [--trace PATH] [--trace-format jsonl|chrome]
 //! ```
 //!
 //! Sweeps run on a worker pool by default (`PS_SWEEP_WORKERS` overrides
 //! the size); the output is byte-identical to `--serial` either way.
+//! `--trace PATH` writes the instrumented run's event trace to `PATH`
+//! (JSON-lines by default, a Chrome `trace_event` file with
+//! `--trace-format chrome`); same-seed invocations write byte-identical
+//! files.
 
 use ps_harness::experiments::{ablation, fig2, oscillation, overhead, table1, table2};
-use ps_harness::SweepRunner;
+use ps_harness::{trace_run, SweepRunner};
 
 struct Opts {
     what: String,
@@ -16,6 +22,8 @@ struct Opts {
     csv: bool,
     counterexamples: bool,
     runner: SweepRunner,
+    trace_path: Option<String>,
+    trace_format: trace_run::TraceFormat,
 }
 
 fn parse() -> Opts {
@@ -24,15 +32,35 @@ fn parse() -> Opts {
     let mut csv = false;
     let mut counterexamples = false;
     let mut runner = SweepRunner::from_env();
-    for arg in std::env::args().skip(1) {
+    let mut trace_path = None;
+    let mut trace_format = trace_run::TraceFormat::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--csv" => csv = true,
             "--counterexamples" => counterexamples = true,
             "--serial" => runner = SweepRunner::serial(),
+            "--trace" => match args.next() {
+                Some(p) => trace_path = Some(p),
+                None => {
+                    eprintln!("--trace needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-format" => {
+                let fmt = args.next().as_deref().and_then(trace_run::TraceFormat::parse);
+                match fmt {
+                    Some(f) => trace_format = f,
+                    None => {
+                        eprintln!("--trace-format needs jsonl or chrome");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|all] [--quick] [--csv] [--counterexamples] [--serial]"
+                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|trace|all] [--quick] [--csv] [--counterexamples] [--serial] [--trace PATH] [--trace-format jsonl|chrome]"
                 );
                 std::process::exit(0);
             }
@@ -43,7 +71,7 @@ fn parse() -> Opts {
             }
         }
     }
-    Opts { what, quick, csv, counterexamples, runner }
+    Opts { what, quick, csv, counterexamples, runner, trace_path, trace_format }
 }
 
 fn emit(opts: &Opts, t: &ps_harness::Table) {
@@ -107,5 +135,22 @@ fn main() {
         };
         let r = oscillation::run(&cfg);
         emit(&opts, &oscillation::render(&r));
+    }
+    if all || opts.what == "trace" || opts.trace_path.is_some() {
+        let cfg = if opts.quick {
+            trace_run::TraceRunConfig::quick()
+        } else {
+            trace_run::TraceRunConfig::default()
+        };
+        let r = trace_run::run(&cfg);
+        emit(&opts, &trace_run::render_timeline(&r));
+        if let Some(path) = &opts.trace_path {
+            let body = trace_run::export(&r, opts.trace_format);
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("cannot write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {} events to {path}", r.events.len());
+        }
     }
 }

@@ -1,0 +1,58 @@
+//! `trace_lint` — validate exported trace files without any network or
+//! external tooling.
+//!
+//! ```text
+//! trace_lint FILE...            # each FILE is JSON-lines: every line must parse
+//! trace_lint --chrome FILE...   # each FILE is one Chrome trace_event JSON document
+//! ```
+//!
+//! Exits non-zero (and names the offending line/offset) on the first
+//! invalid file — the CI smoke pipes `repro --trace` output through this.
+
+use ps_obs::json;
+
+fn main() {
+    let mut chrome = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--chrome" => chrome = true,
+            "--help" | "-h" => {
+                println!("usage: trace_lint [--chrome] FILE...");
+                return;
+            }
+            other => files.push(other.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("trace_lint: no files given; try --help");
+        std::process::exit(2);
+    }
+    for path in &files {
+        let body = match std::fs::read_to_string(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("trace_lint: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if chrome {
+            if let Err(e) = json::validate(&body) {
+                eprintln!("trace_lint: {path}: invalid JSON at byte {}: {}", e.offset, e.message);
+                std::process::exit(1);
+            }
+            println!("{path}: valid Chrome trace JSON ({} bytes)", body.len());
+        } else {
+            match json::validate_lines(&body) {
+                Ok(n) => println!("{path}: {n} valid JSON lines"),
+                Err((line, e)) => {
+                    eprintln!(
+                        "trace_lint: {path}: line {line} invalid at byte {}: {}",
+                        e.offset, e.message
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}

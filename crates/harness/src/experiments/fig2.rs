@@ -9,7 +9,7 @@
 //! the switch with a threshold oracle — which should track the lower
 //! envelope of the two curves.
 
-use crate::measure::{latency_stats, LatencyStats, SteadyStateWindow};
+use crate::measure::{latency_histogram, latency_stats, LatencyStats, SteadyStateWindow};
 use crate::report::Table;
 use crate::sweep::SweepRunner;
 use crate::workload::{periodic_senders, WorkloadSpec};
@@ -17,6 +17,7 @@ use ps_core::{
     hybrid_total_order, NeverOracle, Oracle, SwitchConfig, SwitchHandle, SwitchVariant,
     ThresholdOracle,
 };
+use ps_obs::HistSummary;
 use ps_protocols::{SeqOrderLayer, TokenOrderLayer};
 use ps_simnet::{EthernetConfig, SharedBus, SimTime};
 use ps_stack::{GroupSim, GroupSimBuilder, Stack};
@@ -121,6 +122,9 @@ pub struct Fig2Point {
     /// Hybrid latency measured only after its last switch settled —
     /// isolates steady state from the one-off switching transient.
     pub hybrid_settled: LatencyStats,
+    /// Bucketed (`ps-obs` log-linear) hybrid latency summary over the
+    /// whole measurement window, in microseconds.
+    pub hybrid_hist: HistSummary,
 }
 
 /// The full figure.
@@ -202,8 +206,9 @@ pub fn run_point(
 /// and merged in input order.
 struct SeriesEval {
     latency: LatencyStats,
-    /// For the hybrid: (switches, final protocol, settled latency).
-    hybrid: Option<(usize, usize, LatencyStats)>,
+    /// For the hybrid: (switches, final protocol, settled latency,
+    /// bucketed latency summary).
+    hybrid: Option<(usize, usize, LatencyStats, HistSummary)>,
 }
 
 /// Builds, runs, and measures one (protocol × sender count) simulation.
@@ -235,7 +240,8 @@ fn eval_series(cfg: &Fig2Config, series: Series, k: u16) -> SeriesEval {
             .unwrap_or(window.from)
             .max(window.from);
         let settled = latency_stats(&sim, SteadyStateWindow::between(settled_from, window.to));
-        (switches, settled_on, settled)
+        let hist = latency_histogram(&sim, window).summary();
+        (switches, settled_on, settled, hist)
     });
     SeriesEval { latency, hybrid }
 }
@@ -259,7 +265,7 @@ pub fn run_with(cfg: &Fig2Config, runner: &SweepRunner) -> Fig2Result {
         .zip(evals.chunks_exact(Series::ALL.len()))
         .map(|(&k, chunk)| {
             let latency = [chunk[0].latency, chunk[1].latency, chunk[2].latency];
-            let (hybrid_switches, hybrid_final, hybrid_settled) =
+            let (hybrid_switches, hybrid_final, hybrid_settled, hybrid_hist) =
                 chunk.iter().find_map(|e| e.hybrid).unwrap_or((
                     0,
                     0,
@@ -271,8 +277,16 @@ pub fn run_with(cfg: &Fig2Config, runner: &SweepRunner) -> Fig2Result {
                         max: SimTime::ZERO,
                         incomplete: 0,
                     },
+                    HistSummary::default(),
                 ));
-            Fig2Point { senders: k, latency, hybrid_switches, hybrid_final, hybrid_settled }
+            Fig2Point {
+                senders: k,
+                latency,
+                hybrid_switches,
+                hybrid_final,
+                hybrid_settled,
+                hybrid_hist,
+            }
         })
         .collect::<Vec<_>>();
     let crossover = find_crossover(&points);
@@ -299,6 +313,8 @@ pub fn render(result: &Fig2Result) -> Table {
             "token",
             "hybrid",
             "hybrid settled",
+            "hybrid p50",
+            "hybrid p99",
             "hybrid proto",
             "switches",
         ],
@@ -310,11 +326,14 @@ pub fn render(result: &Fig2Result) -> Table {
             format!("{:.2}", p.latency[1].mean_ms()),
             format!("{:.2}", p.latency[2].mean_ms()),
             format!("{:.2}", p.hybrid_settled.mean_ms()),
+            format!("{:.2}", p.hybrid_hist.p50 as f64 / 1000.0),
+            format!("{:.2}", p.hybrid_hist.p99 as f64 / 1000.0),
             if p.hybrid_final == 0 { "sequencer".into() } else { "token".into() },
             p.hybrid_switches.to_string(),
         ]);
     }
     t.note("'hybrid settled' excludes the one-off switching transient; at high load the transient is dominated by draining the congested old protocol (the paper's §7 caveat)");
+    t.note("p50/p99 come from a ps-obs log-linear histogram (≤12.5% bucket error), in ms");
     match result.crossover {
         Some((a, b)) => t.note(format!(
             "sequencer/token cross-over between {a} and {b} active senders (paper: between 5 and 6)"

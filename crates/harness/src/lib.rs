@@ -7,6 +7,7 @@
 //! | [`experiments::fig2`] | Figure 2 — latency vs. active senders, sequencer vs. token vs. hybrid | `repro fig2` |
 //! | [`experiments::overhead`] | §7 — switching overhead near the crossover (~31 ms in the paper) | `repro overhead` |
 //! | [`experiments::oscillation`] | §7 — aggressive switching oscillates; hysteresis damps it | `repro oscillation` |
+//! | [`trace_run`] | §7 — instrumented switch run: event trace + phase timeline | `repro trace --trace out.jsonl` |
 //!
 //! Every experiment is deterministic given its config (all randomness is
 //! seeded) and returns a typed result that both the CLI and the Criterion
@@ -18,9 +19,10 @@ pub mod experiments;
 pub mod measure;
 pub mod report;
 pub mod sweep;
+pub mod trace_run;
 pub mod workload;
 
-pub use measure::{LatencyStats, SteadyStateWindow};
+pub use measure::{latency_histogram, LatencyStats, SteadyStateWindow};
 pub use report::Table;
 pub use sweep::SweepRunner;
 pub use workload::{periodic_senders, poisson_senders, WorkloadSpec};

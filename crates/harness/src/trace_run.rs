@@ -1,0 +1,256 @@
+//! `repro trace` — a fully instrumented switch run.
+//!
+//! One group, one controlled switch in each direction, with a `ps-obs`
+//! recorder attached to the simulator. The run produces:
+//!
+//! * a structured event trace, exportable as JSON-lines or as a Chrome
+//!   `trace_event` file (`--trace out.json --trace-format chrome`);
+//! * the per-process switch-phase timeline table — the paper's §7
+//!   switching-overhead measurement, but read back out of the recorder
+//!   instead of the live [`SwitchHandle`] counters (the two must agree;
+//!   `tests/obs_props.rs` checks that they do).
+//!
+//! Everything is virtual-time deterministic: two runs with the same seed
+//! export byte-identical files, serial or under the parallel sweep runner.
+
+use crate::report::Table;
+use crate::workload::{periodic_senders, WorkloadSpec};
+use ps_core::{
+    hybrid_total_order, ManualOracle, NeverOracle, Oracle, SwitchConfig, SwitchHandle,
+    SwitchVariant,
+};
+use ps_obs::{export, Recorder, SwitchInterval, TimedEvent};
+use ps_simnet::{EthernetConfig, SharedBus, SimTime};
+use ps_stack::GroupSimBuilder;
+use ps_trace::ProcessId;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Output format for the exported trace file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// One JSON object per event, one event per line.
+    #[default]
+    Jsonl,
+    /// A Chrome `trace_event` document for `about://tracing` / Perfetto.
+    Chrome,
+}
+
+impl TraceFormat {
+    /// Parses a `--trace-format` argument.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "jsonl" => Some(Self::Jsonl),
+            "chrome" => Some(Self::Chrome),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of the traced switch run.
+#[derive(Debug, Clone)]
+pub struct TraceRunConfig {
+    /// Group size.
+    pub group: u16,
+    /// Active senders.
+    pub senders: u16,
+    /// Per-sender rate (msg/s).
+    pub rate: f64,
+    /// Message body size.
+    pub body_bytes: usize,
+    /// When the forward (0→1) switch fires.
+    pub switch_at: SimTime,
+    /// When the reverse (1→0) switch fires.
+    pub switch_back_at: SimTime,
+    /// Workload end.
+    pub end: SimTime,
+    /// Recorder ring capacity (events kept; oldest evicted beyond this).
+    pub ring_capacity: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TraceRunConfig {
+    fn default() -> Self {
+        Self {
+            group: 6,
+            senders: 3,
+            rate: 40.0,
+            body_bytes: 512,
+            switch_at: SimTime::from_millis(600),
+            switch_back_at: SimTime::from_millis(1400),
+            end: SimTime::from_secs(2),
+            ring_capacity: 1 << 18,
+            seed: 0x0B5,
+        }
+    }
+}
+
+impl TraceRunConfig {
+    /// Reduced run for tests and the CI smoke.
+    pub fn quick() -> Self {
+        Self {
+            group: 4,
+            senders: 2,
+            rate: 25.0,
+            switch_at: SimTime::from_millis(300),
+            switch_back_at: SimTime::from_millis(700),
+            end: SimTime::from_secs(1),
+            ring_capacity: 1 << 16,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of a traced run: the recorded events plus both views of the
+/// switch phases (recorder timeline and live handles).
+#[derive(Debug)]
+pub struct TraceRunResult {
+    /// Every event that survived in the ring, oldest first.
+    pub events: Vec<TimedEvent>,
+    /// Events evicted because the ring filled (0 = complete trace).
+    pub overwritten: u64,
+    /// Per-process switch intervals reconstructed from the events.
+    pub timeline: Vec<SwitchInterval>,
+    /// The live per-process switch handles, for cross-checking.
+    pub handles: Vec<SwitchHandle>,
+}
+
+/// Runs the instrumented switch scenario.
+pub fn run(cfg: &TraceRunConfig) -> TraceRunResult {
+    let recorder = Recorder::with_capacity(cfg.ring_capacity);
+    let handles: Rc<RefCell<Vec<SwitchHandle>>> = Rc::new(RefCell::new(Vec::new()));
+    let h2 = handles.clone();
+    let plan = vec![(cfg.switch_at, 1), (cfg.switch_back_at, 0)];
+    let spec = WorkloadSpec {
+        rate_per_sender: cfg.rate,
+        body_bytes: cfg.body_bytes,
+        start: SimTime::from_millis(100),
+        end: cfg.end,
+        seed: cfg.seed,
+        ..WorkloadSpec::for_group(cfg.group, cfg.senders)
+    };
+    let mut b = GroupSimBuilder::new(cfg.group)
+        .seed(cfg.seed ^ 0x7ace)
+        .medium(Box::new(SharedBus::new(EthernetConfig::default())))
+        .recorder(recorder.clone())
+        .stack_factory(move |p, _, ids| {
+            let oracle: Box<dyn Oracle> = if p == ProcessId(0) {
+                Box::new(ManualOracle::new(plan.clone()))
+            } else {
+                Box::new(NeverOracle)
+            };
+            let sw_cfg = SwitchConfig {
+                variant: SwitchVariant::TokenRing { idle_hold: SimTime::from_millis(2) },
+                observe_interval: SimTime::from_millis(20),
+                ..SwitchConfig::default()
+            };
+            let (stack, handle) = hybrid_total_order(ids, sw_cfg, ProcessId(0), oracle);
+            h2.borrow_mut().push(handle);
+            stack
+        });
+    b = b.sends(periodic_senders(&spec));
+    let mut sim = b.build();
+    sim.run_until(cfg.end + SimTime::from_secs(1));
+
+    let events = sim.recorder().snapshot();
+    let overwritten = sim.recorder().overwritten();
+    let timeline = ps_obs::switch_timeline(&events);
+    let handles = handles.borrow().clone();
+    TraceRunResult { events, overwritten, timeline, handles }
+}
+
+/// Exports the recorded events in the requested format.
+pub fn export(result: &TraceRunResult, format: TraceFormat) -> String {
+    match format {
+        TraceFormat::Jsonl => export::to_jsonl(&result.events),
+        TraceFormat::Chrome => export::to_chrome(&result.events),
+    }
+}
+
+/// Renders the per-process switch-phase timeline — §7's overhead
+/// measurement as a view over the recorder.
+pub fn render_timeline(result: &TraceRunResult) -> Table {
+    let mut t = Table::new(
+        "trace — per-process switch-phase timeline (from the event recorder)",
+        vec![
+            "process",
+            "direction",
+            "prepare (ms)",
+            "drain (ms)",
+            "flip (ms)",
+            "release (ms)",
+            "duration (ms)",
+        ],
+    );
+    let ms = |us: u64| format!("{}.{:03}", us / 1000, us % 1000);
+    let opt = |v: Option<u64>| v.map_or_else(|| "-".to_owned(), ms);
+    for iv in &result.timeline {
+        t.row(vec![
+            iv.node.to_string(),
+            format!("{} → {}", iv.from, iv.to),
+            ms(iv.prepare_at_us),
+            opt(iv.drain_at_us),
+            opt(iv.flip_at_us),
+            opt(iv.release_at_us),
+            opt(iv.duration_us()),
+        ]);
+    }
+    t.note("duration = PREPARE seen → flip, per process; matches SwitchRecord::duration()");
+    if result.overwritten > 0 {
+        t.note(format!(
+            "ring overflowed: {} oldest events evicted — raise ring_capacity for a full trace",
+            result.overwritten
+        ));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_run_completes_both_switches_everywhere() {
+        let cfg = TraceRunConfig::quick();
+        let r = run(&cfg);
+        assert_eq!(r.overwritten, 0, "quick run must fit in the ring");
+        // Every process completed the forward and the reverse switch.
+        let complete = r.timeline.iter().filter(|iv| iv.flip_at_us.is_some()).count();
+        assert_eq!(complete, usize::from(cfg.group) * 2, "{:?}", r.timeline);
+        ps_obs::check_well_nested(&r.events).expect("switch phases well-nested");
+    }
+
+    #[test]
+    fn recorder_timeline_agrees_with_live_handles() {
+        let r = run(&TraceRunConfig::quick());
+        for (node, handle) in r.handles.iter().enumerate() {
+            let live = handle.snapshot().records;
+            let reconstructed = ps_core::SwitchRecord::from_events(node as u16, &r.events);
+            assert_eq!(reconstructed, live, "node {node}");
+        }
+    }
+
+    #[test]
+    fn exports_are_deterministic_across_runs() {
+        let cfg = TraceRunConfig::quick();
+        let (a, b) = (run(&cfg), run(&cfg));
+        assert_eq!(export(&a, TraceFormat::Jsonl), export(&b, TraceFormat::Jsonl));
+        assert_eq!(export(&a, TraceFormat::Chrome), export(&b, TraceFormat::Chrome));
+        assert!(!export(&a, TraceFormat::Jsonl).is_empty());
+    }
+
+    #[test]
+    fn exports_validate_as_json() {
+        let r = run(&TraceRunConfig::quick());
+        ps_obs::json::validate_lines(&export(&r, TraceFormat::Jsonl)).expect("jsonl");
+        ps_obs::json::validate(&export(&r, TraceFormat::Chrome)).expect("chrome");
+    }
+
+    #[test]
+    fn timeline_table_has_a_row_per_completed_switch() {
+        let r = run(&TraceRunConfig::quick());
+        let t = render_timeline(&r);
+        assert_eq!(t.len(), r.timeline.len());
+    }
+}

@@ -3,7 +3,7 @@
 //! serial path's, whatever the worker count.
 
 use ps_harness::experiments::{ablation, fig2, table2};
-use ps_harness::SweepRunner;
+use ps_harness::{trace_run, SweepRunner};
 
 #[test]
 fn fig2_parallel_table_is_byte_identical_to_serial() {
@@ -19,6 +19,25 @@ fn table2_parallel_rows_are_byte_identical_to_serial() {
     let serial = table2::render(&table2::run(&cfg)).to_string();
     let parallel = table2::render(&table2::run_with(&cfg, &SweepRunner::new(3))).to_string();
     assert_eq!(serial, parallel);
+}
+
+#[test]
+fn traced_runs_are_byte_identical_under_the_parallel_runner() {
+    // Instrumented sims with per-run recorders, fanned across workers:
+    // every exported trace must match its serial twin byte for byte.
+    let seeds: Vec<u64> = vec![1, 2, 3, 4];
+    let job = |_: usize, seed: u64| {
+        let cfg = trace_run::TraceRunConfig { seed, ..trace_run::TraceRunConfig::quick() };
+        let r = trace_run::run(&cfg);
+        (
+            trace_run::export(&r, trace_run::TraceFormat::Jsonl),
+            trace_run::export(&r, trace_run::TraceFormat::Chrome),
+        )
+    };
+    let serial = SweepRunner::serial().run(seeds.clone(), job);
+    let parallel = SweepRunner::new(4).run(seeds, job);
+    assert_eq!(serial, parallel);
+    assert!(serial.iter().all(|(j, c)| !j.is_empty() && !c.is_empty()));
 }
 
 #[test]

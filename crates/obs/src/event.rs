@@ -1,0 +1,171 @@
+//! The typed event vocabulary of the recorder.
+//!
+//! Events are small `Copy` values — every string in them is `&'static str`
+//! (layer names come from [`Layer::name`]) so recording never allocates.
+//! Timestamps are plain microsecond counts rather than `ps_simnet::SimTime`:
+//! `ps-obs` sits *below* the simulator in the dependency graph (the
+//! simulator records into it), so it cannot name simulator types.
+//!
+//! [`Layer::name`]: https://docs.rs/ps-stack
+
+/// Which handler a layer span wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerDir {
+    /// `on_launch` — stack start-up.
+    Launch,
+    /// `on_down` — a cast descending toward the network (header push).
+    Down,
+    /// `on_up` — a frame ascending toward the application (header pop).
+    Up,
+    /// `on_timer` — a timer routed to the layer.
+    Timer,
+}
+
+impl LayerDir {
+    /// Short lowercase name used by the exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LayerDir::Launch => "launch",
+            LayerDir::Down => "down",
+            LayerDir::Up => "up",
+            LayerDir::Timer => "timer",
+        }
+    }
+}
+
+/// A phase of the switching protocol, in protocol order.
+///
+/// The four phases bracket the paper's switching-overhead measurement: a
+/// process is "in switching mode" from [`SpPhase::PrepareSeen`] until
+/// [`SpPhase::Flip`]; buffered new-protocol messages drain to the
+/// application at [`SpPhase::BufferRelease`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpPhase {
+    /// The process saw PREPARE (or initiated) and entered switching mode.
+    PrepareSeen,
+    /// The old protocol's drain condition was met at this process.
+    DrainComplete,
+    /// The process flipped to the new protocol.
+    Flip,
+    /// The switch buffer was released to the application.
+    BufferRelease,
+}
+
+impl SpPhase {
+    /// Short snake_case name used by the exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpPhase::PrepareSeen => "prepare_seen",
+            SpPhase::DrainComplete => "drain_complete",
+            SpPhase::Flip => "flip",
+            SpPhase::BufferRelease => "buffer_release",
+        }
+    }
+}
+
+/// One recorded occurrence. All variants are fixed-size and `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// A frame left a node: the medium scheduled `copies` deliveries.
+    FrameSend {
+        /// Payload length in bytes.
+        bytes: u32,
+        /// Deliveries the medium scheduled for this frame.
+        copies: u16,
+    },
+    /// A frame copy arrived at a node and began processing.
+    FrameDeliver {
+        /// Sending node.
+        src: u16,
+        /// Payload length in bytes.
+        bytes: u32,
+    },
+    /// The medium dropped `copies` copies of a frame at transmit time.
+    FrameDrop {
+        /// Copies lost (loss, partition, collision — medium-dependent).
+        copies: u16,
+    },
+    /// An event arrived while the node's CPU was busy and was parked in
+    /// the node's deferred FIFO.
+    CpuEnqueue {
+        /// Queue depth after parking (the parked event included).
+        depth: u16,
+    },
+    /// A deferred event left the node's FIFO and began processing.
+    CpuDequeue {
+        /// Queue depth after the pop.
+        depth: u16,
+    },
+    /// A timer fired at a node.
+    TimerFire {
+        /// The agent-chosen token.
+        token: u64,
+    },
+    /// A layer handler started (header push/pop span open).
+    LayerBegin {
+        /// `Layer::name()` of the handler's layer.
+        layer: &'static str,
+        /// Which handler.
+        dir: LayerDir,
+    },
+    /// A layer handler returned (span close).
+    LayerEnd {
+        /// `Layer::name()` of the handler's layer.
+        layer: &'static str,
+        /// Which handler.
+        dir: LayerDir,
+    },
+    /// A switching-protocol phase transition at this process.
+    SwitchPhase {
+        /// Which phase.
+        phase: SpPhase,
+        /// Protocol index switched away from.
+        from: u8,
+        /// Protocol index switched to.
+        to: u8,
+    },
+}
+
+/// An [`ObsEvent`] stamped with virtual time and node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Virtual time in microseconds.
+    pub at_us: u64,
+    /// Node (process) the event happened at.
+    pub node: u16,
+    /// What happened.
+    pub ev: ObsEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_small_and_copy() {
+        // The ring buffer stores events inline; keep them cache-friendly.
+        assert!(std::mem::size_of::<TimedEvent>() <= 48);
+        let e = TimedEvent {
+            at_us: 1,
+            node: 2,
+            ev: ObsEvent::LayerBegin { layer: "fifo", dir: LayerDir::Down },
+        };
+        let copy = e; // Copy, not move.
+        assert_eq!(e, copy);
+    }
+
+    #[test]
+    fn phase_order_matches_protocol_order() {
+        assert!(SpPhase::PrepareSeen < SpPhase::DrainComplete);
+        assert!(SpPhase::DrainComplete < SpPhase::Flip);
+        assert!(SpPhase::Flip < SpPhase::BufferRelease);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(LayerDir::Down.as_str(), "down");
+        assert_eq!(LayerDir::Launch.as_str(), "launch");
+        assert_eq!(SpPhase::PrepareSeen.as_str(), "prepare_seen");
+        assert_eq!(SpPhase::BufferRelease.as_str(), "buffer_release");
+    }
+}

@@ -1,0 +1,361 @@
+//! Exporters: JSON-lines event dumps and Chrome `trace_event` files.
+//!
+//! Both formats are rendered from a [`TimedEvent`] slice with fixed key
+//! order and integer-only numbers, so a deterministic event sequence
+//! exports to byte-identical text — the property the CI smoke test and the
+//! sweep-determinism tests diff for.
+//!
+//! The Chrome format targets `about://tracing` / [Perfetto]: one *process*
+//! per simulated node, with per-node *threads* (tracks) for the network,
+//! CPU, layer spans, and switch phases. Load the file and every layer
+//! traversal of every frame is a span you can click.
+//!
+//! [Perfetto]: https://ui.perfetto.dev
+
+use crate::event::{ObsEvent, SpPhase, TimedEvent};
+use std::fmt::Write;
+
+/// Escapes `s` into `out` as a JSON string (quotes included).
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders events as JSON-lines: one compact object per event, keys in
+/// fixed order (`at_us`, `node`, `kind`, then the variant's fields).
+///
+/// # Examples
+///
+/// ```
+/// use ps_obs::{export, ObsEvent, TimedEvent};
+///
+/// let events = [TimedEvent { at_us: 5, node: 1, ev: ObsEvent::TimerFire { token: 9 } }];
+/// let out = export::to_jsonl(&events);
+/// assert_eq!(out, "{\"at_us\":5,\"node\":1,\"kind\":\"timer_fire\",\"token\":9}\n");
+/// ```
+pub fn to_jsonl(events: &[TimedEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 64);
+    for e in events {
+        let _ = write!(out, "{{\"at_us\":{},\"node\":{},", e.at_us, e.node);
+        match e.ev {
+            ObsEvent::FrameSend { bytes, copies } => {
+                let _ =
+                    write!(out, "\"kind\":\"frame_send\",\"bytes\":{bytes},\"copies\":{copies}");
+            }
+            ObsEvent::FrameDeliver { src, bytes } => {
+                let _ = write!(out, "\"kind\":\"frame_deliver\",\"src\":{src},\"bytes\":{bytes}");
+            }
+            ObsEvent::FrameDrop { copies } => {
+                let _ = write!(out, "\"kind\":\"frame_drop\",\"copies\":{copies}");
+            }
+            ObsEvent::CpuEnqueue { depth } => {
+                let _ = write!(out, "\"kind\":\"cpu_enqueue\",\"depth\":{depth}");
+            }
+            ObsEvent::CpuDequeue { depth } => {
+                let _ = write!(out, "\"kind\":\"cpu_dequeue\",\"depth\":{depth}");
+            }
+            ObsEvent::TimerFire { token } => {
+                let _ = write!(out, "\"kind\":\"timer_fire\",\"token\":{token}");
+            }
+            ObsEvent::LayerBegin { layer, dir } => {
+                out.push_str("\"kind\":\"layer_begin\",\"layer\":");
+                json_str(&mut out, layer);
+                let _ = write!(out, ",\"dir\":\"{}\"", dir.as_str());
+            }
+            ObsEvent::LayerEnd { layer, dir } => {
+                out.push_str("\"kind\":\"layer_end\",\"layer\":");
+                json_str(&mut out, layer);
+                let _ = write!(out, ",\"dir\":\"{}\"", dir.as_str());
+            }
+            ObsEvent::SwitchPhase { phase, from, to } => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"switch_phase\",\"phase\":\"{}\",\"from\":{from},\"to\":{to}",
+                    phase.as_str()
+                );
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Track (tid) layout inside each node's Chrome process.
+const TID_NET: u32 = 0;
+const TID_CPU: u32 = 1;
+const TID_SWITCH: u32 = 2;
+const TID_LAYER_BASE: u32 = 3;
+
+/// Renders events as a Chrome `trace_event` JSON document.
+///
+/// Each simulated node becomes a trace *process* (`pid` = node), with
+/// named tracks: `net` (frame instants), `cpu` (queueing + timers),
+/// `switch` (one span per switch, phase instants inside it), and one
+/// track per layer name carrying `B`/`E` spans around every handler call.
+/// Open the file in `about://tracing` or Perfetto.
+pub fn to_chrome(events: &[TimedEvent]) -> String {
+    // Deterministic layer-track assignment: first appearance order.
+    let mut layer_tids: Vec<&'static str> = Vec::new();
+    let tid_of = |layer: &'static str, layer_tids: &mut Vec<&'static str>| -> u32 {
+        match layer_tids.iter().position(|&l| l == layer) {
+            Some(i) => TID_LAYER_BASE + i as u32,
+            None => {
+                layer_tids.push(layer);
+                TID_LAYER_BASE + (layer_tids.len() - 1) as u32
+            }
+        }
+    };
+
+    let mut body = String::with_capacity(events.len() * 96);
+    let mut nodes_seen: Vec<u16> = Vec::new();
+    let emit =
+        |body: &mut String, ph: char, name: &str, pid: u16, tid: u32, ts: u64, args: &str| {
+            if !body.is_empty() {
+                body.push_str(",\n");
+            }
+            let _ = write!(body, "{{\"ph\":\"{ph}\",\"name\":");
+            json_str(body, name);
+            let _ = write!(body, ",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}");
+            if ph == 'i' {
+                body.push_str(",\"s\":\"t\"");
+            }
+            if !args.is_empty() {
+                let _ = write!(body, ",\"args\":{{{args}}}");
+            }
+            body.push('}');
+        };
+
+    for e in events {
+        if !nodes_seen.contains(&e.node) {
+            nodes_seen.push(e.node);
+        }
+        match e.ev {
+            ObsEvent::FrameSend { bytes, copies } => emit(
+                &mut body,
+                'i',
+                "frame_send",
+                e.node,
+                TID_NET,
+                e.at_us,
+                &format!("\"bytes\":{bytes},\"copies\":{copies}"),
+            ),
+            ObsEvent::FrameDeliver { src, bytes } => emit(
+                &mut body,
+                'i',
+                "frame_deliver",
+                e.node,
+                TID_NET,
+                e.at_us,
+                &format!("\"src\":{src},\"bytes\":{bytes}"),
+            ),
+            ObsEvent::FrameDrop { copies } => emit(
+                &mut body,
+                'i',
+                "frame_drop",
+                e.node,
+                TID_NET,
+                e.at_us,
+                &format!("\"copies\":{copies}"),
+            ),
+            ObsEvent::CpuEnqueue { depth } => emit(
+                &mut body,
+                'i',
+                "cpu_enqueue",
+                e.node,
+                TID_CPU,
+                e.at_us,
+                &format!("\"depth\":{depth}"),
+            ),
+            ObsEvent::CpuDequeue { depth } => emit(
+                &mut body,
+                'i',
+                "cpu_dequeue",
+                e.node,
+                TID_CPU,
+                e.at_us,
+                &format!("\"depth\":{depth}"),
+            ),
+            ObsEvent::TimerFire { token } => emit(
+                &mut body,
+                'i',
+                "timer_fire",
+                e.node,
+                TID_CPU,
+                e.at_us,
+                &format!("\"token\":{token}"),
+            ),
+            ObsEvent::LayerBegin { layer, dir } => {
+                let tid = tid_of(layer, &mut layer_tids);
+                emit(
+                    &mut body,
+                    'B',
+                    &format!("{layer}:{}", dir.as_str()),
+                    e.node,
+                    tid,
+                    e.at_us,
+                    "",
+                );
+            }
+            ObsEvent::LayerEnd { layer, dir } => {
+                let tid = tid_of(layer, &mut layer_tids);
+                emit(
+                    &mut body,
+                    'E',
+                    &format!("{layer}:{}", dir.as_str()),
+                    e.node,
+                    tid,
+                    e.at_us,
+                    "",
+                );
+            }
+            ObsEvent::SwitchPhase { phase, from, to } => {
+                let args = format!("\"from\":{from},\"to\":{to}");
+                // The switching-mode window renders as one span bracketed
+                // by prepare_seen (B) and flip (E); the inner phases are
+                // instants on the same track.
+                match phase {
+                    SpPhase::PrepareSeen => {
+                        emit(&mut body, 'B', "switching", e.node, TID_SWITCH, e.at_us, &args)
+                    }
+                    SpPhase::Flip => {
+                        emit(&mut body, 'E', "switching", e.node, TID_SWITCH, e.at_us, &args)
+                    }
+                    SpPhase::DrainComplete | SpPhase::BufferRelease => {
+                        emit(&mut body, 'i', phase.as_str(), e.node, TID_SWITCH, e.at_us, &args)
+                    }
+                }
+            }
+        }
+    }
+
+    // Name every (process, track) pair so the UI shows "node 3 / seq"
+    // instead of bare numbers. Metadata events go last; viewers accept
+    // them anywhere in the array.
+    for &node in &nodes_seen {
+        let mut meta = |tid: u32, name: &str| {
+            emit(&mut body, 'M', "thread_name", node, tid, 0, &{
+                let mut a = String::from("\"name\":");
+                json_str(&mut a, name);
+                a
+            });
+        };
+        meta(TID_NET, "net");
+        meta(TID_CPU, "cpu");
+        meta(TID_SWITCH, "switch");
+        for (i, layer) in layer_tids.iter().enumerate() {
+            meta(TID_LAYER_BASE + i as u32, &format!("layer {layer}"));
+        }
+        let mut pname = String::from("\"name\":");
+        json_str(&mut pname, &format!("node {node}"));
+        emit(&mut body, 'M', "process_name", node, TID_NET, 0, &pname);
+    }
+
+    let mut out = String::with_capacity(body.len() + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&body);
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LayerDir;
+    use crate::json;
+
+    fn sample_events() -> Vec<TimedEvent> {
+        vec![
+            TimedEvent { at_us: 10, node: 0, ev: ObsEvent::FrameSend { bytes: 32, copies: 4 } },
+            TimedEvent {
+                at_us: 20,
+                node: 1,
+                ev: ObsEvent::LayerBegin { layer: "seq", dir: LayerDir::Up },
+            },
+            TimedEvent { at_us: 21, node: 1, ev: ObsEvent::FrameDeliver { src: 0, bytes: 32 } },
+            TimedEvent {
+                at_us: 25,
+                node: 1,
+                ev: ObsEvent::LayerEnd { layer: "seq", dir: LayerDir::Up },
+            },
+            TimedEvent {
+                at_us: 30,
+                node: 1,
+                ev: ObsEvent::SwitchPhase { phase: SpPhase::PrepareSeen, from: 0, to: 1 },
+            },
+            TimedEvent {
+                at_us: 44,
+                node: 1,
+                ev: ObsEvent::SwitchPhase { phase: SpPhase::DrainComplete, from: 0, to: 1 },
+            },
+            TimedEvent {
+                at_us: 45,
+                node: 1,
+                ev: ObsEvent::SwitchPhase { phase: SpPhase::Flip, from: 0, to: 1 },
+            },
+            TimedEvent { at_us: 50, node: 0, ev: ObsEvent::CpuEnqueue { depth: 2 } },
+            TimedEvent { at_us: 60, node: 0, ev: ObsEvent::CpuDequeue { depth: 1 } },
+            TimedEvent { at_us: 70, node: 0, ev: ObsEvent::TimerFire { token: 3 } },
+            TimedEvent { at_us: 80, node: 0, ev: ObsEvent::FrameDrop { copies: 1 } },
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_all_validate() {
+        let out = to_jsonl(&sample_events());
+        assert_eq!(json::validate_lines(&out), Ok(sample_events().len()));
+        assert!(out.contains("\"kind\":\"switch_phase\",\"phase\":\"flip\""));
+    }
+
+    #[test]
+    fn jsonl_is_deterministic() {
+        assert_eq!(to_jsonl(&sample_events()), to_jsonl(&sample_events()));
+    }
+
+    #[test]
+    fn chrome_document_is_one_valid_json_value() {
+        let out = to_chrome(&sample_events());
+        assert!(json::validate(&out).is_ok(), "chrome export must be valid JSON");
+        // Spans pair up and tracks are named.
+        assert!(out.contains("\"ph\":\"B\",\"name\":\"seq:up\""));
+        assert!(out.contains("\"ph\":\"E\",\"name\":\"seq:up\""));
+        assert!(out.contains("\"ph\":\"B\",\"name\":\"switching\""));
+        assert!(out.contains("\"name\":\"layer seq\""));
+        assert!(out.contains("\"name\":\"node 1\""));
+    }
+
+    #[test]
+    fn chrome_is_deterministic() {
+        assert_eq!(to_chrome(&sample_events()), to_chrome(&sample_events()));
+    }
+
+    #[test]
+    fn empty_event_list_exports_cleanly() {
+        assert_eq!(to_jsonl(&[]), "");
+        let out = to_chrome(&[]);
+        assert!(json::validate(&out).is_ok());
+    }
+
+    #[test]
+    fn layer_names_are_escaped() {
+        let weird = [TimedEvent {
+            at_us: 1,
+            node: 0,
+            ev: ObsEvent::LayerBegin { layer: "a\"b\\c", dir: LayerDir::Down },
+        }];
+        assert!(json::validate_lines(&to_jsonl(&weird)).is_ok());
+        assert!(json::validate(&to_chrome(&weird)).is_ok());
+    }
+}

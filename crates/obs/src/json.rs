@@ -1,0 +1,297 @@
+//! A minimal JSON *syntax* validator (RFC 8259) so the exporters and CI
+//! smoke tests can check their own output without an external JSON crate
+//! (the workspace is hermetic, std-only).
+//!
+//! It validates, it does not parse: no values are materialised — one pass
+//! over the bytes, with recursion depth bounded so hostile input cannot
+//! overflow the stack.
+
+/// Where and why validation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+const MAX_DEPTH: usize = 512;
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError { offset: self.pos, message: message.into() })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, lit: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            self.err(format!("expected `{lit}`"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<(), JsonError> {
+        if depth > MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string(),
+            Some(b't') => self.expect("true"),
+            Some(b'f') => self.expect("false"),
+            Some(b'n') => self.expect("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => self.err(format!("unexpected byte 0x{c:02x}")),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<(), JsonError> {
+        self.pos += 1; // {
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return self.err("expected string key");
+            }
+            self.string()?;
+            self.skip_ws();
+            if self.bump() != Some(b':') {
+                self.pos -= 1;
+                return self.err("expected `:`");
+            }
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                _ => {
+                    self.pos -= 1;
+                    return self.err("expected `,` or `}`");
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<(), JsonError> {
+        self.pos += 1; // [
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                _ => {
+                    self.pos -= 1;
+                    return self.err("expected `,` or `]`");
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), JsonError> {
+        self.pos += 1; // opening quote
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            if !matches!(self.bump(), Some(c) if c.is_ascii_hexdigit()) {
+                                self.pos -= 1;
+                                return self.err("bad \\u escape");
+                            }
+                        }
+                    }
+                    _ => {
+                        self.pos -= 1;
+                        return self.err("bad escape");
+                    }
+                },
+                Some(c) if c < 0x20 => {
+                    self.pos -= 1;
+                    return self.err("unescaped control character in string");
+                }
+                Some(_) => {}
+                None => return self.err("unterminated string"),
+            }
+        }
+    }
+
+    fn digits(&mut self) -> Result<(), JsonError> {
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return self.err("expected digit");
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<(), JsonError> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1, // no leading zeros
+            Some(b'1'..=b'9') => self.digits()?,
+            _ => return self.err("expected digit"),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        Ok(())
+    }
+}
+
+/// Validates that `input` is exactly one JSON value (with optional
+/// surrounding whitespace).
+///
+/// # Examples
+///
+/// ```
+/// use ps_obs::json::validate;
+///
+/// assert!(validate(r#"{"a": [1, 2.5e3, "x\n", null]}"#).is_ok());
+/// assert!(validate(r#"{"a": }"#).is_err());
+/// assert!(validate("1 2").is_err());
+/// ```
+pub fn validate(input: &str) -> Result<(), JsonError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing data after JSON value");
+    }
+    Ok(())
+}
+
+/// Validates a JSON-lines document: every non-empty line must be one JSON
+/// value. Returns the 1-based line number with the error on failure.
+pub fn validate_lines(input: &str) -> Result<usize, (usize, JsonError)> {
+    let mut checked = 0;
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate(line).map_err(|e| (i + 1, e))?;
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "null",
+            "true",
+            "-12.5e-3",
+            "0",
+            r#""""#,
+            r#""é\t""#,
+            "[]",
+            "{}",
+            r#"[1, [2, [3]], {"a": {"b": []}}]"#,
+            r#"  {"k" : "v" , "n" : 1e9}  "#,
+        ] {
+            assert!(validate(doc).is_ok(), "should accept: {doc}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for doc in [
+            "",
+            "nul",
+            "01",
+            "1.",
+            "+1",
+            "'single'",
+            r#"{"a" 1}"#,
+            r#"{"a": 1,}"#,
+            "[1 2]",
+            "[1,]",
+            "{\"a\": \"\x01\"}",
+            r#""\x""#,
+            r#""unterminated"#,
+            "{} {}",
+            r#"{1: 2}"#,
+        ] {
+            assert!(validate(doc).is_err(), "should reject: {doc}");
+        }
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let err = validate("[1, x]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn jsonl_counts_lines_and_pinpoints_failures() {
+        assert_eq!(validate_lines("{\"a\":1}\n\n[2]\n"), Ok(2));
+        let (line, _) = validate_lines("{}\nnot json\n").unwrap_err();
+        assert_eq!(line, 2);
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded_not_stack_overflow() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(validate(&deep).is_err());
+        let ok_depth = "[".repeat(200) + &"]".repeat(200);
+        assert!(validate(&ok_depth).is_ok());
+    }
+}

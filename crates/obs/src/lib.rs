@@ -1,0 +1,57 @@
+//! # ps-obs
+//!
+//! Observability for the protocol-switching stack: a zero-alloc
+//! ring-buffer event [`Recorder`], log-linear latency [`Histogram`]s and
+//! monotonic [`Counter`]s behind a [`Registry`], and exporters for
+//! JSON-lines dumps, Chrome `trace_event` files, and per-process
+//! switch-phase timelines.
+//!
+//! This crate sits at the bottom of the workspace dependency graph — the
+//! simulator, stack, and switching layer all record into it — so it
+//! depends on nothing and speaks in raw microseconds (`u64`) and node ids
+//! (`u16`) rather than simulator types.
+//!
+//! ## The contract
+//!
+//! - **Disabled means free.** `Recorder::record` on a disabled recorder is
+//!   one predictable branch; hosts cache [`Recorder::is_enabled`] into a
+//!   plain bool so the hot path doesn't even touch the atomic. With the
+//!   `tap` cargo feature off, recording compiles away entirely.
+//! - **Enabled means no allocation.** The ring is sized once; events are
+//!   `Copy` with `&'static str` names. PR 2's allocation-free event loop
+//!   stays allocation-free with tracing on.
+//! - **Deterministic.** Everything keys off the host's virtual clock and
+//!   call order; exports are byte-identical across same-seed runs.
+//!
+//! ```
+//! use ps_obs::{export, ObsEvent, SpPhase, TimedEvent};
+//!
+//! // Events normally come from `Recorder::snapshot()` after a run.
+//! let events = [
+//!     TimedEvent {
+//!         at_us: 100,
+//!         node: 0,
+//!         ev: ObsEvent::SwitchPhase { phase: SpPhase::PrepareSeen, from: 0, to: 1 },
+//!     },
+//!     TimedEvent {
+//!         at_us: 160,
+//!         node: 0,
+//!         ev: ObsEvent::SwitchPhase { phase: SpPhase::Flip, from: 0, to: 1 },
+//!     },
+//! ];
+//! let timeline = ps_obs::switch_timeline(&events);
+//! assert_eq!(timeline[0].duration_us(), Some(60));
+//! assert!(ps_obs::json::validate_lines(&export::to_jsonl(&events)).is_ok());
+//! ```
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod timeline;
+
+pub use event::{LayerDir, ObsEvent, SpPhase, TimedEvent};
+pub use metrics::{Counter, HistSummary, Histogram, Registry};
+pub use recorder::Recorder;
+pub use timeline::{check_well_nested, switch_timeline, SwitchInterval};

@@ -1,0 +1,378 @@
+//! Monotonic counters and fixed-bucket log-linear histograms behind a
+//! [`Registry`] keyed by static names.
+//!
+//! The histogram uses 8 linear sub-buckets per power of two (HdrHistogram's
+//! scheme at 3 significant bits): bucket boundaries are exact up to 8 and
+//! within 12.5% relative error above, with a fixed 496-bucket array that
+//! covers the full `u64` range. Recording is an index computation plus one
+//! increment — no allocation, no floating point.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Linear sub-buckets per power of two (2^3 = 8).
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+/// 8 exact buckets for 0..8, then 8 per doubling up to 2^64.
+const BUCKETS: usize = SUB + (64 - (SUB_BITS as usize + 1)) * SUB + SUB;
+
+/// Index of the bucket containing `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let bl = 64 - v.leading_zeros(); // >= SUB_BITS + 1
+        let group = (bl - SUB_BITS - 1) as usize;
+        let sub = ((v >> (bl - SUB_BITS - 1)) & (SUB as u64 - 1)) as usize;
+        SUB + group * SUB + sub
+    }
+}
+
+/// Smallest value that lands in bucket `idx` (its representative).
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else {
+        let group = (idx - SUB) / SUB;
+        let sub = (idx - SUB) % SUB;
+        ((SUB + sub) as u64) << group
+    }
+}
+
+/// A monotonically increasing counter. Clones share the value.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+struct Hist {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// The quantile summary every report prints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistSummary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Bucket-floor estimate of the median (≤12.5% relative error).
+    pub p50: u64,
+    /// Bucket-floor estimate of the 90th percentile.
+    pub p90: u64,
+    /// Bucket-floor estimate of the 99th percentile.
+    pub p99: u64,
+    /// Exact smallest sample (0 when empty).
+    pub min: u64,
+    /// Exact largest sample (0 when empty).
+    pub max: u64,
+    /// Mean rounded to the nearest integer (0 when empty).
+    pub mean: u64,
+}
+
+/// A fixed-bucket log-linear histogram. Clones share the buckets.
+///
+/// # Examples
+///
+/// ```
+/// use ps_obs::Histogram;
+///
+/// let h = Histogram::new();
+/// for v in [100u64, 200, 300, 400, 10_000] {
+///     h.record(v);
+/// }
+/// let s = h.summary();
+/// assert_eq!(s.count, 5);
+/// assert_eq!(s.max, 10_000);
+/// assert!(s.p50 <= 300 && s.p50 >= 256);
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<Mutex<Hist>>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram({:?})", self.summary())
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (one 4 KiB bucket array, allocated here, never
+    /// again).
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Hist {
+                buckets: Box::new([0; BUCKETS]),
+                count: 0,
+                sum: 0,
+                min: u64::MAX,
+                max: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Hist> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records one sample. Allocation-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let mut h = self.lock();
+        h.buckets[bucket_index(v)] += 1;
+        h.count += 1;
+        h.sum += u128::from(v);
+        h.min = h.min.min(v);
+        h.max = h.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.lock().count
+    }
+
+    /// Bucket-floor estimate of quantile `q` in `[0, 1]`; the exact max
+    /// for `q = 1`. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let h = self.lock();
+        if h.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return h.max;
+        }
+        // Rank of the target sample, 1-based, clamped into range.
+        let rank = ((q * h.count as f64).ceil() as u64).clamp(1, h.count);
+        let mut seen = 0u64;
+        for (idx, &c) in h.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp to the exact extremes: the floor of the first
+                // occupied bucket can undershoot min, the last overshoot max.
+                return bucket_floor(idx).clamp(h.min, h.max);
+            }
+        }
+        h.max
+    }
+
+    /// The p50/p90/p99/min/max/mean summary.
+    pub fn summary(&self) -> HistSummary {
+        let (count, sum, min, max) = {
+            let h = self.lock();
+            (h.count, h.sum, h.min, h.max)
+        };
+        if count == 0 {
+            return HistSummary::default();
+        }
+        HistSummary {
+            count,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            min,
+            max,
+            mean: (sum / u128::from(count)) as u64,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Maps {
+    counters: BTreeMap<&'static str, Counter>,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+/// A registry of named [`Counter`]s and [`Histogram`]s.
+///
+/// Keys are `&'static str` so registration never allocates a string, and
+/// iteration order is the key order (deterministic reports). Clones share
+/// the registry.
+///
+/// # Examples
+///
+/// ```
+/// use ps_obs::Registry;
+///
+/// let reg = Registry::new();
+/// reg.counter("frames.sent").add(3);
+/// reg.histogram("latency_us").record(250);
+/// assert_eq!(reg.counter("frames.sent").get(), 3);
+/// assert_eq!(reg.counters(), vec![("frames.sent", 3)]);
+/// ```
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Maps>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("counters", &self.counters().len())
+            .field("histograms", &self.histograms().len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_maps<R>(&self, f: impl FnOnce(&mut Maps) -> R) -> R {
+        f(&mut self.inner.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.with_maps(|m| m.counters.entry(name).or_default().clone())
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.with_maps(|m| m.hists.entry(name).or_default().clone())
+    }
+
+    /// All counters as `(name, value)`, sorted by name.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.with_maps(|m| m.counters.iter().map(|(&k, v)| (k, v.get())).collect())
+    }
+
+    /// All histogram summaries as `(name, summary)`, sorted by name.
+    pub fn histograms(&self) -> Vec<(&'static str, HistSummary)> {
+        self.with_maps(|m| m.hists.iter().map(|(&k, v)| (k, v.summary())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_total() {
+        // Exhaustive near the linear/log seam, spot checks beyond.
+        let mut last = 0;
+        for v in 0..4096u64 {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index must not decrease at v={v}");
+            last = idx;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(7), 7);
+        assert_eq!(bucket_index(8), 8);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_index() {
+        for idx in 0..BUCKETS {
+            let floor = bucket_floor(idx);
+            assert_eq!(bucket_index(floor), idx, "floor of bucket {idx} maps back");
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        // Any sample's bucket floor is within 12.5% below the sample.
+        for v in [9u64, 100, 999, 12_345, 1 << 33, u64::MAX / 3] {
+            let floor = bucket_floor(bucket_index(v));
+            assert!(floor <= v);
+            assert!((v - floor) as f64 / v as f64 <= 0.125, "error too large at {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_range() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        // ≤12.5% bucket error below the true quantile.
+        assert!((437..=500).contains(&s.p50), "p50={}", s.p50);
+        assert!((787..=900).contains(&s.p90), "p90={}", s.p90);
+        assert!((866..=990).contains(&s.p99), "p99={}", s.p99);
+        assert_eq!(s.mean, 500);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), HistSummary::default());
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact_extremes() {
+        let h = Histogram::new();
+        h.record(777);
+        let s = h.summary();
+        // One sample: clamping pins every quantile to the sample itself.
+        assert_eq!((s.p50, s.p99, s.min, s.max), (777, 777, 777, 777));
+    }
+
+    #[test]
+    fn counter_shares_across_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn registry_returns_same_instrument_for_same_name() {
+        let reg = Registry::new();
+        reg.counter("a").inc();
+        reg.counter("a").inc();
+        assert_eq!(reg.counter("a").get(), 2);
+        reg.histogram("h").record(5);
+        assert_eq!(reg.histogram("h").count(), 1);
+    }
+
+    #[test]
+    fn registry_iterates_sorted_by_name() {
+        let reg = Registry::new();
+        reg.counter("zebra").inc();
+        reg.counter("alpha").add(2);
+        let names: Vec<_> = reg.counters().iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, ["alpha", "zebra"]);
+    }
+}

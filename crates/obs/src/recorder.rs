@@ -1,0 +1,292 @@
+//! The fixed-capacity ring-buffer event recorder.
+//!
+//! Invariants (see DESIGN.md §"Observability"):
+//!
+//! - **No allocation when enabled.** The ring is allocated once at
+//!   construction; `record` writes into it in place. Events are `Copy` with
+//!   `&'static str` names, so there is nothing to allocate.
+//! - **No-op when disabled.** A disabled recorder's `record` is one
+//!   always-false branch. Hosts that poll [`Recorder::is_enabled`] once at
+//!   startup (the simulator caches it into a plain `bool`) pay only a
+//!   branch the predictor learns immediately.
+//! - **Compile-time off switch.** With the `tap` cargo feature disabled,
+//!   `record` compiles to an empty inline function and every recorder is
+//!   permanently disabled.
+//! - **Deterministic.** Event order is the host's call order; timestamps
+//!   are the host's virtual clock. Nothing here reads wall-clock time, so
+//!   same-seed runs snapshot byte-identical event sequences.
+
+use crate::event::{ObsEvent, TimedEvent};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+struct Ring {
+    /// Event storage; grows (by pushes) only until it reaches `cap`.
+    buf: Vec<TimedEvent>,
+    /// Capacity fixed at construction; `buf.len() <= cap` always.
+    cap: usize,
+    /// Next write position once the ring is full.
+    next: usize,
+    /// Events overwritten after the ring filled (oldest-first).
+    overwritten: u64,
+}
+
+struct Shared {
+    enabled: AtomicBool,
+    ring: Mutex<Ring>,
+}
+
+/// A clonable handle to one shared ring of [`TimedEvent`]s.
+///
+/// Clones share the ring (it is an `Arc` inside), so the driver keeps one
+/// handle to snapshot from while the simulator records through another.
+///
+/// # Examples
+///
+/// ```
+/// use ps_obs::{ObsEvent, Recorder};
+///
+/// let rec = Recorder::with_capacity(4);
+/// rec.record(10, 0, ObsEvent::TimerFire { token: 7 });
+/// rec.record(20, 1, ObsEvent::FrameDrop { copies: 2 });
+/// let events = rec.snapshot();
+/// // With the `tap` feature off, recording is a no-op by design.
+/// assert_eq!(events.len(), if rec.is_enabled() { 2 } else { 0 });
+/// ```
+#[derive(Clone)]
+pub struct Recorder {
+    shared: Arc<Shared>,
+}
+
+impl Default for Recorder {
+    /// The disabled recorder: capacity zero, recording off.
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ring = self.ring();
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .field("capacity", &ring.cap)
+            .field("len", &ring.buf.len())
+            .field("overwritten", &ring.overwritten)
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// An enabled recorder whose ring holds the `capacity` most recent
+    /// events. A zero capacity yields a disabled recorder.
+    ///
+    /// With the `tap` cargo feature off this is still constructed (so
+    /// call sites need no cfg), but recording is permanently off.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let on = capacity > 0 && cfg!(feature = "tap");
+        Self {
+            shared: Arc::new(Shared {
+                enabled: AtomicBool::new(on),
+                ring: Mutex::new(Ring {
+                    buf: Vec::with_capacity(capacity),
+                    cap: capacity,
+                    next: 0,
+                    overwritten: 0,
+                }),
+            }),
+        }
+    }
+
+    /// A permanently disabled recorder — the hot-path no-op.
+    pub fn disabled() -> Self {
+        Self::with_capacity(0)
+    }
+
+    fn ring(&self) -> MutexGuard<'_, Ring> {
+        // Poison-proof: the ring holds plain data, valid after any panic.
+        self.shared.ring.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether `record` currently stores events.
+    ///
+    /// Hosts with a hot path should read this once and branch on the
+    /// cached bool; the flag is not meant to flip mid-run.
+    pub fn is_enabled(&self) -> bool {
+        cfg!(feature = "tap") && self.shared.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording off (on a non-zero-capacity recorder, back on with
+    /// [`Recorder::set_enabled`]). Hosts that cached the flag keep their
+    /// cached value — this is a between-runs switch, not a live one.
+    pub fn set_enabled(&self, on: bool) {
+        let can = cfg!(feature = "tap") && self.ring().cap > 0;
+        self.shared.enabled.store(on && can, Ordering::Relaxed);
+    }
+
+    /// Records one event. No-op when disabled; never allocates when
+    /// enabled (the ring was sized at construction).
+    #[inline]
+    pub fn record(&self, at_us: u64, node: u16, ev: ObsEvent) {
+        #[cfg(feature = "tap")]
+        {
+            if !self.shared.enabled.load(Ordering::Relaxed) {
+                return;
+            }
+            let mut ring = self.ring();
+            let e = TimedEvent { at_us, node, ev };
+            if ring.buf.len() < ring.cap {
+                ring.buf.push(e);
+            } else {
+                let i = ring.next;
+                ring.buf[i] = e;
+                ring.overwritten += 1;
+            }
+            ring.next = (ring.next + 1) % ring.cap;
+        }
+        #[cfg(not(feature = "tap"))]
+        {
+            let _ = (at_us, node, ev);
+        }
+    }
+
+    /// The recorded events, oldest first. If the ring wrapped, the oldest
+    /// surviving event leads.
+    pub fn snapshot(&self) -> Vec<TimedEvent> {
+        let ring = self.ring();
+        if ring.buf.len() < ring.cap || ring.buf.is_empty() {
+            ring.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(ring.buf.len());
+            out.extend_from_slice(&ring.buf[ring.next..]);
+            out.extend_from_slice(&ring.buf[..ring.next]);
+            out
+        }
+    }
+
+    /// Events recorded and still in the ring.
+    pub fn len(&self) -> usize {
+        self.ring().buf.len()
+    }
+
+    /// Whether nothing has been recorded (or everything cleared).
+    pub fn is_empty(&self) -> bool {
+        self.ring().buf.is_empty()
+    }
+
+    /// Events lost to ring wrap-around since construction or last clear.
+    pub fn overwritten(&self) -> u64 {
+        self.ring().overwritten
+    }
+
+    /// Empties the ring (capacity and enabled flag are kept).
+    pub fn clear(&self) {
+        let mut ring = self.ring();
+        ring.buf.clear();
+        ring.next = 0;
+        ring.overwritten = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> ObsEvent {
+        ObsEvent::TimerFire { token: n }
+    }
+
+    #[cfg(feature = "tap")]
+    mod enabled {
+        use super::*;
+
+        #[test]
+        fn records_in_order() {
+            let r = Recorder::with_capacity(8);
+            for i in 0..5u64 {
+                r.record(i * 10, i as u16, ev(i));
+            }
+            let s = r.snapshot();
+            assert_eq!(s.len(), 5);
+            assert_eq!(s.iter().map(|e| e.at_us).collect::<Vec<_>>(), [0, 10, 20, 30, 40]);
+            assert_eq!(r.overwritten(), 0);
+        }
+
+        #[test]
+        fn wraps_keeping_most_recent() {
+            let r = Recorder::with_capacity(4);
+            for i in 0..10u64 {
+                r.record(i, 0, ev(i));
+            }
+            let s = r.snapshot();
+            assert_eq!(s.iter().map(|e| e.at_us).collect::<Vec<_>>(), [6, 7, 8, 9]);
+            assert_eq!(r.overwritten(), 6);
+            assert_eq!(r.len(), 4);
+        }
+
+        #[test]
+        fn ring_never_grows_past_capacity() {
+            let r = Recorder::with_capacity(3);
+            for i in 0..100u64 {
+                r.record(i, 0, ev(i));
+            }
+            assert_eq!(r.len(), 3);
+        }
+
+        #[test]
+        fn disabled_recorder_drops_everything() {
+            let r = Recorder::disabled();
+            assert!(!r.is_enabled());
+            r.record(1, 1, ev(1));
+            assert!(r.is_empty());
+        }
+
+        #[test]
+        fn set_enabled_toggles() {
+            let r = Recorder::with_capacity(4);
+            r.set_enabled(false);
+            r.record(1, 0, ev(1));
+            assert!(r.is_empty());
+            r.set_enabled(true);
+            r.record(2, 0, ev(2));
+            assert_eq!(r.len(), 1);
+            // Zero-capacity recorders can never be enabled.
+            let d = Recorder::disabled();
+            d.set_enabled(true);
+            assert!(!d.is_enabled());
+        }
+
+        #[test]
+        fn clones_share_the_ring() {
+            let r = Recorder::with_capacity(4);
+            let r2 = r.clone();
+            r.record(1, 0, ev(1));
+            assert_eq!(r2.len(), 1);
+            r2.clear();
+            assert!(r.is_empty());
+        }
+
+        #[test]
+        fn clear_resets_wrap_state() {
+            let r = Recorder::with_capacity(2);
+            for i in 0..5u64 {
+                r.record(i, 0, ev(i));
+            }
+            r.clear();
+            assert_eq!(r.overwritten(), 0);
+            r.record(9, 0, ev(9));
+            assert_eq!(r.snapshot()[0].at_us, 9);
+        }
+    }
+
+    #[cfg(not(feature = "tap"))]
+    #[test]
+    fn tap_off_means_permanently_disabled() {
+        let r = Recorder::with_capacity(64);
+        assert!(!r.is_enabled());
+        r.set_enabled(true);
+        assert!(!r.is_enabled());
+        r.record(1, 0, ev(1));
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Per-process switch-phase timelines reconstructed from recorded events.
+//!
+//! This is the paper's switching-overhead measurement as a *view over the
+//! recorder*: a process is in switching mode from `prepare_seen` to
+//! `flip`, so `flip_at_us - prepare_at_us` is exactly
+//! `SwitchRecord::duration()` for the matching record in
+//! `ps_core::SwitchStats`.
+
+use crate::event::{ObsEvent, SpPhase, TimedEvent};
+
+/// One switch as one process lived it, assembled from its four
+/// [`SpPhase`] events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchInterval {
+    /// The process (node) the interval belongs to.
+    pub node: u16,
+    /// Protocol index switched away from.
+    pub from: u8,
+    /// Protocol index switched to.
+    pub to: u8,
+    /// When the process entered switching mode.
+    pub prepare_at_us: u64,
+    /// When the old protocol's drain condition was met (if recorded).
+    pub drain_at_us: Option<u64>,
+    /// When the process flipped (if the switch completed in the ring).
+    pub flip_at_us: Option<u64>,
+    /// When the switch buffer was released (if recorded).
+    pub release_at_us: Option<u64>,
+}
+
+impl SwitchInterval {
+    /// Time spent in switching mode (`flip - prepare`), `None` while the
+    /// switch is still open.
+    pub fn duration_us(&self) -> Option<u64> {
+        self.flip_at_us.map(|f| f.saturating_sub(self.prepare_at_us))
+    }
+}
+
+/// Groups [`ObsEvent::SwitchPhase`] events into per-process intervals.
+///
+/// Intervals are returned grouped by node (ascending) and, within a node,
+/// in the order the switches started. Phases with no open interval at
+/// their node (their `prepare_seen` fell off the ring) are dropped.
+pub fn switch_timeline(events: &[TimedEvent]) -> Vec<SwitchInterval> {
+    let mut per_node: Vec<(u16, Vec<SwitchInterval>)> = Vec::new();
+    for e in events {
+        let ObsEvent::SwitchPhase { phase, from, to } = e.ev else { continue };
+        let idx = match per_node.binary_search_by_key(&e.node, |(n, _)| *n) {
+            Ok(i) => i,
+            Err(i) => {
+                per_node.insert(i, (e.node, Vec::new()));
+                i
+            }
+        };
+        let intervals = &mut per_node[idx].1;
+        match phase {
+            SpPhase::PrepareSeen => intervals.push(SwitchInterval {
+                node: e.node,
+                from,
+                to,
+                prepare_at_us: e.at_us,
+                drain_at_us: None,
+                flip_at_us: None,
+                release_at_us: None,
+            }),
+            SpPhase::DrainComplete => {
+                if let Some(open) = intervals.last_mut().filter(|i| i.flip_at_us.is_none()) {
+                    open.drain_at_us = Some(e.at_us);
+                }
+            }
+            SpPhase::Flip => {
+                if let Some(open) = intervals.last_mut().filter(|i| i.flip_at_us.is_none()) {
+                    open.flip_at_us = Some(e.at_us);
+                }
+            }
+            SpPhase::BufferRelease => {
+                if let Some(last) = intervals.last_mut().filter(|i| i.release_at_us.is_none()) {
+                    last.release_at_us = Some(e.at_us);
+                }
+            }
+        }
+    }
+    per_node.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+/// Checks the structural invariants every recorded run must satisfy and
+/// returns the intervals if they hold.
+///
+/// Per process: phases of one switch are ordered
+/// `prepare ≤ drain ≤ flip ≤ release`, and consecutive switches do not
+/// overlap (a new `prepare` never precedes the previous `flip`). This is
+/// the property `ps-check` fuzzes across workloads.
+pub fn check_well_nested(events: &[TimedEvent]) -> Result<Vec<SwitchInterval>, String> {
+    let intervals = switch_timeline(events);
+    let mut prev: Option<&SwitchInterval> = None;
+    for iv in &intervals {
+        let within = [Some(iv.prepare_at_us), iv.drain_at_us, iv.flip_at_us, iv.release_at_us];
+        let mut last = 0u64;
+        for t in within.into_iter().flatten() {
+            if t < last {
+                return Err(format!("node {}: phases out of order in {iv:?}", iv.node));
+            }
+            last = t;
+        }
+        if let Some(p) = prev.filter(|p| p.node == iv.node) {
+            let Some(prev_flip) = p.flip_at_us else {
+                return Err(format!(
+                    "node {}: switch started at {} while previous switch never flipped",
+                    iv.node, iv.prepare_at_us
+                ));
+            };
+            if iv.prepare_at_us < prev_flip {
+                return Err(format!(
+                    "node {}: switch at {} overlaps previous flip at {prev_flip}",
+                    iv.node, iv.prepare_at_us
+                ));
+            }
+        }
+        prev = Some(iv);
+    }
+    Ok(intervals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(at_us: u64, node: u16, phase: SpPhase) -> TimedEvent {
+        TimedEvent { at_us, node, ev: ObsEvent::SwitchPhase { phase, from: 0, to: 1 } }
+    }
+
+    #[test]
+    fn assembles_one_full_switch() {
+        let events = [
+            phase(100, 0, SpPhase::PrepareSeen),
+            phase(150, 0, SpPhase::DrainComplete),
+            phase(160, 0, SpPhase::Flip),
+            phase(170, 0, SpPhase::BufferRelease),
+        ];
+        let tl = switch_timeline(&events);
+        assert_eq!(tl.len(), 1);
+        assert_eq!(tl[0].prepare_at_us, 100);
+        assert_eq!(tl[0].drain_at_us, Some(150));
+        assert_eq!(tl[0].flip_at_us, Some(160));
+        assert_eq!(tl[0].release_at_us, Some(170));
+        assert_eq!(tl[0].duration_us(), Some(60));
+    }
+
+    #[test]
+    fn interleaved_nodes_get_separate_intervals() {
+        let events = [
+            phase(100, 1, SpPhase::PrepareSeen),
+            phase(110, 0, SpPhase::PrepareSeen),
+            phase(120, 1, SpPhase::Flip),
+            phase(130, 0, SpPhase::Flip),
+        ];
+        let tl = switch_timeline(&events);
+        assert_eq!(tl.len(), 2);
+        // Grouped by node ascending.
+        assert_eq!((tl[0].node, tl[0].duration_us()), (0, Some(20)));
+        assert_eq!((tl[1].node, tl[1].duration_us()), (1, Some(20)));
+    }
+
+    #[test]
+    fn open_switch_has_no_duration() {
+        let tl = switch_timeline(&[phase(100, 0, SpPhase::PrepareSeen)]);
+        assert_eq!(tl[0].duration_us(), None);
+        assert_eq!(tl[0].flip_at_us, None);
+    }
+
+    #[test]
+    fn orphan_phases_are_dropped() {
+        // Flip with no open interval (prepare fell off the ring).
+        let tl = switch_timeline(&[phase(100, 0, SpPhase::Flip)]);
+        assert!(tl.is_empty());
+    }
+
+    #[test]
+    fn well_nested_accepts_sequential_switches() {
+        let events = [
+            phase(100, 0, SpPhase::PrepareSeen),
+            phase(160, 0, SpPhase::Flip),
+            phase(200, 0, SpPhase::PrepareSeen),
+            phase(260, 0, SpPhase::Flip),
+        ];
+        assert_eq!(check_well_nested(&events).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn well_nested_rejects_overlap() {
+        let events = [
+            phase(100, 0, SpPhase::PrepareSeen),
+            phase(200, 0, SpPhase::PrepareSeen),
+            phase(160, 0, SpPhase::Flip),
+        ];
+        assert!(check_well_nested(&events).is_err());
+    }
+
+    #[test]
+    fn well_nested_rejects_unordered_phases() {
+        let bad = [
+            TimedEvent {
+                at_us: 100,
+                node: 0,
+                ev: ObsEvent::SwitchPhase { phase: SpPhase::PrepareSeen, from: 0, to: 1 },
+            },
+            TimedEvent {
+                at_us: 90,
+                node: 0,
+                ev: ObsEvent::SwitchPhase { phase: SpPhase::Flip, from: 0, to: 1 },
+            },
+        ];
+        assert!(check_well_nested(&bad).is_err());
+    }
+}

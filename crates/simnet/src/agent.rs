@@ -1,5 +1,6 @@
 use crate::{Dest, DetRng, NodeId, Packet, SimTime};
 use ps_bytes::Bytes;
+use ps_obs::Recorder;
 
 /// Opaque timer identifier chosen by the agent.
 ///
@@ -46,6 +47,9 @@ pub struct SimApi<'a> {
     num_nodes: usize,
     rng: &'a mut DetRng,
     pub(crate) actions: Vec<Action>,
+    /// Live event recorder, `None` when observability is off (the
+    /// simulator pre-folds the enabled check into this option).
+    obs: Option<&'a Recorder>,
 }
 
 impl<'a> SimApi<'a> {
@@ -58,9 +62,10 @@ impl<'a> SimApi<'a> {
         num_nodes: usize,
         rng: &'a mut DetRng,
         actions: Vec<Action>,
+        obs: Option<&'a Recorder>,
     ) -> Self {
         debug_assert!(actions.is_empty());
-        Self { me, now, num_nodes, rng, actions }
+        Self { me, now, num_nodes, rng, actions, obs }
     }
 
     /// Consumes the API, returning the recorded actions (and the scratch
@@ -100,6 +105,14 @@ impl<'a> SimApi<'a> {
     pub fn rng(&mut self) -> &mut DetRng {
         self.rng
     }
+
+    /// The live event recorder, or `None` when observability is off.
+    ///
+    /// Stacks record layer spans and switch phases through this; a plain
+    /// `if let Some(o) = api.obs()` keeps the disabled path branch-cheap.
+    pub fn obs(&self) -> Option<&'a Recorder> {
+        self.obs
+    }
 }
 
 #[cfg(test)]
@@ -109,7 +122,8 @@ mod tests {
     #[test]
     fn api_records_actions_in_order() {
         let mut rng = DetRng::new(0);
-        let mut api = SimApi::new(NodeId(2), SimTime::from_micros(5), 4, &mut rng, Vec::new());
+        let mut api =
+            SimApi::new(NodeId(2), SimTime::from_micros(5), 4, &mut rng, Vec::new(), None);
         assert_eq!(api.me(), NodeId(2));
         assert_eq!(api.now(), SimTime::from_micros(5));
         assert_eq!(api.num_nodes(), 4);

@@ -2,6 +2,7 @@ use crate::agent::Action;
 use crate::{
     Agent, Dest, DetRng, EventQueue, Medium, NetStats, NodeId, Packet, SimApi, SimTime, TimerToken,
 };
+use ps_obs::{ObsEvent, Recorder};
 
 /// Per-node execution parameters.
 #[derive(Debug, Clone)]
@@ -38,6 +39,12 @@ pub struct SimConfig {
     pub seed: u64,
     /// Parameters applied to every node.
     pub node: NodeConfig,
+    /// Event recorder the simulation taps into (disabled by default).
+    ///
+    /// Clones share the ring, so keep a clone of the handle you pass in
+    /// and snapshot it after the run. The enabled flag is sampled once at
+    /// [`Sim::new`] — enable the recorder *before* building the sim.
+    pub recorder: Recorder,
 }
 
 impl SimConfig {
@@ -50,6 +57,12 @@ impl SimConfig {
     /// Sets the per-event CPU service time for every node.
     pub fn service_time(mut self, t: SimTime) -> Self {
         self.node.service_time = t;
+        self
+    }
+
+    /// Attaches an event recorder (see [`ps_obs::Recorder`]).
+    pub fn recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = rec;
         self
     }
 }
@@ -107,6 +120,9 @@ pub struct Sim<A> {
     dest_scratch: Vec<NodeId>,
     stats: NetStats,
     started: bool,
+    /// `config.recorder.is_enabled()`, sampled once at construction so the
+    /// hot path branches on a plain bool instead of touching an atomic.
+    obs_on: bool,
 }
 
 impl<A> std::fmt::Debug for Sim<A> {
@@ -136,6 +152,7 @@ impl<A: Agent> Sim<A> {
         // paid once, and a node's draws depend only on the seed and its id —
         // never on how events interleave with other nodes.
         let node_rngs = (0..n).map(|i| rng.fork(0x4e4f_4445_0000 | i as u64)).collect();
+        let obs_on = config.recorder.is_enabled();
         Self {
             config,
             agents,
@@ -151,6 +168,23 @@ impl<A: Agent> Sim<A> {
             dest_scratch: Vec::with_capacity(n),
             stats: NetStats::default(),
             started: false,
+            obs_on,
+        }
+    }
+
+    /// The attached event recorder (disabled unless one was configured).
+    pub fn recorder(&self) -> &Recorder {
+        &self.config.recorder
+    }
+
+    /// `Some(recorder)` when taps are live — what [`SimApi::obs`] hands to
+    /// agents, and the bool-cached guard every tap site branches on.
+    #[inline]
+    fn obs(&self) -> Option<&Recorder> {
+        if self.obs_on {
+            Some(&self.config.recorder)
+        } else {
+            None
         }
     }
 
@@ -208,12 +242,14 @@ impl<A: Agent> Sim<A> {
         for i in 0..self.agents.len() {
             let node = NodeId(i as u16);
             let scratch = std::mem::take(&mut self.action_scratch);
+            let obs = if self.obs_on { Some(&self.config.recorder) } else { None };
             let mut api = SimApi::new(
                 node,
                 SimTime::ZERO,
                 self.agents.len(),
                 &mut self.node_rngs[i],
                 scratch,
+                obs,
             );
             self.agents[i].on_start(&mut api);
             let mut actions = api.into_actions();
@@ -252,6 +288,24 @@ impl<A: Agent> Sim<A> {
                         &mut self.rng,
                     );
                     self.stats.copies_dropped += u64::from(plan.dropped);
+                    if self.obs_on {
+                        let at = effective_at.as_micros();
+                        self.config.recorder.record(
+                            at,
+                            node.0,
+                            ObsEvent::FrameSend {
+                                bytes: payload.len() as u32,
+                                copies: plan.deliveries.len() as u16,
+                            },
+                        );
+                        if plan.dropped > 0 {
+                            self.config.recorder.record(
+                                at,
+                                node.0,
+                                ObsEvent::FrameDrop { copies: plan.dropped as u16 },
+                            );
+                        }
+                    }
                     // Clone the (refcounted) payload for all deliveries but
                     // the last, which takes the original.
                     let last = plan.deliveries.len();
@@ -286,11 +340,27 @@ impl<A: Agent> Sim<A> {
         self.stats.events_processed += 1;
 
         let scratch = std::mem::take(&mut self.action_scratch);
-        let mut api = SimApi::new(node, start, self.agents.len(), &mut self.node_rngs[i], scratch);
+        // Field-disjoint borrows: the recorder handle rides in the API
+        // while the agent and its RNG are borrowed mutably.
+        let obs = if self.obs_on { Some(&self.config.recorder) } else { None };
+        let mut api =
+            SimApi::new(node, start, self.agents.len(), &mut self.node_rngs[i], scratch, obs);
         match ev {
-            Ev::Packet { pkt, .. } => self.agents[i].on_packet(pkt, &mut api),
+            Ev::Packet { pkt, .. } => {
+                if let Some(o) = obs {
+                    o.record(
+                        start.as_micros(),
+                        node.0,
+                        ObsEvent::FrameDeliver { src: pkt.src.0, bytes: pkt.payload.len() as u32 },
+                    );
+                }
+                self.agents[i].on_packet(pkt, &mut api)
+            }
             Ev::Timer { token, .. } => {
                 self.stats.timers_fired += 1;
+                if let Some(o) = obs {
+                    o.record(start.as_micros(), node.0, ObsEvent::TimerFire { token: token.0 });
+                }
                 self.agents[i].on_timer(token, &mut api)
             }
             Ev::Wakeup { .. } => unreachable!("wakeup markers never reach dispatch"),
@@ -320,6 +390,13 @@ impl<A: Agent> Sim<A> {
             if self.busy_until[i] <= at {
                 // CPU is free: run the longest-waiting deferred event now.
                 if let Some(first) = self.pending[i].pop_front() {
+                    if let Some(o) = self.obs() {
+                        o.record(
+                            at.as_micros(),
+                            node.0,
+                            ObsEvent::CpuDequeue { depth: self.pending[i].len() as u16 },
+                        );
+                    }
                     self.dispatch(node, at, first);
                 }
             } else if !self.pending[i].is_empty() {
@@ -335,6 +412,13 @@ impl<A: Agent> Sim<A> {
         // one wakeup marker is queued for the instant the CPU frees up.
         if self.busy_until[i] > at {
             self.pending[i].push_back(ev);
+            if let Some(o) = self.obs() {
+                o.record(
+                    at.as_micros(),
+                    node.0,
+                    ObsEvent::CpuEnqueue { depth: self.pending[i].len() as u16 },
+                );
+            }
             if !self.wakeup_armed[i] {
                 self.queue.push(self.busy_until[i], Ev::Wakeup { node });
                 self.wakeup_armed[i] = true;
@@ -528,6 +612,94 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn recorder_taps_capture_engine_events() {
+        let rec = ps_obs::Recorder::with_capacity(1024);
+        let mut s = Sim::new(
+            SimConfig::default()
+                .seed(1)
+                .service_time(SimTime::from_micros(100))
+                .recorder(rec.clone()),
+            Box::new(PointToPoint::new(SimTime::from_micros(500))),
+            (0..4).map(|_| Recorder::default()).collect::<Vec<_>>(),
+        );
+        s.run_to_quiescence();
+        let events = rec.snapshot();
+        let count = |f: fn(&ObsEvent) -> bool| events.iter().filter(|e| f(&e.ev)).count();
+        assert_eq!(count(|e| matches!(e, ObsEvent::FrameSend { .. })), 1);
+        assert_eq!(count(|e| matches!(e, ObsEvent::FrameDeliver { .. })), 3);
+        assert_eq!(count(|e| matches!(e, ObsEvent::TimerFire { .. })), 1);
+        // The broadcast leaves node 0 when its CPU frees at 100us.
+        let send = events.iter().find(|e| matches!(e.ev, ObsEvent::FrameSend { .. })).unwrap();
+        assert_eq!((send.at_us, send.node), (100, 0));
+        if let ObsEvent::FrameSend { copies, bytes } = send.ev {
+            assert_eq!((copies, bytes), (3, 5));
+        }
+    }
+
+    #[test]
+    fn recorder_taps_capture_cpu_queueing() {
+        // Same scenario as `cpu_busy_defers_second_packet`: two packets
+        // hit node 0 at the same instant, so one is parked and later
+        // dequeued — both transitions must be recorded.
+        struct Blaster;
+        impl Agent for Blaster {
+            fn on_start(&mut self, api: &mut SimApi<'_>) {
+                if api.me() != NodeId(0) {
+                    api.send(Dest::To(NodeId(0)), Bytes::from_static(b"x"));
+                }
+            }
+            fn on_packet(&mut self, _: Packet, _: &mut SimApi<'_>) {}
+            fn on_timer(&mut self, _: TimerToken, _: &mut SimApi<'_>) {}
+        }
+        let rec = ps_obs::Recorder::with_capacity(256);
+        let mut s = Sim::new(
+            SimConfig::default()
+                .seed(2)
+                .service_time(SimTime::from_micros(100))
+                .recorder(rec.clone()),
+            Box::new(PointToPoint::new(SimTime::from_micros(500))),
+            vec![Blaster, Blaster, Blaster],
+        );
+        s.run_to_quiescence();
+        let events = rec.snapshot();
+        let enq: Vec<_> =
+            events.iter().filter(|e| matches!(e.ev, ObsEvent::CpuEnqueue { .. })).collect();
+        let deq: Vec<_> =
+            events.iter().filter(|e| matches!(e.ev, ObsEvent::CpuDequeue { .. })).collect();
+        assert_eq!(enq.len(), 1);
+        assert_eq!(deq.len(), 1);
+        assert_eq!(enq[0].at_us, 600);
+        assert_eq!(deq[0].at_us, 700);
+        assert_eq!(enq[0].node, 0);
+    }
+
+    #[test]
+    fn default_config_records_nothing() {
+        let mut s = sim(4);
+        s.run_to_quiescence();
+        assert!(!s.recorder().is_enabled());
+        assert!(s.recorder().is_empty());
+    }
+
+    #[test]
+    fn recorder_trace_is_deterministic_across_runs() {
+        let run = || {
+            let rec = ps_obs::Recorder::with_capacity(4096);
+            let mut s = Sim::new(
+                SimConfig::default().seed(9).recorder(rec.clone()),
+                Box::new(
+                    PointToPoint::new(SimTime::from_micros(500))
+                        .with_jitter(SimTime::from_micros(200)),
+                ),
+                (0..5).map(|_| Recorder::default()).collect::<Vec<_>>(),
+            );
+            s.run_to_quiescence();
+            ps_obs::export::to_jsonl(&rec.snapshot())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

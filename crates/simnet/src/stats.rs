@@ -63,9 +63,48 @@ mod tests {
     }
 
     #[test]
+    fn loss_rate_all_dropped_is_one() {
+        let s = NetStats { copies_dropped: 7, ..Default::default() };
+        assert_eq!(s.loss_rate(), 1.0);
+    }
+
+    #[test]
+    fn loss_rate_never_leaves_unit_interval() {
+        for (d, x) in [(0u64, 0u64), (1, 0), (0, 1), (u64::MAX / 2, u64::MAX / 2)] {
+            let s = NetStats { copies_delivered: d, copies_dropped: x, ..Default::default() };
+            let r = s.loss_rate();
+            assert!((0.0..=1.0).contains(&r), "loss_rate {r} for delivered={d} dropped={x}");
+        }
+    }
+
+    #[test]
+    fn loss_rate_rounds_to_sensible_percentages() {
+        // 1 of 3: the Display rounding shows 33.33%, not 33.34% or 33.3%.
+        let s = NetStats { copies_delivered: 2, copies_dropped: 1, ..Default::default() };
+        assert!((s.loss_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(s.to_string().contains("(33.33% loss)"));
+    }
+
+    #[test]
     fn display_mentions_key_counters() {
         let s = NetStats { frames_sent: 3, ..Default::default() };
         let out = s.to_string();
         assert!(out.contains("frames=3"));
+    }
+
+    #[test]
+    fn display_golden() {
+        let s = NetStats {
+            frames_sent: 10,
+            bytes_sent: 2048,
+            copies_delivered: 36,
+            copies_dropped: 4,
+            timers_fired: 5,
+            events_processed: 51,
+        };
+        assert_eq!(
+            s.to_string(),
+            "frames=10 bytes=2048 delivered=36 dropped=4 (10.00% loss) timers=5 events=51"
+        );
     }
 }

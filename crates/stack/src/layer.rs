@@ -197,6 +197,15 @@ impl<'a> LayerCtx<'a> {
         self.env.rng()
     }
 
+    /// The live event recorder, or `None` when observability is off.
+    ///
+    /// Layers with phase structure worth tracing (the switching protocol)
+    /// record through this; plain layers get their spans recorded by the
+    /// stack around each handler call.
+    pub fn obs(&self) -> Option<&ps_obs::Recorder> {
+        self.env.obs()
+    }
+
     /// Emits a frame to the layer below (or the network, at the bottom).
     pub fn send_down(&mut self, frame: Frame) {
         self.outs.push(LayerOut::Down(frame));

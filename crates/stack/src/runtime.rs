@@ -86,6 +86,9 @@ impl StackEnv for EnvAdapter<'_, '_> {
     fn set_timer(&mut self, delay: SimTime, id: LayerId, token: u32) {
         self.api.set_timer(delay, pack(id, token));
     }
+    fn obs(&self) -> Option<&ps_obs::Recorder> {
+        self.api.obs()
+    }
 }
 
 impl Agent for ProcessAgent {
@@ -164,6 +167,15 @@ impl GroupSimBuilder {
     /// Sets the network model (default: 100 µs point-to-point).
     pub fn medium(mut self, medium: Box<dyn Medium>) -> Self {
         self.medium = Some(medium);
+        self
+    }
+
+    /// Attaches an event recorder: engine, layer, and switch-phase events
+    /// of every process are recorded into it (see [`ps_obs::Recorder`]).
+    /// Keep a clone to snapshot after the run, or use
+    /// [`GroupSim::recorder`].
+    pub fn recorder(mut self, rec: ps_obs::Recorder) -> Self {
+        self.config = self.config.recorder(rec);
         self
     }
 
@@ -273,6 +285,12 @@ impl GroupSim {
     /// Network counters.
     pub fn net_stats(&self) -> &NetStats {
         self.sim.stats()
+    }
+
+    /// The event recorder this group records into (disabled unless one
+    /// was attached via [`GroupSimBuilder::recorder`]).
+    pub fn recorder(&self) -> &ps_obs::Recorder {
+        self.sim.recorder()
     }
 
     /// The application-level trace of the whole run: every process's `Send`
@@ -421,5 +439,47 @@ mod tests {
     #[should_panic(expected = "stack_factory")]
     fn build_without_factory_panics() {
         let _ = GroupSimBuilder::new(2).build();
+    }
+
+    #[test]
+    fn recorder_captures_balanced_layer_spans() {
+        use ps_obs::{LayerDir, ObsEvent};
+
+        struct Noop;
+        impl crate::Layer for Noop {
+            fn name(&self) -> &'static str {
+                "noop"
+            }
+        }
+
+        let rec = ps_obs::Recorder::with_capacity(4096);
+        let mut sim = GroupSimBuilder::new(3)
+            .seed(5)
+            .medium(Box::new(PointToPoint::new(SimTime::from_micros(200))))
+            .recorder(rec.clone())
+            .stack_factory(|_, _, _| Stack::new(vec![Box::new(Noop)]))
+            .send_at(SimTime::from_millis(1), ProcessId(0), b"hi")
+            .build();
+        sim.run_until(SimTime::from_millis(20));
+
+        let events = rec.snapshot();
+        let spans = |dir: LayerDir, begin: bool| {
+            events
+                .iter()
+                .filter(|e| match e.ev {
+                    ObsEvent::LayerBegin { layer, dir: d } => begin && layer == "noop" && d == dir,
+                    ObsEvent::LayerEnd { layer, dir: d } => !begin && layer == "noop" && d == dir,
+                    _ => false,
+                })
+                .count()
+        };
+        // One down traversal at the sender, one up per receiver; every
+        // begin has its end.
+        assert_eq!(spans(LayerDir::Down, true), 1);
+        assert_eq!(spans(LayerDir::Up, true), 3);
+        assert_eq!(spans(LayerDir::Down, true), spans(LayerDir::Down, false));
+        assert_eq!(spans(LayerDir::Up, true), spans(LayerDir::Up, false));
+        assert_eq!(spans(LayerDir::Launch, true), 3);
+        assert!(events.iter().any(|e| matches!(e.ev, ObsEvent::FrameSend { .. })));
     }
 }

@@ -1,5 +1,6 @@
 use crate::layer::{Frame, Layer, LayerCtx, LayerId, LayerOut};
 use ps_bytes::Bytes;
+use ps_obs::{LayerDir, ObsEvent, Recorder};
 use ps_simnet::{DetRng, SimTime};
 use ps_trace::{Message, ProcessId};
 use ps_wire::Wire;
@@ -29,6 +30,26 @@ pub trait StackEnv {
     fn deliver(&mut self, src: ProcessId, msg: Message);
     /// Arm a one-shot timer for layer `id`.
     fn set_timer(&mut self, delay: SimTime, id: LayerId, token: u32);
+    /// The live event recorder, or `None` when observability is off.
+    ///
+    /// The default keeps every existing environment (tests, `ps-rt`)
+    /// observability-free; the simulator runtime forwards the recorder the
+    /// sim was configured with, pre-folded with its enabled flag.
+    fn obs(&self) -> Option<&Recorder> {
+        None
+    }
+}
+
+/// Records one end of a layer span if observability is on.
+fn layer_span(env: &dyn StackEnv, layer: &'static str, dir: LayerDir, begin: bool) {
+    if let Some(o) = env.obs() {
+        let ev = if begin {
+            ObsEvent::LayerBegin { layer, dir }
+        } else {
+            ObsEvent::LayerEnd { layer, dir }
+        };
+        o.record(env.now().as_micros(), env.me().0, ev);
+    }
 }
 
 struct Slot {
@@ -100,10 +121,13 @@ impl Stack {
     pub fn launch(&mut self, env: &mut dyn StackEnv) {
         for i in 0..self.slots.len() {
             let id = self.slots[i].id;
+            let name = self.slots[i].layer.name();
+            layer_span(env, name, LayerDir::Launch, true);
             let mut ctx = LayerCtx::new(env, id);
             self.slots[i].layer.on_launch(&mut ctx);
             self.slots[i].layer.launch_nested(&mut ctx);
             let outs = std::mem::take(&mut ctx.outs);
+            layer_span(env, name, LayerDir::Launch, false);
             self.run(outs_to_work(outs, i, self.slots.len()), env);
         }
     }
@@ -133,9 +157,12 @@ impl Stack {
         for i in 0..self.slots.len() {
             let slot_id = self.slots[i].id;
             if slot_id == id {
+                let name = self.slots[i].layer.name();
+                layer_span(env, name, LayerDir::Timer, true);
                 let mut ctx = LayerCtx::new(env, slot_id);
                 self.slots[i].layer.on_timer(token, &mut ctx);
                 let outs = std::mem::take(&mut ctx.outs);
+                layer_span(env, name, LayerDir::Timer, false);
                 self.run(outs_to_work(outs, i, self.slots.len()), env);
                 return true;
             }
@@ -163,9 +190,12 @@ impl Stack {
                         continue;
                     }
                     let id = self.slots[next].id;
+                    let name = self.slots[next].layer.name();
+                    layer_span(env, name, LayerDir::Down, true);
                     let mut ctx = LayerCtx::new(env, id);
                     self.slots[next].layer.on_down(frame, &mut ctx);
                     let outs = std::mem::take(&mut ctx.outs);
+                    layer_span(env, name, LayerDir::Down, false);
                     queue.extend(outs_to_work(outs, next, n));
                 }
                 Work::Up { next, src, bytes } => {
@@ -180,9 +210,12 @@ impl Stack {
                         continue;
                     };
                     let id = self.slots[idx].id;
+                    let name = self.slots[idx].layer.name();
+                    layer_span(env, name, LayerDir::Up, true);
                     let mut ctx = LayerCtx::new(env, id);
                     self.slots[idx].layer.on_up(src, bytes, &mut ctx);
                     let outs = std::mem::take(&mut ctx.outs);
+                    layer_span(env, name, LayerDir::Up, false);
                     queue.extend(outs_to_work(outs, idx, n));
                 }
             }

@@ -33,4 +33,25 @@ PS_BENCH_ITERS=1 PS_BENCH_WARMUP=1 PS_BENCH_OUT="$(pwd)/target/BENCH_engine.json
     cargo bench --bench engine_throughput
 test -s target/BENCH_engine.json
 
+echo "==> trace smoke: repro --trace emits valid, reproducible files (offline)"
+# The instrumented repro run must (a) produce traces that parse as JSON in
+# both formats, and (b) be byte-identical across same-seed invocations,
+# serial and parallel — the recorder may not perturb determinism.
+rm -rf target/ci-trace && mkdir -p target/ci-trace
+cargo run --release -q --bin repro -- trace --quick \
+    --trace target/ci-trace/a.jsonl > target/ci-trace/a.txt
+cargo run --release -q --bin repro -- trace --quick --serial \
+    --trace target/ci-trace/b.jsonl > target/ci-trace/b.txt
+cargo run --release -q --bin repro -- trace --quick \
+    --trace target/ci-trace/a.chrome.json --trace-format chrome > /dev/null
+PS_SWEEP_WORKERS=4 cargo run --release -q --bin repro -- trace --quick \
+    --trace target/ci-trace/b.chrome.json --trace-format chrome > /dev/null
+cargo run --release -q --bin trace_lint -- \
+    target/ci-trace/a.jsonl target/ci-trace/b.jsonl
+cargo run --release -q --bin trace_lint -- --chrome \
+    target/ci-trace/a.chrome.json target/ci-trace/b.chrome.json
+diff target/ci-trace/a.jsonl target/ci-trace/b.jsonl
+diff target/ci-trace/a.chrome.json target/ci-trace/b.chrome.json
+diff target/ci-trace/a.txt target/ci-trace/b.txt
+
 echo "ci: all gates green"

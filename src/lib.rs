@@ -18,6 +18,7 @@
 //! | [`simnet`] | `ps-simnet` | deterministic discrete-event network simulator (shared-Ethernet model, fault injection) |
 //! | [`wire`] | `ps-wire` | binary codec and header framing |
 //! | [`rt`] | `ps-rt` | real-time runtime: the same stacks on OS threads |
+//! | [`obs`] | `ps-obs` | structured tracing: ring-buffer recorder, latency histograms, JSON-lines / Chrome-trace exporters |
 //! | [`harness`] | `ps-harness` | the experiments regenerating every table and figure |
 //!
 //! ## Quickstart
@@ -54,6 +55,7 @@
 
 pub use ps_core as switch;
 pub use ps_harness as harness;
+pub use ps_obs as obs;
 pub use ps_protocols as protocols;
 pub use ps_rt as rt;
 pub use ps_simnet as simnet;
