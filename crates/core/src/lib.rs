@@ -69,6 +69,6 @@ mod switch;
 
 pub use control::{Control, CountVector, RingToken, TokenMode};
 pub use hybrid::hybrid_total_order;
-pub use oracle::{ManualOracle, NeverOracle, Oracle, SwitchObs, ThresholdOracle};
+pub use oracle::{LoadOracle, ManualOracle, NeverOracle, Oracle, SwitchObs, ThresholdOracle};
 pub use stats::{SwitchHandle, SwitchRecord, SwitchStats};
 pub use switch::{SwitchConfig, SwitchLayer, SwitchVariant};

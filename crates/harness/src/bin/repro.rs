@@ -1,9 +1,10 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [table1|table2|fig2|overhead|oscillation|ablation|trace|all]
+//! repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|all]
 //!       [--quick] [--csv] [--counterexamples] [--serial]
 //!       [--trace PATH] [--trace-format jsonl|chrome]
+//!       [--fault] [--series PATH]
 //! ```
 //!
 //! Sweeps run on a worker pool by default (`PS_SWEEP_WORKERS` overrides
@@ -12,9 +13,16 @@
 //! (JSON-lines by default, a Chrome `trace_event` file with
 //! `--trace-format chrome`); same-seed invocations write byte-identical
 //! files.
+//!
+//! `repro monitor` runs the live-monitoring scenario: streaming property
+//! monitors over the event stream, a sampled load time series, and a
+//! `LoadOracle` switching on the measured load. `--series PATH` writes
+//! the time series (JSON-lines, or CSV with `--csv`); `--fault` splices
+//! in the broken ordering layer. Exits 1 if any monitor reports a
+//! violation.
 
 use ps_harness::experiments::{ablation, fig2, oscillation, overhead, table1, table2};
-use ps_harness::{trace_run, SweepRunner};
+use ps_harness::{monitor_run, trace_run, SweepRunner};
 
 struct Opts {
     what: String,
@@ -24,6 +32,8 @@ struct Opts {
     runner: SweepRunner,
     trace_path: Option<String>,
     trace_format: trace_run::TraceFormat,
+    fault: bool,
+    series_path: Option<String>,
 }
 
 fn parse() -> Opts {
@@ -34,6 +44,8 @@ fn parse() -> Opts {
     let mut runner = SweepRunner::from_env();
     let mut trace_path = None;
     let mut trace_format = trace_run::TraceFormat::default();
+    let mut fault = false;
+    let mut series_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,6 +53,14 @@ fn parse() -> Opts {
             "--csv" => csv = true,
             "--counterexamples" => counterexamples = true,
             "--serial" => runner = SweepRunner::serial(),
+            "--fault" => fault = true,
+            "--series" => match args.next() {
+                Some(p) => series_path = Some(p),
+                None => {
+                    eprintln!("--series needs a file path");
+                    std::process::exit(2);
+                }
+            },
             "--trace" => match args.next() {
                 Some(p) => trace_path = Some(p),
                 None => {
@@ -60,7 +80,7 @@ fn parse() -> Opts {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|trace|all] [--quick] [--csv] [--counterexamples] [--serial] [--trace PATH] [--trace-format jsonl|chrome]"
+                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|all] [--quick] [--csv] [--counterexamples] [--serial] [--trace PATH] [--trace-format jsonl|chrome] [--fault] [--series PATH]"
                 );
                 std::process::exit(0);
             }
@@ -71,7 +91,7 @@ fn parse() -> Opts {
             }
         }
     }
-    Opts { what, quick, csv, counterexamples, runner, trace_path, trace_format }
+    Opts { what, quick, csv, counterexamples, runner, trace_path, trace_format, fault, series_path }
 }
 
 fn emit(opts: &Opts, t: &ps_harness::Table) {
@@ -151,6 +171,30 @@ fn main() {
                 std::process::exit(1);
             }
             eprintln!("wrote {} events to {path}", r.events.len());
+        }
+    }
+    if all || opts.what == "monitor" {
+        let mut cfg = if opts.quick {
+            monitor_run::MonitorRunConfig::quick()
+        } else {
+            monitor_run::MonitorRunConfig::default()
+        };
+        cfg.inject_fault = opts.fault;
+        let r = monitor_run::run(&cfg);
+        emit(&opts, &monitor_run::render_series(&r));
+        emit(&opts, &monitor_run::render_switches(&r));
+        emit(&opts, &monitor_run::render_report(&r));
+        if let Some(path) = &opts.series_path {
+            let body = if opts.csv { r.sampler.to_csv() } else { r.sampler.to_jsonl() };
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("cannot write series to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {} load samples to {path}", r.samples.len());
+        }
+        if !r.violations.is_empty() {
+            eprintln!("monitor: {} property violation(s) detected", r.violations.len());
+            std::process::exit(1);
         }
     }
 }

@@ -8,8 +8,21 @@
 //!
 //! Exits non-zero (and names the offending line/offset) on the first
 //! invalid file — the CI smoke pipes `repro --trace` output through this.
+//!
+//! Files exported with a recorder meta header (`to_jsonl_with` /
+//! `to_chrome_with`) carry the ring's eviction count; a non-zero count
+//! means the trace is incomplete (oldest events overwritten), which this
+//! tool reports as a non-fatal warning.
 
 use ps_obs::json;
+
+/// The ring eviction count a `*_with` export embedded, if any.
+fn overwritten_count(body: &str) -> Option<u64> {
+    let key = "\"overwritten\":";
+    let at = body.find(key)? + key.len();
+    let digits: String = body[at..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
 
 fn main() {
     let mut chrome = false;
@@ -52,6 +65,14 @@ fn main() {
                     );
                     std::process::exit(1);
                 }
+            }
+        }
+        if let Some(n) = overwritten_count(&body) {
+            if n > 0 {
+                eprintln!(
+                    "trace_lint: warning: {path}: ring evicted {n} events — the trace is \
+                     incomplete; re-export with a larger ring_capacity"
+                );
             }
         }
     }

@@ -135,6 +135,10 @@ pub struct Fig2Result {
     /// Sender counts `(k, k')` between which sequencer and token mean
     /// latencies cross, if they do.
     pub crossover: Option<(u16, u16)>,
+    /// Hybrid latency pooled over the whole sweep: each point's bucketed
+    /// histogram (possibly computed on a different worker thread) merged
+    /// bucket-wise via [`ps_obs::Histogram::merge`].
+    pub hybrid_overall: HistSummary,
 }
 
 /// Runs one configuration (protocol × sender count) and returns the sim
@@ -209,6 +213,8 @@ struct SeriesEval {
     /// For the hybrid: (switches, final protocol, settled latency,
     /// bucketed latency summary).
     hybrid: Option<(usize, usize, LatencyStats, HistSummary)>,
+    /// The hybrid point's full histogram, kept for cross-point merging.
+    hist: Option<ps_obs::Histogram>,
 }
 
 /// Builds, runs, and measures one (protocol × sender count) simulation.
@@ -220,6 +226,7 @@ fn eval_series(cfg: &Fig2Config, series: Series, k: u16) -> SeriesEval {
     let workload_end = window.to;
     let (sim, handles) = run_point(cfg, series, k);
     let latency = latency_stats(&sim, window);
+    let mut hist_obj = None;
     let hybrid = handles.map(|hs| {
         // Report the state at workload end (afterwards the oracle
         // correctly adapts back down to the idle-optimal protocol).
@@ -240,10 +247,12 @@ fn eval_series(cfg: &Fig2Config, series: Series, k: u16) -> SeriesEval {
             .unwrap_or(window.from)
             .max(window.from);
         let settled = latency_stats(&sim, SteadyStateWindow::between(settled_from, window.to));
-        let hist = latency_histogram(&sim, window).summary();
+        let h = latency_histogram(&sim, window);
+        let hist = h.summary();
+        hist_obj = Some(h);
         (switches, settled_on, settled, hist)
     });
-    SeriesEval { latency, hybrid }
+    SeriesEval { latency, hybrid, hist: hist_obj }
 }
 
 /// Runs the whole sweep serially.
@@ -289,8 +298,16 @@ pub fn run_with(cfg: &Fig2Config, runner: &SweepRunner) -> Fig2Result {
             }
         })
         .collect::<Vec<_>>();
+    // Pool the per-point hybrid histograms (each filled on whichever
+    // worker ran its point) into one sweep-wide latency distribution.
+    let pooled = ps_obs::Histogram::new();
+    for e in &evals {
+        if let Some(h) = &e.hist {
+            pooled.merge(h);
+        }
+    }
     let crossover = find_crossover(&points);
-    Fig2Result { points, crossover }
+    Fig2Result { points, crossover, hybrid_overall: pooled.summary() }
 }
 
 /// Finds adjacent sender counts where the sequencer goes from faster to
@@ -334,6 +351,12 @@ pub fn render(result: &Fig2Result) -> Table {
     }
     t.note("'hybrid settled' excludes the one-off switching transient; at high load the transient is dominated by draining the congested old protocol (the paper's §7 caveat)");
     t.note("p50/p99 come from a ps-obs log-linear histogram (≤12.5% bucket error), in ms");
+    t.note(format!(
+        "hybrid latency pooled over the sweep (bucket-wise histogram merge): p50={:.2} ms, p99={:.2} ms over {} samples",
+        result.hybrid_overall.p50 as f64 / 1000.0,
+        result.hybrid_overall.p99 as f64 / 1000.0,
+        result.hybrid_overall.count,
+    ));
     match result.crossover {
         Some((a, b)) => t.note(format!(
             "sequencer/token cross-over between {a} and {b} active senders (paper: between 5 and 6)"

@@ -160,11 +160,13 @@ pub fn run(cfg: &TraceRunConfig) -> TraceRunResult {
     TraceRunResult { events, overwritten, timeline, handles }
 }
 
-/// Exports the recorded events in the requested format.
+/// Exports the recorded events in the requested format. Both formats
+/// carry the ring's eviction count, so downstream tooling (`trace_lint`)
+/// can tell a complete trace from a wrapped one.
 pub fn export(result: &TraceRunResult, format: TraceFormat) -> String {
     match format {
-        TraceFormat::Jsonl => export::to_jsonl(&result.events),
-        TraceFormat::Chrome => export::to_chrome(&result.events),
+        TraceFormat::Jsonl => export::to_jsonl_with(&result.events, result.overwritten),
+        TraceFormat::Chrome => export::to_chrome_with(&result.events, result.overwritten),
     }
 }
 

@@ -3,7 +3,7 @@
 //! serial path's, whatever the worker count.
 
 use ps_harness::experiments::{ablation, fig2, table2};
-use ps_harness::{trace_run, SweepRunner};
+use ps_harness::{monitor_run, trace_run, SweepRunner};
 
 #[test]
 fn fig2_parallel_table_is_byte_identical_to_serial() {
@@ -38,6 +38,28 @@ fn traced_runs_are_byte_identical_under_the_parallel_runner() {
     let parallel = SweepRunner::new(4).run(seeds, job);
     assert_eq!(serial, parallel);
     assert!(serial.iter().all(|(j, c)| !j.is_empty() && !c.is_empty()));
+}
+
+#[test]
+fn monitor_series_is_byte_identical_under_the_parallel_runner() {
+    // Monitored runs — sampler, streaming monitors, and a load-driven
+    // oracle all live — fanned across workers: the exported time series
+    // and the rendered reports must match the serial run byte for byte.
+    let seeds: Vec<u64> = vec![0x40B5, 7, 19];
+    let job = |_: usize, seed: u64| {
+        let cfg = monitor_run::MonitorRunConfig { seed, ..monitor_run::MonitorRunConfig::quick() };
+        let r = monitor_run::run(&cfg);
+        (
+            r.sampler.to_jsonl(),
+            r.sampler.to_csv(),
+            monitor_run::render_report(&r).to_string(),
+            monitor_run::render_switches(&r).to_string(),
+        )
+    };
+    let serial = SweepRunner::serial().run(seeds.clone(), job);
+    let parallel = SweepRunner::new(4).run(seeds, job);
+    assert_eq!(serial, parallel);
+    assert!(serial.iter().all(|(jsonl, csv, ..)| !jsonl.is_empty() && !csv.is_empty()));
 }
 
 #[test]

@@ -124,6 +124,24 @@ pub enum ObsEvent {
         /// Protocol index switched to.
         to: u8,
     },
+    /// The application at this node multicast a message into the stack.
+    ///
+    /// `(sender, seq)` is the message identity the trace layer assigns;
+    /// together with [`ObsEvent::AppDeliver`] it lets streaming monitors
+    /// check total order, per-sender FIFO, and delivery accounting online.
+    AppSend {
+        /// Sending process (always the event's node).
+        sender: u16,
+        /// Per-sender sequence number (starts at 1).
+        seq: u64,
+    },
+    /// A message crossed the top of the stack into the application.
+    AppDeliver {
+        /// Originating process of the message (not the node delivering).
+        sender: u16,
+        /// Per-sender sequence number.
+        seq: u64,
+    },
 }
 
 /// An [`ObsEvent`] stamped with virtual time and node.

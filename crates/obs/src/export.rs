@@ -87,9 +87,29 @@ pub fn to_jsonl(events: &[TimedEvent]) -> String {
                     phase.as_str()
                 );
             }
+            ObsEvent::AppSend { sender, seq } => {
+                let _ = write!(out, "\"kind\":\"app_send\",\"sender\":{sender},\"seq\":{seq}");
+            }
+            ObsEvent::AppDeliver { sender, seq } => {
+                let _ = write!(out, "\"kind\":\"app_deliver\",\"sender\":{sender},\"seq\":{seq}");
+            }
         }
         out.push_str("}\n");
     }
+    out
+}
+
+/// [`to_jsonl`] plus a leading recorder-metadata line.
+///
+/// The first line is `{"meta":"recorder","overwritten":N}` where `N` is
+/// the number of events the ring evicted before the snapshot was taken
+/// ([`Recorder::overwritten`](crate::Recorder::overwritten)); `N > 0`
+/// means the dump is a suffix of the run, not the whole run, and
+/// `trace_lint` warns about it.
+pub fn to_jsonl_with(events: &[TimedEvent], overwritten: u64) -> String {
+    let mut out = String::with_capacity(events.len() * 64 + 48);
+    let _ = write!(out, "{{\"meta\":\"recorder\",\"overwritten\":{overwritten}}}\n");
+    out.push_str(&to_jsonl(events));
     out
 }
 
@@ -97,16 +117,28 @@ pub fn to_jsonl(events: &[TimedEvent]) -> String {
 const TID_NET: u32 = 0;
 const TID_CPU: u32 = 1;
 const TID_SWITCH: u32 = 2;
-const TID_LAYER_BASE: u32 = 3;
+const TID_APP: u32 = 3;
+const TID_LAYER_BASE: u32 = 4;
 
 /// Renders events as a Chrome `trace_event` JSON document.
 ///
 /// Each simulated node becomes a trace *process* (`pid` = node), with
 /// named tracks: `net` (frame instants), `cpu` (queueing + timers),
-/// `switch` (one span per switch, phase instants inside it), and one
-/// track per layer name carrying `B`/`E` spans around every handler call.
-/// Open the file in `about://tracing` or Perfetto.
+/// `switch` (one span per switch, phase instants inside it), `app`
+/// (multicast sends and deliveries), and one track per layer name
+/// carrying `B`/`E` spans around every handler call. Open the file in
+/// `about://tracing` or Perfetto.
 pub fn to_chrome(events: &[TimedEvent]) -> String {
+    chrome_doc(events, None)
+}
+
+/// [`to_chrome`] plus a top-level `"overwritten"` field carrying the
+/// recorder's eviction count (see [`to_jsonl_with`]).
+pub fn to_chrome_with(events: &[TimedEvent], overwritten: u64) -> String {
+    chrome_doc(events, Some(overwritten))
+}
+
+fn chrome_doc(events: &[TimedEvent], overwritten: Option<u64>) -> String {
     // Deterministic layer-track assignment: first appearance order.
     let mut layer_tids: Vec<&'static str> = Vec::new();
     let tid_of = |layer: &'static str, layer_tids: &mut Vec<&'static str>| -> u32 {
@@ -238,6 +270,24 @@ pub fn to_chrome(events: &[TimedEvent]) -> String {
                     }
                 }
             }
+            ObsEvent::AppSend { sender, seq } => emit(
+                &mut body,
+                'i',
+                "app_send",
+                e.node,
+                TID_APP,
+                e.at_us,
+                &format!("\"sender\":{sender},\"seq\":{seq}"),
+            ),
+            ObsEvent::AppDeliver { sender, seq } => emit(
+                &mut body,
+                'i',
+                "app_deliver",
+                e.node,
+                TID_APP,
+                e.at_us,
+                &format!("\"sender\":{sender},\"seq\":{seq}"),
+            ),
         }
     }
 
@@ -255,6 +305,7 @@ pub fn to_chrome(events: &[TimedEvent]) -> String {
         meta(TID_NET, "net");
         meta(TID_CPU, "cpu");
         meta(TID_SWITCH, "switch");
+        meta(TID_APP, "app");
         for (i, layer) in layer_tids.iter().enumerate() {
             meta(TID_LAYER_BASE + i as u32, &format!("layer {layer}"));
         }
@@ -263,8 +314,12 @@ pub fn to_chrome(events: &[TimedEvent]) -> String {
         emit(&mut body, 'M', "process_name", node, TID_NET, 0, &pname);
     }
 
-    let mut out = String::with_capacity(body.len() + 64);
-    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut out = String::with_capacity(body.len() + 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",");
+    if let Some(n) = overwritten {
+        let _ = write!(out, "\"overwritten\":{n},");
+    }
+    out.push_str("\"traceEvents\":[\n");
     out.push_str(&body);
     out.push_str("\n]}\n");
     out
@@ -309,6 +364,8 @@ mod tests {
             TimedEvent { at_us: 60, node: 0, ev: ObsEvent::CpuDequeue { depth: 1 } },
             TimedEvent { at_us: 70, node: 0, ev: ObsEvent::TimerFire { token: 3 } },
             TimedEvent { at_us: 80, node: 0, ev: ObsEvent::FrameDrop { copies: 1 } },
+            TimedEvent { at_us: 90, node: 0, ev: ObsEvent::AppSend { sender: 0, seq: 1 } },
+            TimedEvent { at_us: 95, node: 1, ev: ObsEvent::AppDeliver { sender: 0, seq: 1 } },
         ]
     }
 
@@ -317,6 +374,27 @@ mod tests {
         let out = to_jsonl(&sample_events());
         assert_eq!(json::validate_lines(&out), Ok(sample_events().len()));
         assert!(out.contains("\"kind\":\"switch_phase\",\"phase\":\"flip\""));
+        assert!(out.contains("\"kind\":\"app_send\",\"sender\":0,\"seq\":1"));
+        assert!(out.contains("\"kind\":\"app_deliver\",\"sender\":0,\"seq\":1"));
+    }
+
+    #[test]
+    fn jsonl_with_prepends_the_meta_line() {
+        let out = to_jsonl_with(&sample_events(), 7);
+        let first = out.lines().next().expect("meta line");
+        assert_eq!(first, "{\"meta\":\"recorder\",\"overwritten\":7}");
+        assert_eq!(json::validate_lines(&out), Ok(sample_events().len() + 1));
+        // The event lines themselves are unchanged.
+        assert_eq!(out[first.len() + 1..], to_jsonl(&sample_events()));
+    }
+
+    #[test]
+    fn chrome_with_carries_the_eviction_count() {
+        let out = to_chrome_with(&sample_events(), 42);
+        assert!(json::validate(&out).is_ok());
+        assert!(out.starts_with("{\"displayTimeUnit\":\"ms\",\"overwritten\":42,"));
+        assert!(out.contains("\"name\":\"app_deliver\""));
+        assert!(out.contains("\"name\":\"app\""));
     }
 
     #[test]

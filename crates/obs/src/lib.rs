@@ -1,10 +1,12 @@
 //! # ps-obs
 //!
 //! Observability for the protocol-switching stack: a zero-alloc
-//! ring-buffer event [`Recorder`], log-linear latency [`Histogram`]s and
-//! monotonic [`Counter`]s behind a [`Registry`], and exporters for
-//! JSON-lines dumps, Chrome `trace_event` files, and per-process
-//! switch-phase timelines.
+//! ring-buffer event [`Recorder`] with a streaming [`EventSink`] API,
+//! online property monitors ([`MonitorSet`]), a virtual-time load sampler
+//! ([`MetricsSampler`]), log-linear latency [`Histogram`]s and monotonic
+//! [`Counter`]s behind a [`Registry`], and exporters for JSON-lines
+//! dumps, Chrome `trace_event` files, and per-process switch-phase
+//! timelines.
 //!
 //! This crate sits at the bottom of the workspace dependency graph — the
 //! simulator, stack, and switching layer all record into it — so it
@@ -48,10 +50,17 @@ pub mod event;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod monitor;
 pub mod recorder;
+pub mod sample;
 pub mod timeline;
 
 pub use event::{LayerDir, ObsEvent, SpPhase, TimedEvent};
 pub use metrics::{Counter, HistSummary, Histogram, Registry};
-pub use recorder::Recorder;
+pub use monitor::{
+    DeliveryMonitor, FifoMonitor, MonitorSet, SwitchLivenessMonitor, TotalOrderMonitor, Violation,
+    ViolationKind,
+};
+pub use recorder::{EventSink, Recorder};
+pub use sample::{LoadSample, MetricsSampler};
 pub use timeline::{check_well_nested, switch_timeline, SwitchInterval};

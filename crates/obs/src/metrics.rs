@@ -189,6 +189,33 @@ impl Histogram {
         h.max
     }
 
+    /// Folds `other` into `self`, bucket-wise.
+    ///
+    /// Because every histogram shares the same fixed bucket layout, the
+    /// merged quantiles are exactly what a single histogram fed the union
+    /// of both sample streams would report — parallel sweep workers can
+    /// aggregate per-point histograms without losing bucket precision.
+    /// Merging a histogram into itself doubles it.
+    pub fn merge(&self, other: &Self) {
+        // Snapshot `other` first so the two locks are never held together
+        // (deadlock-free even if two threads merge in opposite directions).
+        let (buckets, count, sum, min, max) = {
+            let o = other.lock();
+            (*o.buckets, o.count, o.sum, o.min, o.max)
+        };
+        if count == 0 {
+            return;
+        }
+        let mut h = self.lock();
+        for (mine, theirs) in h.buckets.iter_mut().zip(buckets.iter()) {
+            *mine += theirs;
+        }
+        h.count += count;
+        h.sum += sum;
+        h.min = h.min.min(min);
+        h.max = h.max.max(max);
+    }
+
     /// The p50/p90/p99/min/max/mean summary.
     pub fn summary(&self) -> HistSummary {
         let (count, sum, min, max) = {
@@ -346,6 +373,39 @@ mod tests {
         let s = h.summary();
         // One sample: clamping pins every quantile to the sample itself.
         assert_eq!((s.p50, s.p99, s.min, s.max), (777, 777, 777, 777));
+    }
+
+    #[test]
+    fn merge_equals_union_feed() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let union = Histogram::new();
+        for v in [1u64, 5, 100, 1 << 20] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [3u64, 99, 12_345, u64::MAX / 7] {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), union.summary());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), union.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_and_self_merge_doubles() {
+        let h = Histogram::new();
+        h.record(42);
+        let before = h.summary();
+        h.merge(&Histogram::new());
+        assert_eq!(h.summary(), before);
+        let clone_sees = h.clone();
+        h.merge(&clone_sees); // shared state: must not deadlock
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.summary().mean, 42);
     }
 
     #[test]

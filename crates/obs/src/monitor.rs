@@ -1,0 +1,613 @@
+//! Streaming property monitors: online checks over the live event stream.
+//!
+//! Monitors subscribe to a [`Recorder`](crate::Recorder) through the
+//! [`EventSink`] API, so they observe *every* event at record time — unlike
+//! post-hoc trace analysis, they are immune to ring wrap-around. Each
+//! monitor is a clonable handle sharing its state: subscribe one clone,
+//! keep another to read [`Violation`]s after the run.
+//!
+//! The built-in monitors check the properties the paper's switching layer
+//! must preserve (see DESIGN.md §"Monitors"):
+//!
+//! * [`TotalOrderMonitor`] — all nodes deliver the same application
+//!   message sequence (prefix agreement, checked as deliveries stream in).
+//! * [`FifoMonitor`] — per (node, sender), delivered sequence numbers are
+//!   strictly increasing (no reorder, no duplicate; gaps are loss, which
+//!   is [`DeliveryMonitor`]'s business).
+//! * [`DeliveryMonitor`] — at the end of the run, every sent message was
+//!   delivered at every node.
+//! * [`SwitchLivenessMonitor`] — every switch a node starts completes
+//!   (prepare → drain → flip → release) within a configured bound.
+//!
+//! A [`Violation`] carries the offending events as context, so a report
+//! can show *which* deliveries disagreed, not just that they did.
+
+use crate::event::{ObsEvent, SpPhase, TimedEvent};
+use crate::recorder::{EventSink, Recorder};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Which property a [`Violation`] breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ViolationKind {
+    /// Two nodes delivered different messages at the same position.
+    TotalOrder,
+    /// A node delivered a sender's messages out of order (or twice).
+    Fifo,
+    /// A sent message was not delivered at every node.
+    DeliveryLoss,
+    /// A switch did not complete within the liveness bound.
+    SwitchLiveness,
+}
+
+impl ViolationKind {
+    /// Short snake_case name for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ViolationKind::TotalOrder => "total_order",
+            ViolationKind::Fifo => "fifo",
+            ViolationKind::DeliveryLoss => "delivery_loss",
+            ViolationKind::SwitchLiveness => "switch_liveness",
+        }
+    }
+}
+
+/// One detected property violation, with the events that witnessed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which property broke.
+    pub kind: ViolationKind,
+    /// Node the violation was detected at.
+    pub node: u16,
+    /// Virtual time of detection (µs).
+    pub at_us: u64,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+    /// The offending events (e.g. the two disagreeing deliveries).
+    pub context: Vec<TimedEvent>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] node {} at {}us: {}",
+            self.kind.as_str(),
+            self.node,
+            self.at_us,
+            self.detail
+        )
+    }
+}
+
+fn lock<T>(m: &Arc<Mutex<T>>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---- total order -----------------------------------------------------------
+
+#[derive(Default)]
+struct TotalOrderState {
+    /// The agreed delivery sequence: position k is defined by the first
+    /// node to deliver its k-th message.
+    canonical: Vec<(u16, u64)>,
+    /// The event that defined each canonical position (violation context).
+    canonical_ev: Vec<TimedEvent>,
+    /// Next delivery position per node.
+    cursor: BTreeMap<u16, usize>,
+    /// Nodes already reported (one violation per diverging node).
+    diverged: Vec<u16>,
+    violations: Vec<Violation>,
+}
+
+/// Checks total-order agreement across nodes as deliveries stream in.
+///
+/// The first node to reach delivery position `k` defines the canonical
+/// `k`-th message; any node later delivering a *different* message at its
+/// own position `k` has diverged. This detects both reorderings and
+/// holes, at the earliest instant the disagreement is observable.
+#[derive(Clone, Default)]
+pub struct TotalOrderMonitor {
+    inner: Arc<Mutex<TotalOrderState>>,
+}
+
+impl TotalOrderMonitor {
+    /// A fresh monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one event (sinks call this; drivers can too, for replay).
+    pub fn observe(&self, ev: &TimedEvent) {
+        let ObsEvent::AppDeliver { sender, seq } = ev.ev else { return };
+        let mut s = lock(&self.inner);
+        if s.diverged.contains(&ev.node) {
+            return;
+        }
+        let k = *s.cursor.entry(ev.node).or_insert(0);
+        if k == s.canonical.len() {
+            s.canonical.push((sender, seq));
+            s.canonical_ev.push(*ev);
+        } else if s.canonical[k] != (sender, seq) {
+            let (want_sender, want_seq) = s.canonical[k];
+            let witness = s.canonical_ev[k];
+            let v = Violation {
+                kind: ViolationKind::TotalOrder,
+                node: ev.node,
+                at_us: ev.at_us,
+                detail: format!(
+                    "delivery #{k} is ({sender},{seq}) but the agreed sequence has \
+                     ({want_sender},{want_seq}) (defined at node {} at {}us)",
+                    witness.node, witness.at_us
+                ),
+                context: vec![witness, *ev],
+            };
+            s.violations.push(v);
+            s.diverged.push(ev.node);
+        }
+        *s.cursor.get_mut(&ev.node).expect("cursor inserted above") += 1;
+    }
+
+    /// Violations detected so far.
+    pub fn violations(&self) -> Vec<Violation> {
+        lock(&self.inner).violations.clone()
+    }
+}
+
+impl EventSink for TotalOrderMonitor {
+    fn on_event(&mut self, ev: &TimedEvent) {
+        self.observe(ev);
+    }
+}
+
+// ---- per-sender FIFO -------------------------------------------------------
+
+#[derive(Default)]
+struct FifoState {
+    /// Highest delivered seq and its event, per (node, sender).
+    last: BTreeMap<(u16, u16), (u64, TimedEvent)>,
+    violations: Vec<Violation>,
+}
+
+/// Checks per-sender FIFO at every node: a node must deliver each sender's
+/// messages with strictly increasing sequence numbers. Gaps are allowed
+/// (that is loss, [`DeliveryMonitor`]'s domain); going backwards or
+/// repeating a seq is a violation.
+#[derive(Clone, Default)]
+pub struct FifoMonitor {
+    inner: Arc<Mutex<FifoState>>,
+}
+
+impl FifoMonitor {
+    /// A fresh monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one event.
+    pub fn observe(&self, ev: &TimedEvent) {
+        let ObsEvent::AppDeliver { sender, seq } = ev.ev else { return };
+        let mut s = lock(&self.inner);
+        match s.last.get(&(ev.node, sender)) {
+            Some(&(prev_seq, prev_ev)) if seq <= prev_seq => {
+                let what = if seq == prev_seq { "duplicate" } else { "reordered" };
+                let v = Violation {
+                    kind: ViolationKind::Fifo,
+                    node: ev.node,
+                    at_us: ev.at_us,
+                    detail: format!(
+                        "{what} delivery from sender {sender}: seq {seq} after seq {prev_seq}"
+                    ),
+                    context: vec![prev_ev, *ev],
+                };
+                s.violations.push(v);
+            }
+            _ => {
+                s.last.insert((ev.node, sender), (seq, *ev));
+            }
+        }
+    }
+
+    /// Violations detected so far.
+    pub fn violations(&self) -> Vec<Violation> {
+        lock(&self.inner).violations.clone()
+    }
+}
+
+impl EventSink for FifoMonitor {
+    fn on_event(&mut self, ev: &TimedEvent) {
+        self.observe(ev);
+    }
+}
+
+// ---- delivery accounting ---------------------------------------------------
+
+#[derive(Default)]
+struct DeliveryState {
+    /// Send event per message id, in send order.
+    sent: BTreeMap<(u16, u64), TimedEvent>,
+    /// Nodes that delivered each message id.
+    delivered: BTreeMap<(u16, u64), Vec<u16>>,
+}
+
+/// Accounts deliveries against sends: at [`DeliveryMonitor::finish`],
+/// every sent message must have been delivered at all `nodes` group
+/// members (total-order stacks self-deliver, so the sender counts too).
+#[derive(Clone)]
+pub struct DeliveryMonitor {
+    nodes: u16,
+    inner: Arc<Mutex<DeliveryState>>,
+}
+
+impl DeliveryMonitor {
+    /// A monitor expecting each message at `nodes` distinct nodes.
+    pub fn new(nodes: u16) -> Self {
+        Self { nodes, inner: Arc::new(Mutex::new(DeliveryState::default())) }
+    }
+
+    /// Feeds one event.
+    pub fn observe(&self, ev: &TimedEvent) {
+        match ev.ev {
+            ObsEvent::AppSend { sender, seq } => {
+                lock(&self.inner).sent.entry((sender, seq)).or_insert(*ev);
+            }
+            ObsEvent::AppDeliver { sender, seq } => {
+                let mut s = lock(&self.inner);
+                let nodes = s.delivered.entry((sender, seq)).or_default();
+                if !nodes.contains(&ev.node) {
+                    nodes.push(ev.node);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Messages sent so far.
+    pub fn sent_count(&self) -> usize {
+        lock(&self.inner).sent.len()
+    }
+
+    /// End-of-run check: one violation per message missing a delivery.
+    pub fn finish(&self) -> Vec<Violation> {
+        let s = lock(&self.inner);
+        let mut out = Vec::new();
+        for (&(sender, seq), send_ev) in &s.sent {
+            let have = s.delivered.get(&(sender, seq)).map_or(0, Vec::len);
+            if have < usize::from(self.nodes) {
+                out.push(Violation {
+                    kind: ViolationKind::DeliveryLoss,
+                    node: sender,
+                    at_us: send_ev.at_us,
+                    detail: format!(
+                        "message ({sender},{seq}) delivered at {have}/{} nodes",
+                        self.nodes
+                    ),
+                    context: vec![*send_ev],
+                });
+            }
+        }
+        out
+    }
+}
+
+impl EventSink for DeliveryMonitor {
+    fn on_event(&mut self, ev: &TimedEvent) {
+        self.observe(ev);
+    }
+}
+
+// ---- switch liveness -------------------------------------------------------
+
+struct OpenSwitch {
+    prepare: TimedEvent,
+    flipped: bool,
+}
+
+#[derive(Default)]
+struct LivenessState {
+    open: BTreeMap<u16, OpenSwitch>,
+    violations: Vec<Violation>,
+}
+
+/// Checks switch liveness: once a node records `prepare_seen`, its `flip`
+/// and `buffer_release` must follow within `bound_us`; a switch still open
+/// at [`SwitchLivenessMonitor::finish`] is a violation too.
+#[derive(Clone)]
+pub struct SwitchLivenessMonitor {
+    bound_us: u64,
+    inner: Arc<Mutex<LivenessState>>,
+}
+
+impl SwitchLivenessMonitor {
+    /// A monitor with the given completion bound in microseconds.
+    pub fn new(bound_us: u64) -> Self {
+        Self { bound_us, inner: Arc::new(Mutex::new(LivenessState::default())) }
+    }
+
+    /// Feeds one event.
+    pub fn observe(&self, ev: &TimedEvent) {
+        let ObsEvent::SwitchPhase { phase, .. } = ev.ev else { return };
+        let mut s = lock(&self.inner);
+        match phase {
+            SpPhase::PrepareSeen => {
+                s.open.insert(ev.node, OpenSwitch { prepare: *ev, flipped: false });
+            }
+            SpPhase::DrainComplete | SpPhase::Flip | SpPhase::BufferRelease => {
+                let Some(open) = s.open.get_mut(&ev.node) else { return };
+                let elapsed = ev.at_us.saturating_sub(open.prepare.at_us);
+                let prepare = open.prepare;
+                if phase == SpPhase::Flip {
+                    open.flipped = true;
+                }
+                let closes = phase == SpPhase::BufferRelease;
+                if closes {
+                    s.open.remove(&ev.node);
+                }
+                if elapsed > self.bound_us {
+                    let bound = self.bound_us;
+                    s.violations.push(Violation {
+                        kind: ViolationKind::SwitchLiveness,
+                        node: ev.node,
+                        at_us: ev.at_us,
+                        detail: format!(
+                            "{} came {elapsed}us after prepare_seen (bound {bound}us)",
+                            phase.as_str()
+                        ),
+                        context: vec![prepare, *ev],
+                    });
+                }
+            }
+        }
+    }
+
+    /// Violations from phases that overran the bound, so far.
+    pub fn violations(&self) -> Vec<Violation> {
+        lock(&self.inner).violations.clone()
+    }
+
+    /// End-of-run check: switches that never flipped.
+    pub fn finish(&self) -> Vec<Violation> {
+        let s = lock(&self.inner);
+        let mut out = s.violations.clone();
+        for (&node, open) in &s.open {
+            if !open.flipped {
+                out.push(Violation {
+                    kind: ViolationKind::SwitchLiveness,
+                    node,
+                    at_us: open.prepare.at_us,
+                    detail: "switch entered prepare_seen but never flipped".to_owned(),
+                    context: vec![open.prepare],
+                });
+            }
+        }
+        out
+    }
+}
+
+impl EventSink for SwitchLivenessMonitor {
+    fn on_event(&mut self, ev: &TimedEvent) {
+        self.observe(ev);
+    }
+}
+
+// ---- the standard bundle ---------------------------------------------------
+
+/// The standard monitor bundle: total order, FIFO, delivery accounting,
+/// and switch liveness, attached and read as one unit.
+///
+/// # Examples
+///
+/// ```
+/// use ps_obs::{MonitorSet, ObsEvent, Recorder};
+///
+/// let rec = Recorder::with_capacity(64);
+/// let monitors = MonitorSet::standard(2, 1_000_000);
+/// monitors.attach(&rec);
+/// // Both nodes deliver (0,1) first: agreement.
+/// rec.record(10, 0, ObsEvent::AppSend { sender: 0, seq: 1 });
+/// rec.record(20, 0, ObsEvent::AppDeliver { sender: 0, seq: 1 });
+/// rec.record(21, 1, ObsEvent::AppDeliver { sender: 0, seq: 1 });
+/// assert!(monitors.finish().is_empty());
+/// ```
+#[derive(Clone)]
+pub struct MonitorSet {
+    total_order: TotalOrderMonitor,
+    fifo: FifoMonitor,
+    delivery: DeliveryMonitor,
+    liveness: SwitchLivenessMonitor,
+}
+
+impl MonitorSet {
+    /// The standard bundle for a group of `nodes`, with a switch-liveness
+    /// bound of `liveness_bound_us` microseconds.
+    pub fn standard(nodes: u16, liveness_bound_us: u64) -> Self {
+        Self {
+            total_order: TotalOrderMonitor::new(),
+            fifo: FifoMonitor::new(),
+            delivery: DeliveryMonitor::new(nodes),
+            liveness: SwitchLivenessMonitor::new(liveness_bound_us),
+        }
+    }
+
+    /// Subscribes every monitor to `rec` (clones share state with `self`).
+    pub fn attach(&self, rec: &Recorder) {
+        rec.subscribe(Box::new(self.total_order.clone()));
+        rec.subscribe(Box::new(self.fifo.clone()));
+        rec.subscribe(Box::new(self.delivery.clone()));
+        rec.subscribe(Box::new(self.liveness.clone()));
+    }
+
+    /// The total-order monitor.
+    pub fn total_order(&self) -> &TotalOrderMonitor {
+        &self.total_order
+    }
+
+    /// The FIFO monitor.
+    pub fn fifo(&self) -> &FifoMonitor {
+        &self.fifo
+    }
+
+    /// The delivery-accounting monitor.
+    pub fn delivery(&self) -> &DeliveryMonitor {
+        &self.delivery
+    }
+
+    /// The switch-liveness monitor.
+    pub fn liveness(&self) -> &SwitchLivenessMonitor {
+        &self.liveness
+    }
+
+    /// Runs the end-of-run checks and returns all violations, sorted by
+    /// detection time (then node, then kind) — deterministic for a
+    /// deterministic event stream.
+    pub fn finish(&self) -> Vec<Violation> {
+        let mut out = self.total_order.violations();
+        out.extend(self.fifo.violations());
+        out.extend(self.delivery.finish());
+        out.extend(self.liveness.finish());
+        out.sort_by(|a, b| (a.at_us, a.node, a.kind).cmp(&(b.at_us, b.node, b.kind)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(at_us: u64, node: u16, sender: u16, seq: u64) -> TimedEvent {
+        TimedEvent { at_us, node, ev: ObsEvent::AppDeliver { sender, seq } }
+    }
+
+    fn send(at_us: u64, sender: u16, seq: u64) -> TimedEvent {
+        TimedEvent { at_us, node: sender, ev: ObsEvent::AppSend { sender, seq } }
+    }
+
+    fn phase(at_us: u64, node: u16, phase: SpPhase) -> TimedEvent {
+        TimedEvent { at_us, node, ev: ObsEvent::SwitchPhase { phase, from: 0, to: 1 } }
+    }
+
+    #[test]
+    fn total_order_accepts_agreement() {
+        let m = TotalOrderMonitor::new();
+        for n in 0..3u16 {
+            m.observe(&deliver(10 + u64::from(n), n, 0, 1));
+            m.observe(&deliver(20 + u64::from(n), n, 1, 1));
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn total_order_flags_divergence_with_context() {
+        let m = TotalOrderMonitor::new();
+        m.observe(&deliver(10, 0, 0, 1));
+        m.observe(&deliver(11, 0, 1, 1));
+        m.observe(&deliver(12, 1, 0, 1));
+        m.observe(&deliver(13, 1, 2, 5)); // node 1 disagrees at position 1
+        let vs = m.violations();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].kind, ViolationKind::TotalOrder);
+        assert_eq!(vs[0].node, 1);
+        assert_eq!(vs[0].at_us, 13);
+        assert_eq!(vs[0].context, vec![deliver(11, 0, 1, 1), deliver(13, 1, 2, 5)]);
+        // One violation per diverging node, not one per subsequent delivery.
+        m.observe(&deliver(14, 1, 9, 9));
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn fifo_allows_gaps_but_not_reorder_or_dup() {
+        let m = FifoMonitor::new();
+        m.observe(&deliver(1, 0, 3, 1));
+        m.observe(&deliver(2, 0, 3, 4)); // gap: fine
+        assert!(m.violations().is_empty());
+        m.observe(&deliver(3, 0, 3, 2)); // reorder
+        m.observe(&deliver(4, 0, 3, 4)); // duplicate of the latest
+        let vs = m.violations();
+        assert_eq!(vs.len(), 2);
+        assert!(vs[0].detail.contains("reordered"));
+        assert!(vs[1].detail.contains("duplicate"));
+        // Other senders and nodes are independent.
+        m.observe(&deliver(5, 1, 3, 1));
+        m.observe(&deliver(6, 0, 4, 1));
+        assert_eq!(m.violations().len(), 2);
+    }
+
+    #[test]
+    fn delivery_monitor_accounts_per_node() {
+        let m = DeliveryMonitor::new(3);
+        m.observe(&send(1, 0, 1));
+        m.observe(&send(2, 1, 1));
+        for n in 0..3u16 {
+            m.observe(&deliver(10, n, 0, 1));
+        }
+        m.observe(&deliver(11, 0, 1, 1)); // (1,1) reaches only node 0
+        m.observe(&deliver(12, 0, 1, 1)); // duplicate at the same node: no credit
+        let vs = m.finish();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].kind, ViolationKind::DeliveryLoss);
+        assert!(vs[0].detail.contains("(1,1) delivered at 1/3"));
+        assert_eq!(vs[0].context, vec![send(2, 1, 1)]);
+    }
+
+    #[test]
+    fn liveness_bounds_the_switch_window() {
+        let m = SwitchLivenessMonitor::new(100);
+        m.observe(&phase(1000, 0, SpPhase::PrepareSeen));
+        m.observe(&phase(1050, 0, SpPhase::Flip));
+        m.observe(&phase(1060, 0, SpPhase::BufferRelease));
+        assert!(m.finish().is_empty(), "within bound");
+        m.observe(&phase(2000, 1, SpPhase::PrepareSeen));
+        m.observe(&phase(2500, 1, SpPhase::Flip)); // 500us > 100us bound
+        let vs = m.finish();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].kind, ViolationKind::SwitchLiveness);
+        assert_eq!(vs[0].node, 1);
+    }
+
+    #[test]
+    fn liveness_flags_switch_that_never_flips() {
+        let m = SwitchLivenessMonitor::new(1_000_000);
+        m.observe(&phase(500, 2, SpPhase::PrepareSeen));
+        let vs = m.finish();
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].detail.contains("never flipped"));
+        assert_eq!(vs[0].context, vec![phase(500, 2, SpPhase::PrepareSeen)]);
+    }
+
+    #[test]
+    fn monitor_set_streams_through_a_tiny_ring() {
+        // Ring capacity 2, but monitors see the whole stream: a violation
+        // whose witnesses were long evicted is still caught, with context.
+        let rec = Recorder::with_capacity(2);
+        let set = MonitorSet::standard(2, 1_000_000);
+        set.attach(&rec);
+        if !rec.is_enabled() {
+            return; // tap feature off: nothing streams, nothing to check
+        }
+        rec.record(1, 0, ObsEvent::AppSend { sender: 0, seq: 1 });
+        rec.record(2, 0, ObsEvent::AppSend { sender: 0, seq: 2 });
+        rec.record(10, 0, ObsEvent::AppDeliver { sender: 0, seq: 1 });
+        rec.record(11, 0, ObsEvent::AppDeliver { sender: 0, seq: 2 });
+        rec.record(12, 1, ObsEvent::AppDeliver { sender: 0, seq: 2 }); // diverges
+        rec.record(13, 1, ObsEvent::AppDeliver { sender: 0, seq: 1 }); // and reorders
+        let vs = set.finish();
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::TotalOrder));
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::Fifo));
+        assert!(rec.overwritten() > 0, "the ring must actually have wrapped");
+        // Sorted by detection time.
+        assert!(vs.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+    }
+
+    #[test]
+    fn clean_stream_finishes_empty() {
+        let set = MonitorSet::standard(2, 1_000_000);
+        set.delivery().observe(&send(1, 0, 1));
+        for node in 0..2u16 {
+            let d = deliver(5, node, 0, 1);
+            set.total_order().observe(&d);
+            set.fifo().observe(&d);
+            set.delivery().observe(&d);
+        }
+        assert!(set.finish().is_empty());
+    }
+}

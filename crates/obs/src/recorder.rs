@@ -20,6 +20,20 @@ use crate::event::{ObsEvent, TimedEvent};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
+/// A streaming consumer of recorded events.
+///
+/// Sinks subscribed via [`Recorder::subscribe`] see every event at record
+/// time, *before* ring placement — so a sink observes the complete event
+/// stream even when the ring wraps and evicts history. Online property
+/// monitors (see [`crate::monitor`]) are the intended implementors.
+///
+/// A disabled recorder forwards nothing: the zero-overhead contract is
+/// unchanged, sinks included.
+pub trait EventSink: Send {
+    /// Called once per recorded event, in record order.
+    fn on_event(&mut self, ev: &TimedEvent);
+}
+
 struct Ring {
     /// Event storage; grows (by pushes) only until it reaches `cap`.
     buf: Vec<TimedEvent>,
@@ -29,6 +43,9 @@ struct Ring {
     next: usize,
     /// Events overwritten after the ring filled (oldest-first).
     overwritten: u64,
+    /// Streaming subscribers; fed under the same lock as the ring so sinks
+    /// observe exactly the record order.
+    sinks: Vec<Box<dyn EventSink>>,
 }
 
 struct Shared {
@@ -93,6 +110,7 @@ impl Recorder {
                     cap: capacity,
                     next: 0,
                     overwritten: 0,
+                    sinks: Vec::new(),
                 }),
             }),
         }
@@ -135,6 +153,11 @@ impl Recorder {
             }
             let mut ring = self.ring();
             let e = TimedEvent { at_us, node, ev };
+            // Sinks first: they must see the event even if the ring write
+            // below evicts older history (streaming beats the ring).
+            for sink in ring.sinks.iter_mut() {
+                sink.on_event(&e);
+            }
             if ring.buf.len() < ring.cap {
                 ring.buf.push(e);
             } else {
@@ -179,12 +202,28 @@ impl Recorder {
         self.ring().overwritten
     }
 
-    /// Empties the ring (capacity and enabled flag are kept).
+    /// Empties the ring (capacity, enabled flag, and subscribers are
+    /// kept).
     pub fn clear(&self) {
         let mut ring = self.ring();
         ring.buf.clear();
         ring.next = 0;
         ring.overwritten = 0;
+    }
+
+    /// Attaches a streaming [`EventSink`]: from now on it sees every
+    /// recorded event at record time, immune to ring wrap-around.
+    ///
+    /// Monitors are typically clonable handles — subscribe one clone and
+    /// keep the other to read results after the run. Subscribing to a
+    /// disabled recorder is allowed but the sink will never fire.
+    pub fn subscribe(&self, sink: Box<dyn EventSink>) {
+        self.ring().sinks.push(sink);
+    }
+
+    /// Number of subscribed sinks.
+    pub fn sink_count(&self) -> usize {
+        self.ring().sinks.len()
     }
 }
 
@@ -264,6 +303,55 @@ mod tests {
             assert_eq!(r2.len(), 1);
             r2.clear();
             assert!(r.is_empty());
+        }
+
+        /// Counting sink sharing its tally through an `Arc`.
+        struct CountSink(std::sync::Arc<std::sync::Mutex<Vec<u64>>>);
+        impl EventSink for CountSink {
+            fn on_event(&mut self, ev: &TimedEvent) {
+                self.0.lock().unwrap().push(ev.at_us);
+            }
+        }
+
+        #[test]
+        fn sink_on_a_tiny_ring_still_sees_every_event() {
+            // The ring holds 4 events; the sink must observe all 100.
+            let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+            let r = Recorder::with_capacity(4);
+            r.subscribe(Box::new(CountSink(seen.clone())));
+            for i in 0..100u64 {
+                r.record(i, 0, ev(i));
+            }
+            assert_eq!(r.len(), 4);
+            assert_eq!(r.overwritten(), 96);
+            let seen = seen.lock().unwrap();
+            assert_eq!(seen.len(), 100, "sink missed events the ring evicted");
+            assert_eq!(seen.iter().copied().collect::<Vec<_>>(), (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn disabled_recorder_never_feeds_sinks() {
+            let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+            let r = Recorder::with_capacity(8);
+            r.subscribe(Box::new(CountSink(seen.clone())));
+            r.set_enabled(false);
+            r.record(1, 0, ev(1));
+            assert!(seen.lock().unwrap().is_empty());
+            r.set_enabled(true);
+            r.record(2, 0, ev(2));
+            assert_eq!(seen.lock().unwrap().len(), 1);
+        }
+
+        #[test]
+        fn sinks_survive_clear() {
+            let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+            let r = Recorder::with_capacity(8);
+            r.subscribe(Box::new(CountSink(seen.clone())));
+            r.record(1, 0, ev(1));
+            r.clear();
+            r.record(2, 0, ev(2));
+            assert_eq!(r.sink_count(), 1);
+            assert_eq!(seen.lock().unwrap().len(), 2);
         }
 
         #[test]

@@ -1,0 +1,323 @@
+//! Periodic load sampling: a virtual-time time series of run load.
+//!
+//! A [`MetricsSampler`] is a clonable handle the simulator drives off its
+//! own clock (see `SimConfig::sampler` in `ps-simnet`): at every sampling
+//! interval it pushes one [`LoadSample`] capturing medium utilization,
+//! CPU-queue pressure, and in-flight frames over the window just ended.
+//! Because sampling is driven purely by virtual time, the series is
+//! deterministic — byte-identical across serial and parallel runs of the
+//! same seed.
+//!
+//! The same handle feeds two consumers:
+//!
+//! * a `LoadOracle` (`ps-core`) polls [`MetricsSampler::latest`] to decide
+//!   when measured load has crossed the sequencer↔token crossover;
+//! * reports export the whole series via [`MetricsSampler::to_jsonl`] /
+//!   [`MetricsSampler::to_csv`].
+//!
+//! Utilizations are in permille (0–1000) to stay integer-exact: floats
+//! would make "byte-identical across runs" hostage to formatting.
+
+use crate::metrics::Registry;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One sampling window's load measurements. All fields are integers so
+/// exports are byte-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadSample {
+    /// Virtual time at the *end* of the window (µs).
+    pub at_us: u64,
+    /// Frames sent during the window.
+    pub frames_sent: u64,
+    /// Frame copies delivered during the window.
+    pub copies_delivered: u64,
+    /// Share of the window the shared medium spent busy, in permille
+    /// (0 for point-to-point media, which never serialize).
+    pub bus_util_permille: u32,
+    /// Share of the window the busiest node's CPU spent busy, in permille.
+    pub max_cpu_permille: u32,
+    /// Share of the window the sequencer node's CPU spent busy, in
+    /// permille (the sampler's `seq_node`; 0 when unset).
+    pub seq_cpu_permille: u32,
+    /// Deepest CPU deferred-FIFO depth observed at any node, sampled at
+    /// window end.
+    pub max_queue_depth: u32,
+    /// Sum of CPU deferred-FIFO depths across nodes at window end.
+    pub total_queue_depth: u32,
+    /// Frames scheduled but not yet delivered, at window end.
+    pub in_flight: u32,
+}
+
+impl LoadSample {
+    /// The sampler's JSONL key order, fixed for byte-stable output.
+    pub const FIELDS: &'static [&'static str] = &[
+        "at_us",
+        "frames_sent",
+        "copies_delivered",
+        "bus_util_permille",
+        "max_cpu_permille",
+        "seq_cpu_permille",
+        "max_queue_depth",
+        "total_queue_depth",
+        "in_flight",
+    ];
+
+    fn values(&self) -> [u64; 9] {
+        [
+            self.at_us,
+            self.frames_sent,
+            self.copies_delivered,
+            u64::from(self.bus_util_permille),
+            u64::from(self.max_cpu_permille),
+            u64::from(self.seq_cpu_permille),
+            u64::from(self.max_queue_depth),
+            u64::from(self.total_queue_depth),
+            u64::from(self.in_flight),
+        ]
+    }
+
+    /// One JSON object, keys in [`LoadSample::FIELDS`] order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push('{');
+        for (i, (k, v)) in Self::FIELDS.iter().zip(self.values()).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(k);
+            out.push_str("\":");
+            out.push_str(&v.to_string());
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[derive(Default)]
+struct SamplerState {
+    samples: Vec<LoadSample>,
+}
+
+/// A clonable, thread-safe collector of [`LoadSample`]s.
+///
+/// The simulator owns one clone and pushes into it; the harness keeps
+/// another to read the series afterwards (and an oracle may hold a third,
+/// polling [`MetricsSampler::latest`] mid-run). When built
+/// [`with_registry`](MetricsSampler::with_registry), every push also
+/// feeds `load.bus_util_permille` / `load.max_queue_depth` histograms so
+/// sampled load shows up in the ordinary metrics summary.
+#[derive(Clone)]
+pub struct MetricsSampler {
+    interval_us: u64,
+    seq_node: Option<u16>,
+    registry: Option<Registry>,
+    inner: Arc<Mutex<SamplerState>>,
+}
+
+impl std::fmt::Debug for MetricsSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsSampler")
+            .field("interval_us", &self.interval_us)
+            .field("seq_node", &self.seq_node)
+            .field("samples", &self.len())
+            .finish()
+    }
+}
+
+impl MetricsSampler {
+    /// A sampler producing one [`LoadSample`] every `interval_us` of
+    /// virtual time. `interval_us` must be non-zero.
+    pub fn new(interval_us: u64) -> Self {
+        assert!(interval_us > 0, "sampling interval must be non-zero");
+        Self {
+            interval_us,
+            seq_node: None,
+            registry: None,
+            inner: Arc::new(Mutex::new(SamplerState::default())),
+        }
+    }
+
+    /// Designates `node` as the sequencer whose CPU busy share is broken
+    /// out into [`LoadSample::seq_cpu_permille`].
+    pub fn with_seq_node(mut self, node: u16) -> Self {
+        self.seq_node = Some(node);
+        self
+    }
+
+    /// Mirrors each sample into histograms in `registry`
+    /// (`load.bus_util_permille`, `load.max_cpu_permille`,
+    /// `load.max_queue_depth`, `load.in_flight`).
+    pub fn with_registry(mut self, registry: Registry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// The sampling interval in microseconds.
+    pub fn interval_us(&self) -> u64 {
+        self.interval_us
+    }
+
+    /// The designated sequencer node, if any.
+    pub fn seq_node(&self) -> Option<u16> {
+        self.seq_node
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SamplerState> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends one sample (the simulator calls this at window ends).
+    pub fn push(&self, sample: LoadSample) {
+        if let Some(reg) = &self.registry {
+            reg.histogram("load.bus_util_permille").record(u64::from(sample.bus_util_permille));
+            reg.histogram("load.max_cpu_permille").record(u64::from(sample.max_cpu_permille));
+            reg.histogram("load.max_queue_depth").record(u64::from(sample.max_queue_depth));
+            reg.histogram("load.in_flight").record(u64::from(sample.in_flight));
+        }
+        self.lock().samples.push(sample);
+    }
+
+    /// The most recent sample, if any.
+    pub fn latest(&self) -> Option<LoadSample> {
+        self.lock().samples.last().copied()
+    }
+
+    /// Number of samples collected.
+    pub fn len(&self) -> usize {
+        self.lock().samples.len()
+    }
+
+    /// `true` when no samples have been collected yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().samples.is_empty()
+    }
+
+    /// A snapshot of the whole series.
+    pub fn samples(&self) -> Vec<LoadSample> {
+        self.lock().samples.clone()
+    }
+
+    /// Discards collected samples (the interval and wiring stay).
+    pub fn clear(&self) {
+        self.lock().samples.clear();
+    }
+
+    /// The series as JSON-lines, one object per sample, keys in
+    /// [`LoadSample::FIELDS`] order. Deterministic for a deterministic run.
+    ///
+    /// ```
+    /// use ps_obs::{LoadSample, MetricsSampler};
+    /// let s = MetricsSampler::new(1000);
+    /// s.push(LoadSample { at_us: 1000, frames_sent: 2, ..LoadSample::default() });
+    /// assert_eq!(
+    ///     s.to_jsonl(),
+    ///     "{\"at_us\":1000,\"frames_sent\":2,\"copies_delivered\":0,\
+    ///      \"bus_util_permille\":0,\"max_cpu_permille\":0,\"seq_cpu_permille\":0,\
+    ///      \"max_queue_depth\":0,\"total_queue_depth\":0,\"in_flight\":0}\n"
+    /// );
+    /// ```
+    pub fn to_jsonl(&self) -> String {
+        let s = self.lock();
+        let mut out = String::with_capacity(s.samples.len() * 160 + 1);
+        for sample in &s.samples {
+            out.push_str(&sample.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The series as CSV with a header row, columns in
+    /// [`LoadSample::FIELDS`] order.
+    pub fn to_csv(&self) -> String {
+        let s = self.lock();
+        let mut out = String::with_capacity(s.samples.len() * 64 + 128);
+        out.push_str(&LoadSample::FIELDS.join(","));
+        out.push('\n');
+        for sample in &s.samples {
+            let vals = sample.values();
+            for (i, v) in vals.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&v.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(at_us: u64, bus: u32) -> LoadSample {
+        LoadSample { at_us, bus_util_permille: bus, ..LoadSample::default() }
+    }
+
+    #[test]
+    fn collects_in_order_and_reports_latest() {
+        let s = MetricsSampler::new(500).with_seq_node(3);
+        assert!(s.is_empty());
+        assert_eq!(s.latest(), None);
+        s.push(sample(500, 10));
+        s.push(sample(1000, 20));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.latest(), Some(sample(1000, 20)));
+        assert_eq!(s.interval_us(), 500);
+        assert_eq!(s.seq_node(), Some(3));
+        let all = s.samples();
+        assert_eq!(all[0].at_us, 500);
+        assert_eq!(all[1].at_us, 1000);
+    }
+
+    #[test]
+    fn clones_share_the_series() {
+        let a = MetricsSampler::new(100);
+        let b = a.clone();
+        a.push(sample(100, 1));
+        assert_eq!(b.len(), 1);
+        b.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn csv_has_header_and_matching_columns() {
+        let s = MetricsSampler::new(100);
+        s.push(LoadSample {
+            at_us: 100,
+            frames_sent: 1,
+            copies_delivered: 2,
+            bus_util_permille: 3,
+            max_cpu_permille: 4,
+            seq_cpu_permille: 5,
+            max_queue_depth: 6,
+            total_queue_depth: 7,
+            in_flight: 8,
+        });
+        let csv = s.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().expect("header");
+        assert_eq!(header.split(',').count(), LoadSample::FIELDS.len());
+        assert_eq!(lines.next(), Some("100,1,2,3,4,5,6,7,8"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn registry_mirror_records_each_push() {
+        let reg = Registry::new();
+        let s = MetricsSampler::new(100).with_registry(reg.clone());
+        s.push(sample(100, 250));
+        s.push(sample(200, 750));
+        let summary = reg.histogram("load.bus_util_permille").summary();
+        assert_eq!(summary.count, 2);
+        assert_eq!(reg.histogram("load.in_flight").summary().count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_interval_panics() {
+        let _ = MetricsSampler::new(0);
+    }
+}

@@ -9,6 +9,11 @@ pub struct TxPlan {
     pub deliveries: Vec<(NodeId, SimTime)>,
     /// Copies lost in transit (per-destination, not per-frame).
     pub dropped: u32,
+    /// Microseconds this frame occupied the medium (its serialization
+    /// time on a shared bus; 0 on media that never serialize). The
+    /// simulator accumulates this into `NetStats::medium_busy_us`, which
+    /// is what the load sampler's utilization figure is computed from.
+    pub busy_us: u64,
 }
 
 /// A network model: decides when (and whether) each destination receives a
@@ -66,7 +71,7 @@ impl Medium for PointToPoint {
     ) -> TxPlan {
         let deliveries =
             dests.iter().map(|&d| (d, now + self.latency + rng.jitter(self.jitter))).collect();
-        TxPlan { deliveries, dropped: 0 }
+        TxPlan { deliveries, dropped: 0, busy_us: 0 }
     }
 
     fn name(&self) -> &'static str {
@@ -150,12 +155,13 @@ impl Medium for SharedBus {
         rng: &mut DetRng,
     ) -> TxPlan {
         let tx_start = now.max(self.busy_until);
-        let tx_end = tx_start + self.serialization_time(size_bytes);
+        let ser = self.serialization_time(size_bytes);
+        let tx_end = tx_start + ser;
         self.busy_until = tx_end;
         let base = tx_end + self.config.propagation;
         let deliveries =
             dests.iter().map(|&d| (d, base + rng.jitter(self.config.jitter))).collect();
-        TxPlan { deliveries, dropped: 0 }
+        TxPlan { deliveries, dropped: 0, busy_us: ser.as_micros() }
     }
 
     fn name(&self) -> &'static str {
@@ -219,8 +225,11 @@ impl Medium for Lossy {
         rng: &mut DetRng,
     ) -> TxPlan {
         let base = self.inner.transmit(src, dests, size_bytes, now, rng);
-        let mut plan =
-            TxPlan { deliveries: Vec::with_capacity(base.deliveries.len()), dropped: base.dropped };
+        let mut plan = TxPlan {
+            deliveries: Vec::with_capacity(base.deliveries.len()),
+            dropped: base.dropped,
+            busy_us: base.busy_us,
+        };
         for (d, at) in base.deliveries {
             if rng.chance(self.drop_prob) {
                 plan.dropped += 1;
@@ -287,7 +296,8 @@ impl Medium for Partitioned {
         rng: &mut DetRng,
     ) -> TxPlan {
         let base = self.inner.transmit(src, dests, size_bytes, now, rng);
-        let mut plan = TxPlan { deliveries: Vec::new(), dropped: base.dropped };
+        let mut plan =
+            TxPlan { deliveries: Vec::new(), dropped: base.dropped, busy_us: base.busy_us };
         for (d, at) in base.deliveries {
             if self.blocked.contains(&(src, d)) {
                 plan.dropped += 1;
@@ -363,7 +373,8 @@ impl Medium for TimedPartition {
         if now < self.from || now >= self.until {
             return base;
         }
-        let mut plan = TxPlan { deliveries: Vec::new(), dropped: base.dropped };
+        let mut plan =
+            TxPlan { deliveries: Vec::new(), dropped: base.dropped, busy_us: base.busy_us };
         for (d, at) in base.deliveries {
             if self.blocked.contains(&(src, d)) {
                 plan.dropped += 1;
@@ -435,6 +446,30 @@ mod tests {
         assert!(plan.deliveries.iter().all(|&(_, at)| at == first));
         // Medium busy only once.
         assert_eq!(bus.busy_until(), SimTime::from_micros(852));
+    }
+
+    #[test]
+    fn busy_us_reports_serialization_only_on_the_bus() {
+        let mut rng = DetRng::new(1);
+        let mut p2p = PointToPoint::new(SimTime::from_micros(500));
+        let plan = p2p.transmit(NodeId(0), &dests(2), 1024, SimTime::ZERO, &mut rng);
+        assert_eq!(plan.busy_us, 0, "point-to-point never occupies a shared medium");
+
+        let mut cfg = EthernetConfig::default();
+        cfg.jitter = SimTime::ZERO;
+        let mut bus = SharedBus::new(cfg);
+        let plan = bus.transmit(NodeId(0), &dests(10), 1024, SimTime::ZERO, &mut rng);
+        // One broadcast frame occupies the wire for its serialization time,
+        // regardless of the destination count.
+        assert_eq!(plan.busy_us, 852);
+
+        // Wrappers pass the inner medium's occupancy through untouched.
+        let mut cfg = EthernetConfig::default();
+        cfg.jitter = SimTime::ZERO;
+        let mut lossy = Lossy::new(Box::new(SharedBus::new(cfg)), 1.0);
+        let plan = lossy.transmit(NodeId(0), &dests(3), 1024, SimTime::ZERO, &mut rng);
+        assert_eq!(plan.deliveries.len(), 0);
+        assert_eq!(plan.busy_us, 852, "dropped copies still burned wire time");
     }
 
     #[test]

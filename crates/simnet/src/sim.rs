@@ -2,7 +2,7 @@ use crate::agent::Action;
 use crate::{
     Agent, Dest, DetRng, EventQueue, Medium, NetStats, NodeId, Packet, SimApi, SimTime, TimerToken,
 };
-use ps_obs::{ObsEvent, Recorder};
+use ps_obs::{LoadSample, MetricsSampler, ObsEvent, Recorder};
 
 /// Per-node execution parameters.
 #[derive(Debug, Clone)]
@@ -45,6 +45,13 @@ pub struct SimConfig {
     /// and snapshot it after the run. The enabled flag is sampled once at
     /// [`Sim::new`] — enable the recorder *before* building the sim.
     pub recorder: Recorder,
+    /// Periodic load sampler driven off the sim clock (`None` = off).
+    ///
+    /// When set, the sim pushes one [`LoadSample`] per sampler interval of
+    /// *virtual* time — keep a clone of the handle to read the series. The
+    /// schedule depends only on virtual time, so the series is as
+    /// deterministic as the run itself.
+    pub sampler: Option<MetricsSampler>,
 }
 
 impl SimConfig {
@@ -63,6 +70,12 @@ impl SimConfig {
     /// Attaches an event recorder (see [`ps_obs::Recorder`]).
     pub fn recorder(mut self, rec: Recorder) -> Self {
         self.recorder = rec;
+        self
+    }
+
+    /// Attaches a periodic load sampler (see [`ps_obs::MetricsSampler`]).
+    pub fn sampler(mut self, sampler: MetricsSampler) -> Self {
+        self.sampler = Some(sampler);
         self
     }
 }
@@ -123,6 +136,19 @@ pub struct Sim<A> {
     /// `config.recorder.is_enabled()`, sampled once at construction so the
     /// hot path branches on a plain bool instead of touching an atomic.
     obs_on: bool,
+    /// Frame copies scheduled for delivery but not yet begun processing.
+    in_flight: u64,
+    /// Per-node cumulative CPU busy time (service time summed per event).
+    cpu_busy_us: Vec<u64>,
+    /// Per-node `cpu_busy_us` as of the last emitted sample (window base).
+    cpu_busy_prev: Vec<u64>,
+    /// Virtual time of the next load sample (meaningful only with a
+    /// sampler configured).
+    next_sample_at: SimTime,
+    /// Window baselines for the cumulative counters sampled as deltas.
+    win_medium_busy: u64,
+    win_frames: u64,
+    win_copies: u64,
 }
 
 impl<A> std::fmt::Debug for Sim<A> {
@@ -153,6 +179,10 @@ impl<A: Agent> Sim<A> {
         // never on how events interleave with other nodes.
         let node_rngs = (0..n).map(|i| rng.fork(0x4e4f_4445_0000 | i as u64)).collect();
         let obs_on = config.recorder.is_enabled();
+        let next_sample_at = config
+            .sampler
+            .as_ref()
+            .map_or(SimTime::ZERO, |s| SimTime::from_micros(s.interval_us()));
         Self {
             config,
             agents,
@@ -169,6 +199,13 @@ impl<A: Agent> Sim<A> {
             stats: NetStats::default(),
             started: false,
             obs_on,
+            in_flight: 0,
+            cpu_busy_us: vec![0; n],
+            cpu_busy_prev: vec![0; n],
+            next_sample_at,
+            win_medium_busy: 0,
+            win_frames: 0,
+            win_copies: 0,
         }
     }
 
@@ -288,6 +325,7 @@ impl<A: Agent> Sim<A> {
                         &mut self.rng,
                     );
                     self.stats.copies_dropped += u64::from(plan.dropped);
+                    self.stats.medium_busy_us += plan.busy_us;
                     if self.obs_on {
                         let at = effective_at.as_micros();
                         self.config.recorder.record(
@@ -312,6 +350,7 @@ impl<A: Agent> Sim<A> {
                     let mut payload = Some(payload);
                     for (idx, (to, at)) in plan.deliveries.into_iter().enumerate() {
                         self.stats.copies_delivered += 1;
+                        self.in_flight += 1;
                         let copy = if idx + 1 == last {
                             payload.take().expect("payload taken only by the last delivery")
                         } else {
@@ -338,6 +377,7 @@ impl<A: Agent> Sim<A> {
         let done = start + self.config.node.service_time;
         self.busy_until[i] = done;
         self.stats.events_processed += 1;
+        self.cpu_busy_us[i] += self.config.node.service_time.as_micros();
 
         let scratch = std::mem::take(&mut self.action_scratch);
         // Field-disjoint borrows: the recorder handle rides in the API
@@ -375,11 +415,78 @@ impl<A: Agent> Sim<A> {
         }
     }
 
+    /// Emits load samples for every whole sampling interval up to `t`.
+    ///
+    /// Driven purely by virtual time: the sample schedule (and therefore
+    /// the series) is identical for identical runs, serial or parallel.
+    #[inline]
+    fn flush_samples_to(&mut self, t: SimTime) {
+        if self.config.sampler.is_none() {
+            return;
+        }
+        while self.next_sample_at <= t {
+            self.emit_sample();
+        }
+    }
+
+    /// Builds and pushes one [`LoadSample`] for the window ending at
+    /// `next_sample_at`, then advances the window.
+    fn emit_sample(&mut self) {
+        let sampler = self.config.sampler.as_ref().expect("caller checked").clone();
+        let window_us = sampler.interval_us();
+        // Busy time is attributed at transmit time, so a burst can charge
+        // more busy-µs to one window than the window holds; clamp.
+        let permille =
+            |busy_us: u64| u32::try_from((busy_us * 1000 / window_us).min(1000)).expect("<= 1000");
+        let mut max_cpu = 0u64;
+        let mut seq_cpu = 0u64;
+        for (i, (cur, prev)) in
+            self.cpu_busy_us.iter().zip(self.cpu_busy_prev.iter_mut()).enumerate()
+        {
+            let delta = cur - *prev;
+            *prev = *cur;
+            max_cpu = max_cpu.max(delta);
+            if sampler.seq_node() == Some(i as u16) {
+                seq_cpu = delta;
+            }
+        }
+        let mut max_queue_depth = 0u32;
+        let mut total_queue_depth = 0u32;
+        for p in &self.pending {
+            let depth = p.len() as u32;
+            max_queue_depth = max_queue_depth.max(depth);
+            total_queue_depth += depth;
+        }
+        let sample = LoadSample {
+            at_us: self.next_sample_at.as_micros(),
+            frames_sent: self.stats.frames_sent - self.win_frames,
+            copies_delivered: self.stats.copies_delivered - self.win_copies,
+            bus_util_permille: permille(self.stats.medium_busy_us - self.win_medium_busy),
+            max_cpu_permille: permille(max_cpu),
+            seq_cpu_permille: permille(seq_cpu),
+            max_queue_depth,
+            total_queue_depth,
+            in_flight: self.in_flight.min(u64::from(u32::MAX)) as u32,
+        };
+        self.win_frames = self.stats.frames_sent;
+        self.win_copies = self.stats.copies_delivered;
+        self.win_medium_busy = self.stats.medium_busy_us;
+        self.next_sample_at = self.next_sample_at + SimTime::from_micros(window_us);
+        sampler.push(sample);
+    }
+
     /// Processes the next event, if any. Returns `false` when the queue is
     /// exhausted.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
         let Some((at, ev)) = self.queue.pop() else { return false };
+        // Samples due strictly before (or at) this event's time are
+        // emitted first, while the popped packet still counts as in
+        // flight at the sample instant.
+        self.flush_samples_to(at);
+        if let Ev::Packet { .. } = ev {
+            self.in_flight -= 1;
+        }
         let node = match &ev {
             Ev::Packet { to, .. } => *to,
             Ev::Timer { node, .. } | Ev::Wakeup { node } => *node,
@@ -439,6 +546,9 @@ impl<A: Agent> Sim<A> {
             }
             self.step();
         }
+        // Emit the idle tail of the series: windows between the last event
+        // and the deadline still produce (quiet) samples.
+        self.flush_samples_to(deadline);
         self.now = self.now.max(deadline);
     }
 
@@ -674,6 +784,70 @@ mod tests {
         assert_eq!(enq[0].at_us, 600);
         assert_eq!(deq[0].at_us, 700);
         assert_eq!(enq[0].node, 0);
+    }
+
+    #[test]
+    fn sampler_emits_one_sample_per_interval() {
+        let sampler = MetricsSampler::new(1000).with_seq_node(0);
+        let mut s = Sim::new(
+            SimConfig::default()
+                .seed(1)
+                .service_time(SimTime::from_micros(100))
+                .sampler(sampler.clone()),
+            Box::new(PointToPoint::new(SimTime::from_micros(500))),
+            (0..4).map(|_| Recorder::default()).collect::<Vec<_>>(),
+        );
+        s.run_until(SimTime::from_micros(10_000));
+        let samples = sampler.samples();
+        assert_eq!(samples.len(), 10, "one sample per whole 1000us window");
+        assert_eq!(samples[0].at_us, 1000);
+        assert_eq!(samples[9].at_us, 10_000);
+        // All activity (1 broadcast, 3 deliveries, 1 timer) is in window 1;
+        // later windows are quiet.
+        assert_eq!(samples[0].frames_sent, 1);
+        assert_eq!(samples[0].copies_delivered, 3);
+        assert!(samples[0].max_cpu_permille > 0);
+        assert!(samples[2..].iter().all(|w| w.frames_sent == 0 && w.max_cpu_permille == 0));
+        // Point-to-point never occupies a shared medium.
+        assert!(samples.iter().all(|w| w.bus_util_permille == 0));
+    }
+
+    #[test]
+    fn sampler_sees_in_flight_frames() {
+        let sampler = MetricsSampler::new(300);
+        let mut s = Sim::new(
+            SimConfig::default()
+                .seed(1)
+                .service_time(SimTime::from_micros(100))
+                .sampler(sampler.clone()),
+            Box::new(PointToPoint::new(SimTime::from_micros(500))),
+            (0..4).map(|_| Recorder::default()).collect::<Vec<_>>(),
+        );
+        s.run_until(SimTime::from_micros(1200));
+        // The broadcast leaves at 100us, arrives at 600us: the 300us
+        // sample catches all three copies mid-flight.
+        let samples = sampler.samples();
+        assert_eq!(samples[0].at_us, 300);
+        assert_eq!(samples[0].in_flight, 3);
+        assert_eq!(samples.last().expect("samples").in_flight, 0);
+    }
+
+    #[test]
+    fn sampler_series_is_deterministic() {
+        let run = || {
+            let sampler = MetricsSampler::new(500);
+            let mut s = Sim::new(
+                SimConfig::default().seed(9).sampler(sampler.clone()),
+                Box::new(
+                    PointToPoint::new(SimTime::from_micros(500))
+                        .with_jitter(SimTime::from_micros(200)),
+                ),
+                (0..5).map(|_| Recorder::default()).collect::<Vec<_>>(),
+            );
+            s.run_until(SimTime::from_millis(5));
+            sampler.to_jsonl()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

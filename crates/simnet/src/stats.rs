@@ -17,6 +17,10 @@ pub struct NetStats {
     pub timers_fired: u64,
     /// Total events processed (packets + timers).
     pub events_processed: u64,
+    /// Microseconds the medium spent occupied (serialization time summed
+    /// over frames; stays 0 on non-serializing media). Dividing a window's
+    /// delta by the window length gives medium utilization.
+    pub medium_busy_us: u64,
 }
 
 impl NetStats {
@@ -35,7 +39,7 @@ impl fmt::Display for NetStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "frames={} bytes={} delivered={} dropped={} ({:.2}% loss) timers={} events={}",
+            "frames={} bytes={} delivered={} dropped={} ({:.2}% loss) timers={} events={} busy_us={}",
             self.frames_sent,
             self.bytes_sent,
             self.copies_delivered,
@@ -43,6 +47,7 @@ impl fmt::Display for NetStats {
             self.loss_rate() * 100.0,
             self.timers_fired,
             self.events_processed,
+            self.medium_busy_us,
         )
     }
 }
@@ -101,10 +106,11 @@ mod tests {
             copies_dropped: 4,
             timers_fired: 5,
             events_processed: 51,
+            medium_busy_us: 4430,
         };
         assert_eq!(
             s.to_string(),
-            "frames=10 bytes=2048 delivered=36 dropped=4 (10.00% loss) timers=5 events=51"
+            "frames=10 bytes=2048 delivered=36 dropped=4 (10.00% loss) timers=5 events=51 busy_us=4430"
         );
     }
 }

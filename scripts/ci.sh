@@ -54,4 +54,23 @@ diff target/ci-trace/a.jsonl target/ci-trace/b.jsonl
 diff target/ci-trace/a.chrome.json target/ci-trace/b.chrome.json
 diff target/ci-trace/a.txt target/ci-trace/b.txt
 
+echo "==> monitor smoke: repro monitor is clean, deterministic, and catches the seeded fault (offline)"
+# The live-monitoring run must (a) report zero violations on the clean
+# scenario (repro exits non-zero otherwise), (b) emit a valid JSON-lines
+# load time series, byte-identical across invocations, and (c) detect the
+# deliberately broken ordering layer under --fault.
+rm -rf target/ci-monitor && mkdir -p target/ci-monitor
+cargo run --release -q --bin repro -- monitor --quick \
+    --series target/ci-monitor/a.jsonl > target/ci-monitor/a.txt
+cargo run --release -q --bin repro -- monitor --quick \
+    --series target/ci-monitor/b.jsonl > target/ci-monitor/b.txt
+cargo run --release -q --bin trace_lint -- target/ci-monitor/a.jsonl
+diff target/ci-monitor/a.jsonl target/ci-monitor/b.jsonl
+diff target/ci-monitor/a.txt target/ci-monitor/b.txt
+if cargo run --release -q --bin repro -- monitor --quick --fault > target/ci-monitor/fault.txt; then
+    echo "repro monitor --fault failed to detect the seeded total-order violation"
+    exit 1
+fi
+grep -q total_order target/ci-monitor/fault.txt
+
 echo "ci: all gates green"

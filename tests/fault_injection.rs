@@ -91,6 +91,34 @@ fn loss_spike_during_switch_window() {
 }
 
 #[test]
+fn streaming_monitors_agree_with_the_trace_checker_under_loss() {
+    // The online monitors watch the same loss-spike run the trace checker
+    // validates post-hoc: delivery accounting must close (exactly-once
+    // survives 40% loss) and the switch must complete within its bound —
+    // detected live, from the event stream, not from the trace.
+    use protocol_switching::obs::{MonitorSet, Recorder};
+
+    let medium = Box::new(Lossy::new(Box::new(PointToPoint::new(SimTime::from_micros(300))), 0.40));
+    let (b, handles) = reliable_hybrid(medium, SimTime::from_millis(60));
+    let rec = Recorder::with_capacity(1 << 16);
+    let monitors = MonitorSet::standard(4, SimTime::from_secs(20).as_micros());
+    monitors.attach(&rec);
+    let mut sim = workload(b).recorder(rec.clone()).build();
+    sim.run_until(SimTime::from_secs(30));
+
+    assert!(handles.borrow().iter().all(|h| h.switches_completed() == 1));
+    let group: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+    assert!(Reliability::new(group).holds(&sim.app_trace()));
+    if rec.is_enabled() {
+        assert_eq!(monitors.delivery().sent_count(), 24, "monitors saw every send");
+        let lost = monitors.delivery().finish();
+        assert!(lost.is_empty(), "streaming delivery accounting must close: {lost:?}");
+        let stuck = monitors.liveness().finish();
+        assert!(stuck.is_empty(), "every started switch must complete: {stuck:?}");
+    }
+}
+
+#[test]
 fn partition_of_the_initiator_delays_the_whole_switch() {
     // The initiator (p0) is isolated before it can finish the ring
     // rotations: nobody completes until the heal.
