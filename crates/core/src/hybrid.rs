@@ -3,7 +3,7 @@
 use crate::oracle::Oracle;
 use crate::stats::SwitchHandle;
 use crate::switch::{SwitchConfig, SwitchLayer};
-use ps_protocols::{SeqOrderLayer, TokenOrderLayer};
+use ps_protocols::{FifoLayer, ReliableLayer, SeqOrderLayer, TokenOrderLayer};
 use ps_simnet::SimTime;
 use ps_stack::{IdGen, Stack};
 use ps_trace::ProcessId;
@@ -44,6 +44,53 @@ pub fn hybrid_total_order(
         ids,
     );
     let (layer, handle) = SwitchLayer::new(cfg, seq, token, oracle);
+    (Stack::with_ids(vec![Box::new(layer)], ids), handle)
+}
+
+/// Builds a **fault-tolerant** hybrid total-order stack: two
+/// sequencer-based total-order protocols (protocol 0 sequenced by `seq_a`,
+/// protocol 1 by `seq_b`) each over reliable exactly-once transport, with
+/// the switch's control traffic on its own reliable stack.
+///
+/// [`ReliableLayer`] delivers *unordered* (retransmitted frames overtake
+/// later ones), so a [`FifoLayer`] sits between the sequencer and the
+/// transport: it restores per-sender order before the sequencer assigns
+/// global order, making the composed stack FIFO *and* totally ordered
+/// even under loss — the §4 layering argument in miniature.
+///
+/// This is the configuration the chaos harness drives: retransmission
+/// below, and the switch's own phase timeout / control retransmission /
+/// token regeneration above, keep both the data plane and the switching
+/// protocol live across crashes, recoveries, frame loss, and (bounded)
+/// partitions. Switching between two instances of the "same" protocol
+/// under different sequencers is the paper's on-line reconfiguration
+/// use case.
+pub fn hybrid_total_order_ft(
+    ids: &mut IdGen,
+    cfg: SwitchConfig,
+    seq_a: ProcessId,
+    seq_b: ProcessId,
+    oracle: Box<dyn Oracle>,
+) -> (Stack, SwitchHandle) {
+    let a = Stack::with_ids(
+        vec![
+            Box::new(SeqOrderLayer::new(seq_a)),
+            Box::new(FifoLayer::new()),
+            Box::new(ReliableLayer::new()),
+        ],
+        ids,
+    );
+    let b = Stack::with_ids(
+        vec![
+            Box::new(SeqOrderLayer::new(seq_b)),
+            Box::new(FifoLayer::new()),
+            Box::new(ReliableLayer::new()),
+        ],
+        ids,
+    );
+    let control = Stack::with_ids(vec![Box::new(ReliableLayer::new())], ids);
+    let (layer, handle) = SwitchLayer::new(cfg, a, b, oracle);
+    let layer = layer.with_control_stack(control);
     (Stack::with_ids(vec![Box::new(layer)], ids), handle)
 }
 

@@ -61,6 +61,8 @@
 //! assert!(TotalOrder.holds(&sim.app_trace()));
 //! ```
 
+#![deny(missing_docs)]
+
 mod control;
 mod hybrid;
 mod oracle;
@@ -68,7 +70,7 @@ mod stats;
 mod switch;
 
 pub use control::{Control, CountVector, RingToken, TokenMode};
-pub use hybrid::hybrid_total_order;
+pub use hybrid::{hybrid_total_order, hybrid_total_order_ft};
 pub use oracle::{LoadOracle, ManualOracle, NeverOracle, Oracle, SwitchObs, ThresholdOracle};
 pub use stats::{SwitchHandle, SwitchRecord, SwitchStats};
 pub use switch::{SwitchConfig, SwitchLayer, SwitchVariant};

@@ -61,6 +61,9 @@ pub struct SwitchStats {
     pub records: Vec<SwitchRecord>,
     /// Switches this process initiated (as manager/initiator).
     pub initiated: u64,
+    /// Switch attempts this process abandoned on timeout, reverting to the
+    /// old protocol (see `SwitchConfig::phase_timeout`).
+    pub aborted: u64,
     /// Largest number of new-protocol messages buffered at once.
     pub buffered_peak: usize,
     /// Messages delivered to the application so far.
@@ -109,6 +112,16 @@ impl SwitchHandle {
     /// The currently active protocol index.
     pub fn current(&self) -> usize {
         self.snapshot().current
+    }
+
+    /// Switch attempts this process abandoned on timeout.
+    pub fn aborted(&self) -> u64 {
+        self.snapshot().aborted
+    }
+
+    /// Whether the process is mid-switch right now.
+    pub fn switching(&self) -> bool {
+        self.snapshot().switching
     }
 
     pub(crate) fn update<R>(&self, f: impl FnOnce(&mut SwitchStats) -> R) -> R {

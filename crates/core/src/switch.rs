@@ -47,6 +47,24 @@ pub struct SwitchConfig {
     /// satisfies [`ps_trace::props::VirtualSynchrony`] with protocol eras
     /// as views.
     pub announce_views: bool,
+    /// Abort a switch attempt that has not completed after this long: the
+    /// process reverts to the old protocol and releases anything buffered,
+    /// so a crash or partition during drain/flip cannot wedge the group.
+    /// `SimTime::ZERO` disables the abort timer. The default is generous —
+    /// healthy switches finish in milliseconds and never hit it.
+    pub phase_timeout: SimTime,
+    /// Broadcast variant: first retransmission delay for the manager's
+    /// latest control broadcast (PREPARE until all OKs arrive, then
+    /// SWITCH). Subsequent retries back off exponentially with jitter.
+    /// `SimTime::ZERO` disables manager retransmission.
+    pub retransmit_base: SimTime,
+    /// Broadcast variant: cap on the retransmission backoff.
+    pub retransmit_max: SimTime,
+    /// Token variant: if the ring head sees no token for this long while
+    /// idle, it regenerates a NORMAL token with a higher generation
+    /// (members discard older tokens). Recovers from a token lost to a
+    /// crash. `SimTime::ZERO` disables regeneration.
+    pub token_regen: SimTime,
 }
 
 impl Default for SwitchConfig {
@@ -56,6 +74,10 @@ impl Default for SwitchConfig {
             observe_interval: SimTime::from_millis(100),
             observe_window: SimTime::from_millis(500),
             announce_views: false,
+            phase_timeout: SimTime::from_secs_f64(30.0),
+            retransmit_base: SimTime::from_secs_f64(2.0),
+            retransmit_max: SimTime::from_secs_f64(8.0),
+            token_regen: SimTime::from_secs_f64(5.0),
         }
     }
 }
@@ -126,6 +148,37 @@ pub struct SwitchLayer {
     holding_flush: Option<RingToken>,
     held_token: Option<RingToken>,
     hold_gen: u32,
+    /// Highest token generation seen; older tokens are stale and dropped.
+    token_gen: u64,
+    /// When this process last accepted a token (regeneration watchdog).
+    last_token_at: SimTime,
+
+    // Fault tolerance (abort / retransmission), both variants.
+    /// Attempt round this process is participating in (valid while
+    /// switching; broadcast variant).
+    joined_round: u64,
+    /// Highest round finished here — flipped or aborted. Prepares for
+    /// rounds at or below this are stragglers from a dead attempt.
+    done_round: u64,
+    /// Manager's latest control broadcast, kept for retransmission.
+    last_ctl: Option<Bytes>,
+    /// Guards against re-broadcasting SWITCH on duplicate OKs.
+    switch_sent: bool,
+    /// Generation counters distinguishing live from stale one-shot timers
+    /// (timers cannot be cancelled).
+    abort_gen: u32,
+    retrans_gen: u32,
+    /// Current retransmission backoff delay.
+    retrans_delay: SimTime,
+    /// After an abort, deliveries from the non-current protocol pass
+    /// straight to the application instead of buffering: with the attempt
+    /// abandoned there may never be a flip to release them. Cleared when
+    /// the next attempt starts.
+    absorb_other: bool,
+    /// Private deterministic stream for retransmission jitter — separate
+    /// from the node's stream so backoff randomness never perturbs
+    /// application or protocol behaviour.
+    rng: DetRng,
 
     // Oracle observation.
     recent: VecDeque<(SimTime, ProcessId)>,
@@ -143,7 +196,19 @@ impl std::fmt::Debug for SwitchLayer {
 }
 
 const OBSERVE: u32 = 1;
+/// Timer tokens carry a kind in the top byte and a generation in the low
+/// 24 bits (one-shot timers cannot be cancelled; a stale firing's
+/// generation no longer matches and is ignored).
+const FLAG_MASK: u32 = 0xFF00_0000;
+const GEN_MASK: u32 = 0x00FF_FFFF;
+/// Idle-token hold expiry (token variant).
 const HOLD_FLAG: u32 = 0x8000_0000;
+/// Switch-attempt abort deadline.
+const ABORT_FLAG: u32 = 0x4000_0000;
+/// Manager control-broadcast retransmission (broadcast variant).
+const RETRANS_FLAG: u32 = 0x2000_0000;
+/// Lost-token regeneration watchdog at the ring head (token variant).
+const REGEN_FLAG: u32 = 0x1000_0000;
 /// Sequence-number base for control-message envelopes (never collides with
 /// application messages).
 const CTL_SEQ_BASE: u64 = 1 << 48;
@@ -239,6 +304,17 @@ impl SwitchLayer {
             holding_flush: None,
             held_token: None,
             hold_gen: 0,
+            token_gen: 0,
+            last_token_at: SimTime::ZERO,
+            joined_round: 0,
+            done_round: 0,
+            last_ctl: None,
+            switch_sent: false,
+            abort_gen: 0,
+            retrans_gen: 0,
+            retrans_delay: SimTime::ZERO,
+            absorb_other: false,
+            rng: DetRng::new(0),
             recent: VecDeque::new(),
         };
         (layer, handle)
@@ -297,6 +373,8 @@ impl SwitchLayer {
         for (src, msg) in sink {
             if idx == self.current {
                 self.deliver_current(src, msg, ctx);
+            } else if self.absorb_other {
+                self.deliver_foreign(src, msg, ctx);
             } else {
                 self.buffer.push((src, msg));
                 let depth = self.buffer.len();
@@ -315,12 +393,113 @@ impl SwitchLayer {
         ctx.deliver_up(src, msg.to_bytes());
     }
 
-    fn enter_switching(&mut self, ctx: &LayerCtx<'_>) {
+    /// Delivers a message that arrived on the *non-current* protocol after
+    /// an abort. It counts for load observation and delivery stats but not
+    /// for `delivered_from`: the era's drain accounting covers only
+    /// current-protocol traffic, and the sender likewise zeroed its
+    /// `sent_next` when its own attempt aborted.
+    fn deliver_foreign(&mut self, src: ProcessId, msg: Message, ctx: &mut LayerCtx<'_>) {
+        self.recent.push_back((ctx.now(), msg.id.sender));
+        self.handle.update(|s| s.delivered += 1);
+        ctx.deliver_up(src, msg.to_bytes());
+    }
+
+    fn enter_switching(&mut self, ctx: &mut LayerCtx<'_>) {
         if self.mode == Mode::Normal {
             self.mode = Mode::Switching;
             self.switch_started = ctx.now();
+            self.expected = None;
+            self.absorb_other = false;
             self.handle.update(|s| s.switching = true);
             record_phase(ctx, SpPhase::PrepareSeen, self.current, 1 - self.current);
+            if self.cfg.phase_timeout > SimTime::ZERO {
+                self.abort_gen = self.abort_gen.wrapping_add(1) & GEN_MASK;
+                ctx.set_timer(self.cfg.phase_timeout, ABORT_FLAG | self.abort_gen);
+            }
+        }
+    }
+
+    /// Gives up on the in-flight switch attempt: revert to the old
+    /// protocol, release anything buffered, and drop all attempt state so
+    /// a later attempt starts clean. The era does **not** advance — eras
+    /// count completed switches, and keeping it stable means members that
+    /// never saw this attempt (the far side of a partition) remain in
+    /// agreement with members that aborted it.
+    fn abort(&mut self, ctx: &mut LayerCtx<'_>) {
+        record_phase(ctx, SpPhase::Aborted, self.current, 1 - self.current);
+        self.mode = Mode::Normal;
+        self.expected = None;
+        self.am_manager = false;
+        self.manager_oks.clear();
+        self.last_ctl = None;
+        self.switch_sent = false;
+        self.want_target = None;
+        self.holding_flush = None;
+        self.done_round = self.done_round.max(self.joined_round);
+        // Whatever we sent over the next protocol is now outside the era
+        // accounting; receivers absorb it the same way (deliver_foreign).
+        self.sent_next = 0;
+        // Invalidate any token from the dead attempt that is still
+        // circulating; regeneration will mint a successor generation.
+        self.token_gen += 1;
+        self.absorb_other = true;
+        let buffered = std::mem::take(&mut self.buffer);
+        for (src, msg) in buffered {
+            self.deliver_foreign(src, msg, ctx);
+        }
+        self.handle.update(|s| {
+            s.switching = false;
+            s.aborted += 1;
+        });
+    }
+
+    /// (Re)sends the manager's latest control broadcast and arms the next
+    /// retransmission with exponential backoff plus jitter.
+    fn send_ctl_broadcast(&mut self, bytes: Bytes, ctx: &mut LayerCtx<'_>) {
+        self.last_ctl = Some(bytes.clone());
+        self.send_control(ps_stack::Cast::All, bytes, ctx);
+        self.retrans_delay = self.cfg.retransmit_base;
+        self.arm_retransmit(ctx);
+    }
+
+    fn arm_retransmit(&mut self, ctx: &mut LayerCtx<'_>) {
+        if self.retrans_delay == SimTime::ZERO {
+            return;
+        }
+        let jitter = self.rng.jitter(SimTime::from_micros(self.retrans_delay.as_micros() / 4));
+        self.retrans_gen = self.retrans_gen.wrapping_add(1) & GEN_MASK;
+        ctx.set_timer(self.retrans_delay + jitter, RETRANS_FLAG | self.retrans_gen);
+    }
+
+    fn on_retransmit_timer(&mut self, ctx: &mut LayerCtx<'_>) {
+        if self.mode != Mode::Switching {
+            return;
+        }
+        let Some(bytes) = self.last_ctl.clone() else { return };
+        self.send_control(ps_stack::Cast::All, bytes, ctx);
+        let doubled = SimTime::from_micros(self.retrans_delay.as_micros().saturating_mul(2));
+        self.retrans_delay = doubled.min(self.cfg.retransmit_max);
+        self.arm_retransmit(ctx);
+    }
+
+    /// Ring-head watchdog: if no token has been seen for a full regen
+    /// interval while idle, the token died with a crashed node — mint a
+    /// replacement with a higher generation.
+    fn on_regen_timer(&mut self, ctx: &mut LayerCtx<'_>) {
+        if self.cfg.token_regen == SimTime::ZERO {
+            return;
+        }
+        ctx.set_timer(self.cfg.token_regen, REGEN_FLAG);
+        let quiet = ctx.now().saturating_sub(self.last_token_at);
+        if self.mode == Mode::Normal
+            && self.held_token.is_none()
+            && self.holding_flush.is_none()
+            && quiet >= self.cfg.token_regen
+        {
+            self.token_gen += 1;
+            let mut token = RingToken::normal(self.era);
+            token.gen = self.token_gen;
+            self.handle_token(token, ctx);
         }
     }
 
@@ -347,6 +526,10 @@ impl SwitchLayer {
         self.expected = None;
         self.am_manager = false;
         self.manager_oks.clear();
+        self.last_ctl = None;
+        self.switch_sent = false;
+        self.absorb_other = false;
+        self.done_round = self.done_round.max(self.joined_round);
         let record = SwitchRecord {
             from,
             to: self.current,
@@ -384,11 +567,12 @@ impl SwitchLayer {
     // ---- broadcast variant -------------------------------------------------
 
     fn initiate_broadcast(&mut self, ctx: &mut LayerCtx<'_>) {
+        self.joined_round = self.done_round + 1;
         self.enter_switching(ctx);
         self.am_manager = true;
         self.handle.update(|s| s.initiated += 1);
-        let msg = Control::Prepare { era: self.era + 1 };
-        self.send_control(ps_stack::Cast::All, msg.to_bytes(), ctx);
+        let msg = Control::Prepare { era: self.era + 1, round: self.joined_round };
+        self.send_ctl_broadcast(msg.to_bytes(), ctx);
     }
 
     /// Handles a control envelope delivered by the control stack.
@@ -406,29 +590,41 @@ impl SwitchLayer {
     fn on_control(&mut self, src: ProcessId, bytes: Bytes, ctx: &mut LayerCtx<'_>) {
         let Ok(msg) = Control::from_bytes(&bytes) else { return };
         match msg {
-            Control::Prepare { era } => {
-                if era != self.era + 1 {
+            Control::Prepare { era, round } => {
+                // Rounds at or below done_round are stragglers from an
+                // attempt this process already finished (flipped or
+                // aborted); joining them would corrupt era accounting.
+                if era != self.era + 1 || round <= self.done_round {
                     return;
                 }
+                if self.mode == Mode::Switching && round != self.joined_round {
+                    return; // already committed to a different attempt
+                }
+                self.joined_round = round;
                 self.enter_switching(ctx);
-                let ok = Control::Ok { era, member: ctx.me(), count: self.sent_current };
+                // A duplicate PREPARE (manager retransmission) falls
+                // through to here and idempotently re-sends the OK — the
+                // original may have been lost.
+                let ok = Control::Ok { era, round, member: ctx.me(), count: self.sent_current };
                 self.send_control(ps_stack::Cast::To(src), ok.to_bytes(), ctx);
             }
-            Control::Ok { era, member, count } => {
-                if !self.am_manager || era != self.era + 1 {
+            Control::Ok { era, round, member, count } => {
+                if !self.am_manager || era != self.era + 1 || round != self.joined_round {
                     return;
                 }
                 self.manager_oks.insert(member, count);
                 let group = ctx.group();
-                if group.iter().all(|m| self.manager_oks.contains_key(m)) {
+                if !self.switch_sent && group.iter().all(|m| self.manager_oks.contains_key(m)) {
                     let vector: CountVector =
                         self.manager_oks.iter().map(|(&p, &c)| (p, c)).collect();
-                    let sw = Control::Switch { era, vector };
-                    self.send_control(ps_stack::Cast::All, sw.to_bytes(), ctx);
+                    let sw = Control::Switch { era, round, vector };
+                    self.switch_sent = true;
+                    self.send_ctl_broadcast(sw.to_bytes(), ctx);
                 }
             }
-            Control::Switch { era, vector } => {
-                if era != self.era + 1 {
+            Control::Switch { era, round, vector } => {
+                if era != self.era + 1 || self.mode != Mode::Switching || round != self.joined_round
+                {
                     return;
                 }
                 self.expected = Some(vector);
@@ -451,7 +647,22 @@ impl SwitchLayer {
         self.send_control(ps_stack::Cast::To(next), token.to_bytes(), ctx);
     }
 
+    /// Is this in-rotation token (initiated by me) still the attempt I am
+    /// executing? False once I aborted: the era did not advance, so the
+    /// token's `era + 1` stamp alone cannot tell a live attempt from a
+    /// dead one.
+    fn my_live_attempt(&self, token: &RingToken) -> bool {
+        self.mode == Mode::Switching && token.era == self.era + 1
+    }
+
     fn handle_token(&mut self, mut token: RingToken, ctx: &mut LayerCtx<'_>) {
+        // Generation fencing: a regenerated token obsoletes any older one
+        // still circulating (or any token from an attempt we aborted).
+        if token.gen < self.token_gen {
+            return;
+        }
+        self.token_gen = token.gen;
+        self.last_token_at = ctx.now();
         let me = ctx.me();
         match token.mode {
             TokenMode::Normal => {
@@ -472,7 +683,7 @@ impl SwitchLayer {
                 };
                 if idle_hold > SimTime::ZERO {
                     self.held_token = Some(token);
-                    self.hold_gen = self.hold_gen.wrapping_add(1) & !HOLD_FLAG;
+                    self.hold_gen = self.hold_gen.wrapping_add(1) & GEN_MASK;
                     ctx.set_timer(idle_hold, HOLD_FLAG | self.hold_gen);
                 } else {
                     self.forward_token(token, ctx);
@@ -480,6 +691,9 @@ impl SwitchLayer {
             }
             TokenMode::Prepare => {
                 if token.initiator == me {
+                    if !self.my_live_attempt(&token) {
+                        return; // attempt aborted; let the token die
+                    }
                     // Counts complete: disseminate the vector.
                     self.expected = Some(token.counts.clone());
                     token.mode = TokenMode::Switch;
@@ -490,12 +704,19 @@ impl SwitchLayer {
                         return; // stale
                     }
                     self.enter_switching(ctx);
-                    token.counts.push((me, self.sent_current));
+                    if !token.counts.iter().any(|&(p, _)| p == me) {
+                        token.counts.push((me, self.sent_current));
+                    }
                     self.forward_token(token, ctx);
                 }
             }
             TokenMode::Switch => {
                 if token.initiator == me {
+                    // Legitimate either mid-switch or just after our own
+                    // flip advanced the era; dead if we aborted.
+                    if !self.my_live_attempt(&token) && token.era != self.era {
+                        return;
+                    }
                     // Vector has gone all the way around: flush rotation.
                     token.mode = TokenMode::Flush;
                     if self.mode == Mode::Normal {
@@ -507,6 +728,9 @@ impl SwitchLayer {
                     if token.era != self.era + 1 {
                         return;
                     }
+                    if self.mode != Mode::Switching {
+                        return; // aborted attempt; don't resurrect it
+                    }
                     self.expected = Some(token.counts.clone());
                     self.forward_token(token, ctx);
                     self.try_flip(ctx);
@@ -514,9 +738,14 @@ impl SwitchLayer {
             }
             TokenMode::Flush => {
                 if token.initiator == me {
+                    if token.era != self.era && !self.my_live_attempt(&token) {
+                        return; // flush of an attempt we aborted
+                    }
                     // Third rotation complete: the switch has finished at
                     // every member. Back to an idle token.
-                    self.handle_token(RingToken::normal(self.era), ctx);
+                    let mut idle = RingToken::normal(self.era);
+                    idle.gen = token.gen;
+                    self.handle_token(idle, ctx);
                 } else if self.mode == Mode::Normal {
                     self.forward_token(token, ctx);
                 } else {
@@ -569,6 +798,9 @@ impl Layer for SwitchLayer {
 
     fn on_launch(&mut self, ctx: &mut LayerCtx<'_>) {
         self.me = Some(ctx.me());
+        // Private jitter stream, seeded from identity only: deterministic
+        // per process, independent of the node's main RNG stream.
+        self.rng = DetRng::new(0x5317_C81A_F00D_u64 ^ u64::from(ctx.me().0));
         // Launch both sub-protocols (the inactive one keeps running — its
         // tokens rotate, its timers fire — exactly as in Horus) and the
         // control transport.
@@ -586,6 +818,59 @@ impl Layer for SwitchLayer {
         if let SwitchVariant::TokenRing { .. } = self.cfg.variant {
             if ctx.me() == ctx.group()[0] {
                 self.handle_token(RingToken::normal(0), ctx);
+                if self.cfg.token_regen > SimTime::ZERO {
+                    ctx.set_timer(self.cfg.token_regen, REGEN_FLAG);
+                }
+            }
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut LayerCtx<'_>) {
+        // Forward the restart to both sub-protocols and the control
+        // transport so they re-arm their own timers (retransmission
+        // sweeps, ordering-token holds, …).
+        for idx in 0..2 {
+            let ((), sink) = self.run_sub(idx, ctx, |stack, env| stack.restart(env));
+            self.process_deliveries(idx, sink, ctx);
+        }
+        {
+            let mut sink = Vec::new();
+            {
+                let mut env = SubEnv { ctx, channel: ChannelId::CONTROL, sink: &mut sink };
+                self.control.restart(&mut env);
+            }
+            for (_, envelope) in sink {
+                self.dispatch_control(envelope, ctx);
+            }
+        }
+        // Every timer below died with the crashed incarnation.
+        ctx.set_timer(self.cfg.observe_interval, OBSERVE);
+        if self.mode == Mode::Switching {
+            if self.cfg.phase_timeout > SimTime::ZERO {
+                // The attempt gets a fresh full deadline from recovery.
+                self.abort_gen = self.abort_gen.wrapping_add(1) & GEN_MASK;
+                ctx.set_timer(self.cfg.phase_timeout, ABORT_FLAG | self.abort_gen);
+            }
+            if self.am_manager {
+                if let Some(bytes) = self.last_ctl.clone() {
+                    // Replies may have burned while we were down; resend
+                    // immediately and restart the backoff schedule.
+                    self.send_ctl_broadcast(bytes, ctx);
+                }
+            }
+        }
+        if self.held_token.is_some() {
+            // We crashed while sitting on the idle token; without this the
+            // ring would stall until regeneration.
+            if let SwitchVariant::TokenRing { idle_hold } = self.cfg.variant {
+                if idle_hold > SimTime::ZERO {
+                    ctx.set_timer(idle_hold, HOLD_FLAG | self.hold_gen);
+                }
+            }
+        }
+        if let SwitchVariant::TokenRing { .. } = self.cfg.variant {
+            if ctx.me() == ctx.group()[0] && self.cfg.token_regen > SimTime::ZERO {
+                ctx.set_timer(self.cfg.token_regen, REGEN_FLAG);
             }
         }
     }
@@ -629,14 +914,28 @@ impl Layer for SwitchLayer {
         if token == OBSERVE {
             self.observe(ctx);
             ctx.set_timer(self.cfg.observe_interval, OBSERVE);
-        } else if token & HOLD_FLAG != 0 && token & !HOLD_FLAG == self.hold_gen {
-            if let Some(t) = self.held_token.take() {
-                if self.want_target.is_some() {
-                    self.handle_token(t, ctx);
-                } else {
-                    self.forward_token(t, ctx);
+            return;
+        }
+        match token & FLAG_MASK {
+            HOLD_FLAG if token & GEN_MASK == self.hold_gen => {
+                if let Some(t) = self.held_token.take() {
+                    if self.want_target.is_some() {
+                        self.handle_token(t, ctx);
+                    } else {
+                        self.forward_token(t, ctx);
+                    }
                 }
             }
+            ABORT_FLAG if token & GEN_MASK == self.abort_gen => {
+                if self.mode == Mode::Switching {
+                    self.abort(ctx);
+                }
+            }
+            RETRANS_FLAG if token & GEN_MASK == self.retrans_gen => {
+                self.on_retransmit_timer(ctx);
+            }
+            REGEN_FLAG => self.on_regen_timer(ctx),
+            _ => {}
         }
     }
 

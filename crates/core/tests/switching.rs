@@ -2,11 +2,11 @@
 
 use ps_bytes::Bytes;
 use ps_core::{
-    hybrid_total_order, ManualOracle, NeverOracle, Oracle, SwitchConfig, SwitchHandle, SwitchLayer,
-    SwitchVariant, ThresholdOracle,
+    hybrid_total_order, hybrid_total_order_ft, ManualOracle, NeverOracle, Oracle, SwitchConfig,
+    SwitchHandle, SwitchLayer, SwitchVariant, ThresholdOracle,
 };
 use ps_protocols::{FifoLayer, NoReplayLayer, SeqOrderLayer};
-use ps_simnet::{PointToPoint, SimTime};
+use ps_simnet::{NodeId, PartitionSchedule, PointToPoint, SimTime};
 use ps_stack::{GroupSim, GroupSimBuilder, Stack};
 use ps_trace::props::{NoReplay, Property, Reliability, TotalOrder};
 use ps_trace::ProcessId;
@@ -432,6 +432,162 @@ fn concurrent_initiators_broadcast_variant_converges() {
     for h in handles.borrow().iter() {
         assert_eq!(h.switches_completed(), 1, "{h:?}");
         assert_eq!(h.current(), 1);
+    }
+}
+
+/// Switch config for the fault-injection tests: fast fault handling so
+/// recovery fits comfortably inside a short run, but a phase timeout long
+/// enough that a crash the switch can survive does not abort it.
+fn ft_cfg(variant: SwitchVariant, phase_timeout: SimTime) -> SwitchConfig {
+    SwitchConfig {
+        variant,
+        observe_interval: SimTime::from_millis(10),
+        phase_timeout,
+        retransmit_base: SimTime::from_millis(40),
+        retransmit_max: SimTime::from_millis(160),
+        token_regen: SimTime::from_millis(100),
+        ..SwitchConfig::default()
+    }
+}
+
+#[test]
+fn member_crash_during_switch_recovers_and_switch_completes() {
+    // p3 fail-stops right after the switch begins and comes back 87 ms
+    // later. The reliable control stack keeps retransmitting the ring
+    // token to the dead member, so the switch stalls rather than wedges,
+    // and completes shortly after recovery.
+    let plan = vec![(SimTime::from_millis(60), 1)];
+    let handles: Handles = Rc::new(RefCell::new(Vec::new()));
+    let h2 = handles.clone();
+    let mut b =
+        GroupSimBuilder::new(4).seed(31).medium(p2p(300)).stack_factory(move |p, _, ids| {
+            let cfg = ft_cfg(
+                SwitchVariant::TokenRing { idle_hold: SimTime::from_millis(1) },
+                SimTime::from_secs(2),
+            );
+            let (stack, handle) = hybrid_total_order_ft(
+                ids,
+                cfg,
+                ProcessId(0),
+                ProcessId(1),
+                decider_oracle(p, plan.clone()),
+            );
+            h2.borrow_mut().push(handle);
+            stack
+        });
+    // Load from the three survivors throughout; the victim sends only
+    // after it has recovered.
+    for i in 0..30u64 {
+        b = b.send_at(SimTime::from_millis(2 + 5 * i), ProcessId((i % 3) as u16), format!("f{i}"));
+    }
+    for i in 0..4u64 {
+        b = b.send_at(SimTime::from_millis(220 + 10 * i), ProcessId(3), format!("r{i}"));
+    }
+    let mut sim = b.build();
+    sim.schedule_crash(SimTime::from_millis(63), ProcessId(3));
+    sim.schedule_recover(SimTime::from_millis(150), ProcessId(3));
+    sim.run_until(SimTime::from_secs(5));
+    let tr = sim.app_trace();
+    assert!(TotalOrder.holds(&tr), "total order must survive crash + recovery");
+    assert!(Reliability::new(sim.group().to_vec()).holds(&tr), "victim must catch up on recovery");
+    for h in handles.borrow().iter() {
+        assert_eq!(h.switches_completed(), 1, "{h:?}");
+        assert_eq!(h.current(), 1, "{h:?}");
+        assert_eq!(h.aborted(), 0, "a survivable crash must not abort: {h:?}");
+        assert!(!h.switching(), "nobody may stay wedged mid-switch: {h:?}");
+    }
+}
+
+#[test]
+fn initiator_and_sequencer_crash_during_switch_recovers_and_completes() {
+    // The worst victim: p0 is the switch manager AND the old protocol's
+    // sequencer, and it dies with the PREPARE barely out. On restart the
+    // manager resends its latest control broadcast, members re-OK
+    // idempotently, and the switch completes.
+    let plan = vec![(SimTime::from_millis(60), 1)];
+    let handles: Handles = Rc::new(RefCell::new(Vec::new()));
+    let h2 = handles.clone();
+    let mut b =
+        GroupSimBuilder::new(4).seed(32).medium(p2p(300)).stack_factory(move |p, _, ids| {
+            let cfg = ft_cfg(SwitchVariant::Broadcast, SimTime::from_secs(2));
+            let (stack, handle) = hybrid_total_order_ft(
+                ids,
+                cfg,
+                ProcessId(0),
+                ProcessId(1),
+                decider_oracle(p, plan.clone()),
+            );
+            h2.borrow_mut().push(handle);
+            stack
+        });
+    for i in 0..30u64 {
+        b = b.send_at(
+            SimTime::from_millis(2 + 5 * i),
+            ProcessId((1 + i % 3) as u16),
+            format!("s{i}"),
+        );
+    }
+    let mut sim = b.build();
+    sim.schedule_crash(SimTime::from_micros(60_500), ProcessId(0));
+    sim.schedule_recover(SimTime::from_millis(150), ProcessId(0));
+    sim.run_until(SimTime::from_secs(5));
+    let tr = sim.app_trace();
+    assert!(TotalOrder.holds(&tr));
+    assert!(Reliability::new(sim.group().to_vec()).holds(&tr));
+    for h in handles.borrow().iter() {
+        assert_eq!(h.switches_completed(), 1, "{h:?}");
+        assert_eq!(h.current(), 1, "{h:?}");
+        assert_eq!(h.aborted(), 0, "{h:?}");
+        assert!(!h.switching(), "{h:?}");
+    }
+}
+
+#[test]
+fn partition_spanning_switch_aborts_cleanly_and_self_heals() {
+    // A partition splits the group before the switch attempt; the far
+    // side never sees the PREPARE, so the near side's phase timeout
+    // aborts the attempt and reverts to the old protocol. After the heal
+    // the reliable control stack's straggler PREPARE briefly lures the
+    // far side into the dead attempt — their own phase timeout returns
+    // them to normal mode too: the abort path is self-stabilizing.
+    let plan = vec![(SimTime::from_millis(200), 1)];
+    let medium = Box::new(
+        PartitionSchedule::new(p2p(300))
+            .partition_at(
+                SimTime::from_millis(150),
+                vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]],
+            )
+            .heal_at(SimTime::from_millis(800)),
+    );
+    let handles: Handles = Rc::new(RefCell::new(Vec::new()));
+    let h2 = handles.clone();
+    let mut b = GroupSimBuilder::new(4).seed(33).medium(medium).stack_factory(move |p, _, ids| {
+        let cfg = ft_cfg(SwitchVariant::Broadcast, SimTime::from_millis(400));
+        let (stack, handle) = hybrid_total_order_ft(
+            ids,
+            cfg,
+            ProcessId(0),
+            ProcessId(1),
+            decider_oracle(p, plan.clone()),
+        );
+        h2.borrow_mut().push(handle);
+        stack
+    });
+    // The workload is fully quiescent before the partition forms, so the
+    // abort's buffer absorption has nothing to reorder.
+    for i in 0..12u64 {
+        b = b.send_at(SimTime::from_millis(2 + 5 * i), ProcessId((i % 4) as u16), format!("q{i}"));
+    }
+    let mut sim = b.build();
+    sim.run_until(SimTime::from_secs(3));
+    let tr = sim.app_trace();
+    assert!(TotalOrder.holds(&tr));
+    assert!(Reliability::new(sim.group().to_vec()).holds(&tr));
+    for h in handles.borrow().iter() {
+        assert_eq!(h.switches_completed(), 0, "the spanning switch must not complete: {h:?}");
+        assert_eq!(h.current(), 0, "everyone reverts to the old protocol: {h:?}");
+        assert!(!h.switching(), "nobody may stay wedged mid-switch: {h:?}");
+        assert_eq!(h.aborted(), 1, "each member abandons the attempt exactly once: {h:?}");
     }
 }
 

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|all]
+//! repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|chaos|all]
 //!       [--quick] [--csv] [--counterexamples] [--serial]
 //!       [--trace PATH] [--trace-format jsonl|chrome]
 //!       [--fault] [--series PATH]
@@ -20,9 +20,15 @@
 //! the time series (JSON-lines, or CSV with `--csv`); `--fault` splices
 //! in the broken ordering layer. Exits 1 if any monitor reports a
 //! violation.
+//!
+//! `repro chaos` runs the fault-injection scenario matrix (crash/recovery
+//! around the switch, a partition-spanning switch attempt, frame loss),
+//! each run streamed through the property monitors. Exits 1 if any
+//! scenario's outcome deviates from its expectation or any monitor
+//! reports a violation. See docs/faults.md.
 
 use ps_harness::experiments::{ablation, fig2, oscillation, overhead, table1, table2};
-use ps_harness::{monitor_run, trace_run, SweepRunner};
+use ps_harness::{chaos, monitor_run, trace_run, SweepRunner};
 
 struct Opts {
     what: String,
@@ -80,7 +86,7 @@ fn parse() -> Opts {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|all] [--quick] [--csv] [--counterexamples] [--serial] [--trace PATH] [--trace-format jsonl|chrome] [--fault] [--series PATH]"
+                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|chaos|all] [--quick] [--csv] [--counterexamples] [--serial] [--trace PATH] [--trace-format jsonl|chrome] [--fault] [--series PATH]"
                 );
                 std::process::exit(0);
             }
@@ -194,6 +200,16 @@ fn main() {
         }
         if !r.violations.is_empty() {
             eprintln!("monitor: {} property violation(s) detected", r.violations.len());
+            std::process::exit(1);
+        }
+    }
+    if all || opts.what == "chaos" {
+        let cfg = if opts.quick { chaos::ChaosConfig::quick() } else { chaos::ChaosConfig::full() };
+        let results = chaos::run_with(&cfg, &opts.runner);
+        emit(&opts, &chaos::render(&results));
+        if !chaos::all_pass(&results) {
+            let failed = results.iter().filter(|r| !r.pass).count();
+            eprintln!("chaos: {failed} scenario(s) failed (wedged switch or property violation)");
             std::process::exit(1);
         }
     }

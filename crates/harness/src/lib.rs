@@ -9,6 +9,7 @@
 //! | [`experiments::oscillation`] | §7 — aggressive switching oscillates; hysteresis damps it | `repro oscillation` |
 //! | [`trace_run`] | §7 — instrumented switch run: event trace + phase timeline | `repro trace --trace out.jsonl` |
 //! | [`monitor_run`] | §7 — live monitors + load sampling + metrics-driven switch oracle | `repro monitor --series load.jsonl` |
+//! | [`chaos`] | §2/§8 — crash/recovery + partition fault injection, monitored scenario matrix | `repro chaos` |
 //!
 //! Every experiment is deterministic given its config (all randomness is
 //! seeded) and returns a typed result that both the CLI and the Criterion
@@ -16,6 +17,7 @@
 //! (DESIGN.md §1), so the *shape* of each result is the claim, not the
 //! milliseconds.
 
+pub mod chaos;
 pub mod experiments;
 pub mod measure;
 pub mod monitor_run;

@@ -6,7 +6,7 @@
 //! * a [`MetricsSampler`] rides the simulator clock and emits a load time
 //!   series (medium utilization, CPU pressure, queue depths, in-flight
 //!   frames) every [`MonitorRunConfig::sample_interval`];
-//! * a [`LoadOracle`](ps_core::LoadOracle) at the sequencer polls that
+//! * a [`LoadOracle`] at the sequencer polls that
 //!   series and schedules sequencer↔token switches when measured load
 //!   crosses its watermarks — the paper's §7 crossover policy driven by
 //!   *measured* load instead of a scripted plan;

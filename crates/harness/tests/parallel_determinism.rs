@@ -3,7 +3,7 @@
 //! serial path's, whatever the worker count.
 
 use ps_harness::experiments::{ablation, fig2, table2};
-use ps_harness::{monitor_run, trace_run, SweepRunner};
+use ps_harness::{chaos, monitor_run, trace_run, SweepRunner};
 
 #[test]
 fn fig2_parallel_table_is_byte_identical_to_serial() {
@@ -60,6 +60,18 @@ fn monitor_series_is_byte_identical_under_the_parallel_runner() {
     let parallel = SweepRunner::new(4).run(seeds, job);
     assert_eq!(serial, parallel);
     assert!(serial.iter().all(|(jsonl, csv, ..)| !jsonl.is_empty() && !csv.is_empty()));
+}
+
+#[test]
+fn chaos_report_is_byte_identical_under_the_parallel_runner() {
+    // Fault-injected runs — crashes, recoveries, a partition, lossy links,
+    // streaming monitors attached — fanned across workers: the rendered
+    // scenario matrix must match the serial run byte for byte.
+    let cfg = chaos::ChaosConfig::quick();
+    let serial = chaos::render(&chaos::run_with(&cfg, &SweepRunner::serial())).to_string();
+    let parallel = chaos::render(&chaos::run_with(&cfg, &SweepRunner::new(4))).to_string();
+    assert_eq!(serial, parallel);
+    assert!(chaos::all_pass(&chaos::run_with(&cfg, &SweepRunner::new(2))));
 }
 
 #[test]

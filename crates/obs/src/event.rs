@@ -19,6 +19,8 @@ pub enum LayerDir {
     Up,
     /// `on_timer` — a timer routed to the layer.
     Timer,
+    /// `on_restart` — post-crash recovery (state kept, timers re-armed).
+    Restart,
 }
 
 impl LayerDir {
@@ -29,6 +31,7 @@ impl LayerDir {
             LayerDir::Down => "down",
             LayerDir::Up => "up",
             LayerDir::Timer => "timer",
+            LayerDir::Restart => "restart",
         }
     }
 }
@@ -49,6 +52,9 @@ pub enum SpPhase {
     Flip,
     /// The switch buffer was released to the application.
     BufferRelease,
+    /// The switch attempt timed out and the process reverted to the old
+    /// protocol (fault path; closes the switching interval without a flip).
+    Aborted,
 }
 
 impl SpPhase {
@@ -59,6 +65,7 @@ impl SpPhase {
             SpPhase::DrainComplete => "drain_complete",
             SpPhase::Flip => "flip",
             SpPhase::BufferRelease => "buffer_release",
+            SpPhase::Aborted => "aborted",
         }
     }
 }
@@ -142,6 +149,18 @@ pub enum ObsEvent {
         /// Per-sender sequence number.
         seq: u64,
     },
+    /// The node crashed (fail-stop): its CPU queue was cleared, pending
+    /// timers were invalidated, and in-flight frames to it will be dropped.
+    NodeCrash {
+        /// Incarnation number the node is leaving (0 for the first crash).
+        incarnation: u32,
+    },
+    /// The node recovered: layer state survives (stable storage) and each
+    /// layer's `on_restart` hook re-arms its timers.
+    NodeRecover {
+        /// Incarnation number the node is entering.
+        incarnation: u32,
+    },
 }
 
 /// An [`ObsEvent`] stamped with virtual time and node.
@@ -177,6 +196,7 @@ mod tests {
         assert!(SpPhase::PrepareSeen < SpPhase::DrainComplete);
         assert!(SpPhase::DrainComplete < SpPhase::Flip);
         assert!(SpPhase::Flip < SpPhase::BufferRelease);
+        assert!(SpPhase::BufferRelease < SpPhase::Aborted, "abort sorts after the happy path");
     }
 
     #[test]
@@ -185,5 +205,6 @@ mod tests {
         assert_eq!(LayerDir::Launch.as_str(), "launch");
         assert_eq!(SpPhase::PrepareSeen.as_str(), "prepare_seen");
         assert_eq!(SpPhase::BufferRelease.as_str(), "buffer_release");
+        assert_eq!(SpPhase::Aborted.as_str(), "aborted");
     }
 }

@@ -93,6 +93,12 @@ pub fn to_jsonl(events: &[TimedEvent]) -> String {
             ObsEvent::AppDeliver { sender, seq } => {
                 let _ = write!(out, "\"kind\":\"app_deliver\",\"sender\":{sender},\"seq\":{seq}");
             }
+            ObsEvent::NodeCrash { incarnation } => {
+                let _ = write!(out, "\"kind\":\"node_crash\",\"incarnation\":{incarnation}");
+            }
+            ObsEvent::NodeRecover { incarnation } => {
+                let _ = write!(out, "\"kind\":\"node_recover\",\"incarnation\":{incarnation}");
+            }
         }
         out.push_str("}\n");
     }
@@ -118,7 +124,8 @@ const TID_NET: u32 = 0;
 const TID_CPU: u32 = 1;
 const TID_SWITCH: u32 = 2;
 const TID_APP: u32 = 3;
-const TID_LAYER_BASE: u32 = 4;
+const TID_FAULT: u32 = 4;
+const TID_LAYER_BASE: u32 = 5;
 
 /// Renders events as a Chrome `trace_event` JSON document.
 ///
@@ -268,6 +275,12 @@ fn chrome_doc(events: &[TimedEvent], overwritten: Option<u64>) -> String {
                     SpPhase::DrainComplete | SpPhase::BufferRelease => {
                         emit(&mut body, 'i', phase.as_str(), e.node, TID_SWITCH, e.at_us, &args)
                     }
+                    SpPhase::Aborted => {
+                        // An abort closes the switching-mode span (the flip
+                        // never happened) and leaves a visible marker.
+                        emit(&mut body, 'i', "aborted", e.node, TID_SWITCH, e.at_us, &args);
+                        emit(&mut body, 'E', "switching", e.node, TID_SWITCH, e.at_us, &args);
+                    }
                 }
             }
             ObsEvent::AppSend { sender, seq } => emit(
@@ -288,6 +301,26 @@ fn chrome_doc(events: &[TimedEvent], overwritten: Option<u64>) -> String {
                 e.at_us,
                 &format!("\"sender\":{sender},\"seq\":{seq}"),
             ),
+            // A crash opens a "down" span on the fault track; recovery
+            // closes it — the node's timeline visibly goes dark in between.
+            ObsEvent::NodeCrash { incarnation } => emit(
+                &mut body,
+                'B',
+                "down",
+                e.node,
+                TID_FAULT,
+                e.at_us,
+                &format!("\"incarnation\":{incarnation}"),
+            ),
+            ObsEvent::NodeRecover { incarnation } => emit(
+                &mut body,
+                'E',
+                "down",
+                e.node,
+                TID_FAULT,
+                e.at_us,
+                &format!("\"incarnation\":{incarnation}"),
+            ),
         }
     }
 
@@ -306,6 +339,7 @@ fn chrome_doc(events: &[TimedEvent], overwritten: Option<u64>) -> String {
         meta(TID_CPU, "cpu");
         meta(TID_SWITCH, "switch");
         meta(TID_APP, "app");
+        meta(TID_FAULT, "fault");
         for (i, layer) in layer_tids.iter().enumerate() {
             meta(TID_LAYER_BASE + i as u32, &format!("layer {layer}"));
         }
@@ -424,6 +458,30 @@ mod tests {
         assert_eq!(to_jsonl(&[]), "");
         let out = to_chrome(&[]);
         assert!(json::validate(&out).is_ok());
+    }
+
+    #[test]
+    fn crash_and_recovery_render_as_a_down_span() {
+        let faulty = [
+            TimedEvent { at_us: 100, node: 2, ev: ObsEvent::NodeCrash { incarnation: 0 } },
+            TimedEvent { at_us: 900, node: 2, ev: ObsEvent::NodeRecover { incarnation: 1 } },
+            TimedEvent {
+                at_us: 950,
+                node: 2,
+                ev: ObsEvent::SwitchPhase { phase: SpPhase::Aborted, from: 0, to: 1 },
+            },
+        ];
+        let jsonl = to_jsonl(&faulty);
+        assert!(json::validate_lines(&jsonl).is_ok());
+        assert!(jsonl.contains("\"kind\":\"node_crash\",\"incarnation\":0"));
+        assert!(jsonl.contains("\"kind\":\"node_recover\",\"incarnation\":1"));
+        assert!(jsonl.contains("\"kind\":\"switch_phase\",\"phase\":\"aborted\""));
+        let chrome = to_chrome(&faulty);
+        assert!(json::validate(&chrome).is_ok());
+        assert!(chrome.contains("\"ph\":\"B\",\"name\":\"down\""));
+        assert!(chrome.contains("\"ph\":\"E\",\"name\":\"down\""));
+        assert!(chrome.contains("\"name\":\"aborted\""));
+        assert!(chrome.contains("\"name\":\"fault\""));
     }
 
     #[test]

@@ -46,6 +46,8 @@
 //! assert!(ps_obs::json::validate_lines(&export::to_jsonl(&events)).is_ok());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod event;
 pub mod export;
 pub mod json;

@@ -1,6 +1,6 @@
 //! Streaming property monitors: online checks over the live event stream.
 //!
-//! Monitors subscribe to a [`Recorder`](crate::Recorder) through the
+//! Monitors subscribe to a [`Recorder`] through the
 //! [`EventSink`] API, so they observe *every* event at record time — unlike
 //! post-hoc trace analysis, they are immune to ring wrap-around. Each
 //! monitor is a clonable handle sharing its state: subscribe one clone,
@@ -332,6 +332,11 @@ impl SwitchLivenessMonitor {
             SpPhase::PrepareSeen => {
                 s.open.insert(ev.node, OpenSwitch { prepare: *ev, flipped: false });
             }
+            SpPhase::Aborted => {
+                // A clean abort closes the switch without a flip: reverting
+                // to the old protocol is a legitimate liveness outcome.
+                s.open.remove(&ev.node);
+            }
             SpPhase::DrainComplete | SpPhase::Flip | SpPhase::BufferRelease => {
                 let Some(open) = s.open.get_mut(&ev.node) else { return };
                 let elapsed = ev.at_us.saturating_sub(open.prepare.at_us);
@@ -572,6 +577,19 @@ mod tests {
         assert_eq!(vs.len(), 1);
         assert!(vs[0].detail.contains("never flipped"));
         assert_eq!(vs[0].context, vec![phase(500, 2, SpPhase::PrepareSeen)]);
+    }
+
+    #[test]
+    fn liveness_accepts_a_clean_abort() {
+        let m = SwitchLivenessMonitor::new(1_000_000);
+        m.observe(&phase(500, 2, SpPhase::PrepareSeen));
+        m.observe(&phase(900, 2, SpPhase::Aborted));
+        assert!(m.finish().is_empty(), "an aborted switch is not wedged");
+        // And a later retry opens a fresh window.
+        m.observe(&phase(2000, 2, SpPhase::PrepareSeen));
+        m.observe(&phase(2100, 2, SpPhase::Flip));
+        m.observe(&phase(2110, 2, SpPhase::BufferRelease));
+        assert!(m.finish().is_empty());
     }
 
     #[test]

@@ -26,13 +26,20 @@ pub struct SwitchInterval {
     pub flip_at_us: Option<u64>,
     /// When the switch buffer was released (if recorded).
     pub release_at_us: Option<u64>,
+    /// When the switch was aborted (fault path: reverted without a flip).
+    pub aborted_at_us: Option<u64>,
 }
 
 impl SwitchInterval {
     /// Time spent in switching mode (`flip - prepare`), `None` while the
-    /// switch is still open.
+    /// switch is still open or was aborted.
     pub fn duration_us(&self) -> Option<u64> {
         self.flip_at_us.map(|f| f.saturating_sub(self.prepare_at_us))
+    }
+
+    /// Whether this interval has been closed (by a flip or an abort).
+    pub fn closed(&self) -> bool {
+        self.flip_at_us.is_some() || self.aborted_at_us.is_some()
     }
 }
 
@@ -62,20 +69,26 @@ pub fn switch_timeline(events: &[TimedEvent]) -> Vec<SwitchInterval> {
                 drain_at_us: None,
                 flip_at_us: None,
                 release_at_us: None,
+                aborted_at_us: None,
             }),
             SpPhase::DrainComplete => {
-                if let Some(open) = intervals.last_mut().filter(|i| i.flip_at_us.is_none()) {
+                if let Some(open) = intervals.last_mut().filter(|i| !i.closed()) {
                     open.drain_at_us = Some(e.at_us);
                 }
             }
             SpPhase::Flip => {
-                if let Some(open) = intervals.last_mut().filter(|i| i.flip_at_us.is_none()) {
+                if let Some(open) = intervals.last_mut().filter(|i| !i.closed()) {
                     open.flip_at_us = Some(e.at_us);
                 }
             }
             SpPhase::BufferRelease => {
                 if let Some(last) = intervals.last_mut().filter(|i| i.release_at_us.is_none()) {
                     last.release_at_us = Some(e.at_us);
+                }
+            }
+            SpPhase::Aborted => {
+                if let Some(open) = intervals.last_mut().filter(|i| !i.closed()) {
+                    open.aborted_at_us = Some(e.at_us);
                 }
             }
         }
@@ -94,7 +107,13 @@ pub fn check_well_nested(events: &[TimedEvent]) -> Result<Vec<SwitchInterval>, S
     let intervals = switch_timeline(events);
     let mut prev: Option<&SwitchInterval> = None;
     for iv in &intervals {
-        let within = [Some(iv.prepare_at_us), iv.drain_at_us, iv.flip_at_us, iv.release_at_us];
+        let within = [
+            Some(iv.prepare_at_us),
+            iv.drain_at_us,
+            iv.flip_at_us,
+            iv.release_at_us,
+            iv.aborted_at_us,
+        ];
         let mut last = 0u64;
         for t in within.into_iter().flatten() {
             if t < last {
@@ -103,15 +122,15 @@ pub fn check_well_nested(events: &[TimedEvent]) -> Result<Vec<SwitchInterval>, S
             last = t;
         }
         if let Some(p) = prev.filter(|p| p.node == iv.node) {
-            let Some(prev_flip) = p.flip_at_us else {
+            let Some(prev_close) = p.flip_at_us.or(p.aborted_at_us) else {
                 return Err(format!(
                     "node {}: switch started at {} while previous switch never flipped",
                     iv.node, iv.prepare_at_us
                 ));
             };
-            if iv.prepare_at_us < prev_flip {
+            if iv.prepare_at_us < prev_close {
                 return Err(format!(
-                    "node {}: switch at {} overlaps previous flip at {prev_flip}",
+                    "node {}: switch at {} overlaps previous close at {prev_close}",
                     iv.node, iv.prepare_at_us
                 ));
             }
@@ -184,6 +203,22 @@ mod tests {
             phase(260, 0, SpPhase::Flip),
         ];
         assert_eq!(check_well_nested(&events).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn abort_closes_the_interval_and_permits_a_retry() {
+        let events = [
+            phase(100, 0, SpPhase::PrepareSeen),
+            phase(400, 0, SpPhase::Aborted),
+            phase(1000, 0, SpPhase::PrepareSeen),
+            phase(1100, 0, SpPhase::Flip),
+        ];
+        let tl = check_well_nested(&events).expect("abort-then-retry is well nested");
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0].aborted_at_us, Some(400));
+        assert_eq!(tl[0].duration_us(), None, "aborted switches report no duration");
+        assert!(tl[0].closed());
+        assert_eq!(tl[1].flip_at_us, Some(1100));
     }
 
     #[test]

@@ -53,6 +53,14 @@ impl Layer for RateControlLayer {
         "rate-control"
     }
 
+    fn on_restart(&mut self, ctx: &mut LayerCtx<'_>) {
+        // The pacing timer died with the crash; restart the drain if
+        // frames are still queued behind it.
+        if self.draining {
+            ctx.set_timer(self.interval, DRAIN);
+        }
+    }
+
     fn on_down(&mut self, frame: Frame, ctx: &mut LayerCtx<'_>) {
         if self.draining {
             self.queue.push_back(frame);

@@ -145,6 +145,16 @@ impl Layer for ReliableLayer {
         "reliable"
     }
 
+    fn on_restart(&mut self, ctx: &mut LayerCtx<'_>) {
+        // The sweep timer died with the crashed incarnation. Outbound
+        // frames survive (stable storage); resume retransmitting anything
+        // still unacknowledged.
+        self.timer_armed = false;
+        if !self.outbound.is_empty() {
+            self.arm(ctx);
+        }
+    }
+
     fn on_down(&mut self, frame: Frame, ctx: &mut LayerCtx<'_>) {
         let me = ctx.me();
         let seq = self.next_seq;

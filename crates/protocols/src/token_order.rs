@@ -141,6 +141,14 @@ impl Layer for TokenOrderLayer {
         }
     }
 
+    fn on_restart(&mut self, ctx: &mut LayerCtx<'_>) {
+        // If we crashed while sitting on the idle token, the hold timer
+        // died with us and the ring would stall forever; re-arm it.
+        if self.holding.is_some() {
+            ctx.set_timer(self.idle_hold, self.hold_gen);
+        }
+    }
+
     fn on_down(&mut self, frame: Frame, ctx: &mut LayerCtx<'_>) {
         self.pending.push_back(frame.bytes);
         if let Some(gseq) = self.holding.take() {

@@ -292,6 +292,20 @@ impl Layer for VsyncLayer {
         }
     }
 
+    fn on_restart(&mut self, ctx: &mut LayerCtx<'_>) {
+        // Re-arm the coordinator's remaining scheduled changes with their
+        // residual delay (a change whose time passed while we were down
+        // fires as soon as possible).
+        if ctx.me() != self.cfg.coordinator {
+            return;
+        }
+        let now = ctx.now();
+        for i in self.next_change..self.cfg.changes.len() {
+            let delay = self.cfg.changes[i].0.saturating_sub(now).max(SimTime::from_micros(1));
+            ctx.set_timer(delay, CHANGE_TIMER_BASE + i as u32);
+        }
+    }
+
     fn on_down(&mut self, frame: Frame, ctx: &mut LayerCtx<'_>) {
         if self.flushing || !self.is_member(ctx.me()) {
             self.queued.push_back(frame.bytes);

@@ -26,6 +26,16 @@ pub trait Agent {
     /// Called when a timer armed via [`SimApi::set_timer`] (or scheduled
     /// externally with [`crate::Sim::schedule`]) fires.
     fn on_timer(&mut self, token: TimerToken, api: &mut SimApi<'_>);
+
+    /// Called when the node recovers from a fail-stop crash (see
+    /// [`crate::Sim::schedule_recover`]).
+    ///
+    /// Agent state survives the crash (stable-storage model), but every
+    /// timer armed before it is dead — re-arm periodic timers and resume
+    /// in-progress work here. Default: no-op.
+    fn on_restart(&mut self, api: &mut SimApi<'_>) {
+        let _ = api;
+    }
 }
 
 /// What an agent asked the simulator to do during one callback.

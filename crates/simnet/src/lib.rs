@@ -64,7 +64,8 @@ mod wheel;
 
 pub use agent::{Agent, SimApi, TimerToken};
 pub use medium::{
-    EthernetConfig, Lossy, Medium, Partitioned, PointToPoint, SharedBus, TimedPartition, TxPlan,
+    EthernetConfig, Lossy, Medium, PartitionSchedule, Partitioned, PointToPoint, SharedBus,
+    TimedPartition, TxPlan,
 };
 pub use queue::{EventQueue, HeapEventQueue};
 pub use rng::DetRng;

@@ -390,6 +390,96 @@ impl Medium for TimedPartition {
     }
 }
 
+/// Fault-injection wrapper: a scripted sequence of partition configurations
+/// applied over virtual time — `partition_at(t, groups)` severs traffic
+/// between groups from `t` on, `heal_at(t)` restores full connectivity.
+///
+/// Unlike [`TimedPartition`] (one window, fixed pairs), this models a
+/// *schedule*: any number of reconfigurations, each described as a list of
+/// connectivity groups. A delivery survives only if source and destination
+/// share a group under the configuration active at transmit time; a node
+/// appearing in no group is isolated (it still receives its own
+/// self-copies).
+pub struct PartitionSchedule {
+    inner: Box<dyn Medium>,
+    /// `(from, groups)` sorted by time; `None` = fully connected.
+    schedule: Vec<(SimTime, Option<Vec<Vec<NodeId>>>)>,
+}
+
+impl std::fmt::Debug for PartitionSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionSchedule")
+            .field("inner", &self.inner.name())
+            .field("events", &self.schedule.len())
+            .finish()
+    }
+}
+
+impl PartitionSchedule {
+    /// Wraps `inner` with an empty schedule (fully connected).
+    pub fn new(inner: Box<dyn Medium>) -> Self {
+        Self { inner, schedule: Vec::new() }
+    }
+
+    /// From `at` on, only nodes sharing one of `groups` can communicate.
+    pub fn partition_at(mut self, at: SimTime, groups: Vec<Vec<NodeId>>) -> Self {
+        self.insert(at, Some(groups));
+        self
+    }
+
+    /// From `at` on, connectivity is fully restored.
+    pub fn heal_at(mut self, at: SimTime) -> Self {
+        self.insert(at, None);
+        self
+    }
+
+    fn insert(&mut self, at: SimTime, groups: Option<Vec<Vec<NodeId>>>) {
+        let idx = self.schedule.partition_point(|(t, _)| *t <= at);
+        self.schedule.insert(idx, (at, groups));
+    }
+
+    /// The groups active at `now`, `None` when fully connected.
+    fn active(&self, now: SimTime) -> Option<&[Vec<NodeId>]> {
+        let idx = self.schedule.partition_point(|(t, _)| *t <= now);
+        idx.checked_sub(1).and_then(|i| self.schedule[i].1.as_deref())
+    }
+
+    fn connected(groups: &[Vec<NodeId>], a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        groups.iter().any(|g| g.contains(&a) && g.contains(&b))
+    }
+}
+
+impl Medium for PartitionSchedule {
+    fn transmit(
+        &mut self,
+        src: NodeId,
+        dests: &[NodeId],
+        size_bytes: usize,
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> TxPlan {
+        let base = self.inner.transmit(src, dests, size_bytes, now, rng);
+        let Some(groups) = self.active(now) else { return base };
+        let mut plan =
+            TxPlan { deliveries: Vec::new(), dropped: base.dropped, busy_us: base.busy_us };
+        for (d, at) in base.deliveries {
+            if Self::connected(groups, src, d) {
+                plan.deliveries.push((d, at));
+            } else {
+                plan.dropped += 1;
+            }
+        }
+        plan
+    }
+
+    fn name(&self) -> &'static str {
+        "partition-schedule"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -535,6 +625,49 @@ mod tests {
         assert_eq!(plan.deliveries.iter().map(|&(d, _)| d).collect::<Vec<_>>(), vec![NodeId(2)]);
         let plan = m.transmit(NodeId(0), &dests(4), 10, SimTime::from_millis(1), &mut rng);
         assert!(plan.deliveries.iter().all(|&(d, _)| d != NodeId(2)));
+    }
+
+    #[test]
+    fn partition_schedule_follows_the_script() {
+        let inner = Box::new(PointToPoint::new(SimTime::from_micros(1)));
+        // Split {0,1} | {2,3} at 10ms, heal at 20ms, isolate 0 at 30ms.
+        let mut m = PartitionSchedule::new(inner)
+            .partition_at(
+                SimTime::from_millis(10),
+                vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]],
+            )
+            .heal_at(SimTime::from_millis(20))
+            .partition_at(SimTime::from_millis(30), vec![vec![NodeId(1), NodeId(2), NodeId(3)]]);
+        let mut rng = DetRng::new(5);
+        let reached = |m: &mut PartitionSchedule, rng: &mut DetRng, at_ms: u64| {
+            m.transmit(NodeId(0), &dests(4), 10, SimTime::from_millis(at_ms), rng)
+                .deliveries
+                .iter()
+                .map(|&(d, _)| d)
+                .collect::<Vec<_>>()
+        };
+        // Before any event: fully connected.
+        assert_eq!(reached(&mut m, &mut rng, 5).len(), 4);
+        // During the split: 0 reaches only its own side (and itself).
+        assert_eq!(reached(&mut m, &mut rng, 15), vec![NodeId(0), NodeId(1)]);
+        // Healed.
+        assert_eq!(reached(&mut m, &mut rng, 25).len(), 4);
+        // Isolated: only the self-copy survives.
+        assert_eq!(reached(&mut m, &mut rng, 35), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn partition_schedule_events_apply_in_time_order() {
+        let inner = Box::new(PointToPoint::new(SimTime::from_micros(1)));
+        // Inserted out of order; the schedule must still resolve by time.
+        let mut m = PartitionSchedule::new(inner)
+            .heal_at(SimTime::from_millis(20))
+            .partition_at(SimTime::from_millis(10), vec![vec![NodeId(0)], vec![NodeId(1)]]);
+        let mut rng = DetRng::new(6);
+        let plan = m.transmit(NodeId(0), &dests(2), 10, SimTime::from_millis(15), &mut rng);
+        assert_eq!(plan.deliveries.len(), 1);
+        let plan = m.transmit(NodeId(0), &dests(2), 10, SimTime::from_millis(20), &mut rng);
+        assert_eq!(plan.deliveries.len(), 2);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::collections::BinaryHeap;
 /// instant are popped in insertion order (FIFO), which keeps simulations
 /// deterministic without relying on heap tie-breaking accidents.
 ///
-/// Backed by a hierarchical timing wheel (see [`crate::wheel`]) so the
+/// Backed by a hierarchical timing wheel (see `crate::wheel`) so the
 /// simulator hot path pushes in O(1); [`HeapEventQueue`] is the obviously
 /// correct binary-heap reference that the wheel is property-tested against.
 ///

@@ -80,6 +80,11 @@ impl SimConfig {
     }
 }
 
+/// Incarnation stamp for timers armed from outside any node (driver
+/// workload via [`Sim::schedule`]): valid in every incarnation, as long as
+/// the node is alive when the timer fires.
+const EXTERNAL_INC: u32 = u32::MAX;
+
 #[derive(Debug)]
 enum Ev {
     Packet {
@@ -89,12 +94,23 @@ enum Ev {
     Timer {
         node: NodeId,
         token: TimerToken,
+        /// Incarnation of the node when the timer was armed; a timer whose
+        /// incarnation no longer matches died with the crash that bumped
+        /// it. [`EXTERNAL_INC`] marks driver-scheduled timers, which
+        /// survive recoveries (but never fire while the node is down).
+        inc: u32,
     },
     /// Marker at a node's `busy_until`: drains that node's deferred-event
     /// FIFO instead of bouncing each deferred event through the global
     /// queue again.
     Wakeup {
         node: NodeId,
+    },
+    /// Node lifecycle: `up == false` is a fail-stop crash, `up == true` a
+    /// recovery (state preserved, timers dead, `on_restart` runs).
+    Fault {
+        node: NodeId,
+        up: bool,
     },
 }
 
@@ -133,6 +149,11 @@ pub struct Sim<A> {
     dest_scratch: Vec<NodeId>,
     stats: NetStats,
     started: bool,
+    /// Per-node liveness; dead nodes drop arriving frames and timers.
+    alive: Vec<bool>,
+    /// Per-node incarnation counter, bumped at each crash — the stamp that
+    /// invalidates timers armed before the crash.
+    incarnation: Vec<u32>,
     /// `config.recorder.is_enabled()`, sampled once at construction so the
     /// hot path branches on a plain bool instead of touching an atomic.
     obs_on: bool,
@@ -198,6 +219,8 @@ impl<A: Agent> Sim<A> {
             dest_scratch: Vec::with_capacity(n),
             stats: NetStats::default(),
             started: false,
+            alive: vec![true; n],
+            incarnation: vec![0; n],
             obs_on,
             in_flight: 0,
             cpu_busy_us: vec![0; n],
@@ -268,7 +291,36 @@ impl<A: Agent> Sim<A> {
     /// Drivers use this to inject workload or trigger an oracle decision at
     /// a chosen instant.
     pub fn schedule(&mut self, at: SimTime, node: NodeId, token: TimerToken) {
-        self.queue.push(at.max(self.now), Ev::Timer { node, token });
+        self.queue.push(at.max(self.now), Ev::Timer { node, token, inc: EXTERNAL_INC });
+    }
+
+    /// Schedules a fail-stop crash of `node` at absolute time `at`.
+    ///
+    /// At that instant the node's CPU queue is cleared, every timer it has
+    /// armed is invalidated (they die with the incarnation), and frames
+    /// still in flight toward it are dropped on arrival. Agent state is
+    /// *not* reset: the model is a process freeze with stable storage, so
+    /// sequence counters and dedup sets survive into the next incarnation.
+    pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
+        assert!(node.index() < self.agents.len(), "crash target {node} out of range");
+        self.queue.push(at.max(self.now), Ev::Fault { node, up: false });
+    }
+
+    /// Schedules recovery of `node` at absolute time `at`: the node comes
+    /// back alive and its agent's [`Agent::on_restart`] runs to re-arm
+    /// timers and resume in-progress work. No-op if the node is already up.
+    pub fn schedule_recover(&mut self, at: SimTime, node: NodeId) {
+        assert!(node.index() < self.agents.len(), "recover target {node} out of range");
+        self.queue.push(at.max(self.now), Ev::Fault { node, up: true });
+    }
+
+    /// Whether `node` is currently up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
     }
 
     fn ensure_started(&mut self) {
@@ -361,7 +413,8 @@ impl<A: Agent> Sim<A> {
                     }
                 }
                 Action::Timer { delay, token } => {
-                    self.queue.push(effective_at + delay, Ev::Timer { node, token });
+                    let inc = self.incarnation[node.index()];
+                    self.queue.push(effective_at + delay, Ev::Timer { node, token, inc });
                 }
             }
         }
@@ -403,7 +456,9 @@ impl<A: Agent> Sim<A> {
                 }
                 self.agents[i].on_timer(token, &mut api)
             }
-            Ev::Wakeup { .. } => unreachable!("wakeup markers never reach dispatch"),
+            Ev::Wakeup { .. } | Ev::Fault { .. } => {
+                unreachable!("wakeup markers and faults never reach dispatch")
+            }
         }
         let mut actions = api.into_actions();
         self.apply_actions(node, done, &mut actions);
@@ -475,6 +530,54 @@ impl<A: Agent> Sim<A> {
         sampler.push(sample);
     }
 
+    /// Applies a scheduled crash or recovery at time `at`.
+    fn apply_fault(&mut self, node: NodeId, up: bool, at: SimTime) {
+        let i = node.index();
+        self.now = self.now.max(at);
+        if up {
+            if self.alive[i] {
+                return;
+            }
+            self.alive[i] = true;
+            if let Some(o) = self.obs() {
+                o.record(
+                    at.as_micros(),
+                    node.0,
+                    ObsEvent::NodeRecover { incarnation: self.incarnation[i] },
+                );
+            }
+            // Restart costs one service time, like any other callback.
+            let done = at + self.config.node.service_time;
+            self.busy_until[i] = done;
+            self.cpu_busy_us[i] += self.config.node.service_time.as_micros();
+            let scratch = std::mem::take(&mut self.action_scratch);
+            let obs = if self.obs_on { Some(&self.config.recorder) } else { None };
+            let mut api =
+                SimApi::new(node, at, self.agents.len(), &mut self.node_rngs[i], scratch, obs);
+            self.agents[i].on_restart(&mut api);
+            let mut actions = api.into_actions();
+            self.apply_actions(node, done, &mut actions);
+            self.action_scratch = actions;
+        } else {
+            if !self.alive[i] {
+                return;
+            }
+            self.alive[i] = false;
+            self.incarnation[i] += 1;
+            // Whatever was parked behind the busy CPU dies with the node;
+            // a stale wakeup marker is harmless (it finds an empty FIFO).
+            self.pending[i].clear();
+            self.busy_until[i] = at;
+            if let Some(o) = self.obs() {
+                o.record(
+                    at.as_micros(),
+                    node.0,
+                    ObsEvent::NodeCrash { incarnation: self.incarnation[i] - 1 },
+                );
+            }
+        }
+    }
+
     /// Processes the next event, if any. Returns `false` when the queue is
     /// exhausted.
     pub fn step(&mut self) -> bool {
@@ -487,11 +590,34 @@ impl<A: Agent> Sim<A> {
         if let Ev::Packet { .. } = ev {
             self.in_flight -= 1;
         }
+        if let Ev::Fault { node, up } = ev {
+            self.apply_fault(node, up, at);
+            return true;
+        }
         let node = match &ev {
             Ev::Packet { to, .. } => *to,
             Ev::Timer { node, .. } | Ev::Wakeup { node } => *node,
+            Ev::Fault { .. } => unreachable!("handled above"),
         };
         let i = node.index();
+        // Dead-node drop rules: frames addressed to a dead node are lost at
+        // its NIC; timers never fire while the node is down, and timers
+        // armed in an earlier incarnation died with the crash.
+        match &ev {
+            Ev::Packet { .. } if !self.alive[i] => {
+                self.stats.copies_dropped += 1;
+                if let Some(o) = self.obs() {
+                    o.record(at.as_micros(), node.0, ObsEvent::FrameDrop { copies: 1 });
+                }
+                return true;
+            }
+            Ev::Timer { inc, .. }
+                if !self.alive[i] || (*inc != EXTERNAL_INC && *inc != self.incarnation[i]) =>
+            {
+                return true;
+            }
+            _ => {}
+        }
         if let Ev::Wakeup { .. } = ev {
             self.wakeup_armed[i] = false;
             if self.busy_until[i] <= at {
@@ -874,6 +1000,145 @@ mod tests {
             ps_obs::export::to_jsonl(&rec.snapshot())
         };
         assert_eq!(run(), run());
+    }
+
+    /// Agent for lifecycle tests: periodic self-rearming timer, counts
+    /// firings and restarts.
+    #[derive(Default)]
+    struct Ticker {
+        fired: Vec<SimTime>,
+        restarts: u32,
+    }
+
+    impl Agent for Ticker {
+        fn on_start(&mut self, api: &mut SimApi<'_>) {
+            api.set_timer(SimTime::from_millis(1), TimerToken(1));
+        }
+        fn on_packet(&mut self, _: Packet, _: &mut SimApi<'_>) {}
+        fn on_timer(&mut self, _: TimerToken, api: &mut SimApi<'_>) {
+            self.fired.push(api.now());
+            api.set_timer(SimTime::from_millis(1), TimerToken(1));
+        }
+        fn on_restart(&mut self, api: &mut SimApi<'_>) {
+            self.restarts += 1;
+            api.set_timer(SimTime::from_millis(1), TimerToken(1));
+        }
+    }
+
+    #[test]
+    fn crash_kills_timers_and_recovery_rearms_them() {
+        let mut s = Sim::new(
+            SimConfig::default().seed(1).service_time(SimTime::from_micros(100)),
+            Box::new(PointToPoint::new(SimTime::from_micros(500))),
+            vec![Ticker::default()],
+        );
+        s.schedule_crash(SimTime::from_millis(5), NodeId(0));
+        s.schedule_recover(SimTime::from_millis(20), NodeId(0));
+        s.run_until(SimTime::from_millis(25));
+        let a = s.agent(NodeId(0));
+        assert_eq!(a.restarts, 1);
+        // Fired roughly every ms until the crash, silent until recovery,
+        // then resumed: no firing in the (5ms, 20ms) dead window.
+        assert!(a.fired.iter().any(|&t| t < SimTime::from_millis(5)));
+        assert!(!a
+            .fired
+            .iter()
+            .any(|&t| t > SimTime::from_millis(5) && t < SimTime::from_millis(20)));
+        assert!(a.fired.iter().any(|&t| t > SimTime::from_millis(20)));
+        assert!(s.is_alive(NodeId(0)));
+    }
+
+    #[test]
+    fn frames_to_a_dead_node_are_dropped() {
+        struct Pinger;
+        impl Agent for Pinger {
+            fn on_start(&mut self, api: &mut SimApi<'_>) {
+                if api.me() == NodeId(0) {
+                    api.send(Dest::To(NodeId(1)), Bytes::from_static(b"x"));
+                }
+            }
+            fn on_packet(&mut self, _: Packet, _: &mut SimApi<'_>) {
+                panic!("dead node must not process packets");
+            }
+            fn on_timer(&mut self, _: TimerToken, _: &mut SimApi<'_>) {}
+        }
+        let mut s = Sim::new(
+            SimConfig::default().seed(1).service_time(SimTime::from_micros(100)),
+            Box::new(PointToPoint::new(SimTime::from_micros(500))),
+            vec![Pinger, Pinger],
+        );
+        // Crash node 1 before the frame (sent at 100us, arriving 600us).
+        s.schedule_crash(SimTime::from_micros(200), NodeId(1));
+        s.run_until(SimTime::from_millis(2));
+        assert!(!s.is_alive(NodeId(1)));
+        assert_eq!(s.stats().copies_dropped, 1);
+    }
+
+    #[test]
+    fn crash_clears_the_deferred_fifo() {
+        // Two packets arrive at a busy node; a crash between arrival and
+        // processing wipes the parked one.
+        struct Blaster(u32);
+        impl Agent for Blaster {
+            fn on_start(&mut self, api: &mut SimApi<'_>) {
+                if api.me() != NodeId(0) {
+                    api.send(Dest::To(NodeId(0)), Bytes::from_static(b"x"));
+                }
+            }
+            fn on_packet(&mut self, _: Packet, _: &mut SimApi<'_>) {
+                self.0 += 1;
+            }
+            fn on_timer(&mut self, _: TimerToken, _: &mut SimApi<'_>) {}
+        }
+        let mut s = Sim::new(
+            SimConfig::default().seed(2).service_time(SimTime::from_micros(100)),
+            Box::new(PointToPoint::new(SimTime::from_micros(500))),
+            vec![Blaster(0), Blaster(0), Blaster(0)],
+        );
+        // Both packets arrive at 600us; first processes 600-700us, second
+        // is parked. Crash at 650us: the parked packet must die too.
+        s.schedule_crash(SimTime::from_micros(650), NodeId(0));
+        s.run_until(SimTime::from_millis(2));
+        assert_eq!(s.agent(NodeId(0)).0, 1, "only the in-service packet ran");
+    }
+
+    #[test]
+    fn crash_and_recovery_are_recorded() {
+        let rec = ps_obs::Recorder::with_capacity(256);
+        let mut s = Sim::new(
+            SimConfig::default().seed(1).recorder(rec.clone()),
+            Box::new(PointToPoint::new(SimTime::from_micros(500))),
+            vec![Ticker::default()],
+        );
+        s.schedule_crash(SimTime::from_millis(2), NodeId(0));
+        s.schedule_recover(SimTime::from_millis(4), NodeId(0));
+        s.run_until(SimTime::from_millis(6));
+        if !rec.is_enabled() {
+            return; // tap feature off
+        }
+        let events = rec.snapshot();
+        assert!(events
+            .iter()
+            .any(|e| e.ev == ObsEvent::NodeCrash { incarnation: 0 } && e.at_us == 2000));
+        assert!(events
+            .iter()
+            .any(|e| e.ev == ObsEvent::NodeRecover { incarnation: 1 } && e.at_us == 4000));
+    }
+
+    #[test]
+    fn double_crash_and_double_recover_are_idempotent() {
+        let mut s = Sim::new(
+            SimConfig::default().seed(1),
+            Box::new(PointToPoint::new(SimTime::from_micros(500))),
+            vec![Ticker::default()],
+        );
+        s.schedule_crash(SimTime::from_millis(1), NodeId(0));
+        s.schedule_crash(SimTime::from_millis(2), NodeId(0));
+        s.schedule_recover(SimTime::from_millis(3), NodeId(0));
+        s.schedule_recover(SimTime::from_millis(4), NodeId(0));
+        s.run_until(SimTime::from_millis(6));
+        assert_eq!(s.agent(NodeId(0)).restarts, 1, "second recover is a no-op");
+        assert!(s.is_alive(NodeId(0)));
     }
 
     #[test]

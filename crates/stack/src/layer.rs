@@ -98,6 +98,17 @@ pub trait Layer: Send {
         let _ = ctx;
     }
 
+    /// Called when the hosting node recovers from a crash.
+    ///
+    /// Crash semantics are fail-stop with state preserved: layer memory
+    /// (sequence counters, dedup sets) survives, but every timer armed
+    /// before the crash died with the old incarnation. Re-arm periodic
+    /// timers and resume any in-progress work here. Composite layers must
+    /// forward the restart to their nested stacks. Default: no-op.
+    fn on_restart(&mut self, ctx: &mut LayerCtx<'_>) {
+        let _ = ctx;
+    }
+
     /// A frame traveling toward the network. Default: pass through.
     fn on_down(&mut self, frame: Frame, ctx: &mut LayerCtx<'_>) {
         ctx.send_down(frame);

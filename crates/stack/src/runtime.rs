@@ -115,6 +115,11 @@ impl Agent for ProcessAgent {
         self.stack.receive(src, pkt.payload, &mut env);
     }
 
+    fn on_restart(&mut self, api: &mut SimApi<'_>) {
+        let mut env = EnvAdapter { cell: &mut self.cell, api };
+        self.stack.restart(&mut env);
+    }
+
     fn on_timer(&mut self, token: TimerToken, api: &mut SimApi<'_>) {
         let (layer, tok) = unpack(token);
         if layer == APP_MARKER {
@@ -296,6 +301,18 @@ impl GroupSim {
     /// Runs until virtual time `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.sim.run_until(deadline);
+    }
+
+    /// Schedules a fail-stop crash of `p` at time `at` (see
+    /// [`ps_simnet::Sim::schedule_crash`]).
+    pub fn schedule_crash(&mut self, at: SimTime, p: ProcessId) {
+        self.sim.schedule_crash(at, NodeId(p.0));
+    }
+
+    /// Schedules recovery of `p` at time `at`; the process's stack gets
+    /// a [`crate::Layer::on_restart`] traversal to re-arm its timers.
+    pub fn schedule_recover(&mut self, at: SimTime, p: ProcessId) {
+        self.sim.schedule_recover(at, NodeId(p.0));
     }
 
     /// Current virtual time.

@@ -132,6 +132,22 @@ impl Stack {
         }
     }
 
+    /// Restarts every layer, top to bottom, after the hosting node
+    /// recovers from a crash (see [`Layer::on_restart`]): state survived,
+    /// timers did not — each layer re-arms what it needs.
+    pub fn restart(&mut self, env: &mut dyn StackEnv) {
+        for i in 0..self.slots.len() {
+            let id = self.slots[i].id;
+            let name = self.slots[i].layer.name();
+            layer_span(env, name, LayerDir::Restart, true);
+            let mut ctx = LayerCtx::new(env, id);
+            self.slots[i].layer.on_restart(&mut ctx);
+            let outs = std::mem::take(&mut ctx.outs);
+            layer_span(env, name, LayerDir::Restart, false);
+            self.run(outs_to_work(outs, i, self.slots.len()), env);
+        }
+    }
+
     /// Injects an application message at the top (an app `Send`).
     pub fn send(&mut self, msg: &Message, env: &mut dyn StackEnv) {
         let frame = Frame::all(msg.to_bytes());

@@ -6,7 +6,7 @@
 //! *prepending* headers to an opaque payload on the way down the stack and
 //! popping them on the way up — see [`push_header`] and [`pop_header`].
 //!
-//! The codec is deliberately dependency-free (besides [`bytes`]) so it can be
+//! The codec is deliberately dependency-free (besides the in-repo `bytes` crate) so it can be
 //! audited in one sitting, and deliberately panic-free on the decode path:
 //! every malformed input is reported as a [`WireError`].
 //!

@@ -73,4 +73,18 @@ if cargo run --release -q --bin repro -- monitor --quick --fault > target/ci-mon
 fi
 grep -q total_order target/ci-monitor/fault.txt
 
+echo "==> chaos smoke: repro chaos --quick passes its scenario matrix deterministically (offline)"
+# The fault-injection matrix must pass clean (repro exits non-zero on any
+# wedged switch or monitor violation) and render byte-identically across
+# invocations and worker counts.
+rm -rf target/ci-chaos && mkdir -p target/ci-chaos
+cargo run --release -q --bin repro -- chaos --quick > target/ci-chaos/a.txt
+PS_SWEEP_WORKERS=3 cargo run --release -q --bin repro -- chaos --quick > target/ci-chaos/b.txt
+diff target/ci-chaos/a.txt target/ci-chaos/b.txt
+
+echo "==> cargo doc --no-deps with warnings denied (offline)"
+# ps-obs and ps-core carry #![deny(missing_docs)]; this gate extends the
+# no-warning bar to every rustdoc lint across the workspace.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "ci: all gates green"

@@ -66,8 +66,8 @@ pub use ps_wire as wire;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use ps_core::{
-        hybrid_total_order, ManualOracle, NeverOracle, Oracle, SwitchConfig, SwitchHandle,
-        SwitchLayer, SwitchVariant, ThresholdOracle,
+        hybrid_total_order, hybrid_total_order_ft, ManualOracle, NeverOracle, Oracle, SwitchConfig,
+        SwitchHandle, SwitchLayer, SwitchVariant, ThresholdOracle,
     };
     pub use ps_protocols::{
         AmoebaLayer, CausalOrderLayer, ConfidentialityLayer, CreditControlLayer, FifoLayer,
@@ -75,8 +75,8 @@ pub mod prelude {
         SeqOrderLayer, TokenOrderLayer, VsyncConfig, VsyncLayer,
     };
     pub use ps_simnet::{
-        Dest, DetRng, EthernetConfig, Lossy, Medium, NodeId, Packet, Partitioned, PointToPoint,
-        SharedBus, SimConfig, SimTime, TimedPartition,
+        Dest, DetRng, EthernetConfig, Lossy, Medium, NodeId, Packet, PartitionSchedule,
+        Partitioned, PointToPoint, SharedBus, SimConfig, SimTime, TimedPartition,
     };
     pub use ps_stack::{
         Cast, ChannelId, Frame, GroupSim, GroupSimBuilder, IdGen, Layer, LayerCtx, Stack, StackEnv,
