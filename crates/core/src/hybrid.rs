@@ -94,6 +94,43 @@ pub fn hybrid_total_order_ft(
     (Stack::with_ids(vec![Box::new(layer)], ids), handle)
 }
 
+/// Builds the **fault-tolerant sequencer↔token** hybrid: protocol 0 is
+/// sequencer-based total order (sequenced by `sequencer`) over FIFO over
+/// reliable transport; protocol 1 is token-based total order (with
+/// `idle_hold` as its idle rotation period) directly over reliable
+/// transport, with the switch's control traffic on its own reliable stack.
+///
+/// This is [`hybrid_total_order`]'s protocol pair with
+/// [`hybrid_total_order_ft`]'s transports: the §7 crossover hybrid, but
+/// able to ride out frame loss and crash/recovery. The token protocol
+/// needs no FIFO restorer — it delivers from a global-sequence reorder
+/// buffer, so retransmitted frames overtaking later ones cannot reorder
+/// its output.
+pub fn hybrid_seq_token_ft(
+    ids: &mut IdGen,
+    cfg: SwitchConfig,
+    sequencer: ProcessId,
+    idle_hold: SimTime,
+    oracle: Box<dyn Oracle>,
+) -> (Stack, SwitchHandle) {
+    let seq = Stack::with_ids(
+        vec![
+            Box::new(SeqOrderLayer::new(sequencer)),
+            Box::new(FifoLayer::new()),
+            Box::new(ReliableLayer::new()),
+        ],
+        ids,
+    );
+    let token = Stack::with_ids(
+        vec![Box::new(TokenOrderLayer::with_idle_hold(idle_hold)), Box::new(ReliableLayer::new())],
+        ids,
+    );
+    let control = Stack::with_ids(vec![Box::new(ReliableLayer::new())], ids);
+    let (layer, handle) = SwitchLayer::new(cfg, seq, token, oracle);
+    let layer = layer.with_control_stack(control);
+    (Stack::with_ids(vec![Box::new(layer)], ids), handle)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +147,19 @@ mod tests {
         );
         assert_eq!(stack.len(), 1);
         assert_eq!(handle.switches_completed(), 0);
+    }
+
+    #[test]
+    fn seq_token_ft_builds_one_switch_layer() {
+        let mut ids = IdGen::new();
+        let (stack, handle) = hybrid_seq_token_ft(
+            &mut ids,
+            SwitchConfig::default(),
+            ProcessId(0),
+            SimTime::from_millis(5),
+            Box::new(NeverOracle),
+        );
+        assert_eq!(stack.layer_names(), vec!["switch"]);
+        assert_eq!(handle.current(), 0);
     }
 }

@@ -70,7 +70,7 @@ mod stats;
 mod switch;
 
 pub use control::{Control, CountVector, RingToken, TokenMode};
-pub use hybrid::{hybrid_total_order, hybrid_total_order_ft};
+pub use hybrid::{hybrid_seq_token_ft, hybrid_total_order, hybrid_total_order_ft};
 pub use oracle::{LoadOracle, ManualOracle, NeverOracle, Oracle, SwitchObs, ThresholdOracle};
 pub use stats::{SwitchHandle, SwitchRecord, SwitchStats};
 pub use switch::{SwitchConfig, SwitchLayer, SwitchVariant};

@@ -1,10 +1,10 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|chaos|all]
+//! repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|chaos|campaign|all]
 //!       [--quick] [--csv] [--counterexamples] [--serial]
 //!       [--trace PATH] [--trace-format jsonl|chrome]
-//!       [--fault] [--series PATH]
+//!       [--fault] [--series PATH] [--manifests PATH]
 //! ```
 //!
 //! Sweeps run on a worker pool by default (`PS_SWEEP_WORKERS` overrides
@@ -26,9 +26,16 @@
 //! each run streamed through the property monitors. Exits 1 if any
 //! scenario's outcome deviates from its expectation or any monitor
 //! reports a violation. See docs/faults.md.
+//!
+//! `repro campaign` runs the judged campaign grid: every `ps-workload`
+//! traffic profile × {sequencer, token, load-driven hybrid} × {no fault,
+//! 10%/40% loss, mid-run crash}, each cell monitored. `--manifests PATH`
+//! writes the per-cell traffic manifests as JSON-lines; `--fault` splices
+//! the broken ordering layer into one cell (which must then fail). Exits
+//! 1 if any cell reports a violation or a wedged switch.
 
 use ps_harness::experiments::{ablation, fig2, oscillation, overhead, table1, table2};
-use ps_harness::{chaos, monitor_run, trace_run, SweepRunner};
+use ps_harness::{campaign, chaos, monitor_run, trace_run, SweepRunner};
 
 struct Opts {
     what: String,
@@ -40,6 +47,7 @@ struct Opts {
     trace_format: trace_run::TraceFormat,
     fault: bool,
     series_path: Option<String>,
+    manifests_path: Option<String>,
 }
 
 fn parse() -> Opts {
@@ -52,6 +60,7 @@ fn parse() -> Opts {
     let mut trace_format = trace_run::TraceFormat::default();
     let mut fault = false;
     let mut series_path = None;
+    let mut manifests_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -64,6 +73,13 @@ fn parse() -> Opts {
                 Some(p) => series_path = Some(p),
                 None => {
                     eprintln!("--series needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--manifests" => match args.next() {
+                Some(p) => manifests_path = Some(p),
+                None => {
+                    eprintln!("--manifests needs a file path");
                     std::process::exit(2);
                 }
             },
@@ -86,7 +102,7 @@ fn parse() -> Opts {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|chaos|all] [--quick] [--csv] [--counterexamples] [--serial] [--trace PATH] [--trace-format jsonl|chrome] [--fault] [--series PATH]"
+                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|chaos|campaign|all] [--quick] [--csv] [--counterexamples] [--serial] [--trace PATH] [--trace-format jsonl|chrome] [--fault] [--series PATH] [--manifests PATH]"
                 );
                 std::process::exit(0);
             }
@@ -97,7 +113,18 @@ fn parse() -> Opts {
             }
         }
     }
-    Opts { what, quick, csv, counterexamples, runner, trace_path, trace_format, fault, series_path }
+    Opts {
+        what,
+        quick,
+        csv,
+        counterexamples,
+        runner,
+        trace_path,
+        trace_format,
+        fault,
+        series_path,
+        manifests_path,
+    }
 }
 
 fn emit(opts: &Opts, t: &ps_harness::Table) {
@@ -200,6 +227,31 @@ fn main() {
         }
         if !r.violations.is_empty() {
             eprintln!("monitor: {} property violation(s) detected", r.violations.len());
+            std::process::exit(1);
+        }
+    }
+    if all || opts.what == "campaign" {
+        let mut cfg = if opts.quick {
+            campaign::CampaignConfig::quick()
+        } else {
+            campaign::CampaignConfig::full()
+        };
+        if opts.fault {
+            cfg = cfg.with_seeded_fault();
+        }
+        let results = campaign::run_with(&cfg, &opts.runner);
+        emit(&opts, &campaign::render(&results));
+        if let Some(path) = &opts.manifests_path {
+            let body = campaign::manifests_jsonl(&results);
+            if let Err(e) = std::fs::write(path, &body) {
+                eprintln!("cannot write manifests to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {} cell manifests to {path}", results.len());
+        }
+        if !campaign::all_pass(&results) {
+            let failed = results.iter().filter(|r| !r.pass).count();
+            eprintln!("campaign: {failed} cell(s) failed (wedged switch or property violation)");
             std::process::exit(1);
         }
     }

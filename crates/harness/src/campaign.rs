@@ -1,0 +1,560 @@
+//! `repro campaign` — the judged campaign grid: every traffic profile ×
+//! every switching stack × every fault, one monitored run per cell.
+//!
+//! The grid is the full cross-product of
+//!
+//! * **profiles** (`ps-workload`): steady, diurnal ramp, flash crowd,
+//!   hot-sender skew, correlated bursts, sender churn;
+//! * **stacks**: plain sequencer total order, plain token total order
+//!   (both over reliable transport), and the fault-tolerant
+//!   sequencer↔token hybrid ([`hybrid_seq_token_ft`]) driven by a live
+//!   [`LoadOracle`] over the sampled load series;
+//! * **faults**: none, 10% and 40% per-copy frame loss, and a
+//!   crash/recovery of a non-sending member in the middle of the run.
+//!
+//! Every cell streams its event feed through the standard [`MonitorSet`]
+//! (total order, per-sender FIFO, delivery accounting, switch liveness)
+//! and records the [`MetricsSampler`] load series the hybrid's oracle
+//! reads. A cell **passes** iff the monitors saw no violation and — for
+//! the hybrid — no process is wedged mid-switch or disagreeing about the
+//! current protocol. The rendered grid report (events, switches, latency
+//! percentiles, peak load, verdicts) is deterministic: cell seeds are
+//! fixed, every statistic is integer-valued, and the sweep runner merges
+//! results in input order, so serial and parallel runs are
+//! byte-identical.
+//!
+//! Each cell's traffic carries a byte-deterministic [`Manifest`]
+//! (profile, seed, scale, derived totals); `repro campaign --manifests
+//! PATH` writes them as JSON-lines provenance for the whole grid.
+
+use crate::measure::{latency_stats, LatencyStats, SteadyStateWindow};
+use crate::monitor_run::{SwapFaultLayer, FAULT_NODE};
+use crate::report::Table;
+use crate::sweep::SweepRunner;
+use ps_core::{
+    hybrid_seq_token_ft, LoadOracle, NeverOracle, Oracle, SwitchConfig, SwitchHandle, SwitchVariant,
+};
+use ps_obs::{MetricsSampler, MonitorSet, Recorder, SeriesSummary, Violation};
+use ps_protocols::{FifoLayer, ReliableLayer, SeqOrderLayer, TokenOrderLayer};
+use ps_simnet::{EthernetConfig, Lossy, Medium, SharedBus, SimTime};
+use ps_stack::{GroupSimBuilder, Layer, Stack};
+use ps_trace::ProcessId;
+use ps_workload::{Manifest, Profile, TrafficSpec};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The protocol stack a cell runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackKind {
+    /// Sequencer total order over FIFO over reliable transport.
+    Seq,
+    /// Token total order over reliable transport.
+    Token,
+    /// [`hybrid_seq_token_ft`] with a [`LoadOracle`] at process 0.
+    Hybrid,
+}
+
+impl StackKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            StackKind::Seq => "seq",
+            StackKind::Token => "token",
+            StackKind::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// The fault a cell injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fault-free baseline.
+    None,
+    /// Every frame copy dropped with `permille`/1000 probability.
+    Loss {
+        /// Per-copy loss probability in permille.
+        permille: u32,
+    },
+    /// The configured victim fail-stops mid-run and recovers later.
+    Crash,
+}
+
+impl FaultKind {
+    fn label(self) -> String {
+        match self {
+            FaultKind::None => "none".to_owned(),
+            FaultKind::Loss { permille } => format!("loss{}", permille / 10),
+            FaultKind::Crash => "crash".to_owned(),
+        }
+    }
+}
+
+/// One grid cell: a (profile, stack, fault) combination with its seed.
+#[derive(Debug, Clone)]
+pub struct CampaignCell {
+    /// Traffic profile driving the cell.
+    pub profile: Profile,
+    /// Protocol stack under test.
+    pub stack: StackKind,
+    /// Injected fault.
+    pub fault: FaultKind,
+    /// Workload seed (the sim seed derives from it).
+    pub seed: u64,
+    /// Splice the broken ordering layer ([`SwapFaultLayer`]) in at
+    /// [`FAULT_NODE`] — the seeded-failure path `--fault` exercises.
+    pub inject_fault: bool,
+}
+
+impl CampaignCell {
+    /// The cell's row label, unique within a grid.
+    pub fn name(&self) -> String {
+        format!("{}/{}/{}", self.profile.name(), self.stack.as_str(), self.fault.label())
+    }
+}
+
+/// The campaign grid plus shared run parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Group size (process 0 sequences; process 1 is the crash victim and
+    /// never sends — senders are the *last* [`CampaignConfig::senders`]
+    /// members).
+    pub group: u16,
+    /// Base sending-subgroup size.
+    pub senders: u16,
+    /// Base per-sender rate (msg/s).
+    pub rate: f64,
+    /// Message body size.
+    pub body_bytes: usize,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Workload span start.
+    pub start: SimTime,
+    /// Workload span end.
+    pub end: SimTime,
+    /// Extra virtual time past the span for retransmission and recovery
+    /// to drain.
+    pub drain: SimTime,
+    /// Load sampling interval.
+    pub sample_interval: SimTime,
+    /// Hybrid oracle high watermark (permille).
+    pub high_permille: u32,
+    /// Hybrid oracle low watermark (permille).
+    pub low_permille: u32,
+    /// Consecutive qualifying windows the oracle requires.
+    pub min_samples: u32,
+    /// Oracle cooldown after a completed switch.
+    pub cooldown: SimTime,
+    /// Token protocol idle hold.
+    pub token_idle_hold: SimTime,
+    /// Switch-liveness bound for the monitors.
+    pub liveness_bound: SimTime,
+    /// Hybrid switch-attempt abort deadline.
+    pub phase_timeout: SimTime,
+    /// Node that fail-stops in [`FaultKind::Crash`] cells. Must not be a
+    /// sender: a crashed sender's pending sends vanish silently, which
+    /// would make delivery accounting meaningless.
+    pub crash_victim: u16,
+    /// Crash instant.
+    pub crash_at: SimTime,
+    /// Recovery instant.
+    pub crash_back: SimTime,
+    /// The cells to run.
+    pub cells: Vec<CampaignCell>,
+}
+
+fn grid(group: u16, rate: f64, span: (SimTime, SimTime), seed_base: u64) -> Vec<CampaignCell> {
+    let (start, end) = span;
+    let span_us = end.as_micros() - start.as_micros();
+    let at = |permille: u64| SimTime::from_micros(start.as_micros() + span_us * permille / 1000);
+    // The flash burst recruits every member except the sequencer and the
+    // crash victim, so the victim stays a pure receiver in every cell.
+    let profiles = [
+        Profile::Steady,
+        Profile::Diurnal { peak: 3 },
+        Profile::FlashCrowd {
+            burst_senders: group - 2,
+            burst_rate: rate * 3.0,
+            from: at(400),
+            until: at(700),
+        },
+        Profile::HotSkew { s_x100: 150 },
+        Profile::CorrelatedBursts { bursts: 3, peak: 4, duty_permille: 250 },
+        Profile::Churn { sessions: 3 },
+    ];
+    let mut cells = Vec::new();
+    let mut seed = seed_base;
+    for profile in profiles {
+        for stack in [StackKind::Seq, StackKind::Token, StackKind::Hybrid] {
+            for fault in [
+                FaultKind::None,
+                FaultKind::Loss { permille: 100 },
+                FaultKind::Loss { permille: 400 },
+                FaultKind::Crash,
+            ] {
+                seed += 1;
+                cells.push(CampaignCell { profile, stack, fault, seed, inject_fault: false });
+            }
+        }
+    }
+    cells
+}
+
+impl CampaignConfig {
+    /// The full grid: 6 profiles × 3 stacks × 4 faults over a 3 s span.
+    pub fn full() -> Self {
+        let (start, end) = (SimTime::from_millis(100), SimTime::from_secs(3));
+        Self {
+            group: 6,
+            senders: 3,
+            // Group 6 amplifies every multicast into more copies, acks
+            // and ordering traffic than the quick group-4 grid: a lower
+            // base rate and smaller bodies keep burst peaks below bus
+            // saturation (a saturated cell can never drain its 40%-loss
+            // retransmission backlog, which reads as delivery loss).
+            rate: 8.0,
+            body_bytes: 256,
+            scale: 1.0,
+            start,
+            end,
+            // Generous: a 40%-loss cell's last messages can need many
+            // rounds of backed-off retransmission to reach everyone.
+            drain: SimTime::from_millis(5000),
+            sample_interval: SimTime::from_millis(50),
+            high_permille: 100,
+            low_permille: 40,
+            min_samples: 2,
+            cooldown: SimTime::from_millis(400),
+            token_idle_hold: SimTime::from_millis(5),
+            liveness_bound: SimTime::from_secs(2),
+            phase_timeout: SimTime::from_millis(600),
+            crash_victim: 1,
+            crash_at: SimTime::from_millis(1300),
+            crash_back: SimTime::from_millis(1600),
+            cells: grid(6, 8.0, (start, end), 0xCA_4411_00),
+        }
+    }
+
+    /// The same full cross-product on a smaller, shorter group — the CI
+    /// smoke and test configuration.
+    pub fn quick() -> Self {
+        let (start, end) = (SimTime::from_millis(100), SimTime::from_millis(1200));
+        Self {
+            group: 4,
+            senders: 2,
+            rate: 20.0,
+            end,
+            drain: SimTime::from_millis(2000),
+            crash_at: SimTime::from_millis(550),
+            crash_back: SimTime::from_millis(750),
+            cells: grid(4, 20.0, (start, end), 0xCA_4411_50),
+            ..Self::full()
+        }
+    }
+
+    /// Arms the seeded failure path: the broken ordering layer is
+    /// spliced into the first fault-free sequencer cell, which must then
+    /// report exactly one total-order violation and fail the grid.
+    pub fn with_seeded_fault(mut self) -> Self {
+        let cell = self
+            .cells
+            .iter_mut()
+            .find(|c| c.stack == StackKind::Seq && c.fault == FaultKind::None)
+            .expect("grid has a fault-free sequencer cell");
+        cell.inject_fault = true;
+        self
+    }
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Result of one campaign cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell that ran.
+    pub cell: CampaignCell,
+    /// Manifest of the traffic the cell ran under.
+    pub manifest: Manifest,
+    /// Completed switches summed over the group (hybrid cells only).
+    pub switches: usize,
+    /// Abandoned switch attempts summed over the group.
+    pub aborts: u64,
+    /// Send→deliver latency over the workload span.
+    pub latency: LatencyStats,
+    /// Aggregates of the sampled load series.
+    pub load: SeriesSummary,
+    /// All monitor violations.
+    pub violations: Vec<Violation>,
+    /// Whether any process ended mid-switch or disagreeing on the
+    /// current protocol.
+    pub wedged: bool,
+    /// `true` iff no violations and not wedged.
+    pub pass: bool,
+}
+
+/// Runs one cell and judges it.
+pub fn run_cell(cfg: &CampaignConfig, cell: &CampaignCell) -> CellResult {
+    let spec = TrafficSpec {
+        profile: cell.profile,
+        group: cfg.group,
+        senders: cfg.senders,
+        rate: cfg.rate,
+        scale: cfg.scale,
+        body_bytes: cfg.body_bytes,
+        start: cfg.start,
+        end: cfg.end,
+        seed: cell.seed,
+    };
+    let schedule = spec.generate();
+    let manifest = schedule.manifest();
+
+    let recorder = Recorder::with_capacity(1 << 18);
+    let monitors = MonitorSet::standard(cfg.group, cfg.liveness_bound.as_micros());
+    monitors.attach(&recorder);
+    let sampler = MetricsSampler::new(cfg.sample_interval.as_micros()).with_seq_node(0);
+
+    let mut medium: Box<dyn Medium> = Box::new(SharedBus::new(EthernetConfig::default()));
+    if let FaultKind::Loss { permille } = cell.fault {
+        medium = Box::new(Lossy::new(medium, f64::from(permille) / 1000.0));
+    }
+
+    let handles: Rc<RefCell<Vec<SwitchHandle>>> = Rc::new(RefCell::new(Vec::new()));
+    let h2 = handles.clone();
+    let oracle_sampler = sampler.clone();
+    let (stack_kind, inject) = (cell.stack, cell.inject_fault);
+    let (high, low) = (cfg.high_permille, cfg.low_permille);
+    let (min_samples, cooldown) = (cfg.min_samples, cfg.cooldown);
+    let (idle_hold, phase_timeout) = (cfg.token_idle_hold, cfg.phase_timeout);
+
+    let b = GroupSimBuilder::new(cfg.group)
+        .seed(cell.seed ^ 0x7a11)
+        .medium(medium)
+        .recorder(recorder.clone())
+        .sampler(sampler.clone())
+        .stack_factory(move |p, _, ids| {
+            let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+            if inject && p == ProcessId(FAULT_NODE) {
+                layers.push(Box::new(SwapFaultLayer::new()));
+            }
+            match stack_kind {
+                StackKind::Seq => {
+                    layers.push(Box::new(SeqOrderLayer::new(ProcessId(0))));
+                    layers.push(Box::new(FifoLayer::new()));
+                    layers.push(Box::new(ReliableLayer::new()));
+                    Stack::with_ids(layers, ids)
+                }
+                StackKind::Token => {
+                    layers.push(Box::new(TokenOrderLayer::with_idle_hold(idle_hold)));
+                    layers.push(Box::new(ReliableLayer::new()));
+                    Stack::with_ids(layers, ids)
+                }
+                StackKind::Hybrid => {
+                    let oracle: Box<dyn Oracle> = if p == ProcessId(0) {
+                        Box::new(
+                            LoadOracle::new(oracle_sampler.clone(), high, low)
+                                .with_min_samples(min_samples)
+                                .with_cooldown(cooldown),
+                        )
+                    } else {
+                        Box::new(NeverOracle)
+                    };
+                    let sw = SwitchConfig {
+                        variant: SwitchVariant::TokenRing { idle_hold: SimTime::from_millis(10) },
+                        observe_interval: SimTime::from_millis(50),
+                        phase_timeout,
+                        retransmit_base: SimTime::from_millis(40),
+                        retransmit_max: SimTime::from_millis(160),
+                        token_regen: SimTime::from_millis(100),
+                        ..SwitchConfig::default()
+                    };
+                    let (stack, handle) =
+                        hybrid_seq_token_ft(ids, sw, ProcessId(0), idle_hold, oracle);
+                    h2.borrow_mut().push(handle);
+                    stack
+                }
+            }
+        })
+        .sends(schedule.into_sends());
+
+    let mut sim = b.build();
+    if cell.fault == FaultKind::Crash {
+        sim.schedule_crash(cfg.crash_at, ProcessId(cfg.crash_victim));
+        sim.schedule_recover(cfg.crash_back, ProcessId(cfg.crash_victim));
+    }
+    sim.run_until(cfg.end + cfg.drain);
+
+    let handles = handles.borrow();
+    let wedged = !handles.is_empty()
+        && (handles.iter().any(SwitchHandle::switching)
+            || handles.iter().any(|h| h.current() != handles[0].current()));
+    let switches = handles.iter().map(SwitchHandle::switches_completed).sum();
+    let aborts = handles.iter().map(SwitchHandle::aborted).sum();
+    let latency = latency_stats(&sim, SteadyStateWindow::between(cfg.start, cfg.end));
+    let violations = monitors.finish();
+    let pass = violations.is_empty() && !wedged;
+    CellResult {
+        cell: cell.clone(),
+        manifest,
+        switches,
+        aborts,
+        latency,
+        load: sampler.summary(),
+        violations,
+        wedged,
+        pass,
+    }
+}
+
+/// Runs the whole grid on `runner`; results are in cell order and
+/// byte-identical to a serial run regardless of worker count.
+pub fn run_with(cfg: &CampaignConfig, runner: &SweepRunner) -> Vec<CellResult> {
+    runner.run(cfg.cells.clone(), |_, cell| run_cell(cfg, &cell))
+}
+
+/// `true` iff every cell passed.
+pub fn all_pass(results: &[CellResult]) -> bool {
+    results.iter().all(|r| r.pass)
+}
+
+fn ms(t: SimTime) -> String {
+    let us = t.as_micros();
+    format!("{}.{:03}", us / 1000, us % 1000)
+}
+
+/// Renders the grid report.
+pub fn render(results: &[CellResult]) -> Table {
+    let mut t = Table::new(
+        "campaign — judged profile × stack × fault grid",
+        vec![
+            "cell",
+            "events",
+            "switches",
+            "aborts",
+            "p50 (ms)",
+            "p99 (ms)",
+            "undelivered",
+            "peak bus \u{2030}",
+            "violations",
+            "verdict",
+        ],
+    );
+    for r in results {
+        t.row(vec![
+            r.cell.name(),
+            r.manifest.events.to_string(),
+            r.switches.to_string(),
+            r.aborts.to_string(),
+            ms(r.latency.p50),
+            ms(r.latency.p99),
+            r.latency.incomplete.to_string(),
+            r.load.peak_bus_permille.to_string(),
+            r.violations.len().to_string(),
+            if r.pass { "PASS".to_owned() } else { "FAIL".to_owned() },
+        ]);
+        for v in &r.violations {
+            t.note(format!(
+                "  {}: {} node {} at {}us: {}",
+                r.cell.name(),
+                v.kind.as_str(),
+                v.node,
+                v.at_us,
+                v.detail
+            ));
+        }
+        if r.wedged {
+            t.note(format!("  {}: WEDGED — a process ended mid-switch", r.cell.name()));
+        }
+    }
+    t.note("latency percentiles are send→deliver over the workload span; undelivered counts messages some process never delivered");
+    t.note("a cell passes iff the streaming monitors saw no violation and no process wedged mid-switch");
+    t
+}
+
+/// The per-cell traffic manifests as JSON-lines, in cell order — the
+/// grid's provenance record.
+pub fn manifests_jsonl(results: &[CellResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&r.manifest.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_obs::ViolationKind;
+
+    /// One representative cell per judged dimension, kept small so the
+    /// debug-profile suite stays fast; `repro campaign --quick` (release)
+    /// covers the full grid.
+    fn representative(cfg: &CampaignConfig) -> Vec<CampaignCell> {
+        let pick = |stack: StackKind, fault: FaultKind| {
+            cfg.cells
+                .iter()
+                .find(|c| c.stack == stack && c.fault == fault)
+                .expect("grid covers the full cross-product")
+                .clone()
+        };
+        vec![
+            pick(StackKind::Seq, FaultKind::None),
+            pick(StackKind::Token, FaultKind::Loss { permille: 100 }),
+            pick(StackKind::Hybrid, FaultKind::Crash),
+        ]
+    }
+
+    #[test]
+    fn grid_is_the_full_cross_product() {
+        let cfg = CampaignConfig::quick();
+        assert_eq!(cfg.cells.len(), 6 * 3 * 4);
+        let mut names: Vec<String> = cfg.cells.iter().map(CampaignCell::name).collect();
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), total, "cell names must be unique");
+        let mut seeds: Vec<u64> = cfg.cells.iter().map(|c| c.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), total, "cell seeds must be unique");
+    }
+
+    #[test]
+    fn representative_cells_pass_clean() {
+        let cfg = CampaignConfig::quick();
+        for cell in representative(&cfg) {
+            let r = run_cell(&cfg, &cell);
+            assert!(r.pass, "{}: violations {:?} wedged {}", cell.name(), r.violations, r.wedged);
+            assert!(r.manifest.events > 0);
+            assert!(r.latency.samples > 0, "{}: no latency samples", cell.name());
+        }
+    }
+
+    #[test]
+    fn seeded_fault_cell_reports_exactly_one_total_order_violation() {
+        let cfg = CampaignConfig::quick().with_seeded_fault();
+        let cell = cfg.cells.iter().find(|c| c.inject_fault).unwrap();
+        assert_eq!((cell.stack, cell.fault), (StackKind::Seq, FaultKind::None));
+        let r = run_cell(&cfg, cell);
+        if r.latency.samples == 0 {
+            return; // tap feature off: no events stream, nothing observable
+        }
+        assert!(!r.pass, "the seeded fault must fail the cell");
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].kind, ViolationKind::TotalOrder);
+        assert_eq!(r.violations[0].node, FAULT_NODE);
+        assert!(!all_pass(&[r]));
+    }
+
+    #[test]
+    fn cell_report_and_manifest_are_deterministic() {
+        let cfg = CampaignConfig::quick();
+        let cell = &representative(&cfg)[2]; // hybrid under crash
+        let (a, b) = (run_cell(&cfg, cell), run_cell(&cfg, cell));
+        assert_eq!(render(&[a.clone()]).to_string(), render(&[b.clone()]).to_string());
+        assert_eq!(a.manifest.to_json(), b.manifest.to_json());
+        assert_eq!(a.load, b.load);
+    }
+}

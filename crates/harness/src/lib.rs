@@ -10,6 +10,7 @@
 //! | [`trace_run`] | §7 — instrumented switch run: event trace + phase timeline | `repro trace --trace out.jsonl` |
 //! | [`monitor_run`] | §7 — live monitors + load sampling + metrics-driven switch oracle | `repro monitor --series load.jsonl` |
 //! | [`chaos`] | §2/§8 — crash/recovery + partition fault injection, monitored scenario matrix | `repro chaos` |
+//! | [`campaign`] | §7 — judged campaign grid: traffic profiles × stacks × faults, monitored | `repro campaign` |
 //!
 //! Every experiment is deterministic given its config (all randomness is
 //! seeded) and returns a typed result that both the CLI and the Criterion
@@ -17,6 +18,7 @@
 //! (DESIGN.md §1), so the *shape* of each result is the claim, not the
 //! milliseconds.
 
+pub mod campaign;
 pub mod chaos;
 pub mod experiments;
 pub mod measure;

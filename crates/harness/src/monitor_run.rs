@@ -18,7 +18,10 @@
 //! The scenario ramps: a single quiet sender, then a burst of fast
 //! senders that pushes bus utilization over the oracle's high watermark
 //! (switch to token), then quiet again so it falls below the low
-//! watermark (switch back to the sequencer).
+//! watermark (switch back to the sequencer). The traffic is
+//! `ps-workload`'s flash-crowd profile, which reproduces this module's
+//! original hand-rolled base + burst workload pair draw for draw (same
+//! base seed, burst stream `seed ^ 0xB425`).
 //!
 //! With [`MonitorRunConfig::inject_fault`] set, a deliberately broken
 //! ordering layer is spliced above the switch at one node
@@ -29,7 +32,6 @@
 //! context.
 
 use crate::report::Table;
-use crate::workload::{periodic_senders, WorkloadSpec};
 use ps_bytes::Bytes;
 use ps_core::{
     LoadOracle, NeverOracle, Oracle, SwitchConfig, SwitchHandle, SwitchLayer, SwitchVariant,
@@ -40,6 +42,7 @@ use ps_simnet::{EthernetConfig, SharedBus, SimTime};
 use ps_stack::{GroupSimBuilder, Layer, LayerCtx, Stack};
 use ps_trace::{Message, ProcessId};
 use ps_wire::Wire;
+use ps_workload::{Profile, TrafficSpec};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -140,15 +143,23 @@ impl MonitorRunConfig {
 /// upward deliveries that came from *different* senders. Sitting above a
 /// total-order stack, that breaks total order at its node while leaving
 /// per-sender FIFO and delivery accounting intact — the cleanest possible
-/// seeded fault for the monitors to catch.
-struct SwapFaultLayer {
+/// seeded fault for the monitors to catch. Shared with `repro campaign`,
+/// whose `--fault` mode splices it into one grid cell.
+pub struct SwapFaultLayer {
     armed: bool,
     held: Option<(ProcessId, Bytes)>,
 }
 
 impl SwapFaultLayer {
-    fn new() -> Self {
+    /// A fresh, armed fault layer (fires on the first eligible pair).
+    pub fn new() -> Self {
         Self { armed: true, held: None }
+    }
+}
+
+impl Default for SwapFaultLayer {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -223,21 +234,21 @@ pub fn run(cfg: &MonitorRunConfig) -> MonitorRunResult {
     let (min_samples, cooldown) = (cfg.min_samples, cfg.cooldown);
     let (idle_hold, inject_fault) = (cfg.token_idle_hold, cfg.inject_fault);
 
-    let base = WorkloadSpec {
-        rate_per_sender: cfg.base_rate,
+    let spec = TrafficSpec {
+        profile: Profile::FlashCrowd {
+            burst_senders: cfg.burst_senders,
+            burst_rate: cfg.burst_rate,
+            from: cfg.burst_from,
+            until: cfg.burst_until,
+        },
+        group: cfg.group,
+        senders: cfg.base_senders,
+        rate: cfg.base_rate,
+        scale: 1.0,
         body_bytes: cfg.body_bytes,
         start: SimTime::from_millis(100),
         end: cfg.end,
         seed: cfg.seed,
-        ..WorkloadSpec::for_group(cfg.group, cfg.base_senders)
-    };
-    let burst = WorkloadSpec {
-        rate_per_sender: cfg.burst_rate,
-        body_bytes: cfg.body_bytes,
-        start: cfg.burst_from,
-        end: cfg.burst_until,
-        seed: cfg.seed ^ 0xB425,
-        ..WorkloadSpec::for_group(cfg.group, cfg.burst_senders)
     };
 
     let b = GroupSimBuilder::new(cfg.group)
@@ -275,7 +286,7 @@ pub fn run(cfg: &MonitorRunConfig) -> MonitorRunResult {
             layers.push(Box::new(layer));
             Stack::with_ids(layers, ids)
         })
-        .sends(periodic_senders(&base).into_iter().chain(periodic_senders(&burst)));
+        .sends(spec.generate().into_sends());
 
     let mut sim = b.build();
     sim.run_until(cfg.end + SimTime::from_millis(800));

@@ -3,7 +3,7 @@
 //! serial path's, whatever the worker count.
 
 use ps_harness::experiments::{ablation, fig2, table2};
-use ps_harness::{chaos, monitor_run, trace_run, SweepRunner};
+use ps_harness::{campaign, chaos, monitor_run, trace_run, SweepRunner};
 
 #[test]
 fn fig2_parallel_table_is_byte_identical_to_serial() {
@@ -72,6 +72,20 @@ fn chaos_report_is_byte_identical_under_the_parallel_runner() {
     let parallel = chaos::render(&chaos::run_with(&cfg, &SweepRunner::new(4))).to_string();
     assert_eq!(serial, parallel);
     assert!(chaos::all_pass(&chaos::run_with(&cfg, &SweepRunner::new(2))));
+}
+
+#[test]
+fn campaign_grid_is_byte_identical_under_the_parallel_runner() {
+    // The full quick grid — every profile × stack × fault, with samplers,
+    // monitors, oracles, loss and crash faults live — fanned across
+    // workers: the rendered grid and the manifest JSONL must match the
+    // serial run byte for byte.
+    let cfg = campaign::CampaignConfig::quick();
+    let serial = campaign::run_with(&cfg, &SweepRunner::serial());
+    let parallel = campaign::run_with(&cfg, &SweepRunner::new(4));
+    assert_eq!(campaign::render(&serial).to_string(), campaign::render(&parallel).to_string());
+    assert_eq!(campaign::manifests_jsonl(&serial), campaign::manifests_jsonl(&parallel));
+    assert!(campaign::all_pass(&serial));
 }
 
 #[test]

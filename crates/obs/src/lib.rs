@@ -64,5 +64,5 @@ pub use monitor::{
     ViolationKind,
 };
 pub use recorder::{EventSink, Recorder};
-pub use sample::{LoadSample, MetricsSampler};
+pub use sample::{LoadSample, MetricsSampler, SeriesSummary};
 pub use timeline::{check_well_nested, switch_timeline, SwitchInterval};

@@ -94,6 +94,27 @@ impl LoadSample {
     }
 }
 
+/// Whole-series aggregates of a sampled run, integer-valued so reports
+/// embedding them stay byte-stable. Peaks are over all windows; totals
+/// sum the per-window counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SeriesSummary {
+    /// Number of sampling windows in the series.
+    pub samples: u64,
+    /// Total frames sent across all windows.
+    pub frames_sent: u64,
+    /// Highest per-window medium busy share, in permille.
+    pub peak_bus_permille: u32,
+    /// Highest per-window busiest-node CPU busy share, in permille.
+    pub peak_cpu_permille: u32,
+    /// Highest per-window sequencer CPU busy share, in permille.
+    pub peak_seq_cpu_permille: u32,
+    /// Deepest CPU deferred-FIFO depth observed in any window.
+    pub peak_queue_depth: u32,
+    /// Most frames in flight at any window end.
+    pub peak_in_flight: u32,
+}
+
 #[derive(Default)]
 struct SamplerState {
     samples: Vec<LoadSample>,
@@ -196,6 +217,22 @@ impl MetricsSampler {
     /// A snapshot of the whole series.
     pub fn samples(&self) -> Vec<LoadSample> {
         self.lock().samples.clone()
+    }
+
+    /// Aggregates the series into one [`SeriesSummary`] (all zeros when
+    /// no samples were collected).
+    pub fn summary(&self) -> SeriesSummary {
+        let s = self.lock();
+        let mut out = SeriesSummary { samples: s.samples.len() as u64, ..SeriesSummary::default() };
+        for sample in &s.samples {
+            out.frames_sent += sample.frames_sent;
+            out.peak_bus_permille = out.peak_bus_permille.max(sample.bus_util_permille);
+            out.peak_cpu_permille = out.peak_cpu_permille.max(sample.max_cpu_permille);
+            out.peak_seq_cpu_permille = out.peak_seq_cpu_permille.max(sample.seq_cpu_permille);
+            out.peak_queue_depth = out.peak_queue_depth.max(sample.max_queue_depth);
+            out.peak_in_flight = out.peak_in_flight.max(sample.in_flight);
+        }
+        out
     }
 
     /// Discards collected samples (the interval and wiring stay).
@@ -302,6 +339,40 @@ mod tests {
         assert_eq!(header.split(',').count(), LoadSample::FIELDS.len());
         assert_eq!(lines.next(), Some("100,1,2,3,4,5,6,7,8"));
         assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn summary_aggregates_peaks_and_totals() {
+        let s = MetricsSampler::new(100);
+        assert_eq!(s.summary(), SeriesSummary::default());
+        s.push(LoadSample {
+            at_us: 100,
+            frames_sent: 3,
+            bus_util_permille: 200,
+            max_cpu_permille: 50,
+            seq_cpu_permille: 40,
+            max_queue_depth: 2,
+            in_flight: 1,
+            ..LoadSample::default()
+        });
+        s.push(LoadSample {
+            at_us: 200,
+            frames_sent: 5,
+            bus_util_permille: 150,
+            max_cpu_permille: 90,
+            seq_cpu_permille: 10,
+            max_queue_depth: 1,
+            in_flight: 7,
+            ..LoadSample::default()
+        });
+        let sum = s.summary();
+        assert_eq!(sum.samples, 2);
+        assert_eq!(sum.frames_sent, 8);
+        assert_eq!(sum.peak_bus_permille, 200);
+        assert_eq!(sum.peak_cpu_permille, 90);
+        assert_eq!(sum.peak_seq_cpu_permille, 40);
+        assert_eq!(sum.peak_queue_depth, 2);
+        assert_eq!(sum.peak_in_flight, 7);
     }
 
     #[test]

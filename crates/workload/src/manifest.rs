@@ -1,0 +1,158 @@
+//! Byte-deterministic schedule manifests.
+
+use crate::gen::{Profile, Schedule};
+
+/// A flat, integer-valued description of a generated schedule: the spec
+/// that produced it plus derived totals. Serialized with a fixed key
+/// order so equal schedules produce byte-identical JSON — the manifest is
+/// the campaign's unit of provenance (which profile, which seed, which
+/// scale produced this run's traffic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Profile machine name ([`Profile::name`]).
+    pub profile: &'static str,
+    /// Profile shape parameters, rendered `key=value` (`-` when none).
+    pub params: String,
+    /// Root seed.
+    pub seed: u64,
+    /// Scale factor in permille (1000 = 1.0×).
+    pub scale_permille: u64,
+    /// Group size.
+    pub group: u64,
+    /// Sending-subgroup size.
+    pub senders: u64,
+    /// Base per-sender rate in millihertz (msg/s × 1000), before scaling.
+    pub rate_mhz: u64,
+    /// Configured body size in bytes.
+    pub body_bytes: u64,
+    /// Workload span start (µs).
+    pub start_us: u64,
+    /// Workload span end (µs).
+    pub end_us: u64,
+    /// Total scheduled sends.
+    pub events: u64,
+    /// Total payload bytes across all sends.
+    pub payload_bytes: u64,
+    /// First send instant (µs; 0 when the schedule is empty).
+    pub first_at_us: u64,
+    /// Last send instant (µs; 0 when the schedule is empty).
+    pub last_at_us: u64,
+    /// Senders that actually emitted at least one event.
+    pub active_senders: u64,
+    /// Busiest sender's event count (the skew indicator).
+    pub max_sender_events: u64,
+}
+
+fn params_of(profile: &Profile) -> String {
+    match profile {
+        Profile::Steady => "-".to_owned(),
+        Profile::Diurnal { peak } => format!("peak={peak}"),
+        Profile::FlashCrowd { burst_senders, burst_rate, from, until } => format!(
+            "burst_senders={burst_senders} burst_rate_mhz={} from_us={} until_us={}",
+            (burst_rate * 1000.0).round() as u64,
+            from.as_micros(),
+            until.as_micros()
+        ),
+        Profile::HotSkew { s_x100 } => format!("s_x100={s_x100}"),
+        Profile::CorrelatedBursts { bursts, peak, duty_permille } => {
+            format!("bursts={bursts} peak={peak} duty_permille={duty_permille}")
+        }
+        Profile::Churn { sessions } => format!("sessions={sessions}"),
+    }
+}
+
+impl Manifest {
+    /// Derives the manifest of a schedule.
+    pub fn describe(schedule: &Schedule) -> Self {
+        let spec = &schedule.spec;
+        let mut per_sender = std::collections::BTreeMap::<u16, u64>::new();
+        let mut payload_bytes = 0u64;
+        for e in &schedule.events {
+            *per_sender.entry(e.sender.0).or_insert(0) += 1;
+            payload_bytes += e.body.len() as u64;
+        }
+        Manifest {
+            profile: spec.profile.name(),
+            params: params_of(&spec.profile),
+            seed: spec.seed,
+            scale_permille: (spec.scale * 1000.0).round() as u64,
+            group: u64::from(spec.group),
+            senders: u64::from(spec.senders),
+            rate_mhz: (spec.rate * 1000.0).round() as u64,
+            body_bytes: spec.body_bytes as u64,
+            start_us: spec.start.as_micros(),
+            end_us: spec.end.as_micros(),
+            events: schedule.events.len() as u64,
+            payload_bytes,
+            first_at_us: schedule.events.first().map_or(0, |e| e.at.as_micros()),
+            last_at_us: schedule.events.last().map_or(0, |e| e.at.as_micros()),
+            active_senders: per_sender.len() as u64,
+            max_sender_events: per_sender.values().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// One JSON object on one line, keys in declaration order. Equal
+    /// manifests serialize byte-identically.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(320);
+        out.push_str("{\"profile\":\"");
+        out.push_str(self.profile);
+        out.push_str("\",\"params\":\"");
+        out.push_str(&self.params);
+        out.push('"');
+        for (k, v) in [
+            ("seed", self.seed),
+            ("scale_permille", self.scale_permille),
+            ("group", self.group),
+            ("senders", self.senders),
+            ("rate_mhz", self.rate_mhz),
+            ("body_bytes", self.body_bytes),
+            ("start_us", self.start_us),
+            ("end_us", self.end_us),
+            ("events", self.events),
+            ("payload_bytes", self.payload_bytes),
+            ("first_at_us", self.first_at_us),
+            ("last_at_us", self.last_at_us),
+            ("active_senders", self.active_senders),
+            ("max_sender_events", self.max_sender_events),
+        ] {
+            out.push_str(",\"");
+            out.push_str(k);
+            out.push_str("\":");
+            out.push_str(&v.to_string());
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gen::TrafficSpec;
+
+    #[test]
+    fn manifest_totals_match_the_schedule() {
+        let spec = TrafficSpec::default();
+        let sched = spec.generate();
+        let m = sched.manifest();
+        assert_eq!(m.profile, "steady");
+        assert_eq!(m.params, "-");
+        assert_eq!(m.events, sched.events.len() as u64);
+        assert_eq!(m.payload_bytes, m.events * m.body_bytes.max(8));
+        assert_eq!(m.active_senders, u64::from(spec.senders));
+        assert_eq!(m.first_at_us, sched.events[0].at.as_micros());
+        assert_eq!(m.last_at_us, sched.events.last().unwrap().at.as_micros());
+        assert!(m.max_sender_events >= m.events / m.senders);
+    }
+
+    #[test]
+    fn json_is_stable_and_single_line() {
+        let sched = TrafficSpec::default().generate();
+        let a = sched.manifest().to_json();
+        let b = TrafficSpec::default().generate().manifest().to_json();
+        assert_eq!(a, b);
+        assert!(!a.contains('\n'));
+        assert!(a.starts_with("{\"profile\":\"steady\",\"params\":\"-\",\"seed\":"));
+        assert!(a.ends_with('}'));
+    }
+}

@@ -1,0 +1,211 @@
+//! Cross-profile golden vectors: the first 16 send events of every
+//! profile, for one pinned spec, must never drift.
+//!
+//! This mirrors the DetRng first-16-draws golden from PR 1: a change here
+//! means the generation algorithm (draw order, jitter arithmetic, segment
+//! planning, or canonical sort) changed, which silently reshuffles the
+//! traffic behind every recorded campaign seed. Do not update these
+//! values without re-pinning the campaign expectations that depend on
+//! them and saying so in the PR.
+//!
+//! Steady, diurnal, and flash-crowd deliberately share a head: diurnal's
+//! first slice has multiplier 1x and the flash burst only opens at 1s, so
+//! all three start as plain steady traffic. Their manifests (total
+//! events, active senders) pin where they diverge.
+
+use ps_simnet::SimTime;
+use ps_workload::{Profile, TrafficSpec};
+
+const GOLDEN_SEED: u64 = 0xD0_5EED;
+
+/// Shared head for the profiles that open with an unmodified steady phase.
+const STEADY_HEAD: [(u64, u16); 16] = [
+    (106943, 3),
+    (109387, 2),
+    (124200, 4),
+    (124893, 5),
+    (130375, 3),
+    (139354, 2),
+    (151148, 4),
+    (156045, 5),
+    (159586, 3),
+    (159758, 2),
+    (176058, 4),
+    (176749, 5),
+    (185045, 2),
+    (189165, 3),
+    (198103, 4),
+    (205773, 2),
+];
+
+fn pinned(profile: Profile) -> TrafficSpec {
+    TrafficSpec {
+        profile,
+        group: 6,
+        senders: 4,
+        rate: 40.0,
+        scale: 1.0,
+        body_bytes: 64,
+        start: SimTime::from_millis(100),
+        end: SimTime::from_millis(2600),
+        seed: GOLDEN_SEED,
+    }
+}
+
+/// Asserts the first 16 `(at_us, sender)` pairs and the total event count
+/// of `spec`'s schedule.
+fn assert_head(spec: &TrafficSpec, total: usize, expected: [(u64, u16); 16]) {
+    let sched = spec.generate();
+    assert_eq!(sched.events.len(), total, "{}: total event count drifted", spec.profile.name());
+    let head: Vec<(u64, u16)> =
+        sched.events[..16].iter().map(|e| (e.at.as_micros(), e.sender.0)).collect();
+    assert_eq!(
+        head,
+        expected,
+        "{}: first 16 events diverged from the golden vector",
+        spec.profile.name()
+    );
+}
+
+#[test]
+fn steady_head_is_pinned() {
+    assert_head(&pinned(Profile::Steady), 397, STEADY_HEAD);
+}
+
+#[test]
+fn diurnal_head_is_pinned() {
+    assert_head(&pinned(Profile::Diurnal { peak: 4 }), 918, STEADY_HEAD);
+}
+
+#[test]
+fn flash_crowd_head_is_pinned() {
+    assert_head(
+        &pinned(Profile::FlashCrowd {
+            burst_senders: 5,
+            burst_rate: 80.0,
+            from: SimTime::from_millis(1000),
+            until: SimTime::from_millis(1800),
+        }),
+        718,
+        STEADY_HEAD,
+    );
+}
+
+#[test]
+fn hot_skew_head_is_pinned() {
+    assert_head(
+        &pinned(Profile::HotSkew { s_x100: 150 }),
+        401,
+        [
+            (103921, 2),
+            (108204, 3),
+            (116440, 2),
+            (124964, 2),
+            (135527, 2),
+            (135891, 3),
+            (144186, 2),
+            (152530, 4),
+            (156408, 2),
+            (166022, 2),
+            (170406, 3),
+            (175408, 2),
+            (183192, 5),
+            (184934, 2),
+            (193214, 2),
+            (205213, 2),
+        ],
+    );
+}
+
+#[test]
+fn correlated_bursts_head_is_pinned() {
+    assert_head(
+        &pinned(Profile::CorrelatedBursts { bursts: 4, peak: 5, duty_permille: 250 }),
+        800,
+        [
+            (101388, 3),
+            (101877, 2),
+            (104840, 4),
+            (104978, 5),
+            (106074, 3),
+            (107870, 2),
+            (110229, 4),
+            (111208, 5),
+            (111916, 3),
+            (111950, 2),
+            (115211, 4),
+            (115348, 5),
+            (117007, 2),
+            (117831, 3),
+            (119620, 4),
+            (121152, 2),
+        ],
+    );
+}
+
+#[test]
+fn churn_head_is_pinned() {
+    assert_head(
+        &pinned(Profile::Churn { sessions: 3 }),
+        226,
+        [
+            (208060, 5),
+            (239212, 5),
+            (259916, 5),
+            (289828, 5),
+            (316288, 5),
+            (347245, 5),
+            (374414, 5),
+            (404683, 5),
+            (423780, 5),
+            (449617, 5),
+            (470155, 5),
+            (497276, 5),
+            (527997, 5),
+            (550448, 5),
+            (578403, 5),
+            (605037, 5),
+        ],
+    );
+}
+
+/// The steady manifest, byte-pinned end to end.
+#[test]
+fn steady_manifest_json_is_pinned() {
+    let m = pinned(Profile::Steady).generate().manifest();
+    assert_eq!(
+        m.to_json(),
+        "{\"profile\":\"steady\",\"params\":\"-\",\"seed\":13655789,\
+         \"scale_permille\":1000,\"group\":6,\"senders\":4,\"rate_mhz\":40000,\
+         \"body_bytes\":64,\"start_us\":100000,\"end_us\":2600000,\
+         \"events\":397,\"payload_bytes\":25408,\"first_at_us\":106943,\
+         \"last_at_us\":2594947,\"active_senders\":4,\"max_sender_events\":101}"
+    );
+}
+
+/// Print helper (ignored): regenerates the golden vectors above.
+#[test]
+#[ignore]
+fn print_goldens() {
+    for p in [
+        Profile::Steady,
+        Profile::Diurnal { peak: 4 },
+        Profile::FlashCrowd {
+            burst_senders: 5,
+            burst_rate: 80.0,
+            from: SimTime::from_millis(1000),
+            until: SimTime::from_millis(1800),
+        },
+        Profile::HotSkew { s_x100: 150 },
+        Profile::CorrelatedBursts { bursts: 4, peak: 5, duty_permille: 250 },
+        Profile::Churn { sessions: 3 },
+    ] {
+        let spec = pinned(p);
+        let sched = spec.generate();
+        println!("== {} ({} events)", spec.profile.name(), sched.events.len());
+        for e in sched.events.iter().take(16) {
+            println!("            ({}, {}),", e.at.as_micros(), e.sender.0);
+        }
+        println!("manifest: {}", sched.manifest().to_json());
+    }
+}

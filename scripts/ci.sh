@@ -82,6 +82,25 @@ cargo run --release -q --bin repro -- chaos --quick > target/ci-chaos/a.txt
 PS_SWEEP_WORKERS=3 cargo run --release -q --bin repro -- chaos --quick > target/ci-chaos/b.txt
 diff target/ci-chaos/a.txt target/ci-chaos/b.txt
 
+echo "==> campaign smoke: repro campaign --quick runs the full grid deterministically (offline)"
+# The judged campaign grid (profiles × stacks × faults) must pass clean
+# (repro exits non-zero on any violation or wedged switch), render and
+# emit manifests byte-identically across serial and parallel runs, write
+# valid JSON-lines manifests, and fail under the seeded --fault cell.
+rm -rf target/ci-campaign && mkdir -p target/ci-campaign
+cargo run --release -q --bin repro -- campaign --quick \
+    --manifests target/ci-campaign/a.manifests.jsonl > target/ci-campaign/a.txt
+PS_SWEEP_WORKERS=4 cargo run --release -q --bin repro -- campaign --quick --serial \
+    --manifests target/ci-campaign/b.manifests.jsonl > target/ci-campaign/b.txt
+cargo run --release -q --bin trace_lint -- target/ci-campaign/a.manifests.jsonl
+diff target/ci-campaign/a.txt target/ci-campaign/b.txt
+diff target/ci-campaign/a.manifests.jsonl target/ci-campaign/b.manifests.jsonl
+if cargo run --release -q --bin repro -- campaign --quick --fault > target/ci-campaign/fault.txt; then
+    echo "repro campaign --fault failed to detect the seeded total-order violation"
+    exit 1
+fi
+grep -q total_order target/ci-campaign/fault.txt
+
 echo "==> cargo doc --no-deps with warnings denied (offline)"
 # ps-obs and ps-core carry #![deny(missing_docs)]; this gate extends the
 # no-warning bar to every rustdoc lint across the workspace.

@@ -19,6 +19,7 @@
 //! | [`wire`] | `ps-wire` | binary codec and header framing |
 //! | [`rt`] | `ps-rt` | real-time runtime: the same stacks on OS threads |
 //! | [`obs`] | `ps-obs` | structured tracing: ring-buffer recorder, latency histograms, JSON-lines / Chrome-trace exporters |
+//! | [`workload`] | `ps-workload` | seeded traffic-profile generator: typed profiles, deterministic schedules, byte-stable manifests |
 //! | [`harness`] | `ps-harness` | the experiments regenerating every table and figure |
 //!
 //! ## Quickstart
@@ -62,6 +63,7 @@ pub use ps_simnet as simnet;
 pub use ps_stack as stack;
 pub use ps_trace as trace;
 pub use ps_wire as wire;
+pub use ps_workload as workload;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
