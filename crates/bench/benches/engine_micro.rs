@@ -65,6 +65,20 @@ fn bus_model(bench: &mut Bench) {
         t += SimTime::from_micros(100);
         black_box(bus.transmit(NodeId(0), &dests, 1024, t, &mut rng).deliveries.len())
     });
+    // A/B pair for the broadcast fan-out shape (1000 destinations): the
+    // allocating `transmit` against the scratch-plan `transmit_into` the
+    // simulator hot path uses. The gap is pure allocator churn.
+    let wide: Vec<NodeId> = (0..1000).map(NodeId).collect();
+    g.bench("bus_transmit_1000_alloc", || {
+        t += SimTime::from_micros(100);
+        black_box(bus.transmit(NodeId(0), &wide, 256, t, &mut rng).deliveries.len())
+    });
+    let mut plan = ps_simnet::TxPlan::default();
+    g.bench("bus_transmit_1000_scratch", || {
+        t += SimTime::from_micros(100);
+        bus.transmit_into(NodeId(0), &wide, 256, t, &mut rng, &mut plan);
+        black_box(plan.deliveries.len())
+    });
 }
 
 fn sim_loop(bench: &mut Bench) {

@@ -1,0 +1,235 @@
+//! Scaling proof for the sharded engine: multi-segment topologies at
+//! 1k / 10k / 100k nodes, serial engine vs [`ShardedSim`].
+//!
+//! Two workloads, both raw [`Agent`]s (`Send`, no protocol stack):
+//!
+//! * **bcast** — two talkers per segment broadcast on their own segment
+//!   every 500 µs. Traffic is entirely segment-local: the embarrassingly
+//!   parallel best case for sharding.
+//! * **switch** — the paper's move in miniature: members route their
+//!   traffic through a per-segment sequencer (which relays to the
+//!   segment, and forwards every 4th relay across the bridge to the next
+//!   segment's sequencer), then at half-time every node *switches
+//!   protocol* to direct segment broadcast. Cross-bridge frames exercise
+//!   the epoch-barrier exchange while the switch changes the load shape
+//!   mid-run.
+//!
+//! `serial` rows run the plain [`Sim`] loop over a [`SegmentedBus`];
+//! `sharded` rows run the same topology on [`ShardedSim`] with up to 8
+//! worker threads. Same seed, same topology — the `sharded_determinism`
+//! suite pins the two to byte-identical output, so every row pair is
+//! timing the *same* computation.
+//!
+//! After the timed rows, one `{"group":"engine_scale_mem",...}` line per
+//! configuration reports approximate resident bytes per node (from
+//! `approx_mem_bytes`), which should stay roughly flat from 1k to 100k.
+//!
+//! Results are committed as `BENCH_scale.json`. `PS_SCALE_QUICK=1` skips
+//! the 100k rows (CI smoke); `PS_BENCH_ITERS=1` shortens the rest.
+
+use ps_bench::timing::Bench;
+use ps_bytes::Bytes;
+use ps_simnet::{
+    Agent, Dest, NodeId, Packet, SegmentedBus, ShardedSim, Sim, SimApi, SimConfig, SimTime,
+    TimerToken, Topology,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const SEG_SIZE: u32 = 250;
+const TALKERS_PER_SEG: u32 = 2;
+const ROUNDS: u32 = 20;
+const PERIOD: SimTime = SimTime::from_micros(500);
+const DEADLINE: SimTime = SimTime::from_micros(25_000);
+const BRIDGE: SimTime = SimTime::from_micros(100);
+const MAX_SHARDS: usize = 8;
+
+const SEND: TimerToken = TimerToken(1);
+const SWITCH: TimerToken = TimerToken(2);
+
+/// 64 B payloads (85 µs serialization at 10 Mbit/s): heavy but stable
+/// segment load. First byte tags the frame's role for the relay logic.
+const REQUEST: &[u8] = &[0xA1; 64];
+const RELAY: &[u8] = &[0xB2; 64];
+
+/// Both workloads in one agent; `via_sequencer` starts true for the
+/// switch workload and false for pure broadcast.
+struct ScaleAgent {
+    rounds_left: u32,
+    /// Route sends through the segment sequencer (pre-switch mode).
+    via_sequencer: bool,
+    /// Flip to direct broadcast at this instant (`None`: never).
+    switch_at: Option<SimTime>,
+    /// First node of this node's segment — the sequencer.
+    sequencer: NodeId,
+    /// Next segment's sequencer, forwarded to on every 4th relay
+    /// (sequencers only; `None` elsewhere).
+    bridge_peer: Option<NodeId>,
+    relays: u32,
+    received: u64,
+}
+
+impl Agent for ScaleAgent {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        if self.rounds_left > 0 {
+            // Stagger first sends across the segment so talkers don't
+            // all queue on the same microsecond.
+            let stagger = SimTime::from_micros(u64::from(api.me().0) % 97);
+            api.set_timer(PERIOD + stagger, SEND);
+        }
+        if let Some(at) = self.switch_at {
+            api.set_timer(at, SWITCH);
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet, api: &mut SimApi<'_>) {
+        self.received += 1;
+        // Sequencer relay path (pre-switch): requests come in unicast,
+        // go out as a segment broadcast, and every 4th relay also
+        // crosses the bridge to the next sequencer.
+        if api.me() == self.sequencer && pkt.payload.first() == Some(&REQUEST[0]) {
+            api.send(Dest::Segment, Bytes::from_static(RELAY));
+            self.relays += 1;
+            if self.relays % 4 == 0 {
+                if let Some(peer) = self.bridge_peer {
+                    api.send(Dest::To(peer), Bytes::from_static(RELAY));
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, api: &mut SimApi<'_>) {
+        match token {
+            SWITCH => self.via_sequencer = false,
+            _ => {
+                if self.rounds_left == 0 {
+                    return;
+                }
+                self.rounds_left -= 1;
+                if self.via_sequencer && api.me() != self.sequencer {
+                    api.send(Dest::To(self.sequencer), Bytes::from_static(REQUEST));
+                } else {
+                    api.send(Dest::Segment, Bytes::from_static(RELAY));
+                }
+                if self.rounds_left > 0 {
+                    api.set_timer(PERIOD, SEND);
+                }
+            }
+        }
+    }
+}
+
+fn topo(nodes: u32) -> Arc<Topology> {
+    Arc::new(Topology::uniform(nodes, nodes / SEG_SIZE, BRIDGE))
+}
+
+fn agents(topo: &Topology, switching: bool) -> Vec<ScaleAgent> {
+    let segs = topo.num_segments();
+    (0..topo.num_nodes())
+        .map(|n| {
+            let seg = topo.segment_of(NodeId(n));
+            let range = topo.segment_range(seg);
+            let sequencer = NodeId(range.start);
+            let is_talker = n - range.start < TALKERS_PER_SEG;
+            ScaleAgent {
+                rounds_left: if is_talker { ROUNDS } else { 0 },
+                via_sequencer: switching,
+                switch_at: switching.then_some(SimTime::from_micros(10_000)),
+                sequencer,
+                bridge_peer: (n == range.start && switching)
+                    .then(|| NodeId(topo.segment_range((seg + 1) % segs).start)),
+                relays: 0,
+                received: 0,
+            }
+        })
+        .collect()
+}
+
+fn config() -> SimConfig {
+    SimConfig::default().seed(7).service_time(SimTime::from_micros(5))
+}
+
+/// The serial engine: one plain `Sim` over the whole topology.
+fn run_serial(nodes: u32, switching: bool) -> u64 {
+    let topo = topo(nodes);
+    let medium = Box::new(SegmentedBus::new(Arc::clone(&topo), 7));
+    let mut sim = Sim::new(config().topology(Arc::clone(&topo)), medium, agents(&topo, switching));
+    sim.run_until(DEADLINE);
+    sim.stats().events_processed
+}
+
+/// The sharded engine, parallel driver, up to [`MAX_SHARDS`] threads.
+fn run_sharded(nodes: u32, switching: bool) -> u64 {
+    let topo = topo(nodes);
+    let shards = MAX_SHARDS.min(topo.num_segments() as usize);
+    let agents = agents(&topo, switching);
+    let mut sim = ShardedSim::new(config(), Arc::clone(&topo), shards, agents);
+    sim.run_until(DEADLINE);
+    sim.stats().events_processed
+}
+
+/// One short run per engine, reporting approximate bytes per node as its
+/// own JSON line (not a timing row — `bench_check` ignores it).
+fn mem_probe(nodes: u32, engine: &str) {
+    let topo = topo(nodes);
+    let bytes = match engine {
+        "serial" => {
+            let medium = Box::new(SegmentedBus::new(Arc::clone(&topo), 7));
+            let mut sim =
+                Sim::new(config().topology(Arc::clone(&topo)), medium, agents(&topo, false));
+            sim.run_until(SimTime::from_micros(2_000));
+            sim.approx_mem_bytes()
+        }
+        _ => {
+            let shards = MAX_SHARDS.min(topo.num_segments() as usize);
+            let agents = agents(&topo, false);
+            let mut sim = ShardedSim::new(config(), Arc::clone(&topo), shards, agents);
+            sim.run_until(SimTime::from_micros(2_000));
+            sim.approx_mem_bytes()
+        }
+    };
+    println!(
+        "{{\"group\":\"engine_scale_mem\",\"bench\":\"{}_{}\",\"nodes\":{},\"bytes_per_node\":{}}}",
+        label(nodes),
+        engine,
+        nodes,
+        bytes as u64 / u64::from(nodes),
+    );
+}
+
+fn label(nodes: u32) -> String {
+    if nodes >= 1000 {
+        format!("{}k", nodes / 1000)
+    } else {
+        nodes.to_string()
+    }
+}
+
+fn main() {
+    let quick = std::env::var("PS_SCALE_QUICK").is_ok();
+    let sizes: &[u32] = if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000] };
+    // The artifact must say what it was measured on: with one hardware
+    // thread the sharded rows exercise the serial-fallback driver
+    // (epoch-batched locality, no thread wins are possible).
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("{{\"group\":\"engine_scale_host\",\"bench\":\"host\",\"hw_threads\":{hw},\"max_shards\":{MAX_SHARDS}}}");
+    let mut bench = Bench::from_args();
+    {
+        let mut g = bench.group("engine_scale");
+        g.iters(3);
+        for &nodes in sizes {
+            let l = label(nodes);
+            g.bench(format!("bcast_{l}_serial"), || black_box(run_serial(nodes, false)));
+            g.bench(format!("bcast_{l}_sharded"), || black_box(run_sharded(nodes, false)));
+            g.bench(format!("switch_{l}_serial"), || black_box(run_serial(nodes, true)));
+            g.bench(format!("switch_{l}_sharded"), || black_box(run_sharded(nodes, true)));
+        }
+    }
+    if bench.config().filter.is_none() {
+        for &nodes in sizes {
+            mem_probe(nodes, "serial");
+            mem_probe(nodes, "sharded");
+        }
+    }
+    bench.finish();
+}

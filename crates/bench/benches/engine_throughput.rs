@@ -192,7 +192,7 @@ fn main() {
     let mut bench = Bench::from_args();
     {
         let mut g = bench.group("engine_throughput");
-        g.iters(10);
+        g.iters(20);
         // Broadcast-heavy: sends × (n − 1) packet deliveries dominate.
         g.bench("broadcast_10", || black_box(broadcast_run(10, 10, 500, None)));
         g.bench("broadcast_100", || black_box(broadcast_run(100, 20, 50, None)));

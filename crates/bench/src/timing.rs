@@ -77,18 +77,31 @@ impl Stats {
         let n = sorted.len();
         let median_ns =
             if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2 };
-        // Nearest-rank percentile; for small n this is just the max,
-        // which is the honest answer.
-        let rank = ((n as f64) * 0.99).ceil() as usize;
-        let p99_ns = sorted[rank.clamp(1, n) - 1];
         Stats {
             min_ns: sorted[0],
             mean_ns: (sorted.iter().map(|&s| u128::from(s)).sum::<u128>() / n as u128) as u64,
             median_ns,
-            p99_ns,
+            p99_ns: quantile(&sorted, 0.99),
             max_ns: sorted[n - 1],
         }
     }
+}
+
+/// Linearly interpolated quantile over a sorted sample (the R-7 /
+/// numpy-default estimator). Unlike nearest-rank, this keeps `p99`
+/// distinct from `max` at small sample counts — at the old default of 10
+/// iterations, nearest-rank p99 *was* the max, so one scheduler hiccup
+/// polluted both columns of every `BENCH_*.json` row.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    let frac = pos - lo as f64;
+    (sorted[lo] as f64 + (sorted[hi] - sorted[lo]) as f64 * frac).round() as u64
 }
 
 /// One finished benchmark: its identity plus the measured [`Stats`].
@@ -270,6 +283,23 @@ mod tests {
         let s = Stats::from_samples(&samples);
         assert_eq!(s.p99_ns, 990);
         assert_eq!(s.median_ns, 500);
+    }
+
+    #[test]
+    fn p99_stays_below_max_at_small_sample_counts() {
+        // The regression this guards: at 10 samples, nearest-rank p99
+        // equalled max, so a single outlier iteration showed up twice.
+        let samples: Vec<u64> = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 100];
+        let s = Stats::from_samples(&samples);
+        assert!(s.p99_ns < s.max_ns, "p99 {} should interpolate below max {}", s.p99_ns, s.max_ns);
+        assert_eq!(s.p99_ns, 92); // 9 + 0.91 × (100 − 9)
+    }
+
+    #[test]
+    fn quantile_interpolates_between_ranks() {
+        assert_eq!(quantile(&[10, 20], 0.5), 15);
+        assert_eq!(quantile(&[10], 0.99), 10);
+        assert_eq!(quantile(&[0, 100], 0.25), 25);
     }
 
     #[test]

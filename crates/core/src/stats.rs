@@ -38,7 +38,7 @@ impl SwitchRecord {
     /// Only completed switches (those whose flip made it into the ring)
     /// are returned, in completion order, matching what the live
     /// [`SwitchStats::records`] accumulated at that process.
-    pub fn from_events(node: u16, events: &[ps_obs::TimedEvent]) -> Vec<SwitchRecord> {
+    pub fn from_events(node: u32, events: &[ps_obs::TimedEvent]) -> Vec<SwitchRecord> {
         ps_obs::switch_timeline(events)
             .into_iter()
             .filter(|iv| iv.node == node)

@@ -262,7 +262,7 @@ fn record_phase(ctx: &LayerCtx<'_>, phase: SpPhase, from: usize, to: usize) {
     if let Some(o) = ctx.obs() {
         o.record(
             ctx.now().as_micros(),
-            ctx.me().0,
+            u32::from(ctx.me().0),
             ObsEvent::SwitchPhase { phase, from: from as u8, to: to as u8 },
         );
     }

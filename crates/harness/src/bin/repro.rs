@@ -5,6 +5,7 @@
 //!       [--quick] [--csv] [--counterexamples] [--serial]
 //!       [--trace PATH] [--trace-format jsonl|chrome]
 //!       [--fault] [--series PATH] [--manifests PATH]
+//!       [--topology segments:<n>]
 //! ```
 //!
 //! Sweeps run on a worker pool by default (`PS_SWEEP_WORKERS` overrides
@@ -33,6 +34,10 @@
 //! writes the per-cell traffic manifests as JSON-lines; `--fault` splices
 //! the broken ordering layer into one cell (which must then fail). Exits
 //! 1 if any cell reports a violation or a wedged switch.
+//!
+//! `--topology segments:<n>` (monitor and campaign) spreads the group
+//! over `n` bridged shared-Ethernet segments instead of one bus; the
+//! same grid runs unchanged, monitors and all.
 
 use ps_harness::experiments::{ablation, fig2, oscillation, overhead, table1, table2};
 use ps_harness::{campaign, chaos, monitor_run, trace_run, SweepRunner};
@@ -48,6 +53,7 @@ struct Opts {
     fault: bool,
     series_path: Option<String>,
     manifests_path: Option<String>,
+    segments: u32,
 }
 
 fn parse() -> Opts {
@@ -61,6 +67,7 @@ fn parse() -> Opts {
     let mut fault = false;
     let mut series_path = None;
     let mut manifests_path = None;
+    let mut segments = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -90,6 +97,21 @@ fn parse() -> Opts {
                     std::process::exit(2);
                 }
             },
+            "--topology" => {
+                let parsed = args
+                    .next()
+                    .as_deref()
+                    .and_then(|v| v.strip_prefix("segments:").map(str::to_owned))
+                    .and_then(|n| n.parse::<u32>().ok())
+                    .filter(|&n| n >= 1);
+                match parsed {
+                    Some(n) => segments = n,
+                    None => {
+                        eprintln!("--topology needs segments:<n> with n >= 1");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--trace-format" => {
                 let fmt = args.next().as_deref().and_then(trace_run::TraceFormat::parse);
                 match fmt {
@@ -102,7 +124,7 @@ fn parse() -> Opts {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|chaos|campaign|all] [--quick] [--csv] [--counterexamples] [--serial] [--trace PATH] [--trace-format jsonl|chrome] [--fault] [--series PATH] [--manifests PATH]"
+                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|chaos|campaign|all] [--quick] [--csv] [--counterexamples] [--serial] [--trace PATH] [--trace-format jsonl|chrome] [--fault] [--series PATH] [--manifests PATH] [--topology segments:<n>]"
                 );
                 std::process::exit(0);
             }
@@ -124,6 +146,7 @@ fn parse() -> Opts {
         fault,
         series_path,
         manifests_path,
+        segments,
     }
 }
 
@@ -213,6 +236,7 @@ fn main() {
             monitor_run::MonitorRunConfig::default()
         };
         cfg.inject_fault = opts.fault;
+        cfg.segments = opts.segments;
         let r = monitor_run::run(&cfg);
         emit(&opts, &monitor_run::render_series(&r));
         emit(&opts, &monitor_run::render_switches(&r));
@@ -239,6 +263,7 @@ fn main() {
         if opts.fault {
             cfg = cfg.with_seeded_fault();
         }
+        cfg.segments = opts.segments;
         let results = campaign::run_with(&cfg, &opts.runner);
         emit(&opts, &campaign::render(&results));
         if let Some(path) = &opts.manifests_path {

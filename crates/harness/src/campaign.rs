@@ -36,12 +36,13 @@ use ps_core::{
 };
 use ps_obs::{MetricsSampler, MonitorSet, Recorder, SeriesSummary, Violation};
 use ps_protocols::{FifoLayer, ReliableLayer, SeqOrderLayer, TokenOrderLayer};
-use ps_simnet::{EthernetConfig, Lossy, Medium, SharedBus, SimTime};
+use ps_simnet::{EthernetConfig, Lossy, Medium, SegmentedBus, SharedBus, SimTime, Topology};
 use ps_stack::{GroupSimBuilder, Layer, Stack};
 use ps_trace::ProcessId;
 use ps_workload::{Manifest, Profile, TrafficSpec};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// The protocol stack a cell runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,6 +158,13 @@ pub struct CampaignConfig {
     pub crash_at: SimTime,
     /// Recovery instant.
     pub crash_back: SimTime,
+    /// Number of shared-bus segments the group is spread over. `1` (the
+    /// default) is the paper's single shared Ethernet; above 1 every cell
+    /// runs on a bridged multi-segment [`ps_simnet::Topology`] instead
+    /// (`repro campaign --topology segments:<n>`).
+    pub segments: u32,
+    /// Extra one-way bridge latency between segments (multi-segment only).
+    pub bridge_latency: SimTime,
     /// The cells to run.
     pub cells: Vec<CampaignCell>,
 }
@@ -229,6 +237,8 @@ impl CampaignConfig {
             crash_victim: 1,
             crash_at: SimTime::from_millis(1300),
             crash_back: SimTime::from_millis(1600),
+            segments: 1,
+            bridge_latency: SimTime::from_micros(100),
             cells: grid(6, 8.0, (start, end), 0xCA_4411_00),
         }
     }
@@ -311,11 +321,19 @@ pub fn run_cell(cfg: &CampaignConfig, cell: &CampaignCell) -> CellResult {
     let manifest = schedule.manifest();
 
     let recorder = Recorder::with_capacity(1 << 18);
-    let monitors = MonitorSet::standard(cfg.group, cfg.liveness_bound.as_micros());
+    let monitors = MonitorSet::standard(u32::from(cfg.group), cfg.liveness_bound.as_micros());
     monitors.attach(&recorder);
     let sampler = MetricsSampler::new(cfg.sample_interval.as_micros()).with_seq_node(0);
 
-    let mut medium: Box<dyn Medium> = Box::new(SharedBus::new(EthernetConfig::default()));
+    // Above one segment the cell runs on a bridged multi-segment
+    // topology; the builder then knows `Dest::Segment` boundaries too.
+    let topo = (cfg.segments > 1).then(|| {
+        Arc::new(Topology::uniform(u32::from(cfg.group), cfg.segments, cfg.bridge_latency))
+    });
+    let mut medium: Box<dyn Medium> = match &topo {
+        Some(t) => Box::new(SegmentedBus::new(Arc::clone(t), cell.seed ^ 0x7a11)),
+        None => Box::new(SharedBus::new(EthernetConfig::default())),
+    };
     if let FaultKind::Loss { permille } = cell.fault {
         medium = Box::new(Lossy::new(medium, f64::from(permille) / 1000.0));
     }
@@ -328,8 +346,13 @@ pub fn run_cell(cfg: &CampaignConfig, cell: &CampaignCell) -> CellResult {
     let (min_samples, cooldown) = (cfg.min_samples, cfg.cooldown);
     let (idle_hold, phase_timeout) = (cfg.token_idle_hold, cfg.phase_timeout);
 
-    let b = GroupSimBuilder::new(cfg.group)
-        .seed(cell.seed ^ 0x7a11)
+    let mut b = GroupSimBuilder::new(cfg.group).seed(cell.seed ^ 0x7a11);
+    if let Some(t) = &topo {
+        // `topology` before `medium`: it resets any default medium, and
+        // the explicit (possibly `Lossy`-wrapped) one must win.
+        b = b.topology(Arc::clone(t));
+    }
+    let b = b
         .medium(medium)
         .recorder(recorder.clone())
         .sampler(sampler.clone())
@@ -544,7 +567,7 @@ mod tests {
         assert!(!r.pass, "the seeded fault must fail the cell");
         assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
         assert_eq!(r.violations[0].kind, ViolationKind::TotalOrder);
-        assert_eq!(r.violations[0].node, FAULT_NODE);
+        assert_eq!(r.violations[0].node, u32::from(FAULT_NODE));
         assert!(!all_pass(&[r]));
     }
 

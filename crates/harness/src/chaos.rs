@@ -322,12 +322,12 @@ struct CrashPhaseProbe {
 
 #[derive(Default)]
 struct ProbeState {
-    last_phase: BTreeMap<u16, SpPhase>,
-    at_crash: BTreeMap<u16, Option<SpPhase>>,
+    last_phase: BTreeMap<u32, SpPhase>,
+    at_crash: BTreeMap<u32, Option<SpPhase>>,
 }
 
 impl CrashPhaseProbe {
-    fn phase_at_crash(&self, node: u16) -> Option<String> {
+    fn phase_at_crash(&self, node: u32) -> Option<String> {
         let s = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         s.at_crash
             .get(&node)
@@ -360,7 +360,7 @@ impl EventSink for CrashPhaseProbe {
 /// Runs one scenario and judges it.
 pub fn run_scenario(cfg: &ChaosConfig, sc: &ChaosScenario) -> ScenarioResult {
     let recorder = Recorder::with_capacity(1 << 18);
-    let monitors = MonitorSet::standard(cfg.group, cfg.liveness_bound.as_micros());
+    let monitors = MonitorSet::standard(u32::from(cfg.group), cfg.liveness_bound.as_micros());
     monitors.attach(&recorder);
     let probe = CrashPhaseProbe::default();
     recorder.subscribe(Box::new(probe.clone()));
@@ -370,8 +370,8 @@ pub fn run_scenario(cfg: &ChaosConfig, sc: &ChaosScenario) -> ScenarioResult {
         medium = Box::new(Lossy::new(medium, sc.loss));
     }
     if let Fault::Partition { split, at, back } = sc.fault {
-        let near: Vec<NodeId> = (0..split).map(NodeId).collect();
-        let far: Vec<NodeId> = (split..cfg.group).map(NodeId).collect();
+        let near: Vec<NodeId> = (0..u32::from(split)).map(NodeId).collect();
+        let far: Vec<NodeId> = (u32::from(split)..u32::from(cfg.group)).map(NodeId).collect();
         medium = Box::new(
             PartitionSchedule::new(medium).partition_at(at, vec![near, far]).heal_at(back),
         );
@@ -471,7 +471,7 @@ pub fn run_scenario(cfg: &ChaosConfig, sc: &ChaosScenario) -> ScenarioResult {
     };
     let violations = monitors.finish();
     let phase_at_crash = match sc.fault {
-        Fault::Crash { victim, .. } => probe.phase_at_crash(victim),
+        Fault::Crash { victim, .. } => probe.phase_at_crash(u32::from(victim)),
         _ => None,
     };
     let pass = outcome == sc.expect && violations.is_empty();

@@ -38,13 +38,14 @@ use ps_core::{
 };
 use ps_obs::{LoadSample, MetricsSampler, MonitorSet, Recorder, Violation};
 use ps_protocols::{SeqOrderLayer, TokenOrderLayer};
-use ps_simnet::{EthernetConfig, SharedBus, SimTime};
+use ps_simnet::{EthernetConfig, SharedBus, SimTime, Topology};
 use ps_stack::{GroupSimBuilder, Layer, LayerCtx, Stack};
 use ps_trace::{Message, ProcessId};
 use ps_wire::Wire;
 use ps_workload::{Profile, TrafficSpec};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Node that gets the broken ordering layer when
 /// [`MonitorRunConfig::inject_fault`] is set.
@@ -95,6 +96,12 @@ pub struct MonitorRunConfig {
     pub seed: u64,
     /// Splice the broken ordering layer in at [`FAULT_NODE`].
     pub inject_fault: bool,
+    /// Shared-bus segments the group is spread over; above 1 the run
+    /// uses a bridged multi-segment [`ps_simnet::Topology`]
+    /// (`repro monitor --topology segments:<n>`).
+    pub segments: u32,
+    /// Extra one-way bridge latency between segments (multi-segment only).
+    pub bridge_latency: SimTime,
 }
 
 impl Default for MonitorRunConfig {
@@ -119,6 +126,8 @@ impl Default for MonitorRunConfig {
             ring_capacity: 1 << 18,
             seed: 0x40B5,
             inject_fault: false,
+            segments: 1,
+            bridge_latency: SimTime::from_micros(100),
         }
     }
 }
@@ -224,7 +233,7 @@ pub struct MonitorRunResult {
 pub fn run(cfg: &MonitorRunConfig) -> MonitorRunResult {
     let recorder = Recorder::with_capacity(cfg.ring_capacity);
     let sampler = MetricsSampler::new(cfg.sample_interval.as_micros()).with_seq_node(0);
-    let monitors = MonitorSet::standard(cfg.group, cfg.liveness_bound.as_micros());
+    let monitors = MonitorSet::standard(u32::from(cfg.group), cfg.liveness_bound.as_micros());
     monitors.attach(&recorder);
 
     let handles: Rc<RefCell<Vec<SwitchHandle>>> = Rc::new(RefCell::new(Vec::new()));
@@ -251,9 +260,17 @@ pub fn run(cfg: &MonitorRunConfig) -> MonitorRunResult {
         seed: cfg.seed,
     };
 
-    let b = GroupSimBuilder::new(cfg.group)
-        .seed(cfg.seed ^ 0x7a11)
-        .medium(Box::new(SharedBus::new(EthernetConfig::default())))
+    let topo = (cfg.segments > 1).then(|| {
+        Arc::new(Topology::uniform(u32::from(cfg.group), cfg.segments, cfg.bridge_latency))
+    });
+    let mut b = GroupSimBuilder::new(cfg.group).seed(cfg.seed ^ 0x7a11);
+    if let Some(t) = &topo {
+        // Installs the segmented default medium alongside the topology.
+        b = b.topology(Arc::clone(t));
+    } else {
+        b = b.medium(Box::new(SharedBus::new(EthernetConfig::default())));
+    }
+    let b = b
         .recorder(recorder.clone())
         .sampler(sampler.clone())
         .stack_factory(move |p, _, ids| {
@@ -465,7 +482,7 @@ mod tests {
         );
         let v = &r.violations[0];
         assert_eq!(v.kind, ViolationKind::TotalOrder);
-        assert_eq!(v.node, FAULT_NODE);
+        assert_eq!(v.node, u32::from(FAULT_NODE));
         assert_eq!(v.context.len(), 2, "witness + disagreeing delivery");
         assert!(v.context.iter().all(|e| matches!(e.ev, ps_obs::ObsEvent::AppDeliver { .. })));
     }

@@ -228,7 +228,7 @@ mod tests {
         let r = run(&TraceRunConfig::quick());
         for (node, handle) in r.handles.iter().enumerate() {
             let live = handle.snapshot().records;
-            let reconstructed = ps_core::SwitchRecord::from_events(node as u16, &r.events);
+            let reconstructed = ps_core::SwitchRecord::from_events(node as u32, &r.events);
             assert_eq!(reconstructed, live, "node {node}");
         }
     }

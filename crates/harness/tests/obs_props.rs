@@ -43,11 +43,11 @@ props! {
         // the live handles accumulated, durations included.
         for (node, handle) in r.handles.iter().enumerate() {
             let live = handle.snapshot().records;
-            let rebuilt = ps_core::SwitchRecord::from_events(node as u16, &r.events);
+            let rebuilt = ps_core::SwitchRecord::from_events(node as u32, &r.events);
             assert_eq!(rebuilt, live, "node {node} (seed {seed:#x})");
         }
         for iv in intervals.iter().filter(|iv| iv.flip_at_us.is_some()) {
-            let live = r.handles[usize::from(iv.node)].snapshot().records;
+            let live = r.handles[iv.node as usize].snapshot().records;
             assert!(
                 live.iter().any(|rec| rec.duration().as_micros() == iv.duration_us().unwrap()),
                 "interval duration missing from live records: {iv:?}"

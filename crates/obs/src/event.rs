@@ -78,30 +78,30 @@ pub enum ObsEvent {
         /// Payload length in bytes.
         bytes: u32,
         /// Deliveries the medium scheduled for this frame.
-        copies: u16,
+        copies: u32,
     },
     /// A frame copy arrived at a node and began processing.
     FrameDeliver {
         /// Sending node.
-        src: u16,
+        src: u32,
         /// Payload length in bytes.
         bytes: u32,
     },
     /// The medium dropped `copies` copies of a frame at transmit time.
     FrameDrop {
         /// Copies lost (loss, partition, collision — medium-dependent).
-        copies: u16,
+        copies: u32,
     },
     /// An event arrived while the node's CPU was busy and was parked in
     /// the node's deferred FIFO.
     CpuEnqueue {
         /// Queue depth after parking (the parked event included).
-        depth: u16,
+        depth: u32,
     },
     /// A deferred event left the node's FIFO and began processing.
     CpuDequeue {
         /// Queue depth after the pop.
-        depth: u16,
+        depth: u32,
     },
     /// A timer fired at a node.
     TimerFire {
@@ -138,14 +138,14 @@ pub enum ObsEvent {
     /// check total order, per-sender FIFO, and delivery accounting online.
     AppSend {
         /// Sending process (always the event's node).
-        sender: u16,
+        sender: u32,
         /// Per-sender sequence number (starts at 1).
         seq: u64,
     },
     /// A message crossed the top of the stack into the application.
     AppDeliver {
         /// Originating process of the message (not the node delivering).
-        sender: u16,
+        sender: u32,
         /// Per-sender sequence number.
         seq: u64,
     },
@@ -169,7 +169,7 @@ pub struct TimedEvent {
     /// Virtual time in microseconds.
     pub at_us: u64,
     /// Node (process) the event happened at.
-    pub node: u16,
+    pub node: u32,
     /// What happened.
     pub ev: ObsEvent,
 }

@@ -159,9 +159,9 @@ fn chrome_doc(events: &[TimedEvent], overwritten: Option<u64>) -> String {
     };
 
     let mut body = String::with_capacity(events.len() * 96);
-    let mut nodes_seen: Vec<u16> = Vec::new();
+    let mut nodes_seen: Vec<u32> = Vec::new();
     let emit =
-        |body: &mut String, ph: char, name: &str, pid: u16, tid: u32, ts: u64, args: &str| {
+        |body: &mut String, ph: char, name: &str, pid: u32, tid: u32, ts: u64, args: &str| {
             if !body.is_empty() {
                 body.push_str(",\n");
             }

@@ -11,7 +11,7 @@
 //! This crate sits at the bottom of the workspace dependency graph — the
 //! simulator, stack, and switching layer all record into it — so it
 //! depends on nothing and speaks in raw microseconds (`u64`) and node ids
-//! (`u16`) rather than simulator types.
+//! (`u32`) rather than simulator types.
 //!
 //! ## The contract
 //!

@@ -58,7 +58,7 @@ pub struct Violation {
     /// Which property broke.
     pub kind: ViolationKind,
     /// Node the violation was detected at.
-    pub node: u16,
+    pub node: u32,
     /// Virtual time of detection (µs).
     pub at_us: u64,
     /// Human-readable description of what went wrong.
@@ -90,13 +90,13 @@ fn lock<T>(m: &Arc<Mutex<T>>) -> MutexGuard<'_, T> {
 struct TotalOrderState {
     /// The agreed delivery sequence: position k is defined by the first
     /// node to deliver its k-th message.
-    canonical: Vec<(u16, u64)>,
+    canonical: Vec<(u32, u64)>,
     /// The event that defined each canonical position (violation context).
     canonical_ev: Vec<TimedEvent>,
     /// Next delivery position per node.
-    cursor: BTreeMap<u16, usize>,
+    cursor: BTreeMap<u32, usize>,
     /// Nodes already reported (one violation per diverging node).
-    diverged: Vec<u16>,
+    diverged: Vec<u32>,
     violations: Vec<Violation>,
 }
 
@@ -165,7 +165,7 @@ impl EventSink for TotalOrderMonitor {
 #[derive(Default)]
 struct FifoState {
     /// Highest delivered seq and its event, per (node, sender).
-    last: BTreeMap<(u16, u16), (u64, TimedEvent)>,
+    last: BTreeMap<(u32, u32), (u64, TimedEvent)>,
     violations: Vec<Violation>,
 }
 
@@ -225,9 +225,9 @@ impl EventSink for FifoMonitor {
 #[derive(Default)]
 struct DeliveryState {
     /// Send event per message id, in send order.
-    sent: BTreeMap<(u16, u64), TimedEvent>,
+    sent: BTreeMap<(u32, u64), TimedEvent>,
     /// Nodes that delivered each message id.
-    delivered: BTreeMap<(u16, u64), Vec<u16>>,
+    delivered: BTreeMap<(u32, u64), Vec<u32>>,
 }
 
 /// Accounts deliveries against sends: at [`DeliveryMonitor::finish`],
@@ -235,13 +235,13 @@ struct DeliveryState {
 /// members (total-order stacks self-deliver, so the sender counts too).
 #[derive(Clone)]
 pub struct DeliveryMonitor {
-    nodes: u16,
+    nodes: u32,
     inner: Arc<Mutex<DeliveryState>>,
 }
 
 impl DeliveryMonitor {
     /// A monitor expecting each message at `nodes` distinct nodes.
-    pub fn new(nodes: u16) -> Self {
+    pub fn new(nodes: u32) -> Self {
         Self { nodes, inner: Arc::new(Mutex::new(DeliveryState::default())) }
     }
 
@@ -273,7 +273,7 @@ impl DeliveryMonitor {
         let mut out = Vec::new();
         for (&(sender, seq), send_ev) in &s.sent {
             let have = s.delivered.get(&(sender, seq)).map_or(0, Vec::len);
-            if have < usize::from(self.nodes) {
+            if have < self.nodes as usize {
                 out.push(Violation {
                     kind: ViolationKind::DeliveryLoss,
                     node: sender,
@@ -305,7 +305,7 @@ struct OpenSwitch {
 
 #[derive(Default)]
 struct LivenessState {
-    open: BTreeMap<u16, OpenSwitch>,
+    open: BTreeMap<u32, OpenSwitch>,
     violations: Vec<Violation>,
 }
 
@@ -425,7 +425,7 @@ pub struct MonitorSet {
 impl MonitorSet {
     /// The standard bundle for a group of `nodes`, with a switch-liveness
     /// bound of `liveness_bound_us` microseconds.
-    pub fn standard(nodes: u16, liveness_bound_us: u64) -> Self {
+    pub fn standard(nodes: u32, liveness_bound_us: u64) -> Self {
         Self {
             total_order: TotalOrderMonitor::new(),
             fifo: FifoMonitor::new(),
@@ -479,22 +479,22 @@ impl MonitorSet {
 mod tests {
     use super::*;
 
-    fn deliver(at_us: u64, node: u16, sender: u16, seq: u64) -> TimedEvent {
+    fn deliver(at_us: u64, node: u32, sender: u32, seq: u64) -> TimedEvent {
         TimedEvent { at_us, node, ev: ObsEvent::AppDeliver { sender, seq } }
     }
 
-    fn send(at_us: u64, sender: u16, seq: u64) -> TimedEvent {
+    fn send(at_us: u64, sender: u32, seq: u64) -> TimedEvent {
         TimedEvent { at_us, node: sender, ev: ObsEvent::AppSend { sender, seq } }
     }
 
-    fn phase(at_us: u64, node: u16, phase: SpPhase) -> TimedEvent {
+    fn phase(at_us: u64, node: u32, phase: SpPhase) -> TimedEvent {
         TimedEvent { at_us, node, ev: ObsEvent::SwitchPhase { phase, from: 0, to: 1 } }
     }
 
     #[test]
     fn total_order_accepts_agreement() {
         let m = TotalOrderMonitor::new();
-        for n in 0..3u16 {
+        for n in 0..3u32 {
             m.observe(&deliver(10 + u64::from(n), n, 0, 1));
             m.observe(&deliver(20 + u64::from(n), n, 1, 1));
         }
@@ -542,7 +542,7 @@ mod tests {
         let m = DeliveryMonitor::new(3);
         m.observe(&send(1, 0, 1));
         m.observe(&send(2, 1, 1));
-        for n in 0..3u16 {
+        for n in 0..3u32 {
             m.observe(&deliver(10, n, 0, 1));
         }
         m.observe(&deliver(11, 0, 1, 1)); // (1,1) reaches only node 0
@@ -620,7 +620,7 @@ mod tests {
     fn clean_stream_finishes_empty() {
         let set = MonitorSet::standard(2, 1_000_000);
         set.delivery().observe(&send(1, 0, 1));
-        for node in 0..2u16 {
+        for node in 0..2u32 {
             let d = deliver(5, node, 0, 1);
             set.total_order().observe(&d);
             set.fifo().observe(&d);

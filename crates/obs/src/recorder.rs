@@ -145,7 +145,7 @@ impl Recorder {
     /// Records one event. No-op when disabled; never allocates when
     /// enabled (the ring was sized at construction).
     #[inline]
-    pub fn record(&self, at_us: u64, node: u16, ev: ObsEvent) {
+    pub fn record(&self, at_us: u64, node: u32, ev: ObsEvent) {
         #[cfg(feature = "tap")]
         {
             if !self.shared.enabled.load(Ordering::Relaxed) {
@@ -243,7 +243,7 @@ mod tests {
         fn records_in_order() {
             let r = Recorder::with_capacity(8);
             for i in 0..5u64 {
-                r.record(i * 10, i as u16, ev(i));
+                r.record(i * 10, i as u32, ev(i));
             }
             let s = r.snapshot();
             assert_eq!(s.len(), 5);

@@ -131,7 +131,7 @@ struct SamplerState {
 #[derive(Clone)]
 pub struct MetricsSampler {
     interval_us: u64,
-    seq_node: Option<u16>,
+    seq_node: Option<u32>,
     registry: Option<Registry>,
     inner: Arc<Mutex<SamplerState>>,
 }
@@ -161,7 +161,7 @@ impl MetricsSampler {
 
     /// Designates `node` as the sequencer whose CPU busy share is broken
     /// out into [`LoadSample::seq_cpu_permille`].
-    pub fn with_seq_node(mut self, node: u16) -> Self {
+    pub fn with_seq_node(mut self, node: u32) -> Self {
         self.seq_node = Some(node);
         self
     }
@@ -180,7 +180,7 @@ impl MetricsSampler {
     }
 
     /// The designated sequencer node, if any.
-    pub fn seq_node(&self) -> Option<u16> {
+    pub fn seq_node(&self) -> Option<u32> {
         self.seq_node
     }
 

@@ -13,7 +13,7 @@ use crate::event::{ObsEvent, SpPhase, TimedEvent};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwitchInterval {
     /// The process (node) the interval belongs to.
-    pub node: u16,
+    pub node: u32,
     /// Protocol index switched away from.
     pub from: u8,
     /// Protocol index switched to.
@@ -49,7 +49,7 @@ impl SwitchInterval {
 /// in the order the switches started. Phases with no open interval at
 /// their node (their `prepare_seen` fell off the ring) are dropped.
 pub fn switch_timeline(events: &[TimedEvent]) -> Vec<SwitchInterval> {
-    let mut per_node: Vec<(u16, Vec<SwitchInterval>)> = Vec::new();
+    let mut per_node: Vec<(u32, Vec<SwitchInterval>)> = Vec::new();
     for e in events {
         let ObsEvent::SwitchPhase { phase, from, to } = e.ev else { continue };
         let idx = match per_node.binary_search_by_key(&e.node, |(n, _)| *n) {
@@ -144,7 +144,7 @@ pub fn check_well_nested(events: &[TimedEvent]) -> Result<Vec<SwitchInterval>, S
 mod tests {
     use super::*;
 
-    fn phase(at_us: u64, node: u16, phase: SpPhase) -> TimedEvent {
+    fn phase(at_us: u64, node: u32, phase: SpPhase) -> TimedEvent {
         TimedEvent { at_us, node, ev: ObsEvent::SwitchPhase { phase, from: 0, to: 1 } }
     }
 

@@ -57,21 +57,25 @@ mod agent;
 mod medium;
 mod queue;
 mod rng;
+mod shard;
 mod sim;
 mod stats;
 mod time;
+mod topology;
 mod wheel;
 
 pub use agent::{Agent, SimApi, TimerToken};
 pub use medium::{
-    EthernetConfig, Lossy, Medium, PartitionSchedule, Partitioned, PointToPoint, SharedBus,
-    TimedPartition, TxPlan,
+    EthernetConfig, Lossy, Medium, PartitionSchedule, Partitioned, PointToPoint, SegmentedBus,
+    SharedBus, TimedPartition, TxPlan,
 };
 pub use queue::{EventQueue, HeapEventQueue};
 pub use rng::DetRng;
+pub use shard::ShardedSim;
 pub use sim::{NodeConfig, Sim, SimConfig};
 pub use stats::NetStats;
 pub use time::SimTime;
+pub use topology::Topology;
 
 use ps_bytes::Bytes;
 use std::fmt;
@@ -79,14 +83,16 @@ use std::fmt;
 /// Identifier of a simulated node (a process in the paper's model).
 ///
 /// Nodes are numbered densely from zero; `NodeId` doubles as an index into
-/// per-node tables throughout the workspace.
+/// per-node tables throughout the workspace. Ids are 32-bit so multi-segment
+/// topologies can scale past the 65k-node mark (the sharded engine's 100k
+/// benchmarks address every node globally).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct NodeId(pub u16);
+pub struct NodeId(pub u32);
 
 impl NodeId {
     /// The node's position as a `usize` index.
     pub fn index(self) -> usize {
-        usize::from(self.0)
+        self.0 as usize
     }
 }
 
@@ -96,9 +102,15 @@ impl fmt::Display for NodeId {
     }
 }
 
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
 impl From<u16> for NodeId {
     fn from(v: u16) -> Self {
-        NodeId(v)
+        NodeId(u32::from(v))
     }
 }
 
@@ -110,6 +122,10 @@ pub enum Dest {
     All,
     /// Every node except the sender.
     Others,
+    /// Every other node on the sender's Ethernet segment (see
+    /// [`Topology`]). Without a topology configured the whole simulation is
+    /// one segment, so this is equivalent to [`Dest::Others`].
+    Segment,
     /// A single node (which may be the sender itself).
     To(NodeId),
 }

@@ -1,5 +1,6 @@
-use crate::{DetRng, NodeId, SimTime};
+use crate::{DetRng, NodeId, SimTime, Topology};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// The planned fate of one transmitted frame: per-destination arrival times,
 /// plus a count of copies the medium dropped.
@@ -33,8 +34,37 @@ pub trait Medium: Send {
         rng: &mut DetRng,
     ) -> TxPlan;
 
+    /// Allocation-free variant of [`Medium::transmit`]: writes the plan
+    /// into `plan`, reusing its `deliveries` buffer.
+    ///
+    /// The simulator's hot path calls this with a scratch plan it owns, so
+    /// media that implement it natively (the bus models do) plan every
+    /// frame without touching the allocator. The default falls back to
+    /// [`Medium::transmit`] and moves the result, so wrappers and custom
+    /// media stay correct without extra work.
+    fn transmit_into(
+        &mut self,
+        src: NodeId,
+        dests: &[NodeId],
+        size_bytes: usize,
+        now: SimTime,
+        rng: &mut DetRng,
+        plan: &mut TxPlan,
+    ) {
+        *plan = self.transmit(src, dests, size_bytes, now, rng);
+    }
+
     /// Human-readable model name for experiment logs.
     fn name(&self) -> &'static str;
+}
+
+impl TxPlan {
+    /// Resets the plan for reuse, keeping the `deliveries` allocation.
+    pub fn clear(&mut self) {
+        self.deliveries.clear();
+        self.dropped = 0;
+        self.busy_us = 0;
+    }
 }
 
 /// Idealized point-to-point network: fixed one-way latency, infinite
@@ -63,15 +93,29 @@ impl PointToPoint {
 impl Medium for PointToPoint {
     fn transmit(
         &mut self,
+        src: NodeId,
+        dests: &[NodeId],
+        size_bytes: usize,
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> TxPlan {
+        let mut plan = TxPlan::default();
+        self.transmit_into(src, dests, size_bytes, now, rng, &mut plan);
+        plan
+    }
+
+    fn transmit_into(
+        &mut self,
         _src: NodeId,
         dests: &[NodeId],
         _size_bytes: usize,
         now: SimTime,
         rng: &mut DetRng,
-    ) -> TxPlan {
-        let deliveries =
-            dests.iter().map(|&d| (d, now + self.latency + rng.jitter(self.jitter))).collect();
-        TxPlan { deliveries, dropped: 0, busy_us: 0 }
+        plan: &mut TxPlan,
+    ) {
+        plan.clear();
+        plan.deliveries
+            .extend(dests.iter().map(|&d| (d, now + self.latency + rng.jitter(self.jitter))));
     }
 
     fn name(&self) -> &'static str {
@@ -148,24 +192,144 @@ impl SharedBus {
 impl Medium for SharedBus {
     fn transmit(
         &mut self,
-        _src: NodeId,
+        src: NodeId,
         dests: &[NodeId],
         size_bytes: usize,
         now: SimTime,
         rng: &mut DetRng,
     ) -> TxPlan {
+        let mut plan = TxPlan::default();
+        self.transmit_into(src, dests, size_bytes, now, rng, &mut plan);
+        plan
+    }
+
+    fn transmit_into(
+        &mut self,
+        _src: NodeId,
+        dests: &[NodeId],
+        size_bytes: usize,
+        now: SimTime,
+        rng: &mut DetRng,
+        plan: &mut TxPlan,
+    ) {
         let tx_start = now.max(self.busy_until);
         let ser = self.serialization_time(size_bytes);
         let tx_end = tx_start + ser;
         self.busy_until = tx_end;
         let base = tx_end + self.config.propagation;
-        let deliveries =
-            dests.iter().map(|&d| (d, base + rng.jitter(self.config.jitter))).collect();
-        TxPlan { deliveries, dropped: 0, busy_us: ser.as_micros() }
+        plan.clear();
+        plan.deliveries.extend(dests.iter().map(|&d| (d, base + rng.jitter(self.config.jitter))));
+        plan.busy_us = ser.as_micros();
     }
 
     fn name(&self) -> &'static str {
         "shared-bus"
+    }
+}
+
+/// Many shared-Ethernet segments joined by store-and-forward bridges — the
+/// multi-segment medium behind a [`Topology`].
+///
+/// Each segment is an independent [`SharedBus`]: its own busy state, its own
+/// contention, and — crucially for the sharded engine — its own jitter RNG
+/// stream, forked from the bus seed by segment id rather than drawn from the
+/// simulator's global stream. A transmit touches only the *source* segment's
+/// wire and RNG, so the plan for a frame depends on nothing outside its
+/// segment: the property that lets segments be simulated on different
+/// threads without changing a single arrival time.
+///
+/// Delivery model per destination of one frame from `src`:
+///
+/// * **Same segment** — classic shared bus: queue behind the segment's
+///   `busy_until`, serialize, then `propagation + jitter`.
+/// * **Other segment** — the bridge forwards the frame after the same
+///   serialization, adding [`Topology::bridge_latency`]; the remote wire is
+///   *not* occupied (bridges have a dedicated uplink in this model). The
+///   earliest possible cross-segment arrival is therefore
+///   `now + propagation + bridge_latency`, which [`Topology::min_cross_latency`]
+///   exposes as the sharded engine's lookahead window.
+#[derive(Debug, Clone)]
+pub struct SegmentedBus {
+    topo: Arc<Topology>,
+    busy_until: Vec<SimTime>,
+    rngs: Vec<DetRng>,
+}
+
+impl SegmentedBus {
+    /// Creates the medium for `topo`, deriving one jitter stream per
+    /// segment from `seed`. The same `(topo, seed)` pair always produces
+    /// identical plans for identical call sequences, regardless of what any
+    /// other RNG in the simulation has drawn.
+    pub fn new(topo: Arc<Topology>, seed: u64) -> Self {
+        let root = DetRng::new(seed);
+        let n = topo.num_segments();
+        // "SEG" tag keeps these forks disjoint from the per-node streams.
+        let rngs = (0..n).map(|s| root.fork(0x5345_4700_0000 + u64::from(s))).collect();
+        Self { topo, busy_until: vec![SimTime::ZERO; n as usize], rngs }
+    }
+
+    /// The topology this bus routes over.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// Serialization time of a frame of `size_bytes` on any segment.
+    pub fn serialization_time(&self, size_bytes: usize) -> SimTime {
+        let cfg = self.topo.ethernet();
+        let on_wire = (size_bytes + cfg.frame_overhead).max(cfg.min_frame);
+        SimTime::from_micros((on_wire as u64) * 8 * 1_000_000 / cfg.bandwidth_bps)
+    }
+
+    /// The instant segment `seg` next becomes idle.
+    pub fn busy_until(&self, seg: u32) -> SimTime {
+        self.busy_until[seg as usize]
+    }
+}
+
+impl Medium for SegmentedBus {
+    fn transmit(
+        &mut self,
+        src: NodeId,
+        dests: &[NodeId],
+        size_bytes: usize,
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> TxPlan {
+        let mut plan = TxPlan::default();
+        self.transmit_into(src, dests, size_bytes, now, rng, &mut plan);
+        plan
+    }
+
+    fn transmit_into(
+        &mut self,
+        src: NodeId,
+        dests: &[NodeId],
+        size_bytes: usize,
+        now: SimTime,
+        // Deliberately unused: all draws come from the source segment's own
+        // stream so plans are independent of global event interleaving.
+        _rng: &mut DetRng,
+        plan: &mut TxPlan,
+    ) {
+        let seg = self.topo.segment_of(src);
+        let tx_start = now.max(self.busy_until[seg as usize]);
+        let ser = self.serialization_time(size_bytes);
+        let tx_end = tx_start + ser;
+        self.busy_until[seg as usize] = tx_end;
+        let local_base = tx_end + self.topo.ethernet().propagation;
+        let cross_base = local_base + self.topo.bridge_latency();
+        let jitter = self.topo.ethernet().jitter;
+        let rng = &mut self.rngs[seg as usize];
+        plan.clear();
+        plan.deliveries.extend(dests.iter().map(|&d| {
+            let base = if self.topo.segment_of(d) == seg { local_base } else { cross_base };
+            (d, base + rng.jitter(jitter))
+        }));
+        plan.busy_us = ser.as_micros();
+    }
+
+    fn name(&self) -> &'static str {
+        "segmented-bus"
     }
 }
 
@@ -348,7 +512,7 @@ impl TimedPartition {
     }
 
     /// Isolates `node` from everyone during the window.
-    pub fn isolate(mut self, node: NodeId, world: u16) -> Self {
+    pub fn isolate(mut self, node: NodeId, world: u32) -> Self {
         for i in 0..world {
             let other = NodeId(i);
             if other != node {
@@ -484,8 +648,16 @@ impl Medium for PartitionSchedule {
 mod tests {
     use super::*;
 
-    fn dests(n: u16) -> Vec<NodeId> {
+    fn dests(n: u32) -> Vec<NodeId> {
         (0..n).map(NodeId).collect()
+    }
+
+    fn two_segment_topo() -> Arc<Topology> {
+        // Nodes 0..3 on segment 0, 3..6 on segment 1; no jitter so arrival
+        // times are exact.
+        let mut eth = EthernetConfig::default();
+        eth.jitter = SimTime::ZERO;
+        Arc::new(Topology::with_segment_sizes(&[3, 3], eth, SimTime::from_micros(100)))
     }
 
     #[test]
@@ -684,5 +856,69 @@ mod tests {
         m.heal();
         let plan = m.transmit(NodeId(0), &dests(3), 10, SimTime::ZERO, &mut rng);
         assert_eq!(plan.deliveries.len(), 3);
+    }
+
+    #[test]
+    fn transmit_into_reuses_the_buffer_and_matches_transmit() {
+        let mut a = SharedBus::new(EthernetConfig::default());
+        let mut b = a.clone();
+        let mut rng_a = DetRng::new(11);
+        let mut rng_b = DetRng::new(11);
+        let mut plan = TxPlan::default();
+        for i in 0..5u64 {
+            let now = SimTime::from_micros(i * 10);
+            b.transmit_into(NodeId(0), &dests(4), 200, now, &mut rng_b, &mut plan);
+            assert_eq!(a.transmit(NodeId(0), &dests(4), 200, now, &mut rng_a), plan);
+        }
+    }
+
+    #[test]
+    fn segmented_bus_contention_is_segment_local() {
+        let mut bus = SegmentedBus::new(two_segment_topo(), 9);
+        let mut rng = DetRng::new(1);
+        // Back-to-back local broadcasts on *different* segments at t=0: no
+        // queueing across segments, both serialize immediately.
+        let p0 = bus.transmit(NodeId(0), &[NodeId(1)], 1024, SimTime::ZERO, &mut rng);
+        let p1 = bus.transmit(NodeId(3), &[NodeId(4)], 1024, SimTime::ZERO, &mut rng);
+        assert_eq!(p0.deliveries[0].1, p1.deliveries[0].1);
+        // A second frame on segment 0 queues behind the first.
+        let p0b = bus.transmit(NodeId(1), &[NodeId(0)], 1024, SimTime::ZERO, &mut rng);
+        assert_eq!(p0b.deliveries[0].1, p0.deliveries[0].1 + SimTime::from_micros(852));
+        assert_eq!(bus.busy_until(0), SimTime::from_micros(1704));
+        assert_eq!(bus.busy_until(1), SimTime::from_micros(852));
+    }
+
+    #[test]
+    fn segmented_bus_cross_segment_pays_the_bridge() {
+        let mut bus = SegmentedBus::new(two_segment_topo(), 9);
+        let mut rng = DetRng::new(1);
+        let plan = bus.transmit(NodeId(0), &[NodeId(1), NodeId(4)], 1024, SimTime::ZERO, &mut rng);
+        let local = plan.deliveries[0].1;
+        let cross = plan.deliveries[1].1;
+        assert_eq!(cross, local + SimTime::from_micros(100), "bridge latency on top");
+        // The remote segment's wire was never occupied.
+        assert_eq!(bus.busy_until(1), SimTime::ZERO);
+        // Lookahead bound: no cross-segment arrival before now + min_cross_latency.
+        assert!(cross >= bus.topology().min_cross_latency());
+    }
+
+    #[test]
+    fn segmented_bus_ignores_the_caller_rng() {
+        // Identical call sequences with wildly different caller RNG states
+        // must produce identical plans — jitter comes from per-segment
+        // streams owned by the bus, so plans are placement-independent.
+        let topo = Arc::new(Topology::uniform(6, 2, SimTime::from_micros(100)));
+        let mut a = SegmentedBus::new(Arc::clone(&topo), 42);
+        let mut b = SegmentedBus::new(topo, 42);
+        let mut rng_a = DetRng::new(1);
+        let mut rng_b = DetRng::new(999);
+        let _ = rng_b.next_u64();
+        for i in 0..20u64 {
+            let now = SimTime::from_micros(i * 37);
+            let src = NodeId((i % 6) as u32);
+            let pa = a.transmit(src, &dests(6), 100, now, &mut rng_a);
+            let pb = b.transmit(src, &dests(6), 100, now, &mut rng_b);
+            assert_eq!(pa, pb, "frame {i}");
+        }
     }
 }

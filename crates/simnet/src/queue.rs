@@ -88,6 +88,11 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.wheel.is_empty()
     }
+
+    /// Rough resident size of the queue's buffers in bytes.
+    pub(crate) fn approx_mem_bytes(&self) -> usize {
+        self.wheel.approx_mem_bytes()
+    }
 }
 
 impl<E> Default for EventQueue<E> {

@@ -1,8 +1,10 @@
 use crate::agent::Action;
 use crate::{
     Agent, Dest, DetRng, EventQueue, Medium, NetStats, NodeId, Packet, SimApi, SimTime, TimerToken,
+    Topology, TxPlan,
 };
 use ps_obs::{LoadSample, MetricsSampler, ObsEvent, Recorder};
+use std::sync::Arc;
 
 /// Per-node execution parameters.
 #[derive(Debug, Clone)]
@@ -52,6 +54,13 @@ pub struct SimConfig {
     /// schedule depends only on virtual time, so the series is as
     /// deterministic as the run itself.
     pub sampler: Option<MetricsSampler>,
+    /// Multi-segment topology, used to resolve [`Dest::Segment`] (`None` =
+    /// the whole simulation is one segment).
+    ///
+    /// Setting this does *not* change the medium — pair it with a
+    /// [`crate::SegmentedBus`] built over the same topology so addressing
+    /// and delivery latencies agree.
+    pub topology: Option<Arc<Topology>>,
 }
 
 impl SimConfig {
@@ -78,6 +87,76 @@ impl SimConfig {
         self.sampler = Some(sampler);
         self
     }
+
+    /// Sets the multi-segment topology [`Dest::Segment`] resolves against.
+    pub fn topology(mut self, topo: Arc<Topology>) -> Self {
+        self.topology = Some(topo);
+        self
+    }
+}
+
+/// One load-sampler window in raw (pre-finalized) form: plain counters
+/// that merge across shards by sum/max, unlike the clamped integer ratios
+/// in [`LoadSample`]. [`RawWindow::finalize`] is the *only* place raw
+/// counters become a `LoadSample`, so serial and sharded runs apply
+/// byte-identical arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RawWindow {
+    pub at_us: u64,
+    pub frames: u64,
+    pub copies: u64,
+    pub busy_us: u64,
+    pub max_cpu_us: u64,
+    pub seq_cpu_us: u64,
+    pub max_q: u32,
+    pub total_q: u32,
+    /// Signed: a shard that receives more cross-shard frames than it sent
+    /// goes negative; the sum across shards is the true global value.
+    pub in_flight: i64,
+}
+
+impl RawWindow {
+    /// Folds another shard's window (same `at_us`) into this one.
+    pub fn merge(&mut self, o: &RawWindow) {
+        debug_assert_eq!(self.at_us, o.at_us, "windows must align");
+        self.frames += o.frames;
+        self.copies += o.copies;
+        self.busy_us += o.busy_us;
+        self.max_cpu_us = self.max_cpu_us.max(o.max_cpu_us);
+        self.seq_cpu_us = self.seq_cpu_us.max(o.seq_cpu_us);
+        self.max_q = self.max_q.max(o.max_q);
+        self.total_q += o.total_q;
+        self.in_flight += o.in_flight;
+    }
+
+    /// Converts the counters into the public sample format.
+    pub fn finalize(&self, window_us: u64) -> LoadSample {
+        // Busy time is attributed at transmit time, so a burst can charge
+        // more busy-µs to one window than the window holds; clamp.
+        let permille =
+            |busy_us: u64| u32::try_from((busy_us * 1000 / window_us).min(1000)).expect("<= 1000");
+        LoadSample {
+            at_us: self.at_us,
+            frames_sent: self.frames,
+            copies_delivered: self.copies,
+            bus_util_permille: permille(self.busy_us),
+            max_cpu_permille: permille(self.max_cpu_us),
+            seq_cpu_permille: permille(self.seq_cpu_us),
+            max_queue_depth: self.max_q,
+            total_queue_depth: self.total_q,
+            in_flight: u32::try_from(self.in_flight.max(0)).unwrap_or(u32::MAX),
+        }
+    }
+}
+
+/// A frame copy addressed to a node outside this shard, parked until the
+/// epoch barrier. `seq` is the shard's send order, part of the total order
+/// cross-shard frames are injected in.
+pub(crate) struct OutFrame {
+    pub at: SimTime,
+    pub to: NodeId,
+    pub pkt: Packet,
+    pub seq: u64,
 }
 
 /// Incarnation stamp for timers armed from outside any node (driver
@@ -158,7 +237,29 @@ pub struct Sim<A> {
     /// hot path branches on a plain bool instead of touching an atomic.
     obs_on: bool,
     /// Frame copies scheduled for delivery but not yet begun processing.
-    in_flight: u64,
+    ///
+    /// Signed because a shard decrements for injected cross-shard copies
+    /// it never counted up; a standalone sim never goes negative.
+    in_flight: i64,
+    /// First global node id hosted here (0 for a standalone sim). Agents
+    /// always see global ids; local tables subtract `base`.
+    base: u32,
+    /// Global node count across all shards (`agents.len()` standalone).
+    total_nodes: u32,
+    /// Frame copies addressed outside `base..base+agents.len()`, awaiting
+    /// pickup by the sharded driver. Always empty standalone.
+    outbox: Vec<OutFrame>,
+    /// Send-order stamp for `outbox` entries.
+    outbox_seq: u64,
+    /// Reused transmit plan — the medium writes into it in place, so the
+    /// steady-state send path performs no allocation.
+    plan_scratch: TxPlan,
+    /// `Some((interval_us, seq_node))` switches the sampler to raw-window
+    /// mode: windows accumulate in `raw_windows` for cross-shard merging
+    /// instead of being finalized into `config.sampler`.
+    raw_interval: Option<(u64, Option<u32>)>,
+    /// Raw windows accumulated in raw mode, drained by the sharded driver.
+    raw_windows: Vec<RawWindow>,
     /// Per-node cumulative CPU busy time (service time summed per event).
     cpu_busy_us: Vec<u64>,
     /// Per-node `cpu_busy_us` as of the last emitted sample (window base).
@@ -189,16 +290,37 @@ impl<A: Agent> Sim<A> {
     ///
     /// # Panics
     ///
-    /// Panics if `agents` is empty or has more than `u16::MAX` nodes.
+    /// Panics if `agents` is empty or has more than `u32::MAX` nodes.
     pub fn new(config: SimConfig, medium: Box<dyn Medium>, agents: Vec<A>) -> Self {
+        let total = u32::try_from(agents.len()).expect("too many nodes");
+        Self::new_shard(config, medium, agents, 0, total)
+    }
+
+    /// Creates a shard hosting global nodes `base..base + agents.len()` of
+    /// a `total`-node simulation. Every node's RNG stream is forked by its
+    /// *global* id — identical to what a standalone sim of `total` nodes
+    /// forks — so per-node draws are independent of shard placement.
+    pub(crate) fn new_shard(
+        config: SimConfig,
+        medium: Box<dyn Medium>,
+        agents: Vec<A>,
+        base: u32,
+        total: u32,
+    ) -> Self {
         assert!(!agents.is_empty(), "a simulation needs at least one node");
-        assert!(agents.len() <= usize::from(u16::MAX), "too many nodes");
         let n = agents.len();
+        assert!(
+            u32::try_from(n).ok().and_then(|n| base.checked_add(n)).is_some_and(|end| end <= total),
+            "shard range out of bounds"
+        );
         let rng = DetRng::new(config.seed);
         // One independent stream per node, forked up front: the fork cost is
-        // paid once, and a node's draws depend only on the seed and its id —
-        // never on how events interleave with other nodes.
-        let node_rngs = (0..n).map(|i| rng.fork(0x4e4f_4445_0000 | i as u64)).collect();
+        // paid once, and a node's draws depend only on the seed and its
+        // global id — never on how events interleave with other nodes, and
+        // never on which shard hosts it. (`+` rather than `|`: identical
+        // for ids below 2^16, collision-free above.)
+        let node_rngs =
+            (0..n).map(|i| rng.fork(0x4e4f_4445_0000 + base as u64 + i as u64)).collect();
         let obs_on = config.recorder.is_enabled();
         let next_sample_at = config
             .sampler
@@ -223,6 +345,13 @@ impl<A: Agent> Sim<A> {
             incarnation: vec![0; n],
             obs_on,
             in_flight: 0,
+            base,
+            total_nodes: total,
+            outbox: Vec::new(),
+            outbox_seq: 0,
+            plan_scratch: TxPlan::default(),
+            raw_interval: None,
+            raw_windows: Vec::new(),
             cpu_busy_us: vec![0; n],
             cpu_busy_prev: vec![0; n],
             next_sample_at,
@@ -230,6 +359,19 @@ impl<A: Agent> Sim<A> {
             win_frames: 0,
             win_copies: 0,
         }
+    }
+
+    /// Whether `node` is hosted on this sim/shard.
+    #[inline]
+    fn is_local(&self, node: NodeId) -> bool {
+        node.0.wrapping_sub(self.base) < self.agents.len() as u32
+    }
+
+    /// Local table index of a (global) node id.
+    #[inline]
+    fn idx(&self, node: NodeId) -> usize {
+        debug_assert!(self.is_local(node), "node {node} is not on this shard");
+        node.0.wrapping_sub(self.base) as usize
     }
 
     /// The attached event recorder (disabled unless one was configured).
@@ -248,9 +390,10 @@ impl<A: Agent> Sim<A> {
         }
     }
 
-    /// Number of nodes.
+    /// Number of nodes in the whole simulation (across all shards, when
+    /// this sim is one shard of a sharded run).
     pub fn num_nodes(&self) -> usize {
-        self.agents.len()
+        self.total_nodes as usize
     }
 
     /// Current virtual time.
@@ -269,7 +412,7 @@ impl<A: Agent> Sim<A> {
     ///
     /// Panics if `id` is out of range.
     pub fn agent(&self, id: NodeId) -> &A {
-        &self.agents[id.index()]
+        &self.agents[self.idx(id)]
     }
 
     /// Mutable access to a node's agent.
@@ -278,7 +421,8 @@ impl<A: Agent> Sim<A> {
     ///
     /// Panics if `id` is out of range.
     pub fn agent_mut(&mut self, id: NodeId) -> &mut A {
-        &mut self.agents[id.index()]
+        let i = self.idx(id);
+        &mut self.agents[i]
     }
 
     /// Iterates over all agents in node order.
@@ -302,7 +446,7 @@ impl<A: Agent> Sim<A> {
     /// *not* reset: the model is a process freeze with stable storage, so
     /// sequence counters and dedup sets survive into the next incarnation.
     pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
-        assert!(node.index() < self.agents.len(), "crash target {node} out of range");
+        assert!(self.is_local(node), "crash target {node} out of range");
         self.queue.push(at.max(self.now), Ev::Fault { node, up: false });
     }
 
@@ -310,7 +454,7 @@ impl<A: Agent> Sim<A> {
     /// back alive and its agent's [`Agent::on_restart`] runs to re-arm
     /// timers and resume in-progress work. No-op if the node is already up.
     pub fn schedule_recover(&mut self, at: SimTime, node: NodeId) {
-        assert!(node.index() < self.agents.len(), "recover target {node} out of range");
+        assert!(self.is_local(node), "recover target {node} out of range");
         self.queue.push(at.max(self.now), Ev::Fault { node, up: true });
     }
 
@@ -320,7 +464,7 @@ impl<A: Agent> Sim<A> {
     ///
     /// Panics if `node` is out of range.
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.alive[node.index()]
+        self.alive[self.idx(node)]
     }
 
     fn ensure_started(&mut self) {
@@ -329,13 +473,13 @@ impl<A: Agent> Sim<A> {
         }
         self.started = true;
         for i in 0..self.agents.len() {
-            let node = NodeId(i as u16);
+            let node = NodeId(self.base + i as u32);
             let scratch = std::mem::take(&mut self.action_scratch);
             let obs = if self.obs_on { Some(&self.config.recorder) } else { None };
             let mut api = SimApi::new(
                 node,
                 SimTime::ZERO,
-                self.agents.len(),
+                self.total_nodes as usize,
                 &mut self.node_rngs[i],
                 scratch,
                 obs,
@@ -347,13 +491,29 @@ impl<A: Agent> Sim<A> {
         }
     }
 
-    fn fill_dests(num_nodes: usize, src: NodeId, dest: Dest, out: &mut Vec<NodeId>) {
+    /// Expands a [`Dest`] into explicit global node ids.
+    ///
+    /// `Dest::Segment` resolves against `topo`; with no topology the whole
+    /// simulation is one segment, so it degenerates to `Dest::Others`.
+    fn fill_dests(
+        total: u32,
+        topo: Option<&Topology>,
+        src: NodeId,
+        dest: Dest,
+        out: &mut Vec<NodeId>,
+    ) {
         out.clear();
         match dest {
-            Dest::All => out.extend((0..num_nodes as u16).map(NodeId)),
-            Dest::Others => out.extend((0..num_nodes as u16).map(NodeId).filter(|&d| d != src)),
+            Dest::All => out.extend((0..total).map(NodeId)),
+            Dest::Others => out.extend((0..total).map(NodeId).filter(|&d| d != src)),
+            Dest::Segment => match topo {
+                Some(t) => {
+                    out.extend(t.segment_range(t.segment_of(src)).map(NodeId).filter(|&d| d != src))
+                }
+                None => out.extend((0..total).map(NodeId).filter(|&d| d != src)),
+            },
             Dest::To(d) => {
-                assert!(d.index() < num_nodes, "destination {d} out of range");
+                assert!(d.0 < total, "destination {d} out of range");
                 out.push(d);
             }
         }
@@ -363,18 +523,26 @@ impl<A: Agent> Sim<A> {
     /// into scheduled deliveries and timers into queue entries.
     fn apply_actions(&mut self, node: NodeId, effective_at: SimTime, actions: &mut Vec<Action>) {
         let mut dests = std::mem::take(&mut self.dest_scratch);
+        let mut plan = std::mem::take(&mut self.plan_scratch);
         for action in actions.drain(..) {
             match action {
                 Action::Send { dest, payload } => {
-                    Self::fill_dests(self.agents.len(), node, dest, &mut dests);
+                    Self::fill_dests(
+                        self.total_nodes,
+                        self.config.topology.as_deref(),
+                        node,
+                        dest,
+                        &mut dests,
+                    );
                     self.stats.frames_sent += 1;
                     self.stats.bytes_sent += payload.len() as u64;
-                    let plan = self.medium.transmit(
+                    self.medium.transmit_into(
                         node,
                         &dests,
                         payload.len(),
                         effective_at,
                         &mut self.rng,
+                        &mut plan,
                     );
                     self.stats.copies_dropped += u64::from(plan.dropped);
                     self.stats.medium_busy_us += plan.busy_us;
@@ -385,14 +553,14 @@ impl<A: Agent> Sim<A> {
                             node.0,
                             ObsEvent::FrameSend {
                                 bytes: payload.len() as u32,
-                                copies: plan.deliveries.len() as u16,
+                                copies: plan.deliveries.len() as u32,
                             },
                         );
                         if plan.dropped > 0 {
                             self.config.recorder.record(
                                 at,
                                 node.0,
-                                ObsEvent::FrameDrop { copies: plan.dropped as u16 },
+                                ObsEvent::FrameDrop { copies: plan.dropped },
                             );
                         }
                     }
@@ -400,7 +568,7 @@ impl<A: Agent> Sim<A> {
                     // the last, which takes the original.
                     let last = plan.deliveries.len();
                     let mut payload = Some(payload);
-                    for (idx, (to, at)) in plan.deliveries.into_iter().enumerate() {
+                    for (idx, (to, at)) in plan.deliveries.drain(..).enumerate() {
                         self.stats.copies_delivered += 1;
                         self.in_flight += 1;
                         let copy = if idx + 1 == last {
@@ -408,24 +576,33 @@ impl<A: Agent> Sim<A> {
                         } else {
                             payload.as_ref().expect("payload present before last").clone()
                         };
-                        self.queue
-                            .push(at, Ev::Packet { to, pkt: Packet { src: node, payload: copy } });
+                        let pkt = Packet { src: node, payload: copy };
+                        if self.is_local(to) {
+                            self.queue.push(at, Ev::Packet { to, pkt });
+                        } else {
+                            // Another shard hosts `to`: park the copy for the
+                            // epoch barrier. `seq` preserves send order.
+                            let seq = self.outbox_seq;
+                            self.outbox_seq += 1;
+                            self.outbox.push(OutFrame { at, to, pkt, seq });
+                        }
                     }
                 }
                 Action::Timer { delay, token } => {
-                    let inc = self.incarnation[node.index()];
+                    let inc = self.incarnation[self.idx(node)];
                     self.queue.push(effective_at + delay, Ev::Timer { node, token, inc });
                 }
             }
         }
         self.dest_scratch = dests;
+        self.plan_scratch = plan;
     }
 
     /// Runs one agent callback at `start` (the node's CPU is known free),
     /// applies its actions, and re-arms the node's wakeup if more deferred
     /// events are waiting.
     fn dispatch(&mut self, node: NodeId, start: SimTime, ev: Ev) {
-        let i = node.index();
+        let i = self.idx(node);
         self.now = self.now.max(start);
         let done = start + self.config.node.service_time;
         self.busy_until[i] = done;
@@ -436,8 +613,14 @@ impl<A: Agent> Sim<A> {
         // Field-disjoint borrows: the recorder handle rides in the API
         // while the agent and its RNG are borrowed mutably.
         let obs = if self.obs_on { Some(&self.config.recorder) } else { None };
-        let mut api =
-            SimApi::new(node, start, self.agents.len(), &mut self.node_rngs[i], scratch, obs);
+        let mut api = SimApi::new(
+            node,
+            start,
+            self.total_nodes as usize,
+            &mut self.node_rngs[i],
+            scratch,
+            obs,
+        );
         match ev {
             Ev::Packet { pkt, .. } => {
                 if let Some(o) = obs {
@@ -476,7 +659,7 @@ impl<A: Agent> Sim<A> {
     /// the series) is identical for identical runs, serial or parallel.
     #[inline]
     fn flush_samples_to(&mut self, t: SimTime) {
-        if self.config.sampler.is_none() {
+        if self.config.sampler.is_none() && self.raw_interval.is_none() {
             return;
         }
         while self.next_sample_at <= t {
@@ -484,15 +667,17 @@ impl<A: Agent> Sim<A> {
         }
     }
 
-    /// Builds and pushes one [`LoadSample`] for the window ending at
-    /// `next_sample_at`, then advances the window.
+    /// Builds the [`RawWindow`] ending at `next_sample_at`, advances the
+    /// window, then either banks it raw (shard mode) or finalizes it into
+    /// the configured sampler.
     fn emit_sample(&mut self) {
-        let sampler = self.config.sampler.as_ref().expect("caller checked").clone();
-        let window_us = sampler.interval_us();
-        // Busy time is attributed at transmit time, so a burst can charge
-        // more busy-µs to one window than the window holds; clamp.
-        let permille =
-            |busy_us: u64| u32::try_from((busy_us * 1000 / window_us).min(1000)).expect("<= 1000");
+        let (window_us, seq_node) = match &self.raw_interval {
+            Some((w, s)) => (*w, *s),
+            None => {
+                let s = self.config.sampler.as_ref().expect("caller checked");
+                (s.interval_us(), s.seq_node())
+            }
+        };
         let mut max_cpu = 0u64;
         let mut seq_cpu = 0u64;
         for (i, (cur, prev)) in
@@ -501,38 +686,43 @@ impl<A: Agent> Sim<A> {
             let delta = cur - *prev;
             *prev = *cur;
             max_cpu = max_cpu.max(delta);
-            if sampler.seq_node() == Some(i as u16) {
+            if seq_node == Some(self.base + i as u32) {
                 seq_cpu = delta;
             }
         }
-        let mut max_queue_depth = 0u32;
-        let mut total_queue_depth = 0u32;
+        let mut max_q = 0u32;
+        let mut total_q = 0u32;
         for p in &self.pending {
             let depth = p.len() as u32;
-            max_queue_depth = max_queue_depth.max(depth);
-            total_queue_depth += depth;
+            max_q = max_q.max(depth);
+            total_q += depth;
         }
-        let sample = LoadSample {
+        let raw = RawWindow {
             at_us: self.next_sample_at.as_micros(),
-            frames_sent: self.stats.frames_sent - self.win_frames,
-            copies_delivered: self.stats.copies_delivered - self.win_copies,
-            bus_util_permille: permille(self.stats.medium_busy_us - self.win_medium_busy),
-            max_cpu_permille: permille(max_cpu),
-            seq_cpu_permille: permille(seq_cpu),
-            max_queue_depth,
-            total_queue_depth,
-            in_flight: self.in_flight.min(u64::from(u32::MAX)) as u32,
+            frames: self.stats.frames_sent - self.win_frames,
+            copies: self.stats.copies_delivered - self.win_copies,
+            busy_us: self.stats.medium_busy_us - self.win_medium_busy,
+            max_cpu_us: max_cpu,
+            seq_cpu_us: seq_cpu,
+            max_q,
+            total_q,
+            in_flight: self.in_flight,
         };
         self.win_frames = self.stats.frames_sent;
         self.win_copies = self.stats.copies_delivered;
         self.win_medium_busy = self.stats.medium_busy_us;
         self.next_sample_at = self.next_sample_at + SimTime::from_micros(window_us);
-        sampler.push(sample);
+        if self.raw_interval.is_some() {
+            self.raw_windows.push(raw);
+        } else {
+            let sampler = self.config.sampler.as_ref().expect("caller checked").clone();
+            sampler.push(raw.finalize(window_us));
+        }
     }
 
     /// Applies a scheduled crash or recovery at time `at`.
     fn apply_fault(&mut self, node: NodeId, up: bool, at: SimTime) {
-        let i = node.index();
+        let i = self.idx(node);
         self.now = self.now.max(at);
         if up {
             if self.alive[i] {
@@ -552,8 +742,14 @@ impl<A: Agent> Sim<A> {
             self.cpu_busy_us[i] += self.config.node.service_time.as_micros();
             let scratch = std::mem::take(&mut self.action_scratch);
             let obs = if self.obs_on { Some(&self.config.recorder) } else { None };
-            let mut api =
-                SimApi::new(node, at, self.agents.len(), &mut self.node_rngs[i], scratch, obs);
+            let mut api = SimApi::new(
+                node,
+                at,
+                self.total_nodes as usize,
+                &mut self.node_rngs[i],
+                scratch,
+                obs,
+            );
             self.agents[i].on_restart(&mut api);
             let mut actions = api.into_actions();
             self.apply_actions(node, done, &mut actions);
@@ -599,7 +795,7 @@ impl<A: Agent> Sim<A> {
             Ev::Timer { node, .. } | Ev::Wakeup { node } => *node,
             Ev::Fault { .. } => unreachable!("handled above"),
         };
-        let i = node.index();
+        let i = self.idx(node);
         // Dead-node drop rules: frames addressed to a dead node are lost at
         // its NIC; timers never fire while the node is down, and timers
         // armed in an earlier incarnation died with the crash.
@@ -627,7 +823,7 @@ impl<A: Agent> Sim<A> {
                         o.record(
                             at.as_micros(),
                             node.0,
-                            ObsEvent::CpuDequeue { depth: self.pending[i].len() as u16 },
+                            ObsEvent::CpuDequeue { depth: self.pending[i].len() as u32 },
                         );
                     }
                     self.dispatch(node, at, first);
@@ -649,7 +845,7 @@ impl<A: Agent> Sim<A> {
                 o.record(
                     at.as_micros(),
                     node.0,
-                    ObsEvent::CpuEnqueue { depth: self.pending[i].len() as u16 },
+                    ObsEvent::CpuEnqueue { depth: self.pending[i].len() as u32 },
                 );
             }
             if !self.wakeup_armed[i] {
@@ -685,6 +881,92 @@ impl<A: Agent> Sim<A> {
     pub fn run_to_quiescence(&mut self) {
         self.ensure_started();
         while self.step() {}
+    }
+
+    // --- Sharded-driver hooks (see `crate::shard`) -------------------------
+    //
+    // A shard is an ordinary `Sim` over a slice of the global node range;
+    // the driver advances it epoch by epoch with `run_before`, ferries its
+    // `outbox` to sibling shards, and injects arrivals with `inject_frame`.
+
+    /// Runs every agent's `on_start` now if it has not run yet.
+    pub(crate) fn start(&mut self) {
+        self.ensure_started();
+    }
+
+    /// Timestamp of the next queued event, if any.
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Processes every event strictly before `t` (the epoch's exclusive
+    /// upper bound). Unlike [`Sim::run_until`] this neither flushes the
+    /// sample tail nor advances `now` — the run is not over.
+    pub(crate) fn run_before(&mut self, t: SimTime) {
+        self.ensure_started();
+        while let Some(at) = self.queue.peek_time() {
+            if at >= t {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Closes out a run at `deadline`: emits the idle tail of the sample
+    /// series and clamps the clock, exactly as [`Sim::run_until`] does.
+    pub(crate) fn finish_at(&mut self, deadline: SimTime) {
+        self.ensure_started();
+        self.flush_samples_to(deadline);
+        self.now = self.now.max(deadline);
+    }
+
+    /// Schedules a frame copy that was transmitted on another shard.
+    /// `in_flight` was counted by the sender's shard, so it is *not*
+    /// incremented here (the pop on this shard will decrement it — the
+    /// reason the counter is signed).
+    pub(crate) fn inject_frame(&mut self, at: SimTime, to: NodeId, pkt: Packet) {
+        debug_assert!(self.is_local(to), "injected frame for non-local node {to}");
+        self.queue.push(at, Ev::Packet { to, pkt });
+    }
+
+    /// Takes the cross-shard frames parked since the last call.
+    pub(crate) fn take_outbox(&mut self) -> Vec<OutFrame> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Switches load sampling to raw-window mode: windows of `interval_us`
+    /// accumulate in this sim for cross-shard merging instead of being
+    /// finalized into a sampler handle.
+    pub(crate) fn enable_raw_sampling(&mut self, interval_us: u64, seq_node: Option<u32>) {
+        assert!(interval_us > 0, "sampling interval must be positive");
+        self.raw_interval = Some((interval_us, seq_node));
+        self.next_sample_at = SimTime::from_micros(interval_us);
+    }
+
+    /// Takes the raw sample windows accumulated since the last call.
+    pub(crate) fn take_raw_windows(&mut self) -> Vec<RawWindow> {
+        std::mem::take(&mut self.raw_windows)
+    }
+
+    /// Rough resident size of this sim in bytes: per-node tables, deferred
+    /// FIFOs, the event queue, and the agents themselves. Used by the
+    /// scaling bench to report per-node memory; not an exact accounting.
+    pub fn approx_mem_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let n = self.agents.len();
+        let per_node = size_of::<A>()
+            + size_of::<SimTime>()              // busy_until
+            + size_of::<std::collections::VecDeque<Ev>>()
+            + size_of::<bool>()                 // wakeup_armed
+            + size_of::<DetRng>()               // node_rngs
+            + size_of::<bool>()                 // alive
+            + size_of::<u32>()                  // incarnation
+            + 2 * size_of::<u64>(); // cpu_busy_us + cpu_busy_prev
+        n * per_node
+            + self.pending.iter().map(|p| p.capacity() * size_of::<Ev>()).sum::<usize>()
+            + self.queue.approx_mem_bytes()
+            + self.outbox.capacity() * size_of::<OutFrame>()
+            + self.raw_windows.capacity() * size_of::<RawWindow>()
     }
 }
 

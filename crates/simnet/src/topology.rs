@@ -1,0 +1,270 @@
+//! Multi-segment network topology: many shared-Ethernet segments joined by
+//! store-and-forward bridges.
+//!
+//! The paper's testbed is one shared 10 Mbit Ethernet; this module scales
+//! that model out the way real deployments did — by splitting the broadcast
+//! domain. A [`Topology`] partitions the node id space into contiguous
+//! *segments*, each its own shared bus (own busy state, own contention, own
+//! jitter stream — see [`crate::SegmentedBus`]). Frames whose destination
+//! lies on another segment cross a bridge: they pay the source segment's
+//! serialization plus a fixed [`bridge latency`](Topology::bridge_latency),
+//! and they never occupy the destination segment's wire (the bridge has a
+//! dedicated uplink into each segment in this model).
+//!
+//! Two properties of this layout are load-bearing for the sharded engine
+//! (`crate::shard`):
+//!
+//! * **Segment-local state.** A transmit touches only the *source*
+//!   segment's bus state and RNG stream, so a segment can be simulated by
+//!   any shard without changing a single draw.
+//! * **A latency floor for cross-segment traffic.**
+//!   [`Topology::min_cross_latency`] lower-bounds the time between a
+//!   cross-segment send and its earliest arrival, which is exactly the
+//!   conservative lookahead window a parallel simulation may run without
+//!   seeing a remote frame early.
+
+use crate::{EthernetConfig, NodeId, SimTime};
+use std::ops::Range;
+
+/// A multi-segment topology: contiguous node ranges, one per segment.
+///
+/// Build with [`Topology::uniform`] (equal-sized segments) or
+/// [`Topology::with_segment_sizes`]; wrap in an `Arc` to share between the
+/// simulator config and a [`crate::SegmentedBus`].
+///
+/// # Examples
+///
+/// ```
+/// use ps_simnet::{NodeId, SimTime, Topology};
+///
+/// let topo = Topology::uniform(10, 3, SimTime::from_micros(100));
+/// assert_eq!(topo.num_segments(), 3);
+/// // 10 nodes over 3 segments: sizes 4, 3, 3.
+/// assert_eq!(topo.segment_range(0), 0..4);
+/// assert_eq!(topo.segment_of(NodeId(4)), 1);
+/// assert_eq!(topo.segment_of(NodeId(9)), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// First node id of each segment, plus a final sentinel equal to the
+    /// node count — segment `s` spans `starts[s]..starts[s + 1]`.
+    starts: Vec<u32>,
+    /// Shared-bus parameters applied to every segment.
+    ethernet: EthernetConfig,
+    /// Extra one-way latency a frame pays to cross a bridge.
+    bridge_latency: SimTime,
+}
+
+impl Topology {
+    /// `nodes` split across `segments` contiguous segments as evenly as
+    /// possible (the first `nodes % segments` segments get one extra node),
+    /// all sharing [`EthernetConfig::default`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero or exceeds `nodes`.
+    pub fn uniform(nodes: u32, segments: u32, bridge_latency: SimTime) -> Self {
+        assert!(segments > 0, "a topology needs at least one segment");
+        assert!(segments <= nodes, "more segments than nodes");
+        let (base, extra) = (nodes / segments, nodes % segments);
+        let sizes: Vec<u32> = (0..segments).map(|s| base + u32::from(s < extra)).collect();
+        Self::with_segment_sizes(&sizes, EthernetConfig::default(), bridge_latency)
+    }
+
+    /// Explicit per-segment sizes and Ethernet parameters. Node ids are
+    /// assigned contiguously in segment order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` is empty or contains a zero.
+    pub fn with_segment_sizes(
+        sizes: &[u32],
+        ethernet: EthernetConfig,
+        bridge_latency: SimTime,
+    ) -> Self {
+        assert!(!sizes.is_empty(), "a topology needs at least one segment");
+        assert!(sizes.iter().all(|&s| s > 0), "empty segments are not allowed");
+        let mut starts = Vec::with_capacity(sizes.len() + 1);
+        let mut at = 0u32;
+        starts.push(0);
+        for &s in sizes {
+            at = at.checked_add(s).expect("node count overflows u32");
+            starts.push(at);
+        }
+        Self { starts, ethernet, bridge_latency }
+    }
+
+    /// Replaces the per-segment Ethernet parameters.
+    pub fn with_ethernet(mut self, ethernet: EthernetConfig) -> Self {
+        self.ethernet = ethernet;
+        self
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        *self.starts.last().expect("starts is never empty")
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> u32 {
+        (self.starts.len() - 1) as u32
+    }
+
+    /// Shared-bus parameters of every segment.
+    pub fn ethernet(&self) -> &EthernetConfig {
+        &self.ethernet
+    }
+
+    /// Extra one-way latency of a bridge crossing.
+    pub fn bridge_latency(&self) -> SimTime {
+        self.bridge_latency
+    }
+
+    /// The segment `node` lives on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn segment_of(&self, node: NodeId) -> u32 {
+        assert!(node.0 < self.num_nodes(), "node {node} out of range");
+        // partition_point returns the first start > node.0; the node's
+        // segment is the one before it.
+        (self.starts.partition_point(|&s| s <= node.0) - 1) as u32
+    }
+
+    /// The contiguous node-id range of segment `seg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range.
+    pub fn segment_range(&self, seg: u32) -> Range<u32> {
+        let s = seg as usize;
+        assert!(s + 1 < self.starts.len(), "segment {seg} out of range");
+        self.starts[s]..self.starts[s + 1]
+    }
+
+    /// Whether `a` and `b` share a segment.
+    pub fn same_segment(&self, a: NodeId, b: NodeId) -> bool {
+        self.segment_of(a) == self.segment_of(b)
+    }
+
+    /// Lower bound on the latency of any cross-segment delivery: bridge
+    /// latency plus propagation (serialization and jitter only add to it).
+    ///
+    /// This is the conservative lookahead window of the sharded engine: no
+    /// frame sent at or after time `t` can arrive on a remote segment
+    /// before `t + min_cross_latency()`.
+    pub fn min_cross_latency(&self) -> SimTime {
+        self.bridge_latency + self.ethernet.propagation
+    }
+
+    /// Partitions the segments into `shards` contiguous, non-empty runs of
+    /// whole segments, balanced by node count: returns each shard's segment
+    /// range. Deterministic — the same topology and shard count always
+    /// yield the same plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or exceeds the segment count.
+    pub fn shard_plan(&self, shards: u32) -> Vec<Range<u32>> {
+        let segs = self.num_segments();
+        assert!(shards > 0, "at least one shard required");
+        assert!(shards <= segs, "more shards ({shards}) than segments ({segs})");
+        let nodes = u64::from(self.num_nodes());
+        let mut plan = Vec::with_capacity(shards as usize);
+        let mut seg = 0u32;
+        for k in 0..shards {
+            let start = seg;
+            // Advance until this shard holds its proportional share of the
+            // nodes, but never eat into the segments the remaining shards
+            // still need (one each).
+            let target = nodes * u64::from(k + 1) / u64::from(shards);
+            let max_end = segs - (shards - k - 1);
+            seg += 1;
+            while seg < max_end && u64::from(self.starts[seg as usize + 1]) <= target {
+                seg += 1;
+            }
+            plan.push(start..seg);
+        }
+        debug_assert_eq!(plan.last().expect("non-empty").end, segs);
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_splits_evenly_with_remainder_up_front() {
+        let t = Topology::uniform(11, 4, SimTime::from_micros(100));
+        let sizes: Vec<u32> = (0..4).map(|s| t.segment_range(s).len() as u32).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 2]);
+        assert_eq!(t.num_nodes(), 11);
+        assert_eq!(t.num_segments(), 4);
+    }
+
+    #[test]
+    fn segment_of_matches_ranges() {
+        let t = Topology::with_segment_sizes(
+            &[2, 5, 1],
+            EthernetConfig::default(),
+            SimTime::from_micros(80),
+        );
+        for seg in 0..t.num_segments() {
+            for n in t.segment_range(seg) {
+                assert_eq!(t.segment_of(NodeId(n)), seg, "node {n}");
+            }
+        }
+        assert!(t.same_segment(NodeId(2), NodeId(6)));
+        assert!(!t.same_segment(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn min_cross_latency_is_bridge_plus_propagation() {
+        let t = Topology::uniform(4, 2, SimTime::from_micros(100));
+        assert_eq!(t.min_cross_latency(), SimTime::from_micros(100) + t.ethernet().propagation);
+    }
+
+    #[test]
+    fn shard_plan_covers_all_segments_contiguously() {
+        let t = Topology::uniform(100, 10, SimTime::from_micros(100));
+        for shards in 1..=10 {
+            let plan = t.shard_plan(shards);
+            assert_eq!(plan.len(), shards as usize);
+            assert_eq!(plan[0].start, 0);
+            assert_eq!(plan.last().unwrap().end, 10);
+            for w in plan.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous");
+                assert!(!w[0].is_empty() && !w[1].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_balances_uneven_segments() {
+        // One huge segment and many tiny ones: the huge one gets a shard
+        // to itself (or nearly), the tiny ones pack together.
+        let t = Topology::with_segment_sizes(
+            &[100, 5, 5, 5, 5],
+            EthernetConfig::default(),
+            SimTime::from_micros(50),
+        );
+        let plan = t.shard_plan(2);
+        assert_eq!(plan[0], 0..1, "big segment alone in shard 0");
+        assert_eq!(plan[1], 1..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "more segments than nodes")]
+    fn uniform_rejects_more_segments_than_nodes() {
+        let _ = Topology::uniform(2, 3, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "more shards")]
+    fn shard_plan_rejects_excess_shards() {
+        let t = Topology::uniform(4, 2, SimTime::from_micros(10));
+        let _ = t.shard_plan(3);
+    }
+}

@@ -90,6 +90,18 @@ impl<E> TimingWheel<E> {
         self.len == 0
     }
 
+    /// Rough resident size in bytes: slot buffers, min caches, and heaps.
+    pub(crate) fn approx_mem_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let slot_cap: usize =
+            self.slots.iter().flatten().map(std::collections::VecDeque::capacity).sum();
+        let min_cap: usize = self.slot_min.iter().map(Vec::capacity).sum();
+        slot_cap * size_of::<Entry<E>>()
+            + min_cap * size_of::<(u64, u64)>()
+            + (self.far.capacity() + self.past.capacity()) * size_of::<Entry<E>>()
+            + size_of::<Self>()
+    }
+
     pub(crate) fn push(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;

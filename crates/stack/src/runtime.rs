@@ -75,7 +75,7 @@ impl StackEnv for EnvAdapter<'_, '_> {
         let dest = match frame.dest {
             Cast::All => Dest::All,
             Cast::Others => Dest::Others,
-            Cast::To(p) => Dest::To(NodeId(p.0)),
+            Cast::To(p) => Dest::To(NodeId::from(p.0)),
         };
         self.api.send(dest, frame.bytes);
     }
@@ -88,8 +88,11 @@ impl StackEnv for EnvAdapter<'_, '_> {
             if msg.id.seq < (1 << 48) {
                 o.record(
                     self.api.now().as_micros(),
-                    me.0,
-                    ps_obs::ObsEvent::AppDeliver { sender: msg.id.sender.0, seq: msg.id.seq },
+                    u32::from(me.0),
+                    ps_obs::ObsEvent::AppDeliver {
+                        sender: u32::from(msg.id.sender.0),
+                        seq: msg.id.seq,
+                    },
                 );
             }
         }
@@ -110,7 +113,7 @@ impl Agent for ProcessAgent {
     }
 
     fn on_packet(&mut self, pkt: Packet, api: &mut SimApi<'_>) {
-        let src = ProcessId(pkt.src.0);
+        let src = ProcessId(pkt.src.0 as u16);
         let mut env = EnvAdapter { cell: &mut self.cell, api };
         self.stack.receive(src, pkt.payload, &mut env);
     }
@@ -129,8 +132,11 @@ impl Agent for ProcessAgent {
             if let Some(o) = api.obs() {
                 o.record(
                     api.now().as_micros(),
-                    self.cell.me.0,
-                    ps_obs::ObsEvent::AppSend { sender: msg.id.sender.0, seq: msg.id.seq },
+                    u32::from(self.cell.me.0),
+                    ps_obs::ObsEvent::AppSend {
+                        sender: u32::from(msg.id.sender.0),
+                        seq: msg.id.seq,
+                    },
                 );
             }
             self.cell.log.push((api.now(), Event::send(msg.clone())));
@@ -188,6 +194,19 @@ impl GroupSimBuilder {
         self
     }
 
+    /// Runs the group over a multi-segment [`ps_simnet::Topology`]: the
+    /// medium becomes a [`ps_simnet::SegmentedBus`] over it (seeded from
+    /// the builder's seed at [`GroupSimBuilder::build`]) and
+    /// `Dest::Segment` resolves against it. The topology must span
+    /// exactly the group's `n` processes. Overrides any previously set
+    /// medium; a later [`GroupSimBuilder::medium`] call wins back.
+    pub fn topology(mut self, topo: std::sync::Arc<ps_simnet::Topology>) -> Self {
+        assert_eq!(topo.num_nodes(), u32::from(self.n), "topology nodes must match group size");
+        self.config = self.config.topology(topo);
+        self.medium = None;
+        self
+    }
+
     /// Sets the network model (default: 100 µs point-to-point).
     pub fn medium(mut self, medium: Box<dyn Medium>) -> Self {
         self.medium = Some(medium);
@@ -239,8 +258,13 @@ impl GroupSimBuilder {
     /// out of range.
     pub fn build(self) -> GroupSim {
         let factory = self.factory.expect("GroupSimBuilder requires a stack_factory");
-        let medium =
-            self.medium.unwrap_or_else(|| Box::new(PointToPoint::new(SimTime::from_micros(100))));
+        let medium = self.medium.unwrap_or_else(|| match &self.config.topology {
+            Some(topo) => Box::new(ps_simnet::SegmentedBus::new(
+                std::sync::Arc::clone(topo),
+                self.config.seed,
+            )) as Box<dyn Medium>,
+            None => Box::new(PointToPoint::new(SimTime::from_micros(100))),
+        });
         let group: Vec<ProcessId> = (0..self.n).map(ProcessId).collect();
 
         // Sort workload per process; token = index into its schedule.
@@ -274,7 +298,7 @@ impl GroupSimBuilder {
         let mut sim = Sim::new(self.config, medium, agents);
         for (p, sends) in per_node.iter().enumerate() {
             for (idx, (at, _)) in sends.iter().enumerate() {
-                sim.schedule(*at, NodeId(p as u16), pack(LayerId(APP_MARKER), idx as u32));
+                sim.schedule(*at, NodeId(p as u32), pack(LayerId(APP_MARKER), idx as u32));
             }
         }
         GroupSim { sim, group }
@@ -306,13 +330,13 @@ impl GroupSim {
     /// Schedules a fail-stop crash of `p` at time `at` (see
     /// [`ps_simnet::Sim::schedule_crash`]).
     pub fn schedule_crash(&mut self, at: SimTime, p: ProcessId) {
-        self.sim.schedule_crash(at, NodeId(p.0));
+        self.sim.schedule_crash(at, NodeId::from(p.0));
     }
 
     /// Schedules recovery of `p` at time `at`; the process's stack gets
     /// a [`crate::Layer::on_restart`] traversal to re-arm its timers.
     pub fn schedule_recover(&mut self, at: SimTime, p: ProcessId) {
-        self.sim.schedule_recover(at, NodeId(p.0));
+        self.sim.schedule_recover(at, NodeId::from(p.0));
     }
 
     /// Current virtual time.
@@ -506,7 +530,7 @@ mod tests {
         // the recorded sender is the originator, not the delivering node.
         assert_eq!(delivers.len(), 3);
         assert!(delivers.iter().all(|e| e.ev == ObsEvent::AppDeliver { sender: 1, seq: 1 }));
-        let nodes: Vec<u16> = delivers.iter().map(|e| e.node).collect();
+        let nodes: Vec<u32> = delivers.iter().map(|e| e.node).collect();
         assert!(nodes.contains(&0) && nodes.contains(&1) && nodes.contains(&2));
     }
 

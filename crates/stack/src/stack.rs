@@ -48,7 +48,7 @@ fn layer_span(env: &dyn StackEnv, layer: &'static str, dir: LayerDir, begin: boo
         } else {
             ObsEvent::LayerEnd { layer, dir }
         };
-        o.record(env.now().as_micros(), env.me().0, ev);
+        o.record(env.now().as_micros(), u32::from(env.me().0), ev);
     }
 }
 

@@ -33,6 +33,24 @@ PS_BENCH_ITERS=1 PS_BENCH_WARMUP=1 PS_BENCH_OUT="$(pwd)/target/BENCH_engine.json
     cargo bench --bench engine_throughput
 test -s target/BENCH_engine.json
 
+echo "==> engine_scale smoke run (1k/10k only, sharded engine included, offline)"
+# Exercises the sharded event loop end to end (ShardedSim vs the plain
+# engine on bridged multi-segment topologies) at CI-friendly sizes;
+# PS_SCALE_QUICK skips the 100k rows.
+rm -f target/BENCH_scale.json
+PS_SCALE_QUICK=1 PS_BENCH_ITERS=1 PS_BENCH_WARMUP=1 \
+    PS_BENCH_OUT="$(pwd)/target/BENCH_scale.json" \
+    cargo bench --bench engine_scale
+test -s target/BENCH_scale.json
+
+echo "==> bench_check: fresh medians vs committed baselines (informational)"
+# Never fails the gate: 1-iteration CI medians are noisy by construction.
+# The value is the visible per-row delta in the log — a real regression
+# shows up here first, then gets re-measured with proper iteration counts
+# (see OPTIMIZATION_LOG.md) before anyone refreshes a baseline.
+cargo run --release -q --bin bench_check -- BENCH_engine.json target/BENCH_engine.json
+cargo run --release -q --bin bench_check -- BENCH_scale.json target/BENCH_scale.json
+
 echo "==> trace smoke: repro --trace emits valid, reproducible files (offline)"
 # The instrumented repro run must (a) produce traces that parse as JSON in
 # both formats, and (b) be byte-identical across same-seed invocations,
@@ -100,6 +118,16 @@ if cargo run --release -q --bin repro -- campaign --quick --fault > target/ci-ca
     exit 1
 fi
 grep -q total_order target/ci-campaign/fault.txt
+
+echo "==> multi-segment smoke: the campaign grid runs unchanged on a bridged topology (offline)"
+# The same judged grid over 2 bridged Ethernet segments (SegmentedBus +
+# router bridging) must still pass every cell and stay byte-deterministic
+# across invocations.
+cargo run --release -q --bin repro -- campaign --quick --topology segments:2 \
+    > target/ci-campaign/seg2-a.txt
+cargo run --release -q --bin repro -- campaign --quick --topology segments:2 \
+    > target/ci-campaign/seg2-b.txt
+diff target/ci-campaign/seg2-a.txt target/ci-campaign/seg2-b.txt
 
 echo "==> cargo doc --no-deps with warnings denied (offline)"
 # ps-obs and ps-core carry #![deny(missing_docs)]; this gate extends the
