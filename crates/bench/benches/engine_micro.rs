@@ -4,7 +4,11 @@
 use ps_bench::plain_group;
 use ps_bench::timing::Bench;
 use ps_bytes::Bytes;
-use ps_simnet::{DetRng, EthernetConfig, EventQueue, Medium as _, NodeId, SharedBus, SimTime};
+use ps_obs::{MonitorSet, Recorder};
+use ps_simnet::{
+    Agent, Dest, DetRng, EthernetConfig, EventQueue, Medium as _, NodeId, Packet, PointToPoint,
+    SharedBus, Sim, SimApi, SimConfig, SimTime, TimerToken,
+};
 use ps_wire::{Decoder, Encoder};
 use std::hint::black_box;
 
@@ -81,6 +85,71 @@ fn bus_model(bench: &mut Bench) {
     });
 }
 
+/// First four nodes broadcast to everyone every 500 µs for 25 rounds —
+/// the `broadcast_1000` shape from `engine_throughput`, reproduced here
+/// for the causal-observability A/B pair.
+struct Broadcaster {
+    rounds_left: u32,
+    payload: Bytes,
+    received: u64,
+}
+
+impl Agent for Broadcaster {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        if self.rounds_left > 0 {
+            api.set_timer(SimTime::from_micros(500), TimerToken(0));
+        }
+    }
+    fn on_packet(&mut self, _: Packet, _: &mut SimApi<'_>) {
+        self.received += 1;
+    }
+    fn on_timer(&mut self, _: TimerToken, api: &mut SimApi<'_>) {
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            api.send(Dest::Others, self.payload.clone());
+            if self.rounds_left > 0 {
+                api.set_timer(SimTime::from_micros(500), TimerToken(0));
+            }
+        }
+    }
+}
+
+fn broadcast_1000(rec: Option<Recorder>) -> u64 {
+    let payload = Bytes::from_static(&[0xB7; 256]);
+    let agents = (0..1000u16)
+        .map(|i| Broadcaster {
+            rounds_left: if i < 4 { 25 } else { 0 },
+            payload: payload.clone(),
+            received: 0,
+        })
+        .collect();
+    let mut cfg = SimConfig::default().seed(7).service_time(SimTime::from_micros(5));
+    if let Some(rec) = rec {
+        cfg = cfg.recorder(rec);
+    }
+    let mut sim = Sim::new(cfg, Box::new(PointToPoint::new(SimTime::from_micros(120))), agents);
+    sim.run_to_quiescence();
+    sim.stats().events_processed
+}
+
+fn causal_obs(bench: &mut Bench) {
+    // A/B pair at the broadcast_1000 shape: the full observability stack
+    // live — recorder enabled (every event carrying its causal parent
+    // link) with the standard monitor set streaming each one — against
+    // the fully detached baseline. This prices *enabled* causal tracing;
+    // the <3% budget on the *disabled* configuration is asserted by
+    // `engine_throughput`.
+    let mut g = bench.group("causal_obs");
+    g.iters(10);
+    g.bench("broadcast_1000_detached", || black_box(broadcast_1000(None)));
+    g.bench("broadcast_1000_attached", || {
+        let rec = Recorder::with_capacity(1 << 18);
+        let monitors = MonitorSet::standard(1000, 1_000_000);
+        monitors.attach(&rec);
+        black_box(broadcast_1000(Some(rec)))
+    });
+}
+
 fn sim_loop(bench: &mut Bench) {
     let mut g = bench.group("sim_event_loop");
     g.iters(10);
@@ -101,6 +170,7 @@ fn main() {
     event_queue(&mut bench);
     codec(&mut bench);
     bus_model(&mut bench);
+    causal_obs(&mut bench);
     sim_loop(&mut bench);
     bench.finish();
 }

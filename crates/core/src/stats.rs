@@ -147,10 +147,8 @@ mod tests {
     #[test]
     fn from_events_rebuilds_completed_switches() {
         use ps_obs::{ObsEvent, SpPhase, TimedEvent};
-        let sp = |at_us, node, phase, from, to| TimedEvent {
-            at_us,
-            node,
-            ev: ObsEvent::SwitchPhase { phase, from, to },
+        let sp = |at_us, node, phase, from, to| {
+            TimedEvent::new(at_us, node, ObsEvent::SwitchPhase { phase, from, to })
         };
         let events = vec![
             sp(100, 0, SpPhase::PrepareSeen, 0, 1),

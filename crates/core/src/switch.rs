@@ -255,14 +255,23 @@ impl StackEnv for SubEnv<'_, '_> {
     fn obs(&self) -> Option<&ps_obs::Recorder> {
         self.ctx.obs()
     }
+    fn cause(&self) -> ps_obs::CauseId {
+        self.ctx.cause()
+    }
+    fn set_cause(&mut self, cause: ps_obs::CauseId) -> ps_obs::CauseId {
+        self.ctx.set_cause(cause)
+    }
 }
 
-/// Records one switch-phase event if observability is on.
+/// Records one switch-phase event if observability is on, parented to the
+/// event being processed (the control frame or timer that triggered the
+/// phase transition).
 fn record_phase(ctx: &LayerCtx<'_>, phase: SpPhase, from: usize, to: usize) {
     if let Some(o) = ctx.obs() {
-        o.record(
+        o.record_caused(
             ctx.now().as_micros(),
             u32::from(ctx.me().0),
+            ctx.cause(),
             ObsEvent::SwitchPhase { phase, from: from as u8, to: to as u8 },
         );
     }

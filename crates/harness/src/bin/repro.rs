@@ -1,11 +1,11 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|chaos|campaign|all]
+//! repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|explain|chaos|campaign|all]
 //!       [--quick] [--csv] [--counterexamples] [--serial]
 //!       [--trace PATH] [--trace-format jsonl|chrome]
 //!       [--fault] [--series PATH] [--manifests PATH]
-//!       [--topology segments:<n>]
+//!       [--postmortem PATH] [--topology segments:<n>]
 //! ```
 //!
 //! Sweeps run on a worker pool by default (`PS_SWEEP_WORKERS` overrides
@@ -35,12 +35,27 @@
 //! the broken ordering layer into one cell (which must then fail). Exits
 //! 1 if any cell reports a violation or a wedged switch.
 //!
-//! `--topology segments:<n>` (monitor and campaign) spreads the group
-//! over `n` bridged shared-Ethernet segments instead of one bus; the
-//! same grid runs unchanged, monitors and all.
+//! `repro explain` runs the monitored crossover scenario and prints each
+//! switch attempt's **critical-path attribution**: per phase (prepare,
+//! drain, flip, release), how much of the wall time the causal chain
+//! spent in network transit, CPU service, queueing wait, and timer
+//! slack. Deterministic: same seed, byte-identical table. Always exits 0
+//! — it explains runs, it does not judge them.
+//!
+//! `--postmortem PATH` (explain, monitor, chaos, campaign) arms the
+//! flight recorder: when the run fails (monitor violation, or a wedged /
+//! unexpected scenario outcome), a bounded causal slice — the witnesses,
+//! their k-hop causal past, monitor verdicts, and the overlapping load
+//! samples — is written to `PATH` (JSON-lines, `trace_lint`-clean) and
+//! `PATH.chrome.json` (Chrome trace). Nothing is written when the run is
+//! clean.
+//!
+//! `--topology segments:<n>` (monitor, explain, campaign) spreads the
+//! group over `n` bridged shared-Ethernet segments instead of one bus;
+//! the same grid runs unchanged, monitors and all.
 
 use ps_harness::experiments::{ablation, fig2, oscillation, overhead, table1, table2};
-use ps_harness::{campaign, chaos, monitor_run, trace_run, SweepRunner};
+use ps_harness::{campaign, chaos, explain, monitor_run, trace_run, SweepRunner};
 
 struct Opts {
     what: String,
@@ -53,6 +68,7 @@ struct Opts {
     fault: bool,
     series_path: Option<String>,
     manifests_path: Option<String>,
+    postmortem_path: Option<String>,
     segments: u32,
 }
 
@@ -67,6 +83,7 @@ fn parse() -> Opts {
     let mut fault = false;
     let mut series_path = None;
     let mut manifests_path = None;
+    let mut postmortem_path = None;
     let mut segments = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -87,6 +104,13 @@ fn parse() -> Opts {
                 Some(p) => manifests_path = Some(p),
                 None => {
                     eprintln!("--manifests needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--postmortem" => match args.next() {
+                Some(p) => postmortem_path = Some(p),
+                None => {
+                    eprintln!("--postmortem needs a file path");
                     std::process::exit(2);
                 }
             },
@@ -124,7 +148,7 @@ fn parse() -> Opts {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|chaos|campaign|all] [--quick] [--csv] [--counterexamples] [--serial] [--trace PATH] [--trace-format jsonl|chrome] [--fault] [--series PATH] [--manifests PATH] [--topology segments:<n>]"
+                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|explain|chaos|campaign|all] [--quick] [--csv] [--counterexamples] [--serial] [--trace PATH] [--trace-format jsonl|chrome] [--fault] [--series PATH] [--manifests PATH] [--postmortem PATH] [--topology segments:<n>]"
                 );
                 std::process::exit(0);
             }
@@ -146,7 +170,28 @@ fn parse() -> Opts {
         fault,
         series_path,
         manifests_path,
+        postmortem_path,
         segments,
+    }
+}
+
+/// Writes a failure bundle (JSONL + Chrome trace) where `--postmortem`
+/// pointed, or reports that nothing failed.
+fn write_postmortem(path: &str, bundle: Option<&ps_obs::PostmortemBundle>) {
+    match bundle {
+        Some(b) => {
+            if let Err(e) = explain::write_bundle(path, b) {
+                eprintln!("cannot write post-mortem to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "wrote post-mortem ({}; {} events, {} verdicts) to {path} and {path}.chrome.json",
+                b.reason,
+                b.slice.len(),
+                b.verdicts.len()
+            );
+        }
+        None => eprintln!("clean run: no post-mortem written to {path}"),
     }
 }
 
@@ -249,9 +294,38 @@ fn main() {
             }
             eprintln!("wrote {} load samples to {path}", r.samples.len());
         }
+        if let Some(path) = &opts.postmortem_path {
+            let bundle = (!r.violations.is_empty()).then(|| {
+                explain::capture_failure(
+                    "monitor_violation",
+                    &r.events,
+                    r.overwritten,
+                    &r.violations,
+                    &r.samples,
+                )
+            });
+            write_postmortem(path, bundle.as_ref());
+        }
         if !r.violations.is_empty() {
             eprintln!("monitor: {} property violation(s) detected", r.violations.len());
             std::process::exit(1);
+        }
+    }
+    if all || opts.what == "explain" {
+        let cfg = if opts.quick {
+            monitor_run::MonitorRunConfig::quick()
+        } else {
+            monitor_run::MonitorRunConfig::default()
+        };
+        let cfg = monitor_run::MonitorRunConfig {
+            inject_fault: opts.fault,
+            segments: opts.segments,
+            ..cfg
+        };
+        let res = explain::run(&cfg);
+        print!("{}", explain::render(&res));
+        if let Some(path) = &opts.postmortem_path {
+            write_postmortem(path, res.bundle.as_ref());
         }
     }
     if all || opts.what == "campaign" {
@@ -274,6 +348,10 @@ fn main() {
             }
             eprintln!("wrote {} cell manifests to {path}", results.len());
         }
+        if let Some(path) = &opts.postmortem_path {
+            let bundle = results.iter().find_map(|r| r.postmortem.as_ref());
+            write_postmortem(path, bundle);
+        }
         if !campaign::all_pass(&results) {
             let failed = results.iter().filter(|r| !r.pass).count();
             eprintln!("campaign: {failed} cell(s) failed (wedged switch or property violation)");
@@ -284,6 +362,10 @@ fn main() {
         let cfg = if opts.quick { chaos::ChaosConfig::quick() } else { chaos::ChaosConfig::full() };
         let results = chaos::run_with(&cfg, &opts.runner);
         emit(&opts, &chaos::render(&results));
+        if let Some(path) = &opts.postmortem_path {
+            let bundle = results.iter().find_map(|r| r.postmortem.as_ref());
+            write_postmortem(path, bundle);
+        }
         if !chaos::all_pass(&results) {
             let failed = results.iter().filter(|r| !r.pass).count();
             eprintln!("chaos: {failed} scenario(s) failed (wedged switch or property violation)");

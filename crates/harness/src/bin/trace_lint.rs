@@ -13,8 +13,15 @@
 //! `to_chrome_with`) carry the ring's eviction count; a non-zero count
 //! means the trace is incomplete (oldest events overwritten), which this
 //! tool reports as a non-fatal warning.
+//!
+//! JSON-lines files containing recorder events additionally get their
+//! **causal links** validated: every `parent` must resolve to an event in
+//! the file (unless excused by declared ring eviction or a post-mortem
+//! bundle's `truncated_parents`), parents must precede their children in
+//! canonical order, the graph must be acyclic, and switch-phase events
+//! must form well-nested intervals. Any finding is fatal (exit 1).
 
-use ps_obs::json;
+use ps_obs::{json, CausalGraph};
 
 /// The ring eviction count a `*_with` export embedded, if any.
 fn overwritten_count(body: &str) -> Option<u64> {
@@ -64,6 +71,27 @@ fn main() {
                         e.offset, e.message
                     );
                     std::process::exit(1);
+                }
+            }
+            // Causal validation, for files that carry recorder events
+            // (series/manifest files have none and are skipped).
+            match ps_obs::parse_jsonl(&body) {
+                Err(e) => {
+                    eprintln!("trace_lint: {path}: cannot parse events: {e}");
+                    std::process::exit(1);
+                }
+                Ok(parsed) if parsed.events.is_empty() => {}
+                Ok(parsed) => {
+                    let graph = CausalGraph::new(&parsed.events);
+                    let findings = graph.lint(parsed.overwritten, &parsed.truncated_parents);
+                    if findings.is_empty() {
+                        println!("{path}: causal links valid ({} events)", parsed.events.len());
+                    } else {
+                        for f in &findings {
+                            eprintln!("trace_lint: {path}: causal: {f}");
+                        }
+                        std::process::exit(1);
+                    }
                 }
             }
         }

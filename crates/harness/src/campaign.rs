@@ -302,6 +302,9 @@ pub struct CellResult {
     pub wedged: bool,
     /// `true` iff no violations and not wedged.
     pub pass: bool,
+    /// Post-mortem flight-recorder bundle, captured iff the cell failed
+    /// (`repro campaign --postmortem PATH` writes the first one).
+    pub postmortem: Option<ps_obs::PostmortemBundle>,
 }
 
 /// Runs one cell and judges it.
@@ -417,6 +420,20 @@ pub fn run_cell(cfg: &CampaignConfig, cell: &CampaignCell) -> CellResult {
     let latency = latency_stats(&sim, SteadyStateWindow::between(cfg.start, cfg.end));
     let violations = monitors.finish();
     let pass = violations.is_empty() && !wedged;
+    let postmortem = (!pass).then(|| {
+        let reason = if violations.is_empty() {
+            format!("wedged: {}", cell.name())
+        } else {
+            format!("monitor_violation: {}", cell.name())
+        };
+        crate::explain::capture_failure(
+            &reason,
+            &recorder.snapshot(),
+            recorder.overwritten(),
+            &violations,
+            &sampler.samples(),
+        )
+    });
     CellResult {
         cell: cell.clone(),
         manifest,
@@ -427,6 +444,7 @@ pub fn run_cell(cfg: &CampaignConfig, cell: &CampaignCell) -> CellResult {
         violations,
         wedged,
         pass,
+        postmortem,
     }
 }
 

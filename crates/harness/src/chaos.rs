@@ -311,6 +311,9 @@ pub struct ScenarioResult {
     pub sent: usize,
     /// Whether outcome matched the expectation with zero violations.
     pub pass: bool,
+    /// Post-mortem flight-recorder bundle, captured iff the scenario
+    /// failed (`repro chaos --postmortem PATH` writes the first one).
+    pub postmortem: Option<ps_obs::PostmortemBundle>,
 }
 
 /// Streaming probe: remembers, per node, the last switching-protocol
@@ -475,6 +478,20 @@ pub fn run_scenario(cfg: &ChaosConfig, sc: &ChaosScenario) -> ScenarioResult {
         _ => None,
     };
     let pass = outcome == sc.expect && violations.is_empty();
+    let postmortem = (!pass).then(|| {
+        let reason = if violations.is_empty() {
+            format!("{}: {}", outcome.as_str(), sc.name)
+        } else {
+            format!("monitor_violation: {}", sc.name)
+        };
+        crate::explain::capture_failure(
+            &reason,
+            &recorder.snapshot(),
+            recorder.overwritten(),
+            &violations,
+            &[],
+        )
+    });
     ScenarioResult {
         scenario: sc.clone(),
         outcome,
@@ -484,6 +501,7 @@ pub fn run_scenario(cfg: &ChaosConfig, sc: &ChaosScenario) -> ScenarioResult {
         violations,
         sent: monitors.delivery().sent_count(),
         pass,
+        postmortem,
     }
 }
 

@@ -10,6 +10,7 @@
 //! | [`trace_run`] | §7 — instrumented switch run: event trace + phase timeline | `repro trace --trace out.jsonl` |
 //! | [`monitor_run`] | §7 — live monitors + load sampling + metrics-driven switch oracle | `repro monitor --series load.jsonl` |
 //! | [`chaos`] | §2/§8 — crash/recovery + partition fault injection, monitored scenario matrix | `repro chaos` |
+//! | [`explain`] | §7 — causal critical-path attribution per switch + post-mortem flight recorder | `repro explain` |
 //! | [`campaign`] | §7 — judged campaign grid: traffic profiles × stacks × faults, monitored | `repro campaign` |
 //!
 //! Every experiment is deterministic given its config (all randomness is
@@ -21,6 +22,7 @@
 pub mod campaign;
 pub mod chaos;
 pub mod experiments;
+pub mod explain;
 pub mod measure;
 pub mod monitor_run;
 pub mod report;

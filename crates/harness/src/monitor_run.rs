@@ -227,6 +227,9 @@ pub struct MonitorRunResult {
     pub overwritten: u64,
     /// Application messages the monitors saw sent.
     pub sent: usize,
+    /// The recorder's event snapshot, for causal analysis (`repro
+    /// explain`) and post-mortem capture (`--postmortem`).
+    pub events: Vec<ps_obs::TimedEvent>,
 }
 
 /// Runs the monitored crossover scenario.
@@ -316,6 +319,7 @@ pub fn run(cfg: &MonitorRunConfig) -> MonitorRunResult {
         handles,
         overwritten: sim.recorder().overwritten(),
         sent: monitors.delivery().sent_count(),
+        events: sim.recorder().snapshot(),
     }
 }
 

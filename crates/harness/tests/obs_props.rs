@@ -55,6 +55,70 @@ props! {
         }
     }
 
+    // The causal layer's structural contract, over the same randomized
+    // traced runs: parent links form a DAG whose every chain ends at an
+    // *origin* event, and the per-switch critical paths stay inside the
+    // attempt's own sim window.
+    fn causal_graph_is_acyclic_rooted_and_bounded(
+        seed in arb::<u64>(),
+        senders in arb::<u16>(),
+        gap_ms in arb::<u64>(),
+    ) {
+        let cfg = cfg_from(seed, senders, gap_ms);
+        let r = run(&cfg);
+        let graph = ps_obs::CausalGraph::new(&r.events);
+
+        assert!(graph.is_acyclic(), "cycle in causal links (seed {seed:#x})");
+        let findings = graph.lint(r.overwritten, &[]);
+        assert!(findings.is_empty(), "lint findings (seed {seed:#x}): {findings:?}");
+
+        // Every parent chain terminates at a root, and every root is an
+        // origin — a timer fire, a send, a launch span, or work parked
+        // from outside any causal context — never an effect such as a
+        // delivery, a dequeue, or a span close.
+        use ps_obs::ObsEvent as E;
+        for e in graph.events() {
+            assert!(graph.reaches_root(e), "orphan chain (seed {seed:#x}): {e:?}");
+            if e.parent.is_none() {
+                assert!(
+                    matches!(
+                        e.ev,
+                        E::TimerFire { .. }
+                            | E::AppSend { .. }
+                            | E::FrameSend { .. }
+                            | E::CpuEnqueue { .. }
+                            | E::LayerBegin { .. }
+                    ),
+                    "effect event is a causal root (seed {seed:#x}): {e:?}"
+                );
+            }
+        }
+
+        // Both the forward and the reverse switch show up as attempts,
+        // each bounded by the run and internally consistent: phases sit
+        // inside the attempt window and never attribute more time than
+        // the window holds.
+        let paths = graph.switch_attempts();
+        assert!(paths.len() >= 2, "expected both switches (seed {seed:#x})");
+        for p in &paths {
+            assert!(p.start_us <= p.end_us, "inverted attempt window: {p:?}");
+            assert!(
+                p.total_us() <= cfg.end.as_micros(),
+                "critical path longer than the run (seed {seed:#x}): {p:?}"
+            );
+            for ph in &p.phases {
+                assert!(
+                    ph.start_us >= p.start_us && ph.end_us <= p.end_us,
+                    "phase outside its attempt (seed {seed:#x}): {ph:?}"
+                );
+                assert!(
+                    ph.attributed_us() <= ph.total_us(),
+                    "phase attributes more than its window (seed {seed:#x}): {ph:?}"
+                );
+            }
+        }
+    }
+
     // Bucket-wise histogram merge (what the sweep runner uses to pool
     // per-point latency histograms) must be indistinguishable from
     // feeding the union of samples into one histogram: identical bucket

@@ -3,7 +3,7 @@
 //! serial path's, whatever the worker count.
 
 use ps_harness::experiments::{ablation, fig2, table2};
-use ps_harness::{campaign, chaos, monitor_run, trace_run, SweepRunner};
+use ps_harness::{campaign, chaos, explain, monitor_run, trace_run, SweepRunner};
 
 #[test]
 fn fig2_parallel_table_is_byte_identical_to_serial() {
@@ -133,6 +133,35 @@ fn multi_segment_monitor_series_is_byte_identical_under_the_parallel_runner() {
     let parallel = SweepRunner::new(4).run(seeds, job);
     assert_eq!(serial, parallel);
     assert!(serial.iter().all(|(jsonl, _, _, violations)| !jsonl.is_empty() && *violations == 0));
+}
+
+#[test]
+fn explain_attribution_and_postmortem_are_byte_identical_under_the_parallel_runner() {
+    // The causal analyzer end to end — rendered critical-path attribution
+    // tables for clean runs, flight-recorder bundles (JSONL and Chrome
+    // trace) for the fault run — fanned across workers: every byte must
+    // be independent of the worker count. A 2-segment topology rides
+    // along so bridge crossings are in the causal graph too.
+    let quick = monitor_run::MonitorRunConfig::quick;
+    let cfgs: Vec<monitor_run::MonitorRunConfig> = vec![
+        quick(),
+        monitor_run::MonitorRunConfig { seed: 7, segments: 2, ..quick() },
+        monitor_run::MonitorRunConfig { inject_fault: true, ..quick() },
+    ];
+    let job = |_: usize, cfg: monitor_run::MonitorRunConfig| {
+        let res = explain::run(&cfg);
+        let bundle = res.bundle.as_ref().map(|b| (b.to_jsonl(), b.to_chrome()));
+        (explain::render(&res), bundle, res.lint.len(), res.paths.len())
+    };
+    let serial = SweepRunner::serial().run(cfgs.clone(), job);
+    let parallel = SweepRunner::new(4).run(cfgs, job);
+    assert_eq!(serial, parallel);
+    // Clean runs attribute switches and carry no bundle; the fault run
+    // trips a monitor and must produce one. Lint is clean throughout.
+    assert!(serial.iter().all(|(render, _, lint, _)| !render.is_empty() && *lint == 0));
+    assert!(serial[0].1.is_none() && serial[1].1.is_none());
+    assert!(serial[2].1.is_some(), "fault run must yield a post-mortem bundle");
+    assert!(serial[0].3 >= 2, "clean quick run attributes both switches");
 }
 
 #[test]

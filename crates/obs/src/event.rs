@@ -163,15 +163,76 @@ pub enum ObsEvent {
     },
 }
 
-/// An [`ObsEvent`] stamped with virtual time and node.
+/// Identity of a recorded event, usable as a causal parent link.
+///
+/// Ids are minted by the [`Recorder`](crate::Recorder) as
+/// `(node << 32) | seq` with a per-node `seq` starting at 1, so
+/// [`CauseId::NONE`] (zero) never collides with a real event and ids are
+/// stable under [`ShardedSim`]'s (epoch, shard) merge: each node lives in
+/// exactly one shard and per-node record order is preserved by the merge,
+/// so shard-minted ids replay into the merged trace unchanged.
+///
+/// [`ShardedSim`]: https://docs.rs/ps-simnet
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CauseId(pub u64);
+
+impl CauseId {
+    /// The absent link: roots of the causal graph carry this parent.
+    pub const NONE: CauseId = CauseId(0);
+
+    /// Packs a node and a per-node sequence number (`seq >= 1`).
+    pub fn new(node: u32, seq: u32) -> Self {
+        CauseId((u64::from(node) << 32) | u64::from(seq))
+    }
+
+    /// Whether this is the absent link.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The node that recorded the identified event.
+    pub fn node(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The per-node sequence number of the identified event.
+    pub fn seq(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+/// An [`ObsEvent`] stamped with virtual time, node, and causal identity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimedEvent {
     /// Virtual time in microseconds.
     pub at_us: u64,
     /// Node (process) the event happened at.
     pub node: u32,
+    /// Per-node sequence number assigned at record time (1-based; 0 for
+    /// hand-built events that never went through a recorder).
+    pub seq: u32,
+    /// The event that caused this one ([`CauseId::NONE`] for roots).
+    pub parent: CauseId,
     /// What happened.
     pub ev: ObsEvent,
+}
+
+impl TimedEvent {
+    /// An event with no causal identity (`seq` 0, no parent) — the
+    /// constructor for hand-built event slices in tests and docs.
+    pub fn new(at_us: u64, node: u32, ev: ObsEvent) -> Self {
+        Self { at_us, node, seq: 0, parent: CauseId::NONE, ev }
+    }
+
+    /// This event's causal identity, [`CauseId::NONE`] if it was never
+    /// assigned one (`seq` 0).
+    pub fn id(&self) -> CauseId {
+        if self.seq == 0 {
+            CauseId::NONE
+        } else {
+            CauseId::new(self.node, self.seq)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -182,13 +243,24 @@ mod tests {
     fn events_are_small_and_copy() {
         // The ring buffer stores events inline; keep them cache-friendly.
         assert!(std::mem::size_of::<TimedEvent>() <= 48);
-        let e = TimedEvent {
-            at_us: 1,
-            node: 2,
-            ev: ObsEvent::LayerBegin { layer: "fifo", dir: LayerDir::Down },
-        };
+        let e = TimedEvent::new(1, 2, ObsEvent::LayerBegin { layer: "fifo", dir: LayerDir::Down });
         let copy = e; // Copy, not move.
         assert_eq!(e, copy);
+    }
+
+    #[test]
+    fn cause_ids_pack_and_unpack() {
+        let id = CauseId::new(7, 42);
+        assert_eq!(id.node(), 7);
+        assert_eq!(id.seq(), 42);
+        assert!(!id.is_none());
+        assert!(CauseId::NONE.is_none());
+        // Node 0 never collides with NONE: seqs are 1-based.
+        assert!(!CauseId::new(0, 1).is_none());
+        let e = TimedEvent::new(1, 0, ObsEvent::FrameDrop { copies: 1 });
+        assert_eq!(e.id(), CauseId::NONE, "seq 0 means no identity");
+        let minted = TimedEvent { seq: 3, ..e };
+        assert_eq!(minted.id(), CauseId::new(0, 3));
     }
 
     #[test]

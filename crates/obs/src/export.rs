@@ -16,7 +16,7 @@ use crate::event::{ObsEvent, SpPhase, TimedEvent};
 use std::fmt::Write;
 
 /// Escapes `s` into `out` as a JSON string (quotes included).
-fn json_str(out: &mut String, s: &str) {
+pub(crate) fn json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -35,21 +35,31 @@ fn json_str(out: &mut String, s: &str) {
 }
 
 /// Renders events as JSON-lines: one compact object per event, keys in
-/// fixed order (`at_us`, `node`, `kind`, then the variant's fields).
+/// fixed order (`at_us`, `node`, `seq`, `parent`, `kind`, then the
+/// variant's fields). `seq` is the per-node causal sequence number and
+/// `parent` the packed [`CauseId`](crate::CauseId) of the causing event
+/// (0 = root).
 ///
 /// # Examples
 ///
 /// ```
 /// use ps_obs::{export, ObsEvent, TimedEvent};
 ///
-/// let events = [TimedEvent { at_us: 5, node: 1, ev: ObsEvent::TimerFire { token: 9 } }];
+/// let events = [TimedEvent::new(5, 1, ObsEvent::TimerFire { token: 9 })];
 /// let out = export::to_jsonl(&events);
-/// assert_eq!(out, "{\"at_us\":5,\"node\":1,\"kind\":\"timer_fire\",\"token\":9}\n");
+/// assert_eq!(
+///     out,
+///     "{\"at_us\":5,\"node\":1,\"seq\":0,\"parent\":0,\"kind\":\"timer_fire\",\"token\":9}\n"
+/// );
 /// ```
 pub fn to_jsonl(events: &[TimedEvent]) -> String {
-    let mut out = String::with_capacity(events.len() * 64);
+    let mut out = String::with_capacity(events.len() * 80);
     for e in events {
-        let _ = write!(out, "{{\"at_us\":{},\"node\":{},", e.at_us, e.node);
+        let _ = write!(
+            out,
+            "{{\"at_us\":{},\"node\":{},\"seq\":{},\"parent\":{},",
+            e.at_us, e.node, e.seq, e.parent.0
+        );
         match e.ev {
             ObsEvent::FrameSend { bytes, copies } => {
                 let _ =
@@ -367,39 +377,27 @@ mod tests {
 
     fn sample_events() -> Vec<TimedEvent> {
         vec![
-            TimedEvent { at_us: 10, node: 0, ev: ObsEvent::FrameSend { bytes: 32, copies: 4 } },
-            TimedEvent {
-                at_us: 20,
-                node: 1,
-                ev: ObsEvent::LayerBegin { layer: "seq", dir: LayerDir::Up },
-            },
-            TimedEvent { at_us: 21, node: 1, ev: ObsEvent::FrameDeliver { src: 0, bytes: 32 } },
-            TimedEvent {
-                at_us: 25,
-                node: 1,
-                ev: ObsEvent::LayerEnd { layer: "seq", dir: LayerDir::Up },
-            },
-            TimedEvent {
-                at_us: 30,
-                node: 1,
-                ev: ObsEvent::SwitchPhase { phase: SpPhase::PrepareSeen, from: 0, to: 1 },
-            },
-            TimedEvent {
-                at_us: 44,
-                node: 1,
-                ev: ObsEvent::SwitchPhase { phase: SpPhase::DrainComplete, from: 0, to: 1 },
-            },
-            TimedEvent {
-                at_us: 45,
-                node: 1,
-                ev: ObsEvent::SwitchPhase { phase: SpPhase::Flip, from: 0, to: 1 },
-            },
-            TimedEvent { at_us: 50, node: 0, ev: ObsEvent::CpuEnqueue { depth: 2 } },
-            TimedEvent { at_us: 60, node: 0, ev: ObsEvent::CpuDequeue { depth: 1 } },
-            TimedEvent { at_us: 70, node: 0, ev: ObsEvent::TimerFire { token: 3 } },
-            TimedEvent { at_us: 80, node: 0, ev: ObsEvent::FrameDrop { copies: 1 } },
-            TimedEvent { at_us: 90, node: 0, ev: ObsEvent::AppSend { sender: 0, seq: 1 } },
-            TimedEvent { at_us: 95, node: 1, ev: ObsEvent::AppDeliver { sender: 0, seq: 1 } },
+            TimedEvent::new(10, 0, ObsEvent::FrameSend { bytes: 32, copies: 4 }),
+            TimedEvent::new(20, 1, ObsEvent::LayerBegin { layer: "seq", dir: LayerDir::Up }),
+            TimedEvent::new(21, 1, ObsEvent::FrameDeliver { src: 0, bytes: 32 }),
+            TimedEvent::new(25, 1, ObsEvent::LayerEnd { layer: "seq", dir: LayerDir::Up }),
+            TimedEvent::new(
+                30,
+                1,
+                ObsEvent::SwitchPhase { phase: SpPhase::PrepareSeen, from: 0, to: 1 },
+            ),
+            TimedEvent::new(
+                44,
+                1,
+                ObsEvent::SwitchPhase { phase: SpPhase::DrainComplete, from: 0, to: 1 },
+            ),
+            TimedEvent::new(45, 1, ObsEvent::SwitchPhase { phase: SpPhase::Flip, from: 0, to: 1 }),
+            TimedEvent::new(50, 0, ObsEvent::CpuEnqueue { depth: 2 }),
+            TimedEvent::new(60, 0, ObsEvent::CpuDequeue { depth: 1 }),
+            TimedEvent::new(70, 0, ObsEvent::TimerFire { token: 3 }),
+            TimedEvent::new(80, 0, ObsEvent::FrameDrop { copies: 1 }),
+            TimedEvent::new(90, 0, ObsEvent::AppSend { sender: 0, seq: 1 }),
+            TimedEvent::new(95, 1, ObsEvent::AppDeliver { sender: 0, seq: 1 }),
         ]
     }
 
@@ -463,13 +461,13 @@ mod tests {
     #[test]
     fn crash_and_recovery_render_as_a_down_span() {
         let faulty = [
-            TimedEvent { at_us: 100, node: 2, ev: ObsEvent::NodeCrash { incarnation: 0 } },
-            TimedEvent { at_us: 900, node: 2, ev: ObsEvent::NodeRecover { incarnation: 1 } },
-            TimedEvent {
-                at_us: 950,
-                node: 2,
-                ev: ObsEvent::SwitchPhase { phase: SpPhase::Aborted, from: 0, to: 1 },
-            },
+            TimedEvent::new(100, 2, ObsEvent::NodeCrash { incarnation: 0 }),
+            TimedEvent::new(900, 2, ObsEvent::NodeRecover { incarnation: 1 }),
+            TimedEvent::new(
+                950,
+                2,
+                ObsEvent::SwitchPhase { phase: SpPhase::Aborted, from: 0, to: 1 },
+            ),
         ];
         let jsonl = to_jsonl(&faulty);
         assert!(json::validate_lines(&jsonl).is_ok());
@@ -486,11 +484,8 @@ mod tests {
 
     #[test]
     fn layer_names_are_escaped() {
-        let weird = [TimedEvent {
-            at_us: 1,
-            node: 0,
-            ev: ObsEvent::LayerBegin { layer: "a\"b\\c", dir: LayerDir::Down },
-        }];
+        let weird =
+            [TimedEvent::new(1, 0, ObsEvent::LayerBegin { layer: "a\"b\\c", dir: LayerDir::Down })];
         assert!(json::validate_lines(&to_jsonl(&weird)).is_ok());
         assert!(json::validate(&to_chrome(&weird)).is_ok());
     }

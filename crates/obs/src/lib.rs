@@ -30,16 +30,8 @@
 //!
 //! // Events normally come from `Recorder::snapshot()` after a run.
 //! let events = [
-//!     TimedEvent {
-//!         at_us: 100,
-//!         node: 0,
-//!         ev: ObsEvent::SwitchPhase { phase: SpPhase::PrepareSeen, from: 0, to: 1 },
-//!     },
-//!     TimedEvent {
-//!         at_us: 160,
-//!         node: 0,
-//!         ev: ObsEvent::SwitchPhase { phase: SpPhase::Flip, from: 0, to: 1 },
-//!     },
+//!     TimedEvent::new(100, 0, ObsEvent::SwitchPhase { phase: SpPhase::PrepareSeen, from: 0, to: 1 }),
+//!     TimedEvent::new(160, 0, ObsEvent::SwitchPhase { phase: SpPhase::Flip, from: 0, to: 1 }),
 //! ];
 //! let timeline = ps_obs::switch_timeline(&events);
 //! assert_eq!(timeline[0].duration_us(), Some(60));
@@ -48,21 +40,28 @@
 
 #![deny(missing_docs)]
 
+pub mod causal;
 pub mod event;
 pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod monitor;
+pub mod postmortem;
 pub mod recorder;
 pub mod sample;
 pub mod timeline;
 
-pub use event::{LayerDir, ObsEvent, SpPhase, TimedEvent};
+pub use causal::{
+    attribution_table, parse_jsonl, CausalGraph, CausalSlice, CriticalPath, ParsedTrace,
+    PhaseAttribution,
+};
+pub use event::{CauseId, LayerDir, ObsEvent, SpPhase, TimedEvent};
 pub use metrics::{Counter, HistSummary, Histogram, Registry};
 pub use monitor::{
     DeliveryMonitor, FifoMonitor, MonitorSet, SwitchLivenessMonitor, TotalOrderMonitor, Violation,
     ViolationKind,
 };
+pub use postmortem::{PostmortemBundle, DEFAULT_K_HOPS};
 pub use recorder::{EventSink, Recorder};
 pub use sample::{LoadSample, MetricsSampler, SeriesSummary};
 pub use timeline::{check_well_nested, switch_timeline, SwitchInterval};

@@ -480,15 +480,15 @@ mod tests {
     use super::*;
 
     fn deliver(at_us: u64, node: u32, sender: u32, seq: u64) -> TimedEvent {
-        TimedEvent { at_us, node, ev: ObsEvent::AppDeliver { sender, seq } }
+        TimedEvent::new(at_us, node, ObsEvent::AppDeliver { sender, seq })
     }
 
     fn send(at_us: u64, sender: u32, seq: u64) -> TimedEvent {
-        TimedEvent { at_us, node: sender, ev: ObsEvent::AppSend { sender, seq } }
+        TimedEvent::new(at_us, sender, ObsEvent::AppSend { sender, seq })
     }
 
     fn phase(at_us: u64, node: u32, phase: SpPhase) -> TimedEvent {
-        TimedEvent { at_us, node, ev: ObsEvent::SwitchPhase { phase, from: 0, to: 1 } }
+        TimedEvent::new(at_us, node, ObsEvent::SwitchPhase { phase, from: 0, to: 1 })
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   are the host's virtual clock. Nothing here reads wall-clock time, so
 //!   same-seed runs snapshot byte-identical event sequences.
 
-use crate::event::{ObsEvent, TimedEvent};
+use crate::event::{CauseId, ObsEvent, TimedEvent};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -46,6 +46,40 @@ struct Ring {
     /// Streaming subscribers; fed under the same lock as the ring so sinks
     /// observe exactly the record order.
     sinks: Vec<Box<dyn EventSink>>,
+    /// Per-node causal sequence counters (`seqs[node]` = last seq issued).
+    /// Grows on a node's first event — the one amortized exception to the
+    /// no-allocation-when-enabled rule, and only up to the highest node id.
+    seqs: Vec<u32>,
+}
+
+impl Ring {
+    /// Issues the next 1-based causal sequence number for `node`.
+    fn next_seq(&mut self, node: u32) -> u32 {
+        let i = node as usize;
+        if i >= self.seqs.len() {
+            self.seqs.resize(i + 1, 0);
+        }
+        self.seqs[i] += 1;
+        self.seqs[i]
+    }
+
+    /// Feeds sinks and places `e` in the ring (the record-order critical
+    /// section; callers hold the lock via `&mut self`).
+    fn push(&mut self, e: TimedEvent) {
+        // Sinks first: they must see the event even if the ring write
+        // below evicts older history (streaming beats the ring).
+        for sink in self.sinks.iter_mut() {
+            sink.on_event(&e);
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            let i = self.next;
+            self.buf[i] = e;
+            self.overwritten += 1;
+        }
+        self.next = (self.next + 1) % self.cap;
+    }
 }
 
 struct Shared {
@@ -111,6 +145,7 @@ impl Recorder {
                     next: 0,
                     overwritten: 0,
                     sinks: Vec::new(),
+                    seqs: Vec::new(),
                 }),
             }),
         }
@@ -142,34 +177,60 @@ impl Recorder {
         self.shared.enabled.store(on && can, Ordering::Relaxed);
     }
 
-    /// Records one event. No-op when disabled; never allocates when
-    /// enabled (the ring was sized at construction).
+    /// Records one root event (no causal parent) and returns its
+    /// [`CauseId`]. No-op (returning [`CauseId::NONE`]) when disabled;
+    /// never allocates when enabled, except the one-time growth of the
+    /// per-node seq counter table.
     #[inline]
-    pub fn record(&self, at_us: u64, node: u32, ev: ObsEvent) {
+    pub fn record(&self, at_us: u64, node: u32, ev: ObsEvent) -> CauseId {
+        self.record_caused(at_us, node, CauseId::NONE, ev)
+    }
+
+    /// Records one event with a causal `parent` link and returns the
+    /// fresh event's own [`CauseId`] so callers can chain lineage.
+    /// [`CauseId::NONE`] when disabled.
+    #[inline]
+    pub fn record_caused(&self, at_us: u64, node: u32, parent: CauseId, ev: ObsEvent) -> CauseId {
+        #[cfg(feature = "tap")]
+        {
+            if !self.shared.enabled.load(Ordering::Relaxed) {
+                return CauseId::NONE;
+            }
+            let mut ring = self.ring();
+            let seq = ring.next_seq(node);
+            let e = TimedEvent { at_us, node, seq, parent, ev };
+            ring.push(e);
+            e.id()
+        }
+        #[cfg(not(feature = "tap"))]
+        {
+            let _ = (at_us, node, parent, ev);
+            CauseId::NONE
+        }
+    }
+
+    /// Replays an already-stamped event verbatim — seq and parent are
+    /// kept, not re-minted (the node's counter is advanced past `e.seq`
+    /// so later direct records stay unique). This is the merge path for
+    /// sharded runs: per-shard recorders mint ids, the merged recorder
+    /// replays them in (epoch, shard) order.
+    pub fn record_timed(&self, e: &TimedEvent) {
         #[cfg(feature = "tap")]
         {
             if !self.shared.enabled.load(Ordering::Relaxed) {
                 return;
             }
             let mut ring = self.ring();
-            let e = TimedEvent { at_us, node, ev };
-            // Sinks first: they must see the event even if the ring write
-            // below evicts older history (streaming beats the ring).
-            for sink in ring.sinks.iter_mut() {
-                sink.on_event(&e);
+            let i = e.node as usize;
+            if i >= ring.seqs.len() {
+                ring.seqs.resize(i + 1, 0);
             }
-            if ring.buf.len() < ring.cap {
-                ring.buf.push(e);
-            } else {
-                let i = ring.next;
-                ring.buf[i] = e;
-                ring.overwritten += 1;
-            }
-            ring.next = (ring.next + 1) % ring.cap;
+            ring.seqs[i] = ring.seqs[i].max(e.seq);
+            ring.push(*e);
         }
         #[cfg(not(feature = "tap"))]
         {
-            let _ = (at_us, node, ev);
+            let _ = e;
         }
     }
 
@@ -202,13 +263,14 @@ impl Recorder {
         self.ring().overwritten
     }
 
-    /// Empties the ring (capacity, enabled flag, and subscribers are
-    /// kept).
+    /// Empties the ring and resets the per-node causal seq counters
+    /// (capacity, enabled flag, and subscribers are kept).
     pub fn clear(&self) {
         let mut ring = self.ring();
         ring.buf.clear();
         ring.next = 0;
         ring.overwritten = 0;
+        ring.seqs.clear();
     }
 
     /// Attaches a streaming [`EventSink`]: from now on it sees every
@@ -352,6 +414,45 @@ mod tests {
             r.record(2, 0, ev(2));
             assert_eq!(r.sink_count(), 1);
             assert_eq!(seen.lock().unwrap().len(), 2);
+        }
+
+        #[test]
+        fn record_mints_per_node_causal_ids() {
+            let r = Recorder::with_capacity(8);
+            let a = r.record(1, 0, ev(1));
+            let b = r.record(2, 3, ev(2));
+            let c = r.record_caused(3, 0, a, ev(3));
+            assert_eq!(a, CauseId::new(0, 1));
+            assert_eq!(b, CauseId::new(3, 1), "seqs are per node");
+            assert_eq!(c, CauseId::new(0, 2));
+            let s = r.snapshot();
+            assert_eq!(s[0].parent, CauseId::NONE);
+            assert_eq!(s[2].parent, a);
+            assert_eq!(s[2].id(), c);
+        }
+
+        #[test]
+        fn record_timed_replays_verbatim_and_advances_counters() {
+            let src = Recorder::with_capacity(8);
+            src.record(1, 5, ev(1));
+            let id = src.record(2, 5, ev(2));
+            let dst = Recorder::with_capacity(8);
+            for e in src.snapshot() {
+                dst.record_timed(&e);
+            }
+            assert_eq!(dst.snapshot(), src.snapshot());
+            // Fresh records on the same node continue past the replayed seqs.
+            let next = dst.record(3, 5, ev(3));
+            assert_eq!(next, CauseId::new(5, id.seq() + 1));
+        }
+
+        #[test]
+        fn clear_resets_causal_counters() {
+            let r = Recorder::with_capacity(8);
+            r.record(1, 0, ev(1));
+            r.record(2, 0, ev(2));
+            r.clear();
+            assert_eq!(r.record(3, 0, ev(3)), CauseId::new(0, 1));
         }
 
         #[test]

@@ -145,7 +145,7 @@ mod tests {
     use super::*;
 
     fn phase(at_us: u64, node: u32, phase: SpPhase) -> TimedEvent {
-        TimedEvent { at_us, node, ev: ObsEvent::SwitchPhase { phase, from: 0, to: 1 } }
+        TimedEvent::new(at_us, node, ObsEvent::SwitchPhase { phase, from: 0, to: 1 })
     }
 
     #[test]
@@ -234,16 +234,12 @@ mod tests {
     #[test]
     fn well_nested_rejects_unordered_phases() {
         let bad = [
-            TimedEvent {
-                at_us: 100,
-                node: 0,
-                ev: ObsEvent::SwitchPhase { phase: SpPhase::PrepareSeen, from: 0, to: 1 },
-            },
-            TimedEvent {
-                at_us: 90,
-                node: 0,
-                ev: ObsEvent::SwitchPhase { phase: SpPhase::Flip, from: 0, to: 1 },
-            },
+            TimedEvent::new(
+                100,
+                0,
+                ObsEvent::SwitchPhase { phase: SpPhase::PrepareSeen, from: 0, to: 1 },
+            ),
+            TimedEvent::new(90, 0, ObsEvent::SwitchPhase { phase: SpPhase::Flip, from: 0, to: 1 }),
         ];
         assert!(check_well_nested(&bad).is_err());
     }

@@ -1,6 +1,6 @@
 use crate::{Dest, DetRng, NodeId, Packet, SimTime};
 use ps_bytes::Bytes;
-use ps_obs::Recorder;
+use ps_obs::{CauseId, Recorder};
 
 /// Opaque timer identifier chosen by the agent.
 ///
@@ -39,10 +39,14 @@ pub trait Agent {
 }
 
 /// What an agent asked the simulator to do during one callback.
+///
+/// Each action carries the causal id of the event being processed when the
+/// agent requested it ([`SimApi::cause`]), so the resulting frame or timer
+/// firing links back to what triggered it.
 #[derive(Debug)]
 pub(crate) enum Action {
-    Send { dest: Dest, payload: Bytes },
-    Timer { delay: SimTime, token: TimerToken },
+    Send { dest: Dest, payload: Bytes, cause: CauseId },
+    Timer { delay: SimTime, token: TimerToken, cause: CauseId },
 }
 
 /// The agent's handle to the simulator during a callback.
@@ -60,6 +64,10 @@ pub struct SimApi<'a> {
     /// Live event recorder, `None` when observability is off (the
     /// simulator pre-folds the enabled check into this option).
     obs: Option<&'a Recorder>,
+    /// Causal id of the event currently being processed ([`CauseId::NONE`]
+    /// when observability is off). Stacks override it around layer spans
+    /// via [`SimApi::set_cause`] so outgoing actions link to the span.
+    cause: CauseId,
 }
 
 impl<'a> SimApi<'a> {
@@ -73,9 +81,10 @@ impl<'a> SimApi<'a> {
         rng: &'a mut DetRng,
         actions: Vec<Action>,
         obs: Option<&'a Recorder>,
+        cause: CauseId,
     ) -> Self {
         debug_assert!(actions.is_empty());
-        Self { me, now, num_nodes, rng, actions, obs }
+        Self { me, now, num_nodes, rng, actions, obs, cause }
     }
 
     /// Consumes the API, returning the recorded actions (and the scratch
@@ -102,13 +111,13 @@ impl<'a> SimApi<'a> {
     /// Transmits `payload` to `dest` when the current event finishes
     /// processing.
     pub fn send(&mut self, dest: Dest, payload: Bytes) {
-        self.actions.push(Action::Send { dest, payload });
+        self.actions.push(Action::Send { dest, payload, cause: self.cause });
     }
 
     /// Arms a one-shot timer that fires `delay` after the current event
     /// finishes processing.
     pub fn set_timer(&mut self, delay: SimTime, token: TimerToken) {
-        self.actions.push(Action::Timer { delay, token });
+        self.actions.push(Action::Timer { delay, token, cause: self.cause });
     }
 
     /// The node's deterministic random stream.
@@ -123,6 +132,21 @@ impl<'a> SimApi<'a> {
     pub fn obs(&self) -> Option<&'a Recorder> {
         self.obs
     }
+
+    /// Causal id of the event currently being processed — the parent new
+    /// records and outgoing actions should link to. [`CauseId::NONE`]
+    /// when observability is off.
+    pub fn cause(&self) -> CauseId {
+        self.cause
+    }
+
+    /// Replaces the current causal context, returning the previous one.
+    ///
+    /// Layer spans thread their own ids through the stack: set the span's
+    /// id around the handler call and restore the old id afterwards.
+    pub fn set_cause(&mut self, cause: CauseId) -> CauseId {
+        std::mem::replace(&mut self.cause, cause)
+    }
 }
 
 #[cfg(test)]
@@ -132,15 +156,30 @@ mod tests {
     #[test]
     fn api_records_actions_in_order() {
         let mut rng = DetRng::new(0);
-        let mut api =
-            SimApi::new(NodeId(2), SimTime::from_micros(5), 4, &mut rng, Vec::new(), None);
+        let mut api = SimApi::new(
+            NodeId(2),
+            SimTime::from_micros(5),
+            4,
+            &mut rng,
+            Vec::new(),
+            None,
+            CauseId::NONE,
+        );
         assert_eq!(api.me(), NodeId(2));
         assert_eq!(api.now(), SimTime::from_micros(5));
         assert_eq!(api.num_nodes(), 4);
         api.send(Dest::All, Bytes::from_static(b"x"));
+        let prev = api.set_cause(CauseId::new(2, 9));
+        assert_eq!(prev, CauseId::NONE);
         api.set_timer(SimTime::from_micros(10), TimerToken(7));
         assert_eq!(api.actions.len(), 2);
-        assert!(matches!(api.actions[0], Action::Send { dest: Dest::All, .. }));
-        assert!(matches!(api.actions[1], Action::Timer { token: TimerToken(7), .. }));
+        assert!(matches!(
+            api.actions[0],
+            Action::Send { dest: Dest::All, cause: CauseId::NONE, .. }
+        ));
+        assert!(matches!(
+            api.actions[1],
+            Action::Timer { token: TimerToken(7), cause, .. } if cause == CauseId::new(2, 9)
+        ));
     }
 }

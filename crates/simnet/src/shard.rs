@@ -38,7 +38,7 @@
 
 use crate::sim::{OutFrame, RawWindow};
 use crate::{Agent, NodeId, Packet, SegmentedBus, Sim, SimConfig, SimTime, TimerToken, Topology};
-use ps_obs::{EventSink, MetricsSampler, Recorder, TimedEvent};
+use ps_obs::{CauseId, EventSink, MetricsSampler, Recorder, TimedEvent};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 
@@ -61,6 +61,9 @@ struct Ingress {
     src_shard: u32,
     /// Send order within the source shard (third sort key).
     seq: u64,
+    /// Causal id of the sending shard's `FrameSend`, carried across the
+    /// barrier so the delivery's parent link survives sharding.
+    cause: CauseId,
 }
 
 /// Shared state of one parallel run: published peeks, per-shard mailboxes,
@@ -96,6 +99,7 @@ impl EpochState {
                 pkt: f.pkt,
                 src_shard: src_shard as u32,
                 seq: f.seq,
+                cause: f.cause,
             });
         }
     }
@@ -109,7 +113,7 @@ impl EpochState {
         };
         frames.sort_unstable_by_key(|f| (f.at, f.src_shard, f.seq));
         for f in frames {
-            shard.inject_frame(f.at, f.to, f.pkt);
+            shard.inject_frame(f.at, f.to, f.pkt, f.cause);
         }
     }
 
@@ -372,7 +376,11 @@ impl<A: Agent> ShardedSim<A> {
                     let buf = buf.lock().expect("buffer");
                     let end = self.marks[k].get(e).copied().unwrap_or(buf.len());
                     for ev in &buf[starts[k]..end] {
-                        self.recorder.record(ev.at_us, ev.node, ev.ev);
+                        // Replay verbatim: shard-minted causal ids (and the
+                        // parent links built on them) stay valid because
+                        // each node records on exactly one shard, so its
+                        // (node, seq) stream is unique globally.
+                        self.recorder.record_timed(ev);
                     }
                     starts[k] = end;
                 }

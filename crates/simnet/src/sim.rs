@@ -3,7 +3,7 @@ use crate::{
     Agent, Dest, DetRng, EventQueue, Medium, NetStats, NodeId, Packet, SimApi, SimTime, TimerToken,
     Topology, TxPlan,
 };
-use ps_obs::{LoadSample, MetricsSampler, ObsEvent, Recorder};
+use ps_obs::{CauseId, LoadSample, MetricsSampler, ObsEvent, Recorder};
 use std::sync::Arc;
 
 /// Per-node execution parameters.
@@ -157,6 +157,10 @@ pub(crate) struct OutFrame {
     pub to: NodeId,
     pub pkt: Packet,
     pub seq: u64,
+    /// Causal id of the `FrameSend` on the transmitting shard — ferried
+    /// across the epoch barrier so the receiving shard's delivery links
+    /// back to it.
+    pub cause: CauseId,
 }
 
 /// Incarnation stamp for timers armed from outside any node (driver
@@ -169,10 +173,16 @@ enum Ev {
     Packet {
         to: NodeId,
         pkt: Packet,
+        /// Causal id of the `FrameSend` that launched this copy (updated
+        /// to the `CpuEnqueue` id if the copy gets parked in the FIFO).
+        cause: CauseId,
     },
     Timer {
         node: NodeId,
         token: TimerToken,
+        /// Causal id of the event whose callback armed the timer (updated
+        /// to the `CpuEnqueue` id if the firing gets parked).
+        cause: CauseId,
         /// Incarnation of the node when the timer was armed; a timer whose
         /// incarnation no longer matches died with the crash that bumped
         /// it. [`EXTERNAL_INC`] marks driver-scheduled timers, which
@@ -182,15 +192,10 @@ enum Ev {
     /// Marker at a node's `busy_until`: drains that node's deferred-event
     /// FIFO instead of bouncing each deferred event through the global
     /// queue again.
-    Wakeup {
-        node: NodeId,
-    },
+    Wakeup { node: NodeId },
     /// Node lifecycle: `up == false` is a fail-stop crash, `up == true` a
     /// recovery (state preserved, timers dead, `on_restart` runs).
-    Fault {
-        node: NodeId,
-        up: bool,
-    },
+    Fault { node: NodeId, up: bool },
 }
 
 /// The discrete-event simulation loop.
@@ -435,7 +440,10 @@ impl<A: Agent> Sim<A> {
     /// Drivers use this to inject workload or trigger an oracle decision at
     /// a chosen instant.
     pub fn schedule(&mut self, at: SimTime, node: NodeId, token: TimerToken) {
-        self.queue.push(at.max(self.now), Ev::Timer { node, token, inc: EXTERNAL_INC });
+        self.queue.push(
+            at.max(self.now),
+            Ev::Timer { node, token, inc: EXTERNAL_INC, cause: CauseId::NONE },
+        );
     }
 
     /// Schedules a fail-stop crash of `node` at absolute time `at`.
@@ -483,6 +491,7 @@ impl<A: Agent> Sim<A> {
                 &mut self.node_rngs[i],
                 scratch,
                 obs,
+                CauseId::NONE,
             );
             self.agents[i].on_start(&mut api);
             let mut actions = api.into_actions();
@@ -526,7 +535,7 @@ impl<A: Agent> Sim<A> {
         let mut plan = std::mem::take(&mut self.plan_scratch);
         for action in actions.drain(..) {
             match action {
-                Action::Send { dest, payload } => {
+                Action::Send { dest, payload, cause } => {
                     Self::fill_dests(
                         self.total_nodes,
                         self.config.topology.as_deref(),
@@ -546,20 +555,23 @@ impl<A: Agent> Sim<A> {
                     );
                     self.stats.copies_dropped += u64::from(plan.dropped);
                     self.stats.medium_busy_us += plan.busy_us;
+                    let mut send_id = CauseId::NONE;
                     if self.obs_on {
                         let at = effective_at.as_micros();
-                        self.config.recorder.record(
+                        send_id = self.config.recorder.record_caused(
                             at,
                             node.0,
+                            cause,
                             ObsEvent::FrameSend {
                                 bytes: payload.len() as u32,
                                 copies: plan.deliveries.len() as u32,
                             },
                         );
                         if plan.dropped > 0 {
-                            self.config.recorder.record(
+                            self.config.recorder.record_caused(
                                 at,
                                 node.0,
+                                send_id,
                                 ObsEvent::FrameDrop { copies: plan.dropped },
                             );
                         }
@@ -578,19 +590,19 @@ impl<A: Agent> Sim<A> {
                         };
                         let pkt = Packet { src: node, payload: copy };
                         if self.is_local(to) {
-                            self.queue.push(at, Ev::Packet { to, pkt });
+                            self.queue.push(at, Ev::Packet { to, pkt, cause: send_id });
                         } else {
                             // Another shard hosts `to`: park the copy for the
                             // epoch barrier. `seq` preserves send order.
                             let seq = self.outbox_seq;
                             self.outbox_seq += 1;
-                            self.outbox.push(OutFrame { at, to, pkt, seq });
+                            self.outbox.push(OutFrame { at, to, pkt, seq, cause: send_id });
                         }
                     }
                 }
-                Action::Timer { delay, token } => {
+                Action::Timer { delay, token, cause } => {
                     let inc = self.incarnation[self.idx(node)];
-                    self.queue.push(effective_at + delay, Ev::Timer { node, token, inc });
+                    self.queue.push(effective_at + delay, Ev::Timer { node, token, inc, cause });
                 }
             }
         }
@@ -613,6 +625,23 @@ impl<A: Agent> Sim<A> {
         // Field-disjoint borrows: the recorder handle rides in the API
         // while the agent and its RNG are borrowed mutably.
         let obs = if self.obs_on { Some(&self.config.recorder) } else { None };
+        // The head event is recorded *before* the callback runs so its id
+        // becomes the causal context everything in the callback links to.
+        let head_id = match (&ev, obs) {
+            (Ev::Packet { pkt, cause, .. }, Some(o)) => o.record_caused(
+                start.as_micros(),
+                node.0,
+                *cause,
+                ObsEvent::FrameDeliver { src: pkt.src.0, bytes: pkt.payload.len() as u32 },
+            ),
+            (Ev::Timer { token, cause, .. }, Some(o)) => o.record_caused(
+                start.as_micros(),
+                node.0,
+                *cause,
+                ObsEvent::TimerFire { token: token.0 },
+            ),
+            _ => CauseId::NONE,
+        };
         let mut api = SimApi::new(
             node,
             start,
@@ -620,23 +649,12 @@ impl<A: Agent> Sim<A> {
             &mut self.node_rngs[i],
             scratch,
             obs,
+            head_id,
         );
         match ev {
-            Ev::Packet { pkt, .. } => {
-                if let Some(o) = obs {
-                    o.record(
-                        start.as_micros(),
-                        node.0,
-                        ObsEvent::FrameDeliver { src: pkt.src.0, bytes: pkt.payload.len() as u32 },
-                    );
-                }
-                self.agents[i].on_packet(pkt, &mut api)
-            }
+            Ev::Packet { pkt, .. } => self.agents[i].on_packet(pkt, &mut api),
             Ev::Timer { token, .. } => {
                 self.stats.timers_fired += 1;
-                if let Some(o) = obs {
-                    o.record(start.as_micros(), node.0, ObsEvent::TimerFire { token: token.0 });
-                }
                 self.agents[i].on_timer(token, &mut api)
             }
             Ev::Wakeup { .. } | Ev::Fault { .. } => {
@@ -729,8 +747,9 @@ impl<A: Agent> Sim<A> {
                 return;
             }
             self.alive[i] = true;
+            let mut recover_id = CauseId::NONE;
             if let Some(o) = self.obs() {
-                o.record(
+                recover_id = o.record(
                     at.as_micros(),
                     node.0,
                     ObsEvent::NodeRecover { incarnation: self.incarnation[i] },
@@ -749,6 +768,7 @@ impl<A: Agent> Sim<A> {
                 &mut self.node_rngs[i],
                 scratch,
                 obs,
+                recover_id,
             );
             self.agents[i].on_restart(&mut api);
             let mut actions = api.into_actions();
@@ -778,7 +798,7 @@ impl<A: Agent> Sim<A> {
     /// exhausted.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        let Some((at, ev)) = self.queue.pop() else { return false };
+        let Some((at, mut ev)) = self.queue.pop() else { return false };
         // Samples due strictly before (or at) this event's time are
         // emitted first, while the popped packet still counts as in
         // flight at the sample instant.
@@ -800,10 +820,15 @@ impl<A: Agent> Sim<A> {
         // its NIC; timers never fire while the node is down, and timers
         // armed in an earlier incarnation died with the crash.
         match &ev {
-            Ev::Packet { .. } if !self.alive[i] => {
+            Ev::Packet { cause, .. } if !self.alive[i] => {
                 self.stats.copies_dropped += 1;
                 if let Some(o) = self.obs() {
-                    o.record(at.as_micros(), node.0, ObsEvent::FrameDrop { copies: 1 });
+                    o.record_caused(
+                        at.as_micros(),
+                        node.0,
+                        *cause,
+                        ObsEvent::FrameDrop { copies: 1 },
+                    );
                 }
                 return true;
             }
@@ -818,13 +843,25 @@ impl<A: Agent> Sim<A> {
             self.wakeup_armed[i] = false;
             if self.busy_until[i] <= at {
                 // CPU is free: run the longest-waiting deferred event now.
-                if let Some(first) = self.pending[i].pop_front() {
+                if let Some(mut first) = self.pending[i].pop_front() {
                     if let Some(o) = self.obs() {
-                        o.record(
+                        let parked = match &first {
+                            Ev::Packet { cause, .. } | Ev::Timer { cause, .. } => *cause,
+                            _ => CauseId::NONE,
+                        };
+                        let deq_id = o.record_caused(
                             at.as_micros(),
                             node.0,
+                            parked,
                             ObsEvent::CpuDequeue { depth: self.pending[i].len() as u32 },
                         );
+                        // The head event (deliver / fire) recorded by
+                        // dispatch links to the dequeue, which links to the
+                        // enqueue, which links to the original cause.
+                        match &mut first {
+                            Ev::Packet { cause, .. } | Ev::Timer { cause, .. } => *cause = deq_id,
+                            _ => {}
+                        }
                     }
                     self.dispatch(node, at, first);
                 }
@@ -840,14 +877,23 @@ impl<A: Agent> Sim<A> {
         // node's FIFO (stats untouched — it has not run yet) and make sure
         // one wakeup marker is queued for the instant the CPU frees up.
         if self.busy_until[i] > at {
-            self.pending[i].push_back(ev);
             if let Some(o) = self.obs() {
-                o.record(
+                let parked = match &ev {
+                    Ev::Packet { cause, .. } | Ev::Timer { cause, .. } => *cause,
+                    _ => CauseId::NONE,
+                };
+                let enq_id = o.record_caused(
                     at.as_micros(),
                     node.0,
-                    ObsEvent::CpuEnqueue { depth: self.pending[i].len() as u32 },
+                    parked,
+                    ObsEvent::CpuEnqueue { depth: self.pending[i].len() as u32 + 1 },
                 );
+                match &mut ev {
+                    Ev::Packet { cause, .. } | Ev::Timer { cause, .. } => *cause = enq_id,
+                    _ => {}
+                }
             }
+            self.pending[i].push_back(ev);
             if !self.wakeup_armed[i] {
                 self.queue.push(self.busy_until[i], Ev::Wakeup { node });
                 self.wakeup_armed[i] = true;
@@ -924,9 +970,9 @@ impl<A: Agent> Sim<A> {
     /// `in_flight` was counted by the sender's shard, so it is *not*
     /// incremented here (the pop on this shard will decrement it — the
     /// reason the counter is signed).
-    pub(crate) fn inject_frame(&mut self, at: SimTime, to: NodeId, pkt: Packet) {
+    pub(crate) fn inject_frame(&mut self, at: SimTime, to: NodeId, pkt: Packet, cause: CauseId) {
         debug_assert!(self.is_local(to), "injected frame for non-local node {to}");
-        self.queue.push(at, Ev::Packet { to, pkt });
+        self.queue.push(at, Ev::Packet { to, pkt, cause });
     }
 
     /// Takes the cross-shard frames parked since the last call.

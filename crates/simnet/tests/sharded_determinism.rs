@@ -187,6 +187,49 @@ fn parallel_matches_serial_driver() {
 }
 
 #[test]
+fn causal_graph_and_postmortem_bundle_survive_sharding_byte_for_byte() {
+    // The causal layer on top of the merged event stream: canonical
+    // (at_us, node, seq) order makes the analyzer blind to how the run
+    // was driven. Along the engine's two equivalences — plain sim vs a
+    // degenerate one-shard run, and the serial vs threaded drivers at
+    // any shard count — the graphs must be lint-clean and the
+    // flight-recorder bundles byte-identical for the same witnesses, on
+    // a multi-segment topology so bridge crossings are covered.
+    let topology = topo(24, 4);
+    let plain = run_plain(17, Arc::clone(&topology));
+    let one_shard = run_sharded(17, Arc::clone(&topology), 1, true);
+    let serial = run_sharded(17, Arc::clone(&topology), 4, false);
+    let threaded = run_sharded(17, topology, 4, true);
+    for (name, out) in
+        [("plain", &plain), ("one-shard", &one_shard), ("serial", &serial), ("threaded", &threaded)]
+    {
+        let graph = ps_obs::CausalGraph::new(&out.events);
+        assert!(graph.is_acyclic(), "{name}: cycle in causal links");
+        let findings = graph.lint(0, &[]);
+        assert!(findings.is_empty(), "{name}: lint findings: {findings:?}");
+    }
+    // Seed a bounded slice from the tail of the run (stand-ins for
+    // violation witnesses) and serialize the whole bundle both ways.
+    let bundle = |out: &RunOutput| {
+        let witnesses: Vec<ps_obs::TimedEvent> =
+            out.events.iter().rev().take(3).rev().copied().collect();
+        let b = ps_obs::PostmortemBundle::capture(
+            "sharding-equivalence",
+            &out.events,
+            0,
+            &witnesses,
+            ps_obs::DEFAULT_K_HOPS,
+            &out.samples,
+            &[],
+        );
+        assert!(!b.is_empty(), "bundle captured a slice");
+        (b.to_jsonl(), b.to_chrome())
+    };
+    assert_eq!(bundle(&plain), bundle(&one_shard), "plain vs one-shard threaded");
+    assert_eq!(bundle(&serial), bundle(&threaded), "serial vs threaded driver");
+}
+
+#[test]
 fn parallel_run_is_repeatable() {
     let a = run_sharded(5, topo(36, 6), 6, true);
     let b = run_sharded(5, topo(36, 6), 6, true);

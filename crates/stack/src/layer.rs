@@ -217,6 +217,19 @@ impl<'a> LayerCtx<'a> {
         self.env.obs()
     }
 
+    /// Causal id of the event the surrounding environment is processing
+    /// (the span wrapping this callback, when observability is on).
+    pub fn cause(&self) -> ps_obs::CauseId {
+        self.env.cause()
+    }
+
+    /// Replaces the environment's causal context, returning the previous
+    /// one. Composite layers thread sub-stack causality through this;
+    /// restore the previous context before returning.
+    pub fn set_cause(&mut self, cause: ps_obs::CauseId) -> ps_obs::CauseId {
+        self.env.set_cause(cause)
+    }
+
     /// Emits a frame to the layer below (or the network, at the bottom).
     pub fn send_down(&mut self, frame: Frame) {
         self.outs.push(LayerOut::Down(frame));

@@ -86,9 +86,10 @@ impl StackEnv for EnvAdapter<'_, '_> {
             // space at 1 << 48 and are not application traffic — streaming
             // monitors would misread them as reordered deliveries.
             if msg.id.seq < (1 << 48) {
-                o.record(
+                o.record_caused(
                     self.api.now().as_micros(),
                     u32::from(me.0),
+                    self.api.cause(),
                     ps_obs::ObsEvent::AppDeliver {
                         sender: u32::from(msg.id.sender.0),
                         seq: msg.id.seq,
@@ -103,6 +104,12 @@ impl StackEnv for EnvAdapter<'_, '_> {
     }
     fn obs(&self) -> Option<&ps_obs::Recorder> {
         self.api.obs()
+    }
+    fn cause(&self) -> ps_obs::CauseId {
+        self.api.cause()
+    }
+    fn set_cause(&mut self, cause: ps_obs::CauseId) -> ps_obs::CauseId {
+        self.api.set_cause(cause)
     }
 }
 
@@ -130,14 +137,18 @@ impl Agent for ProcessAgent {
             let msg = Message::new(self.cell.me, self.cell.next_seq, body);
             self.cell.next_seq += 1;
             if let Some(o) = api.obs() {
-                o.record(
+                // Parent the send to the firing that triggered it, then
+                // make it the causal context for the frames it produces.
+                let send_id = o.record_caused(
                     api.now().as_micros(),
                     u32::from(self.cell.me.0),
+                    api.cause(),
                     ps_obs::ObsEvent::AppSend {
                         sender: u32::from(msg.id.sender.0),
                         seq: msg.id.seq,
                     },
                 );
+                api.set_cause(send_id);
             }
             self.cell.log.push((api.now(), Event::send(msg.clone())));
             let mut env = EnvAdapter { cell: &mut self.cell, api };

@@ -1,6 +1,6 @@
 use crate::layer::{Frame, Layer, LayerCtx, LayerId, LayerOut};
 use ps_bytes::Bytes;
-use ps_obs::{LayerDir, ObsEvent, Recorder};
+use ps_obs::{CauseId, LayerDir, ObsEvent, Recorder};
 use ps_simnet::{DetRng, SimTime};
 use ps_trace::{Message, ProcessId};
 use ps_wire::Wire;
@@ -38,17 +38,48 @@ pub trait StackEnv {
     fn obs(&self) -> Option<&Recorder> {
         None
     }
+    /// Causal id of the event this environment is currently processing
+    /// (the context new records should be parented to). Defaults to
+    /// [`CauseId::NONE`] for environments without causal tracing.
+    fn cause(&self) -> CauseId {
+        CauseId::NONE
+    }
+    /// Replaces the causal context, returning the previous one. The
+    /// default is a no-op so observability-free environments (tests,
+    /// `ps-rt`) pay nothing.
+    fn set_cause(&mut self, cause: CauseId) -> CauseId {
+        let _ = cause;
+        CauseId::NONE
+    }
 }
 
-/// Records one end of a layer span if observability is on.
-fn layer_span(env: &dyn StackEnv, layer: &'static str, dir: LayerDir, begin: bool) {
+/// Opens a layer span: records `LayerBegin` caused by the current env
+/// context and makes the span the causal context for everything the
+/// handler does. Returns the begin event's id for [`span_close`].
+fn span_open(env: &mut dyn StackEnv, layer: &'static str, dir: LayerDir) -> CauseId {
+    let begin = match env.obs() {
+        Some(o) => o.record_caused(
+            env.now().as_micros(),
+            u32::from(env.me().0),
+            env.cause(),
+            ObsEvent::LayerBegin { layer, dir },
+        ),
+        None => return CauseId::NONE,
+    };
+    env.set_cause(begin);
+    begin
+}
+
+/// Closes a layer span: records `LayerEnd` caused by the span's begin
+/// event, so the span's extent is recoverable from the causal graph.
+fn span_close(env: &mut dyn StackEnv, layer: &'static str, dir: LayerDir, begin: CauseId) {
     if let Some(o) = env.obs() {
-        let ev = if begin {
-            ObsEvent::LayerBegin { layer, dir }
-        } else {
-            ObsEvent::LayerEnd { layer, dir }
-        };
-        o.record(env.now().as_micros(), u32::from(env.me().0), ev);
+        o.record_caused(
+            env.now().as_micros(),
+            u32::from(env.me().0),
+            begin,
+            ObsEvent::LayerEnd { layer, dir },
+        );
     }
 }
 
@@ -65,9 +96,11 @@ impl fmt::Debug for Slot {
 
 enum Work {
     /// Give to layer `next` going down; `next == len` means transmit.
-    Down { next: usize, frame: Frame },
+    /// `cause` is the span (or head event) that emitted the frame.
+    Down { next: usize, frame: Frame, cause: CauseId },
     /// Give to layer `next` going up; `None` means deliver to the app.
-    Up { next: Option<usize>, src: ProcessId, bytes: Bytes },
+    /// `cause` is the span (or head event) that emitted the bytes.
+    Up { next: Option<usize>, src: ProcessId, bytes: Bytes, cause: CauseId },
 }
 
 /// An ordered composition of layers: index 0 is the top (application side),
@@ -122,13 +155,13 @@ impl Stack {
         for i in 0..self.slots.len() {
             let id = self.slots[i].id;
             let name = self.slots[i].layer.name();
-            layer_span(env, name, LayerDir::Launch, true);
+            let span = span_open(env, name, LayerDir::Launch);
             let mut ctx = LayerCtx::new(env, id);
             self.slots[i].layer.on_launch(&mut ctx);
             self.slots[i].layer.launch_nested(&mut ctx);
             let outs = std::mem::take(&mut ctx.outs);
-            layer_span(env, name, LayerDir::Launch, false);
-            self.run(outs_to_work(outs, i, self.slots.len()), env);
+            span_close(env, name, LayerDir::Launch, span);
+            self.run(outs_to_work(outs, i, self.slots.len(), env.cause()), env);
         }
     }
 
@@ -139,32 +172,33 @@ impl Stack {
         for i in 0..self.slots.len() {
             let id = self.slots[i].id;
             let name = self.slots[i].layer.name();
-            layer_span(env, name, LayerDir::Restart, true);
+            let span = span_open(env, name, LayerDir::Restart);
             let mut ctx = LayerCtx::new(env, id);
             self.slots[i].layer.on_restart(&mut ctx);
             let outs = std::mem::take(&mut ctx.outs);
-            layer_span(env, name, LayerDir::Restart, false);
-            self.run(outs_to_work(outs, i, self.slots.len()), env);
+            span_close(env, name, LayerDir::Restart, span);
+            self.run(outs_to_work(outs, i, self.slots.len(), env.cause()), env);
         }
     }
 
     /// Injects an application message at the top (an app `Send`).
     pub fn send(&mut self, msg: &Message, env: &mut dyn StackEnv) {
         let frame = Frame::all(msg.to_bytes());
-        self.run(vec![Work::Down { next: 0, frame }], env);
+        self.run(vec![Work::Down { next: 0, frame, cause: env.cause() }], env);
     }
 
     /// Injects an already-encoded frame at the top (used by composite
     /// layers such as the switching protocol, which feed their sub-stacks
     /// the application's bytes without re-encoding).
     pub fn send_bytes(&mut self, dest: crate::Cast, bytes: Bytes, env: &mut dyn StackEnv) {
-        self.run(vec![Work::Down { next: 0, frame: Frame::new(dest, bytes) }], env);
+        let work = Work::Down { next: 0, frame: Frame::new(dest, bytes), cause: env.cause() };
+        self.run(vec![work], env);
     }
 
     /// Injects bytes arriving from the network at the bottom.
     pub fn receive(&mut self, src: ProcessId, bytes: Bytes, env: &mut dyn StackEnv) {
         let next = self.slots.len().checked_sub(1);
-        self.run(vec![Work::Up { next, src, bytes }], env);
+        self.run(vec![Work::Up { next, src, bytes, cause: env.cause() }], env);
     }
 
     /// Delivers a timer firing to the owning layer (searching nested
@@ -174,12 +208,12 @@ impl Stack {
             let slot_id = self.slots[i].id;
             if slot_id == id {
                 let name = self.slots[i].layer.name();
-                layer_span(env, name, LayerDir::Timer, true);
+                let span = span_open(env, name, LayerDir::Timer);
                 let mut ctx = LayerCtx::new(env, slot_id);
                 self.slots[i].layer.on_timer(token, &mut ctx);
                 let outs = std::mem::take(&mut ctx.outs);
-                layer_span(env, name, LayerDir::Timer, false);
-                self.run(outs_to_work(outs, i, self.slots.len()), env);
+                span_close(env, name, LayerDir::Timer, span);
+                self.run(outs_to_work(outs, i, self.slots.len(), env.cause()), env);
                 return true;
             }
             // Search nested stacks (composite layers).
@@ -187,7 +221,7 @@ impl Stack {
             let handled = self.slots[i].layer.route_timer(id, token, &mut ctx);
             let outs = std::mem::take(&mut ctx.outs);
             if handled {
-                self.run(outs_to_work(outs, i, self.slots.len()), env);
+                self.run(outs_to_work(outs, i, self.slots.len(), env.cause()), env);
                 return true;
             }
             debug_assert!(outs.is_empty(), "route_timer emitted without handling");
@@ -200,24 +234,33 @@ impl Stack {
         let n = self.slots.len();
         while let Some(work) = queue.pop_front() {
             match work {
-                Work::Down { next, frame } => {
+                Work::Down { next, frame, cause } => {
                     if next == n {
+                        let prev = env.set_cause(cause);
                         env.transmit(frame);
+                        env.set_cause(prev);
                         continue;
                     }
                     let id = self.slots[next].id;
                     let name = self.slots[next].layer.name();
-                    layer_span(env, name, LayerDir::Down, true);
+                    let prev = env.set_cause(cause);
+                    let span = span_open(env, name, LayerDir::Down);
                     let mut ctx = LayerCtx::new(env, id);
                     self.slots[next].layer.on_down(frame, &mut ctx);
                     let outs = std::mem::take(&mut ctx.outs);
-                    layer_span(env, name, LayerDir::Down, false);
-                    queue.extend(outs_to_work(outs, next, n));
+                    span_close(env, name, LayerDir::Down, span);
+                    let out_cause = env.cause();
+                    env.set_cause(prev);
+                    queue.extend(outs_to_work(outs, next, n, out_cause));
                 }
-                Work::Up { next, src, bytes } => {
+                Work::Up { next, src, bytes, cause } => {
                     let Some(idx) = next else {
                         match Message::from_bytes(&bytes) {
-                            Ok(msg) => env.deliver(src, msg),
+                            Ok(msg) => {
+                                let prev = env.set_cause(cause);
+                                env.deliver(src, msg);
+                                env.set_cause(prev);
+                            }
                             Err(_) => {
                                 // Corrupt frame reaching the app boundary:
                                 // dropped, per robustness convention.
@@ -227,25 +270,29 @@ impl Stack {
                     };
                     let id = self.slots[idx].id;
                     let name = self.slots[idx].layer.name();
-                    layer_span(env, name, LayerDir::Up, true);
+                    let prev = env.set_cause(cause);
+                    let span = span_open(env, name, LayerDir::Up);
                     let mut ctx = LayerCtx::new(env, id);
                     self.slots[idx].layer.on_up(src, bytes, &mut ctx);
                     let outs = std::mem::take(&mut ctx.outs);
-                    layer_span(env, name, LayerDir::Up, false);
-                    queue.extend(outs_to_work(outs, idx, n));
+                    span_close(env, name, LayerDir::Up, span);
+                    let out_cause = env.cause();
+                    env.set_cause(prev);
+                    queue.extend(outs_to_work(outs, idx, n, out_cause));
                 }
             }
         }
     }
 }
 
-/// Converts a layer's emissions (at position `idx` of `n`) into queue work.
-fn outs_to_work(outs: Vec<LayerOut>, idx: usize, n: usize) -> Vec<Work> {
+/// Converts a layer's emissions (at position `idx` of `n`) into queue
+/// work, each item carrying the causal context it was emitted under.
+fn outs_to_work(outs: Vec<LayerOut>, idx: usize, n: usize, cause: CauseId) -> Vec<Work> {
     let _ = n;
     outs.into_iter()
         .map(|out| match out {
-            LayerOut::Down(frame) => Work::Down { next: idx + 1, frame },
-            LayerOut::Up(src, bytes) => Work::Up { next: idx.checked_sub(1), src, bytes },
+            LayerOut::Down(frame) => Work::Down { next: idx + 1, frame, cause },
+            LayerOut::Up(src, bytes) => Work::Up { next: idx.checked_sub(1), src, bytes, cause },
         })
         .collect()
 }

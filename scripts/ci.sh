@@ -85,11 +85,49 @@ cargo run --release -q --bin repro -- monitor --quick \
 cargo run --release -q --bin trace_lint -- target/ci-monitor/a.jsonl
 diff target/ci-monitor/a.jsonl target/ci-monitor/b.jsonl
 diff target/ci-monitor/a.txt target/ci-monitor/b.txt
-if cargo run --release -q --bin repro -- monitor --quick --fault > target/ci-monitor/fault.txt; then
+if cargo run --release -q --bin repro -- monitor --quick --fault \
+    --postmortem target/ci-monitor/fault-pm.jsonl > target/ci-monitor/fault.txt; then
     echo "repro monitor --fault failed to detect the seeded total-order violation"
     exit 1
 fi
 grep -q total_order target/ci-monitor/fault.txt
+cargo run --release -q --bin trace_lint -- target/ci-monitor/fault-pm.jsonl
+
+echo "==> explain smoke: causal attribution is deterministic; the flight recorder fires only on failure (offline)"
+# `repro explain` must (a) print a byte-identical per-phase critical-path
+# attribution table across invocations, (b) write no post-mortem bundle
+# on a clean run, and (c) under --fault write a bundle that contains the
+# seeded violation's witness, passes trace_lint's causal validation, and
+# is byte-identical across invocations.
+rm -rf target/ci-explain && mkdir -p target/ci-explain
+cargo run --release -q --bin repro -- explain --quick \
+    --postmortem target/ci-explain/clean.jsonl > target/ci-explain/a.txt
+cargo run --release -q --bin repro -- explain --quick \
+    --postmortem target/ci-explain/clean.jsonl > target/ci-explain/b.txt
+diff target/ci-explain/a.txt target/ci-explain/b.txt
+grep -q "critical-path" target/ci-explain/a.txt
+test ! -e target/ci-explain/clean.jsonl   # clean run: the recorder stays quiet
+cargo run --release -q --bin repro -- explain --quick --fault \
+    --postmortem target/ci-explain/pm-a.jsonl > /dev/null
+cargo run --release -q --bin repro -- explain --quick --fault \
+    --postmortem target/ci-explain/pm-b.jsonl > /dev/null
+diff target/ci-explain/pm-a.jsonl target/ci-explain/pm-b.jsonl
+diff target/ci-explain/pm-a.jsonl.chrome.json target/ci-explain/pm-b.jsonl.chrome.json
+cargo run --release -q --bin trace_lint -- target/ci-explain/pm-a.jsonl
+cargo run --release -q --bin trace_lint -- --chrome target/ci-explain/pm-a.jsonl.chrome.json
+grep -q '"reason":"monitor_violation"' target/ci-explain/pm-a.jsonl
+grep -q total_order target/ci-explain/pm-a.jsonl
+grep -q app_deliver target/ci-explain/pm-a.jsonl   # the swapped delivery made the slice
+
+echo "==> trace_lint negative check: corrupted causal links must fail the gate (offline)"
+# Break one parent link in a real trace; trace_lint must exit non-zero.
+sed '0,/"parent":0,"kind":"timer_fire"/s//"parent":987654321987,"kind":"timer_fire"/' \
+    target/ci-trace/a.jsonl > target/ci-explain/corrupt.jsonl
+if cargo run --release -q --bin trace_lint -- target/ci-explain/corrupt.jsonl \
+    > /dev/null 2>&1; then
+    echo "trace_lint accepted a dangling causal parent"
+    exit 1
+fi
 
 echo "==> chaos smoke: repro chaos --quick passes its scenario matrix deterministically (offline)"
 # The fault-injection matrix must pass clean (repro exits non-zero on any
