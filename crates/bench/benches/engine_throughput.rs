@@ -11,13 +11,15 @@
 //!
 //! The `*_obs` variants attach a `ps-obs` recorder that is compiled in
 //! but *disabled* — the configuration every untraced run now pays for —
-//! and the binary asserts their medians stay within 3% of the stored
-//! pre-observability baseline (skipped under `PS_BENCH_ITERS` smoke runs,
+//! and the `*_prof` variants do the same with a `ps-prof` profiler. The
+//! binary asserts both families' in-run slowdown against their plain
+//! siblings stays under 3% (skipped under `PS_BENCH_ITERS` smoke runs,
 //! name filters, or `PS_BENCH_NO_BASELINE_CHECK=1`).
 
 use ps_bench::timing::Bench;
 use ps_bytes::Bytes;
 use ps_obs::Recorder;
+use ps_prof::Profiler;
 use ps_simnet::{Agent, Dest, Packet, PointToPoint, Sim, SimApi, SimConfig, SimTime, TimerToken};
 use std::hint::black_box;
 
@@ -58,7 +60,19 @@ fn idle_recorder() -> Recorder {
     rec
 }
 
-fn broadcast_run(nodes: u16, talkers: u16, rounds: u32, rec: Option<Recorder>) -> u64 {
+/// A profiler in the state every unprofiled run carries: allocated,
+/// attached, switched off.
+fn idle_profiler() -> Profiler {
+    Profiler::disabled()
+}
+
+fn broadcast_run(
+    nodes: u16,
+    talkers: u16,
+    rounds: u32,
+    rec: Option<Recorder>,
+    prof: Option<Profiler>,
+) -> u64 {
     let payload = Bytes::from_static(&[0xB7; 256]);
     let agents = (0..nodes)
         .map(|i| Broadcaster {
@@ -71,6 +85,9 @@ fn broadcast_run(nodes: u16, talkers: u16, rounds: u32, rec: Option<Recorder>) -
     let mut cfg = SimConfig::default().seed(7).service_time(SimTime::from_micros(5));
     if let Some(rec) = rec {
         cfg = cfg.recorder(rec);
+    }
+    if let Some(prof) = prof {
+        cfg = cfg.prof(prof);
     }
     let mut sim = Sim::new(cfg, Box::new(PointToPoint::new(SimTime::from_micros(120))), agents);
     sim.run_to_quiescence();
@@ -100,20 +117,24 @@ impl Agent for TimerChurn {
     }
 }
 
-fn timer_run(nodes: u16, rounds: u32, rec: Option<Recorder>) -> u64 {
+fn timer_run(nodes: u16, rounds: u32, rec: Option<Recorder>, prof: Option<Profiler>) -> u64 {
     let agents = (0..nodes).map(|_| TimerChurn { rounds_left: rounds }).collect();
     let mut cfg = SimConfig::default().seed(11).service_time(SimTime::from_micros(1));
     if let Some(rec) = rec {
         cfg = cfg.recorder(rec);
+    }
+    if let Some(prof) = prof {
+        cfg = cfg.prof(prof);
     }
     let mut sim = Sim::new(cfg, Box::new(PointToPoint::new(SimTime::from_micros(120))), agents);
     sim.run_to_quiescence();
     sim.stats().events_processed
 }
 
-/// Median per-bench slowdown of the `*_obs` variants must stay under 3%.
+/// Median per-bench slowdown of the `*_obs` and `*_prof` variants must
+/// stay under 3%.
 ///
-/// The gating comparison is in-run: each `*_obs` bench against its plain
+/// The gating comparison is in-run: each variant bench against its plain
 /// sibling measured seconds earlier in the same process, using `min_ns`
 /// (the least scheduler-noise-prone estimator of the true cost), with the
 /// median then taken across benches. The stored `BENCH_engine.json`
@@ -132,7 +153,10 @@ fn assert_disabled_recorder_overhead(bench: &Bench) {
     };
     let mut ratios: Vec<f64> = Vec::new();
     for r in bench.results() {
-        let Some(base_name) = r.id.strip_suffix("_obs") else { continue };
+        let Some(base_name) = r.id.strip_suffix("_obs").or_else(|| r.id.strip_suffix("_prof"))
+        else {
+            continue;
+        };
         if let Some(base_min) = min_of(base_name) {
             ratios.push(r.stats.min_ns as f64 / base_min as f64);
         }
@@ -143,13 +167,13 @@ fn assert_disabled_recorder_overhead(bench: &Bench) {
     ratios.sort_by(|a, b| a.total_cmp(b));
     let median = ratios[ratios.len() / 2];
     eprintln!(
-        "[engine_throughput] disabled-recorder overhead: median ratio {median:.3} over {} benches",
+        "[engine_throughput] disabled recorder/profiler overhead: median ratio {median:.3} over {} benches",
         ratios.len()
     );
     report_against_stored_baseline(bench);
     assert!(
         median < 1.03,
-        "disabled recorder costs {:.1}% on the engine hot path (budget: 3%)",
+        "disabled recorder/profiler costs {:.1}% on the engine hot path (budget: 3%)",
         (median - 1.0) * 100.0
     );
 }
@@ -171,7 +195,7 @@ fn report_against_stored_baseline(bench: &Bench) {
         Some(rest[..end].to_owned())
     };
     for r in bench.results() {
-        if r.id.ends_with("_obs") {
+        if r.id.ends_with("_obs") || r.id.ends_with("_prof") {
             continue;
         }
         let base = baseline.lines().find_map(|l| {
@@ -194,23 +218,33 @@ fn main() {
         let mut g = bench.group("engine_throughput");
         g.iters(20);
         // Broadcast-heavy: sends × (n − 1) packet deliveries dominate.
-        g.bench("broadcast_10", || black_box(broadcast_run(10, 10, 500, None)));
-        g.bench("broadcast_100", || black_box(broadcast_run(100, 20, 50, None)));
-        g.bench("broadcast_1000", || black_box(broadcast_run(1000, 4, 25, None)));
+        g.bench("broadcast_10", || black_box(broadcast_run(10, 10, 500, None, None)));
+        g.bench("broadcast_100", || black_box(broadcast_run(100, 20, 50, None, None)));
+        g.bench("broadcast_1000", || black_box(broadcast_run(1000, 4, 25, None, None)));
         // Timer-heavy: 4 × rounds self-re-arming timers per node.
-        g.bench("timer_10", || black_box(timer_run(10, 2500, None)));
-        g.bench("timer_100", || black_box(timer_run(100, 250, None)));
-        g.bench("timer_1000", || black_box(timer_run(1000, 25, None)));
+        g.bench("timer_10", || black_box(timer_run(10, 2500, None, None)));
+        g.bench("timer_100", || black_box(timer_run(100, 250, None, None)));
+        g.bench("timer_1000", || black_box(timer_run(1000, 25, None, None)));
         // Same loads with an attached-but-disabled recorder: the cost of
         // having observability compiled in must be noise.
         g.bench("broadcast_10_obs", || {
-            black_box(broadcast_run(10, 10, 500, Some(idle_recorder())))
+            black_box(broadcast_run(10, 10, 500, Some(idle_recorder()), None))
         });
         g.bench("broadcast_100_obs", || {
-            black_box(broadcast_run(100, 20, 50, Some(idle_recorder())))
+            black_box(broadcast_run(100, 20, 50, Some(idle_recorder()), None))
         });
-        g.bench("timer_10_obs", || black_box(timer_run(10, 2500, Some(idle_recorder()))));
-        g.bench("timer_100_obs", || black_box(timer_run(100, 250, Some(idle_recorder()))));
+        g.bench("timer_10_obs", || black_box(timer_run(10, 2500, Some(idle_recorder()), None)));
+        g.bench("timer_100_obs", || black_box(timer_run(100, 250, Some(idle_recorder()), None)));
+        // Same loads with an attached-but-disabled profiler: compiled-in
+        // profiling must also be noise.
+        g.bench("broadcast_10_prof", || {
+            black_box(broadcast_run(10, 10, 500, None, Some(idle_profiler())))
+        });
+        g.bench("broadcast_100_prof", || {
+            black_box(broadcast_run(100, 20, 50, None, Some(idle_profiler())))
+        });
+        g.bench("timer_10_prof", || black_box(timer_run(10, 2500, None, Some(idle_profiler()))));
+        g.bench("timer_100_prof", || black_box(timer_run(100, 250, None, Some(idle_profiler()))));
     }
     assert_disabled_recorder_overhead(&bench);
     bench.finish();

@@ -1,0 +1,85 @@
+//! Ad-hoc profiling probe for the `causal_obs` A/B shape: the
+//! `broadcast_1000` micro-bench with the recorder enabled and the
+//! standard monitor set attached, run under an enabled profiler so the
+//! observability cost splits into `obs/record` (ring write + causal id
+//! minting) vs `obs/sinks/*` (monitor dispatch).
+//!
+//! Usage: `cargo run --release -p ps-bench --example obs_probe`
+
+use ps_bytes::Bytes;
+use ps_obs::{MonitorSet, Recorder};
+use ps_prof::Profiler;
+use ps_simnet::{Agent, Dest, Packet, PointToPoint, Sim, SimApi, SimConfig, SimTime, TimerToken};
+
+struct Broadcaster {
+    rounds_left: u32,
+    payload: Bytes,
+    received: u64,
+}
+
+impl Agent for Broadcaster {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        if self.rounds_left > 0 {
+            api.set_timer(SimTime::from_micros(500), TimerToken(0));
+        }
+    }
+    fn on_packet(&mut self, _: Packet, _: &mut SimApi<'_>) {
+        self.received += 1;
+    }
+    fn on_timer(&mut self, _: TimerToken, api: &mut SimApi<'_>) {
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            api.send(Dest::Others, self.payload.clone());
+            if self.rounds_left > 0 {
+                api.set_timer(SimTime::from_micros(500), TimerToken(0));
+            }
+        }
+    }
+}
+
+fn run(attach: bool) {
+    let prof = Profiler::enabled();
+    let payload = Bytes::from_static(&[0xB7; 256]);
+    let agents = (0..1000u16)
+        .map(|i| Broadcaster {
+            rounds_left: if i < 4 { 25 } else { 0 },
+            payload: payload.clone(),
+            received: 0,
+        })
+        .collect();
+    let mut cfg =
+        SimConfig::default().seed(7).service_time(SimTime::from_micros(5)).prof(prof.clone());
+    if attach {
+        let rec = Recorder::with_capacity(1 << 18);
+        let monitors = MonitorSet::standard(1000, 1_000_000);
+        monitors.attach(&rec);
+        cfg = cfg.recorder(rec);
+    }
+    let mut sim = Sim::new(cfg, Box::new(PointToPoint::new(SimTime::from_micros(120))), agents);
+    {
+        let _root = prof.span(&[]);
+        sim.run_to_quiescence();
+    }
+    println!(
+        "== {}: {} events ==",
+        if attach { "attached" } else { "detached" },
+        sim.stats().events_processed
+    );
+    for r in prof.rows() {
+        if r.enters == 0 {
+            continue;
+        }
+        println!(
+            "  {:<22} enters {:>9}  total {:>8.2} ms  self {:>8.2} ms",
+            if r.path.is_empty() { "(root)".into() } else { r.path },
+            r.enters,
+            r.total_ns as f64 / 1e6,
+            r.self_ns as f64 / 1e6,
+        );
+    }
+}
+
+fn main() {
+    run(false);
+    run(true);
+}

@@ -1,0 +1,153 @@
+//! Ad-hoc profiling probe for the `engine_scale` switch workload: runs
+//! the serial engine and the sharded serial-fallback driver with an
+//! enabled profiler and prints the per-component attribution, so driver
+//! overhead (epoch machinery vs event work) can be compared directly.
+//!
+//! Usage: `cargo run --release -p ps-bench --example scale_probe [nodes]`
+
+use ps_bytes::Bytes;
+use ps_prof::Profiler;
+use ps_simnet::{
+    Agent, Dest, NodeId, Packet, SegmentedBus, ShardedSim, Sim, SimApi, SimConfig, SimTime,
+    TimerToken, Topology,
+};
+use std::sync::Arc;
+
+const SEG_SIZE: u32 = 250;
+const TALKERS_PER_SEG: u32 = 2;
+const ROUNDS: u32 = 20;
+const PERIOD: SimTime = SimTime::from_micros(500);
+const DEADLINE: SimTime = SimTime::from_micros(25_000);
+const BRIDGE: SimTime = SimTime::from_micros(100);
+const MAX_SHARDS: usize = 8;
+
+const SEND: TimerToken = TimerToken(1);
+const SWITCH: TimerToken = TimerToken(2);
+
+const REQUEST: &[u8] = &[0xA1; 64];
+const RELAY: &[u8] = &[0xB2; 64];
+
+/// Same agent as `benches/engine_scale.rs` (switch workload half).
+struct ScaleAgent {
+    rounds_left: u32,
+    via_sequencer: bool,
+    switch_at: Option<SimTime>,
+    sequencer: NodeId,
+    bridge_peer: Option<NodeId>,
+    relays: u32,
+    received: u64,
+}
+
+impl Agent for ScaleAgent {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        if self.rounds_left > 0 {
+            let stagger = SimTime::from_micros(u64::from(api.me().0) % 97);
+            api.set_timer(PERIOD + stagger, SEND);
+        }
+        if let Some(at) = self.switch_at {
+            api.set_timer(at, SWITCH);
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet, api: &mut SimApi<'_>) {
+        self.received += 1;
+        if api.me() == self.sequencer && pkt.payload.first() == Some(&REQUEST[0]) {
+            api.send(Dest::Segment, Bytes::from_static(RELAY));
+            self.relays += 1;
+            if self.relays % 4 == 0 {
+                if let Some(peer) = self.bridge_peer {
+                    api.send(Dest::To(peer), Bytes::from_static(RELAY));
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, api: &mut SimApi<'_>) {
+        match token {
+            SWITCH => self.via_sequencer = false,
+            _ => {
+                if self.rounds_left == 0 {
+                    return;
+                }
+                self.rounds_left -= 1;
+                if self.via_sequencer && api.me() != self.sequencer {
+                    api.send(Dest::To(self.sequencer), Bytes::from_static(REQUEST));
+                } else {
+                    api.send(Dest::Segment, Bytes::from_static(RELAY));
+                }
+                if self.rounds_left > 0 {
+                    api.set_timer(PERIOD, SEND);
+                }
+            }
+        }
+    }
+}
+
+fn agents(topo: &Topology) -> Vec<ScaleAgent> {
+    let segs = topo.num_segments();
+    (0..topo.num_nodes())
+        .map(|n| {
+            let seg = topo.segment_of(NodeId(n));
+            let range = topo.segment_range(seg);
+            ScaleAgent {
+                rounds_left: if n - range.start < TALKERS_PER_SEG { ROUNDS } else { 0 },
+                via_sequencer: true,
+                switch_at: Some(SimTime::from_micros(10_000)),
+                sequencer: NodeId(range.start),
+                bridge_peer: (n == range.start)
+                    .then(|| NodeId(topo.segment_range((seg + 1) % segs).start)),
+                relays: 0,
+                received: 0,
+            }
+        })
+        .collect()
+}
+
+fn dump(tag: &str, prof: &Profiler, events: u64) {
+    println!("== {tag}: {events} events, total {} ms ==", prof.total_ns() / 1_000_000);
+    for r in prof.rows() {
+        if r.enters == 0 {
+            continue;
+        }
+        println!(
+            "  {:<22} enters {:>9}  total {:>8.2} ms  self {:>8.2} ms",
+            if r.path.is_empty() { "(root)".into() } else { r.path },
+            r.enters,
+            r.total_ns as f64 / 1e6,
+            r.self_ns as f64 / 1e6,
+        );
+    }
+    println!("  other: {:.2} ms", prof.other_ns() as f64 / 1e6);
+}
+
+fn main() {
+    let nodes: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(10_000);
+    let topo = Arc::new(Topology::uniform(nodes, nodes / SEG_SIZE, BRIDGE));
+    let cfg = || SimConfig::default().seed(7).service_time(SimTime::from_micros(5));
+
+    let prof = Profiler::enabled();
+    let mut sim = Sim::new(
+        cfg().topology(Arc::clone(&topo)).prof(prof.clone()),
+        Box::new(SegmentedBus::new(Arc::clone(&topo), 7)),
+        agents(&topo),
+    );
+    {
+        let _root = prof.span(&[]);
+        sim.run_until(DEADLINE);
+    }
+    dump("serial", &prof, sim.stats().events_processed);
+
+    let prof = Profiler::enabled();
+    let shards = MAX_SHARDS.min(topo.num_segments() as usize);
+    let mut sim =
+        ShardedSim::new(cfg().prof(prof.clone()), Arc::clone(&topo), shards, agents(&topo));
+    {
+        let _root = prof.span(&[]);
+        sim.run_until_serial(DEADLINE);
+    }
+    dump(
+        &format!("sharded serial-fallback ({shards} shards)"),
+        &prof,
+        sim.stats().events_processed,
+    );
+}

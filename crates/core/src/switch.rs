@@ -261,6 +261,9 @@ impl StackEnv for SubEnv<'_, '_> {
     fn set_cause(&mut self, cause: ps_obs::CauseId) -> ps_obs::CauseId {
         self.ctx.set_cause(cause)
     }
+    fn prof(&self) -> Option<&ps_prof::Profiler> {
+        self.ctx.prof()
+    }
 }
 
 /// Records one switch-phase event if observability is on, parented to the

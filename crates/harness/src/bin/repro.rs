@@ -1,11 +1,12 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|explain|chaos|campaign|all]
+//! repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|explain|chaos|campaign|profile|all]
 //!       [--quick] [--csv] [--counterexamples] [--serial]
 //!       [--trace PATH] [--trace-format jsonl|chrome]
 //!       [--fault] [--series PATH] [--manifests PATH]
 //!       [--postmortem PATH] [--topology segments:<n>]
+//!       [--flame PATH] [--ledger PATH]
 //! ```
 //!
 //! Sweeps run on a worker pool by default (`PS_SWEEP_WORKERS` overrides
@@ -53,9 +54,26 @@
 //! `--topology segments:<n>` (monitor, explain, campaign) spreads the
 //! group over `n` bridged shared-Ethernet segments instead of one bus;
 //! the same grid runs unchanged, monitors and all.
+//!
+//! `repro profile` runs the monitored crossover scenario under the
+//! in-engine host-time profiler and prints the per-component cost
+//! table (engine dispatch/wheel/transmit/sampling, each protocol
+//! layer, observability record + per-sink fan-out). The `component`
+//! and `enters` columns are deterministic; the nanosecond columns are
+//! host measurements. `--flame PATH` writes a collapsed-stack
+//! flamegraph (`inferno` / `flamegraph.pl` compatible). Not part of
+//! `all` (its output is host-dependent by design). Exits 1 if the run
+//! has violations.
+//!
+//! `--ledger PATH` (every subcommand) appends one self-describing
+//! JSON line per subcommand run to `PATH`: the command, seed, a
+//! digest of the effective config, tier-0 metrics including a digest
+//! of the rendered output, and — for `profile` — the profiler's JSON
+//! summary. `ledger_check A.jsonl B.jsonl` diffs two ledger files.
 
 use ps_harness::experiments::{ablation, fig2, oscillation, overhead, table1, table2};
-use ps_harness::{campaign, chaos, explain, monitor_run, trace_run, SweepRunner};
+use ps_harness::ledger::LedgerEntry;
+use ps_harness::{campaign, chaos, explain, monitor_run, profile, trace_run, SweepRunner};
 
 struct Opts {
     what: String,
@@ -70,6 +88,8 @@ struct Opts {
     manifests_path: Option<String>,
     postmortem_path: Option<String>,
     segments: u32,
+    flame_path: Option<String>,
+    ledger_path: Option<String>,
 }
 
 fn parse() -> Opts {
@@ -85,6 +105,8 @@ fn parse() -> Opts {
     let mut manifests_path = None;
     let mut postmortem_path = None;
     let mut segments = 1;
+    let mut flame_path = None;
+    let mut ledger_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -121,6 +143,20 @@ fn parse() -> Opts {
                     std::process::exit(2);
                 }
             },
+            "--flame" => match args.next() {
+                Some(p) => flame_path = Some(p),
+                None => {
+                    eprintln!("--flame needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--ledger" => match args.next() {
+                Some(p) => ledger_path = Some(p),
+                None => {
+                    eprintln!("--ledger needs a file path");
+                    std::process::exit(2);
+                }
+            },
             "--topology" => {
                 let parsed = args
                     .next()
@@ -148,7 +184,7 @@ fn parse() -> Opts {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|explain|chaos|campaign|all] [--quick] [--csv] [--counterexamples] [--serial] [--trace PATH] [--trace-format jsonl|chrome] [--fault] [--series PATH] [--manifests PATH] [--postmortem PATH] [--topology segments:<n>]"
+                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|explain|chaos|campaign|profile|all] [--quick] [--csv] [--counterexamples] [--serial] [--trace PATH] [--trace-format jsonl|chrome] [--fault] [--series PATH] [--manifests PATH] [--postmortem PATH] [--topology segments:<n>] [--flame PATH] [--ledger PATH]"
                 );
                 std::process::exit(0);
             }
@@ -172,6 +208,18 @@ fn parse() -> Opts {
         manifests_path,
         postmortem_path,
         segments,
+        flame_path,
+        ledger_path,
+    }
+}
+
+/// Appends one ledger row where `--ledger` pointed (no-op otherwise).
+fn append_ledger(opts: &Opts, entry: LedgerEntry) {
+    if let Some(path) = &opts.ledger_path {
+        if let Err(e) = entry.append(std::path::Path::new(path)) {
+            eprintln!("cannot append ledger row to {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -209,7 +257,15 @@ fn main() {
 
     if all || opts.what == "table1" {
         let demos = table1::run();
-        emit(&opts, &table1::render(&demos));
+        let t = table1::render(&demos);
+        emit(&opts, &t);
+        append_ledger(
+            &opts,
+            LedgerEntry::new("table1", 0)
+                .config("default")
+                .metric("rows", t.len() as u64)
+                .output(&t.to_string()),
+        );
     }
     if all || opts.what == "table2" {
         let cfg = if opts.quick {
@@ -218,17 +274,34 @@ fn main() {
             table2::Table2Config::default()
         };
         let rows = table2::run_with(&cfg, &opts.runner);
-        emit(&opts, &table2::render(&rows));
+        let t = table2::render(&rows);
+        emit(&opts, &t);
         let (agree, pinned) = table2::agreement(&rows);
         println!("paper-pinned cells in agreement: {agree}/{pinned}\n");
         if opts.counterexamples {
             println!("{}", table2::render_counterexamples(&rows));
         }
+        append_ledger(
+            &opts,
+            LedgerEntry::new("table2", 0)
+                .config(&format!("{cfg:?}"))
+                .metric("agree", agree as u64)
+                .metric("pinned", pinned as u64)
+                .output(&t.to_string()),
+        );
     }
     if all || opts.what == "fig2" {
         let cfg = if opts.quick { fig2::Fig2Config::quick() } else { fig2::Fig2Config::default() };
         let r = fig2::run_with(&cfg, &opts.runner);
-        emit(&opts, &fig2::render(&r));
+        let t = fig2::render(&r);
+        emit(&opts, &t);
+        append_ledger(
+            &opts,
+            LedgerEntry::new("fig2", cfg.seed)
+                .config(&format!("{cfg:?}"))
+                .metric("rows", t.len() as u64)
+                .output(&t.to_string()),
+        );
     }
     if all || opts.what == "overhead" {
         let cfg = if opts.quick {
@@ -237,7 +310,15 @@ fn main() {
             overhead::OverheadConfig::default()
         };
         let r = overhead::run(&cfg);
-        emit(&opts, &overhead::render(&r));
+        let t = overhead::render(&r);
+        emit(&opts, &t);
+        append_ledger(
+            &opts,
+            LedgerEntry::new("overhead", cfg.seed)
+                .config(&format!("{cfg:?}"))
+                .metric("rows", t.len() as u64)
+                .output(&t.to_string()),
+        );
     }
     if all || opts.what == "ablation" {
         let cfg = if opts.quick {
@@ -246,7 +327,15 @@ fn main() {
             ablation::AblationConfig::default()
         };
         let r = ablation::run_with(&cfg, &opts.runner);
-        emit(&opts, &ablation::render(&r));
+        let t = ablation::render(&r);
+        emit(&opts, &t);
+        append_ledger(
+            &opts,
+            LedgerEntry::new("ablation", cfg.seed)
+                .config(&format!("{cfg:?}"))
+                .metric("rows", t.len() as u64)
+                .output(&t.to_string()),
+        );
     }
     if all || opts.what == "oscillation" {
         let cfg = if opts.quick {
@@ -255,7 +344,15 @@ fn main() {
             oscillation::OscillationConfig::default()
         };
         let r = oscillation::run(&cfg);
-        emit(&opts, &oscillation::render(&r));
+        let t = oscillation::render(&r);
+        emit(&opts, &t);
+        append_ledger(
+            &opts,
+            LedgerEntry::new("oscillation", cfg.seed)
+                .config(&format!("{cfg:?}"))
+                .metric("rows", t.len() as u64)
+                .output(&t.to_string()),
+        );
     }
     if all || opts.what == "trace" || opts.trace_path.is_some() {
         let cfg = if opts.quick {
@@ -264,7 +361,8 @@ fn main() {
             trace_run::TraceRunConfig::default()
         };
         let r = trace_run::run(&cfg);
-        emit(&opts, &trace_run::render_timeline(&r));
+        let t = trace_run::render_timeline(&r);
+        emit(&opts, &t);
         if let Some(path) = &opts.trace_path {
             let body = trace_run::export(&r, opts.trace_format);
             if let Err(e) = std::fs::write(path, body) {
@@ -273,6 +371,13 @@ fn main() {
             }
             eprintln!("wrote {} events to {path}", r.events.len());
         }
+        append_ledger(
+            &opts,
+            LedgerEntry::new("trace", cfg.seed)
+                .config(&format!("{cfg:?}"))
+                .metric("events", r.events.len() as u64)
+                .output(&t.to_string()),
+        );
     }
     if all || opts.what == "monitor" {
         let mut cfg = if opts.quick {
@@ -284,8 +389,20 @@ fn main() {
         cfg.segments = opts.segments;
         let r = monitor_run::run(&cfg);
         emit(&opts, &monitor_run::render_series(&r));
-        emit(&opts, &monitor_run::render_switches(&r));
-        emit(&opts, &monitor_run::render_report(&r));
+        let switches = monitor_run::render_switches(&r);
+        let report = monitor_run::render_report(&r);
+        emit(&opts, &switches);
+        emit(&opts, &report);
+        append_ledger(
+            &opts,
+            LedgerEntry::new("monitor", cfg.seed)
+                .config(&format!("{cfg:?}"))
+                .metric("violations", r.violations.len() as u64)
+                .metric("sent", r.sent as u64)
+                .metric("samples", r.samples.len() as u64)
+                .metric("switches", switches.len() as u64)
+                .output(&format!("{switches}{report}")),
+        );
         if let Some(path) = &opts.series_path {
             let body = if opts.csv { r.sampler.to_csv() } else { r.sampler.to_jsonl() };
             if let Err(e) = std::fs::write(path, body) {
@@ -323,10 +440,15 @@ fn main() {
             ..cfg
         };
         let res = explain::run(&cfg);
-        print!("{}", explain::render(&res));
+        let rendered = explain::render(&res);
+        print!("{rendered}");
         if let Some(path) = &opts.postmortem_path {
             write_postmortem(path, res.bundle.as_ref());
         }
+        append_ledger(
+            &opts,
+            LedgerEntry::new("explain", cfg.seed).config(&format!("{cfg:?}")).output(&rendered),
+        );
     }
     if all || opts.what == "campaign" {
         let mut cfg = if opts.quick {
@@ -339,7 +461,16 @@ fn main() {
         }
         cfg.segments = opts.segments;
         let results = campaign::run_with(&cfg, &opts.runner);
-        emit(&opts, &campaign::render(&results));
+        let t = campaign::render(&results);
+        emit(&opts, &t);
+        append_ledger(
+            &opts,
+            LedgerEntry::new("campaign", 0)
+                .config(&format!("{cfg:?}"))
+                .metric("cells", results.len() as u64)
+                .metric("failed", results.iter().filter(|r| !r.pass).count() as u64)
+                .output(&t.to_string()),
+        );
         if let Some(path) = &opts.manifests_path {
             let body = campaign::manifests_jsonl(&results);
             if let Err(e) = std::fs::write(path, &body) {
@@ -361,7 +492,16 @@ fn main() {
     if all || opts.what == "chaos" {
         let cfg = if opts.quick { chaos::ChaosConfig::quick() } else { chaos::ChaosConfig::full() };
         let results = chaos::run_with(&cfg, &opts.runner);
-        emit(&opts, &chaos::render(&results));
+        let t = chaos::render(&results);
+        emit(&opts, &t);
+        append_ledger(
+            &opts,
+            LedgerEntry::new("chaos", 0)
+                .config(&format!("{cfg:?}"))
+                .metric("scenarios", results.len() as u64)
+                .metric("failed", results.iter().filter(|r| !r.pass).count() as u64)
+                .output(&t.to_string()),
+        );
         if let Some(path) = &opts.postmortem_path {
             let bundle = results.iter().find_map(|r| r.postmortem.as_ref());
             write_postmortem(path, bundle);
@@ -369,6 +509,41 @@ fn main() {
         if !chaos::all_pass(&results) {
             let failed = results.iter().filter(|r| !r.pass).count();
             eprintln!("chaos: {failed} scenario(s) failed (wedged switch or property violation)");
+            std::process::exit(1);
+        }
+    }
+    // Not part of `all`: the ns columns are host measurements, so the
+    // output is nondeterministic by design.
+    if opts.what == "profile" {
+        let mut cfg = if opts.quick {
+            monitor_run::MonitorRunConfig::quick()
+        } else {
+            monitor_run::MonitorRunConfig::default()
+        };
+        cfg.inject_fault = opts.fault;
+        cfg.segments = opts.segments;
+        let r = profile::run(&cfg);
+        let t = profile::render_table(&r.prof);
+        emit(&opts, &t);
+        if let Some(path) = &opts.flame_path {
+            if let Err(e) = std::fs::write(path, r.prof.flamegraph()) {
+                eprintln!("cannot write flamegraph to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote collapsed-stack flamegraph to {path}");
+        }
+        append_ledger(
+            &opts,
+            LedgerEntry::new("profile", cfg.seed)
+                .config(&format!("{cfg:?}"))
+                .metric("violations", r.run.violations.len() as u64)
+                .metric("components", t.len() as u64)
+                .metric("attributed_pct", (100.0 * r.prof.attributed_fraction()) as u64)
+                .output(&t.to_string())
+                .profile(r.prof.json_summary()),
+        );
+        if !r.run.violations.is_empty() {
+            eprintln!("profile: {} property violation(s) detected", r.run.violations.len());
             std::process::exit(1);
         }
     }

@@ -12,6 +12,7 @@
 //! | [`chaos`] | §2/§8 — crash/recovery + partition fault injection, monitored scenario matrix | `repro chaos` |
 //! | [`explain`] | §7 — causal critical-path attribution per switch + post-mortem flight recorder | `repro explain` |
 //! | [`campaign`] | §7 — judged campaign grid: traffic profiles × stacks × faults, monitored | `repro campaign` |
+//! | [`profile`] | host-time attribution of the monitored run (engine/layer/obs components) | `repro profile --flame out.folded` |
 //!
 //! Every experiment is deterministic given its config (all randomness is
 //! seeded) and returns a typed result that both the CLI and the Criterion
@@ -23,8 +24,10 @@ pub mod campaign;
 pub mod chaos;
 pub mod experiments;
 pub mod explain;
+pub mod ledger;
 pub mod measure;
 pub mod monitor_run;
+pub mod profile;
 pub mod report;
 pub mod sweep;
 pub mod trace_run;

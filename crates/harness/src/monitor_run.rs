@@ -102,6 +102,9 @@ pub struct MonitorRunConfig {
     pub segments: u32,
     /// Extra one-way bridge latency between segments (multi-segment only).
     pub bridge_latency: SimTime,
+    /// Host-time profiler the engine attributes into (disabled by
+    /// default; `repro profile` passes an enabled one).
+    pub prof: ps_prof::Profiler,
 }
 
 impl Default for MonitorRunConfig {
@@ -128,6 +131,7 @@ impl Default for MonitorRunConfig {
             inject_fault: false,
             segments: 1,
             bridge_latency: SimTime::from_micros(100),
+            prof: ps_prof::Profiler::disabled(),
         }
     }
 }
@@ -234,6 +238,12 @@ pub struct MonitorRunResult {
 
 /// Runs the monitored crossover scenario.
 pub fn run(cfg: &MonitorRunConfig) -> MonitorRunResult {
+    // Harness-phase spans (free no-ops when profiling is off): the
+    // engine attributes its own components, these cover what happens
+    // around it — workload generation + sim construction, the run loop
+    // between engine spans, and result assembly (ring snapshot).
+    let prof = cfg.prof.clone();
+    let _setup = prof.span(&["harness", "setup"]);
     let recorder = Recorder::with_capacity(cfg.ring_capacity);
     let sampler = MetricsSampler::new(cfg.sample_interval.as_micros()).with_seq_node(0);
     let monitors = MonitorSet::standard(u32::from(cfg.group), cfg.liveness_bound.as_micros());
@@ -276,6 +286,7 @@ pub fn run(cfg: &MonitorRunConfig) -> MonitorRunResult {
     let b = b
         .recorder(recorder.clone())
         .sampler(sampler.clone())
+        .prof(cfg.prof.clone())
         .stack_factory(move |p, _, ids| {
             let oracle: Box<dyn Oracle> = if p == ProcessId(0) {
                 Box::new(
@@ -309,7 +320,12 @@ pub fn run(cfg: &MonitorRunConfig) -> MonitorRunResult {
         .sends(spec.generate().into_sends());
 
     let mut sim = b.build();
-    sim.run_until(cfg.end + SimTime::from_millis(800));
+    drop(_setup);
+    {
+        let _run = prof.span(&["harness", "run"]);
+        sim.run_until(cfg.end + SimTime::from_millis(800));
+    }
+    let _finish = prof.span(&["harness", "finish"]);
 
     let handles = handles.borrow().clone();
     MonitorRunResult {

@@ -3,7 +3,7 @@
 //! serial path's, whatever the worker count.
 
 use ps_harness::experiments::{ablation, fig2, table2};
-use ps_harness::{campaign, chaos, explain, monitor_run, trace_run, SweepRunner};
+use ps_harness::{campaign, chaos, explain, monitor_run, profile, trace_run, SweepRunner};
 
 #[test]
 fn fig2_parallel_table_is_byte_identical_to_serial() {
@@ -162,6 +162,29 @@ fn explain_attribution_and_postmortem_are_byte_identical_under_the_parallel_runn
     assert!(serial[0].1.is_none() && serial[1].1.is_none());
     assert!(serial[2].1.is_some(), "fault run must yield a post-mortem bundle");
     assert!(serial[0].3 >= 2, "clean quick run attributes both switches");
+}
+
+#[test]
+fn profile_structure_is_byte_identical_under_the_parallel_runner() {
+    // Profiled runs fanned across workers: each run gets its own
+    // profiler, and the *structural* side (span tree, enter counts,
+    // covered virtual time) must match the serial twin byte for byte.
+    // The nanosecond totals are host noise and are deliberately not
+    // compared.
+    let seeds: Vec<u64> = vec![0x40B5, 7, 19];
+    let job = |_: usize, seed: u64| {
+        let cfg = monitor_run::MonitorRunConfig { seed, ..monitor_run::MonitorRunConfig::quick() };
+        let r = profile::run(&cfg);
+        (r.prof.structure(), r.run.violations.len())
+    };
+    let serial = SweepRunner::serial().run(seeds.clone(), job);
+    let parallel = SweepRunner::new(4).run(seeds, job);
+    assert_eq!(serial, parallel);
+    assert!(serial.iter().all(|(_, violations)| *violations == 0));
+    // (Runtime probe: the `prof` feature lives in ps-prof, not here.)
+    if ps_prof::Profiler::enabled().is_enabled() {
+        assert!(serial.iter().all(|(s, _)| s.contains("engine/dispatch")), "{serial:?}");
+    }
 }
 
 #[test]

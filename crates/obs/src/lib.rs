@@ -8,10 +8,11 @@
 //! dumps, Chrome `trace_event` files, and per-process switch-phase
 //! timelines.
 //!
-//! This crate sits at the bottom of the workspace dependency graph — the
-//! simulator, stack, and switching layer all record into it — so it
-//! depends on nothing and speaks in raw microseconds (`u64`) and node ids
-//! (`u32`) rather than simulator types.
+//! This crate sits near the bottom of the workspace dependency graph —
+//! the simulator, stack, and switching layer all record into it — so it
+//! depends only on `ps-prof` (the host-time profiler it opens dispatch
+//! spans on) and speaks in raw microseconds (`u64`) and node ids (`u32`)
+//! rather than simulator types.
 //!
 //! ## The contract
 //!
@@ -55,7 +56,7 @@ pub use causal::{
     attribution_table, parse_jsonl, CausalGraph, CausalSlice, CriticalPath, ParsedTrace,
     PhaseAttribution,
 };
-pub use event::{CauseId, LayerDir, ObsEvent, SpPhase, TimedEvent};
+pub use event::{CauseId, EventMask, LayerDir, ObsEvent, SpPhase, TimedEvent};
 pub use metrics::{Counter, HistSummary, Histogram, Registry};
 pub use monitor::{
     DeliveryMonitor, FifoMonitor, MonitorSet, SwitchLivenessMonitor, TotalOrderMonitor, Violation,

@@ -16,7 +16,8 @@
 //!   are the host's virtual clock. Nothing here reads wall-clock time, so
 //!   same-seed runs snapshot byte-identical event sequences.
 
-use crate::event::{CauseId, ObsEvent, TimedEvent};
+use crate::event::{CauseId, EventMask, ObsEvent, TimedEvent};
+use ps_prof::Profiler;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -32,6 +33,29 @@ use std::sync::{Arc, Mutex, MutexGuard};
 pub trait EventSink: Send {
     /// Called once per recorded event, in record order.
     fn on_event(&mut self, ev: &TimedEvent);
+
+    /// The event kinds this sink consumes (default: everything).
+    ///
+    /// Sampled once at [`Recorder::subscribe`]: the recorder caches the
+    /// mask and never dispatches events outside it, and events no
+    /// subscriber wants skip the dispatch loop entirely — a monitor that
+    /// only reads app/switch events costs nothing on frame traffic.
+    fn interest(&self) -> EventMask {
+        EventMask::ALL
+    }
+
+    /// Short static name, used as the sink's profiler span label
+    /// (`obs/sinks/<name>`). Sampled once at subscribe time.
+    fn name(&self) -> &'static str {
+        "sink"
+    }
+}
+
+/// A subscribed sink plus its subscribe-time-cached interest and name.
+struct SinkEntry {
+    sink: Box<dyn EventSink>,
+    mask: EventMask,
+    name: &'static str,
 }
 
 struct Ring {
@@ -45,7 +69,17 @@ struct Ring {
     overwritten: u64,
     /// Streaming subscribers; fed under the same lock as the ring so sinks
     /// observe exactly the record order.
-    sinks: Vec<Box<dyn EventSink>>,
+    sinks: Vec<SinkEntry>,
+    /// Union of all subscribed interests — the one-test early-out that
+    /// skips the dispatch loop for events nobody wants.
+    sink_union: EventMask,
+    /// Host-time profiler for `obs/record` / `obs/sinks/*` spans; only an
+    /// *enabled* profiler is ever stored (see [`Recorder::set_prof`]).
+    prof: Option<Profiler>,
+    /// Whether per-sink dispatch spans fire. Off for shard capture
+    /// recorders: their buffer sink is driver plumbing, not a consumer,
+    /// and profiling it would make shard structure diverge from plain.
+    profile_sinks: bool,
     /// Per-node causal sequence counters (`seqs[node]` = last seq issued).
     /// Grows on a node's first event — the one amortized exception to the
     /// no-allocation-when-enabled rule, and only up to the highest node id.
@@ -64,12 +98,22 @@ impl Ring {
     }
 
     /// Feeds sinks and places `e` in the ring (the record-order critical
-    /// section; callers hold the lock via `&mut self`).
-    fn push(&mut self, e: TimedEvent) {
+    /// section; callers hold the lock via `&mut self`). `prof` is the
+    /// caller's clone of `self.prof` (cloned outside the field borrow).
+    fn push(&mut self, e: TimedEvent, prof: Option<&Profiler>) {
         // Sinks first: they must see the event even if the ring write
-        // below evicts older history (streaming beats the ring).
-        for sink in self.sinks.iter_mut() {
-            sink.on_event(&e);
+        // below evicts older history (streaming beats the ring). The
+        // cached union mask skips the loop when no subscriber cares.
+        let kind = e.ev.kind();
+        if self.sink_union.intersects(kind) {
+            let prof = if self.profile_sinks { prof } else { None };
+            for entry in self.sinks.iter_mut() {
+                if entry.mask.intersects(kind) {
+                    let path = ["obs", "sinks", entry.name];
+                    let _sp = prof.map(|p| p.span(&path));
+                    entry.sink.on_event(&e);
+                }
+            }
         }
         if self.buf.len() < self.cap {
             self.buf.push(e);
@@ -145,6 +189,9 @@ impl Recorder {
                     next: 0,
                     overwritten: 0,
                     sinks: Vec::new(),
+                    sink_union: EventMask::NONE,
+                    prof: None,
+                    profile_sinks: false,
                     seqs: Vec::new(),
                 }),
             }),
@@ -197,9 +244,13 @@ impl Recorder {
                 return CauseId::NONE;
             }
             let mut ring = self.ring();
+            // Clone the (Arc-backed) handle out of the field so the span
+            // guard does not hold a borrow of the ring we mutate below.
+            let prof = ring.prof.clone();
+            let _sp = prof.as_ref().map(|p| p.span(&["obs", "record"]));
             let seq = ring.next_seq(node);
             let e = TimedEvent { at_us, node, seq, parent, ev };
-            ring.push(e);
+            ring.push(e, prof.as_ref());
             e.id()
         }
         #[cfg(not(feature = "tap"))]
@@ -226,7 +277,12 @@ impl Recorder {
                 ring.seqs.resize(i + 1, 0);
             }
             ring.seqs[i] = ring.seqs[i].max(e.seq);
-            ring.push(*e);
+            // No `obs/record` span here: replay is driver machinery (the
+            // sharded driver wraps it in `driver/replay`), but sink
+            // dispatch still spans so monitor cost is attributed whether
+            // events arrive live or replayed.
+            let prof = ring.prof.clone();
+            ring.push(*e, prof.as_ref());
         }
         #[cfg(not(feature = "tap"))]
         {
@@ -280,12 +336,27 @@ impl Recorder {
     /// keep the other to read results after the run. Subscribing to a
     /// disabled recorder is allowed but the sink will never fire.
     pub fn subscribe(&self, sink: Box<dyn EventSink>) {
-        self.ring().sinks.push(sink);
+        let mask = sink.interest();
+        let name = sink.name();
+        let mut ring = self.ring();
+        ring.sink_union |= mask;
+        ring.sinks.push(SinkEntry { sink, mask, name });
     }
 
     /// Number of subscribed sinks.
     pub fn sink_count(&self) -> usize {
         self.ring().sinks.len()
+    }
+
+    /// Attaches a host-time profiler: every `record*` call opens an
+    /// `obs/record` span (live records only) and, when `profile_sinks` is
+    /// set, each sink dispatch opens `obs/sinks/<name>`. A disabled
+    /// profiler is ignored — the recording hot path only ever pays for a
+    /// profiler that is actually collecting.
+    pub fn set_prof(&self, prof: &Profiler, profile_sinks: bool) {
+        let mut ring = self.ring();
+        ring.prof = prof.is_enabled().then(|| prof.clone());
+        ring.profile_sinks = profile_sinks;
     }
 }
 

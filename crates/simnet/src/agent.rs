@@ -1,6 +1,7 @@
 use crate::{Dest, DetRng, NodeId, Packet, SimTime};
 use ps_bytes::Bytes;
 use ps_obs::{CauseId, Recorder};
+use ps_prof::Profiler;
 
 /// Opaque timer identifier chosen by the agent.
 ///
@@ -64,6 +65,10 @@ pub struct SimApi<'a> {
     /// Live event recorder, `None` when observability is off (the
     /// simulator pre-folds the enabled check into this option).
     obs: Option<&'a Recorder>,
+    /// Live host-time profiler, `None` when profiling is off (same
+    /// pre-folded enabled check as `obs`). Stacks open per-layer spans on
+    /// it around handler calls.
+    prof: Option<&'a Profiler>,
     /// Causal id of the event currently being processed ([`CauseId::NONE`]
     /// when observability is off). Stacks override it around layer spans
     /// via [`SimApi::set_cause`] so outgoing actions link to the span.
@@ -81,10 +86,11 @@ impl<'a> SimApi<'a> {
         rng: &'a mut DetRng,
         actions: Vec<Action>,
         obs: Option<&'a Recorder>,
+        prof: Option<&'a Profiler>,
         cause: CauseId,
     ) -> Self {
         debug_assert!(actions.is_empty());
-        Self { me, now, num_nodes, rng, actions, obs, cause }
+        Self { me, now, num_nodes, rng, actions, obs, prof, cause }
     }
 
     /// Consumes the API, returning the recorded actions (and the scratch
@@ -133,6 +139,14 @@ impl<'a> SimApi<'a> {
         self.obs
     }
 
+    /// The live host-time profiler, or `None` when profiling is off.
+    ///
+    /// Stacks open `stack/<layer>` spans on this around handler calls so
+    /// per-layer host cost shows up in the profile.
+    pub fn prof(&self) -> Option<&'a Profiler> {
+        self.prof
+    }
+
     /// Causal id of the event currently being processed — the parent new
     /// records and outgoing actions should link to. [`CauseId::NONE`]
     /// when observability is off.
@@ -162,6 +176,7 @@ mod tests {
             4,
             &mut rng,
             Vec::new(),
+            None,
             None,
             CauseId::NONE,
         );

@@ -39,6 +39,7 @@
 use crate::sim::{OutFrame, RawWindow};
 use crate::{Agent, NodeId, Packet, SegmentedBus, Sim, SimConfig, SimTime, TimerToken, Topology};
 use ps_obs::{CauseId, EventSink, MetricsSampler, Recorder, TimedEvent};
+use ps_prof::Profiler;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 
@@ -151,6 +152,12 @@ pub struct ShardedSim<A> {
     recorder: Recorder,
     /// Global sampler: merged from the shards' raw windows.
     sampler: Option<MetricsSampler>,
+    /// Global profiler: shard span trees are absorbed into it when a run
+    /// closes. Each shard profiles onto its *own* handle (span stacks are
+    /// per-profiler, so worker threads never interleave frames).
+    prof: Profiler,
+    /// Per-shard profiler handles (all disabled when `prof` is).
+    shard_profs: Vec<Profiler>,
     /// Per-shard recorder capture buffers (empty when taps are off).
     bufs: Vec<Arc<Mutex<Vec<TimedEvent>>>>,
     /// `marks[k][e]`: length of `bufs[k]` at the end of epoch `e`.
@@ -179,11 +186,17 @@ impl<A: Agent> ShardedSim<A> {
         let plan = topo.shard_plan(u32::try_from(shards).expect("shard count"));
         let recorder = config.recorder.clone();
         let sampler = config.sampler.clone();
+        let prof = config.prof.clone();
+        // The global recorder only sees the epoch-ordered replay, but its
+        // sink dispatch (monitors etc.) is real per-event work — profile
+        // it exactly as a standalone sim would.
+        recorder.set_prof(&prof, true);
         let total = topo.num_nodes();
 
         let mut node_base = Vec::with_capacity(plan.len() + 1);
         let mut sims = Vec::with_capacity(plan.len());
         let mut bufs = Vec::with_capacity(plan.len());
+        let mut shard_profs = Vec::with_capacity(plan.len());
         for segs in &plan {
             let first = topo.segment_range(segs.start).start;
             let end = topo.segment_range(segs.end - 1).end;
@@ -202,12 +215,21 @@ impl<A: Agent> ShardedSim<A> {
             } else {
                 Recorder::disabled()
             };
+            // Each shard likewise profiles onto its own handle: the span
+            // stack stays single-threaded per profiler, and the trees merge
+            // into the global one at close-out. Sink profiling stays off on
+            // the capture recorder (the buffer sink is driver plumbing, and
+            // spanning it would make shard structure diverge from plain).
+            let shard_prof =
+                if prof.is_enabled() { Profiler::enabled() } else { Profiler::disabled() };
+            shard_rec.set_prof(&shard_prof, false);
             let shard_cfg = SimConfig {
                 seed: config.seed,
                 node: config.node.clone(),
                 recorder: shard_rec,
                 sampler: None,
                 topology: Some(Arc::clone(&topo)),
+                prof: shard_prof.clone(),
             };
             // Every shard builds the bus from the same (topo, seed), so
             // segment state and jitter streams are identical no matter how
@@ -219,6 +241,7 @@ impl<A: Agent> ShardedSim<A> {
             }
             sims.push(sim);
             bufs.push(buf);
+            shard_profs.push(shard_prof);
         }
         node_base.push(total);
         let marks = vec![Vec::new(); sims.len()];
@@ -229,6 +252,8 @@ impl<A: Agent> ShardedSim<A> {
             window,
             recorder,
             sampler,
+            prof,
+            shard_profs,
             bufs,
             marks,
             now: SimTime::ZERO,
@@ -347,11 +372,17 @@ impl<A: Agent> ShardedSim<A> {
             }
             let Some(end) = state.epoch_end() else { break };
             for (k, shard) in self.shards.iter_mut().enumerate() {
+                // The epoch span wraps the epoch machinery *and* the event
+                // work; the engine spans opened inside `run_before` nest
+                // under it, so the span's self-time is the pure
+                // barrier/exchange overhead satellite profiling chases.
+                let _sp = self.shard_profs[k].span(&["driver", "epoch"]);
                 shard.run_before(end);
                 let out = shard.take_outbox();
                 state.post(k, out);
             }
             for (k, shard) in self.shards.iter_mut().enumerate() {
+                let _sp = self.shard_profs[k].span(&["driver", "epoch"]);
                 state.inject(k, shard);
                 self.marks[k].push(self.bufs[k].lock().expect("buffer").len());
             }
@@ -369,6 +400,7 @@ impl<A: Agent> ShardedSim<A> {
     fn merge_outputs(&mut self, deadline: SimTime) {
         self.now = self.now.max(deadline);
         if self.recorder.is_enabled() {
+            let _sp = self.prof.span(&["driver", "replay"]);
             let mut starts = vec![0usize; self.shards.len()];
             let epochs = self.marks.iter().map(Vec::len).max().unwrap_or(0);
             for e in 0..epochs {
@@ -409,6 +441,14 @@ impl<A: Agent> ShardedSim<A> {
                 sampler.push(w.finalize(window_us));
             }
         }
+        // Fold the shard span trees into the global profiler. Absorb
+        // drains the sources, so repeated runs on the same ShardedSim keep
+        // accumulating without double counting.
+        if self.prof.is_enabled() {
+            for p in &self.shard_profs {
+                self.prof.absorb(p);
+            }
+        }
     }
 
     /// Runs shards to `deadline` in parallel, one thread per shard,
@@ -442,12 +482,17 @@ impl<A: Agent> ShardedSim<A> {
         let state = self.epoch_state(deadline);
         let marks = &mut self.marks;
         let bufs = &self.bufs;
+        let profs = &self.shard_profs;
         std::thread::scope(|scope| {
             for ((k, shard), (mk, buf)) in
                 self.shards.iter_mut().enumerate().zip(marks.iter_mut().zip(bufs.iter()))
             {
                 let state = &state;
                 scope.spawn(move || {
+                    // Each worker spans onto its shard's own profiler —
+                    // span stacks never cross threads. Barrier waits stay
+                    // outside the spans: blocked time is not epoch work.
+                    let prof = &profs[k];
                     shard.start();
                     let out = shard.take_outbox();
                     state.post(k, out);
@@ -462,12 +507,18 @@ impl<A: Agent> ShardedSim<A> {
                                               // Every worker computes the same epoch end from the
                                               // same published peeks, so they all break together.
                         let Some(end) = state.epoch_end() else { break };
-                        shard.run_before(end);
-                        let out = shard.take_outbox();
-                        state.post(k, out);
+                        {
+                            let _sp = prof.span(&["driver", "epoch"]);
+                            shard.run_before(end);
+                            let out = shard.take_outbox();
+                            state.post(k, out);
+                        }
                         state.barrier.wait(); // all ran + posted
-                        state.inject(k, shard);
-                        mk.push(buf.lock().expect("buffer").len());
+                        {
+                            let _sp = prof.span(&["driver", "epoch"]);
+                            state.inject(k, shard);
+                            mk.push(buf.lock().expect("buffer").len());
+                        }
                         state.barrier.wait(); // all injected before next peek
                     }
                     shard.finish_at(deadline);

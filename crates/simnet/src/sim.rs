@@ -4,6 +4,7 @@ use crate::{
     Topology, TxPlan,
 };
 use ps_obs::{CauseId, LoadSample, MetricsSampler, ObsEvent, Recorder};
+use ps_prof::Profiler;
 use std::sync::Arc;
 
 /// Per-node execution parameters.
@@ -61,6 +62,12 @@ pub struct SimConfig {
     /// [`crate::SegmentedBus`] built over the same topology so addressing
     /// and delivery latencies agree.
     pub topology: Option<Arc<Topology>>,
+    /// Host-time profiler the engine opens spans on (disabled by default).
+    ///
+    /// Clones share the span tree, so keep a clone of the handle you pass
+    /// in and read it after the run. Like the recorder, the enabled flag
+    /// is sampled once at [`Sim::new`] — enable *before* building the sim.
+    pub prof: Profiler,
 }
 
 impl SimConfig {
@@ -91,6 +98,12 @@ impl SimConfig {
     /// Sets the multi-segment topology [`Dest::Segment`] resolves against.
     pub fn topology(mut self, topo: Arc<Topology>) -> Self {
         self.topology = Some(topo);
+        self
+    }
+
+    /// Attaches a host-time profiler (see [`ps_prof::Profiler`]).
+    pub fn prof(mut self, prof: Profiler) -> Self {
+        self.prof = prof;
         self
     }
 }
@@ -241,6 +254,9 @@ pub struct Sim<A> {
     /// `config.recorder.is_enabled()`, sampled once at construction so the
     /// hot path branches on a plain bool instead of touching an atomic.
     obs_on: bool,
+    /// `config.prof.is_enabled()`, sampled once at construction — same
+    /// bool-cached guard as `obs_on`, for the profiler span sites.
+    prof_on: bool,
     /// Frame copies scheduled for delivery but not yet begun processing.
     ///
     /// Signed because a shard decrements for injected cross-shard copies
@@ -298,6 +314,11 @@ impl<A: Agent> Sim<A> {
     /// Panics if `agents` is empty or has more than `u32::MAX` nodes.
     pub fn new(config: SimConfig, medium: Box<dyn Medium>, agents: Vec<A>) -> Self {
         let total = u32::try_from(agents.len()).expect("too many nodes");
+        // A profiled standalone sim attributes recorder work too:
+        // `obs/record` per live record, `obs/sinks/<name>` per dispatch.
+        // (Shards wire this themselves with sink profiling off — see
+        // `ShardedSim::new`.)
+        config.recorder.set_prof(&config.prof, true);
         Self::new_shard(config, medium, agents, 0, total)
     }
 
@@ -327,6 +348,7 @@ impl<A: Agent> Sim<A> {
         let node_rngs =
             (0..n).map(|i| rng.fork(0x4e4f_4445_0000 + base as u64 + i as u64)).collect();
         let obs_on = config.recorder.is_enabled();
+        let prof_on = config.prof.is_enabled();
         let next_sample_at = config
             .sampler
             .as_ref()
@@ -349,6 +371,7 @@ impl<A: Agent> Sim<A> {
             alive: vec![true; n],
             incarnation: vec![0; n],
             obs_on,
+            prof_on,
             in_flight: 0,
             base,
             total_nodes: total,
@@ -390,6 +413,20 @@ impl<A: Agent> Sim<A> {
     fn obs(&self) -> Option<&Recorder> {
         if self.obs_on {
             Some(&self.config.recorder)
+        } else {
+            None
+        }
+    }
+
+    /// `Some(profiler clone)` when profiling is live. A span guard borrows
+    /// the profiler for its lifetime, which would conflict with the `&mut
+    /// self` the engine needs inside the span — so span sites clone the
+    /// (Arc-backed) handle into a local first. The clone is only paid when
+    /// profiling is on; the disabled path is one predictable branch.
+    #[inline]
+    fn prof(&self) -> Option<Profiler> {
+        if self.prof_on {
+            Some(self.config.prof.clone())
         } else {
             None
         }
@@ -484,6 +521,7 @@ impl<A: Agent> Sim<A> {
             let node = NodeId(self.base + i as u32);
             let scratch = std::mem::take(&mut self.action_scratch);
             let obs = if self.obs_on { Some(&self.config.recorder) } else { None };
+            let prof = if self.prof_on { Some(&self.config.prof) } else { None };
             let mut api = SimApi::new(
                 node,
                 SimTime::ZERO,
@@ -491,6 +529,7 @@ impl<A: Agent> Sim<A> {
                 &mut self.node_rngs[i],
                 scratch,
                 obs,
+                prof,
                 CauseId::NONE,
             );
             self.agents[i].on_start(&mut api);
@@ -531,6 +570,7 @@ impl<A: Agent> Sim<A> {
     /// Drains `actions` (leaving its capacity for reuse), turning sends
     /// into scheduled deliveries and timers into queue entries.
     fn apply_actions(&mut self, node: NodeId, effective_at: SimTime, actions: &mut Vec<Action>) {
+        let prof = self.prof();
         let mut dests = std::mem::take(&mut self.dest_scratch);
         let mut plan = std::mem::take(&mut self.plan_scratch);
         for action in actions.drain(..) {
@@ -545,14 +585,17 @@ impl<A: Agent> Sim<A> {
                     );
                     self.stats.frames_sent += 1;
                     self.stats.bytes_sent += payload.len() as u64;
-                    self.medium.transmit_into(
-                        node,
-                        &dests,
-                        payload.len(),
-                        effective_at,
-                        &mut self.rng,
-                        &mut plan,
-                    );
+                    {
+                        let _sp = prof.as_ref().map(|p| p.span(&["engine", "transmit"]));
+                        self.medium.transmit_into(
+                            node,
+                            &dests,
+                            payload.len(),
+                            effective_at,
+                            &mut self.rng,
+                            &mut plan,
+                        );
+                    }
                     self.stats.copies_dropped += u64::from(plan.dropped);
                     self.stats.medium_busy_us += plan.busy_us;
                     let mut send_id = CauseId::NONE;
@@ -590,6 +633,7 @@ impl<A: Agent> Sim<A> {
                         };
                         let pkt = Packet { src: node, payload: copy };
                         if self.is_local(to) {
+                            let _sp = prof.as_ref().map(|p| p.span(&["engine", "wheel", "push"]));
                             self.queue.push(at, Ev::Packet { to, pkt, cause: send_id });
                         } else {
                             // Another shard hosts `to`: park the copy for the
@@ -602,6 +646,7 @@ impl<A: Agent> Sim<A> {
                 }
                 Action::Timer { delay, token, cause } => {
                     let inc = self.incarnation[self.idx(node)];
+                    let _sp = prof.as_ref().map(|p| p.span(&["engine", "wheel", "push"]));
                     self.queue.push(effective_at + delay, Ev::Timer { node, token, inc, cause });
                 }
             }
@@ -614,6 +659,8 @@ impl<A: Agent> Sim<A> {
     /// applies its actions, and re-arms the node's wakeup if more deferred
     /// events are waiting.
     fn dispatch(&mut self, node: NodeId, start: SimTime, ev: Ev) {
+        let prof = self.prof();
+        let _sp = prof.as_ref().map(|p| p.span(&["engine", "dispatch"]));
         let i = self.idx(node);
         self.now = self.now.max(start);
         let done = start + self.config.node.service_time;
@@ -642,6 +689,7 @@ impl<A: Agent> Sim<A> {
             ),
             _ => CauseId::NONE,
         };
+        let prof_api = if self.prof_on { Some(&self.config.prof) } else { None };
         let mut api = SimApi::new(
             node,
             start,
@@ -649,6 +697,7 @@ impl<A: Agent> Sim<A> {
             &mut self.node_rngs[i],
             scratch,
             obs,
+            prof_api,
             head_id,
         );
         match ev {
@@ -689,6 +738,8 @@ impl<A: Agent> Sim<A> {
     /// window, then either banks it raw (shard mode) or finalizes it into
     /// the configured sampler.
     fn emit_sample(&mut self) {
+        let prof = self.prof();
+        let _sp = prof.as_ref().map(|p| p.span(&["engine", "sample"]));
         let (window_us, seq_node) = match &self.raw_interval {
             Some((w, s)) => (*w, *s),
             None => {
@@ -761,6 +812,7 @@ impl<A: Agent> Sim<A> {
             self.cpu_busy_us[i] += self.config.node.service_time.as_micros();
             let scratch = std::mem::take(&mut self.action_scratch);
             let obs = if self.obs_on { Some(&self.config.recorder) } else { None };
+            let prof = if self.prof_on { Some(&self.config.prof) } else { None };
             let mut api = SimApi::new(
                 node,
                 at,
@@ -768,6 +820,7 @@ impl<A: Agent> Sim<A> {
                 &mut self.node_rngs[i],
                 scratch,
                 obs,
+                prof,
                 recover_id,
             );
             self.agents[i].on_restart(&mut api);
@@ -798,7 +851,12 @@ impl<A: Agent> Sim<A> {
     /// exhausted.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        let Some((at, mut ev)) = self.queue.pop() else { return false };
+        let popped = {
+            let prof = self.prof();
+            let _sp = prof.as_ref().map(|p| p.span(&["engine", "wheel", "pop"]));
+            self.queue.pop()
+        };
+        let Some((at, mut ev)) = popped else { return false };
         // Samples due strictly before (or at) this event's time are
         // emitted first, while the popped packet still counts as in
         // flight at the sample instant.
@@ -918,6 +976,9 @@ impl<A: Agent> Sim<A> {
         // and the deadline still produce (quiet) samples.
         self.flush_samples_to(deadline);
         self.now = self.now.max(deadline);
+        if self.prof_on {
+            self.config.prof.note_sim_us(self.now.as_micros());
+        }
     }
 
     /// Runs until the event queue drains completely.
@@ -964,6 +1025,9 @@ impl<A: Agent> Sim<A> {
         self.ensure_started();
         self.flush_samples_to(deadline);
         self.now = self.now.max(deadline);
+        if self.prof_on {
+            self.config.prof.note_sim_us(self.now.as_micros());
+        }
     }
 
     /// Schedules a frame copy that was transmitted on another shard.
@@ -972,6 +1036,11 @@ impl<A: Agent> Sim<A> {
     /// reason the counter is signed).
     pub(crate) fn inject_frame(&mut self, at: SimTime, to: NodeId, pkt: Packet, cause: CauseId) {
         debug_assert!(self.is_local(to), "injected frame for non-local node {to}");
+        // Same span a standalone sim's delivery push gets (each delivery is
+        // exactly one wheel push either way), so the structural span counts
+        // match across plain and sharded drivers.
+        let prof = self.prof();
+        let _sp = prof.as_ref().map(|p| p.span(&["engine", "wheel", "push"]));
         self.queue.push(at, Ev::Packet { to, pkt, cause });
     }
 

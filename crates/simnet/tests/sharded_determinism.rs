@@ -230,6 +230,51 @@ fn causal_graph_and_postmortem_bundle_survive_sharding_byte_for_byte() {
 }
 
 #[test]
+fn profiler_structure_is_identical_across_drivers() {
+    // The profiler's structural side (span tree, enter counts, covered
+    // virtual time) is part of the determinism contract: how a run was
+    // driven must not show. Nanosecond totals are host noise and are
+    // deliberately not compared. `driver/*` spans (epoch machinery,
+    // replay) are excluded from `structure()` for exactly this test.
+    let plain = |seed: u64| {
+        let (cfg, _rec, _sampler) = config(seed);
+        let prof = ps_prof::Profiler::enabled();
+        let topology = topo(24, 4);
+        let medium = Box::new(SegmentedBus::new(Arc::clone(&topology), seed));
+        let mut sim =
+            Sim::new(cfg.prof(prof.clone()).topology(Arc::clone(&topology)), medium, agents(24));
+        sim.run_until(DEADLINE);
+        prof.structure()
+    };
+    let sharded = |seed: u64, shards: usize, parallel: bool| {
+        let (cfg, _rec, _sampler) = config(seed);
+        let prof = ps_prof::Profiler::enabled();
+        let mut sim = ShardedSim::new(cfg.prof(prof.clone()), topo(24, 4), shards, agents(24));
+        if parallel {
+            sim.run_until_threaded(DEADLINE);
+        } else {
+            sim.run_until_serial(DEADLINE);
+        }
+        prof.structure()
+    };
+    let reference = plain(17);
+    if reference == "sim_us 0\n" {
+        return; // prof feature off: nothing structural to compare
+    }
+    for want in ["engine/dispatch", "engine/wheel/pop", "engine/transmit", "obs/record", "sim_us"] {
+        assert!(reference.contains(want), "missing {want} in:\n{reference}");
+    }
+    for (name, got) in [
+        ("one-shard serial", sharded(17, 1, false)),
+        ("one-shard threaded", sharded(17, 1, true)),
+        ("4-shard serial", sharded(17, 4, false)),
+        ("4-shard threaded", sharded(17, 4, true)),
+    ] {
+        assert_eq!(reference, got, "plain vs {name}");
+    }
+}
+
+#[test]
 fn parallel_run_is_repeatable() {
     let a = run_sharded(5, topo(36, 6), 6, true);
     let b = run_sharded(5, topo(36, 6), 6, true);

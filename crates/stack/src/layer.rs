@@ -217,6 +217,13 @@ impl<'a> LayerCtx<'a> {
         self.env.obs()
     }
 
+    /// The live host-time profiler, or `None` when profiling is off.
+    /// Composite layers forward this into their sub-stack environments
+    /// so nested layers attribute their own handler cost.
+    pub fn prof(&self) -> Option<&ps_prof::Profiler> {
+        self.env.prof()
+    }
+
     /// Causal id of the event the surrounding environment is processing
     /// (the span wrapping this callback, when observability is on).
     pub fn cause(&self) -> ps_obs::CauseId {

@@ -111,6 +111,9 @@ impl StackEnv for EnvAdapter<'_, '_> {
     fn set_cause(&mut self, cause: ps_obs::CauseId) -> ps_obs::CauseId {
         self.api.set_cause(cause)
     }
+    fn prof(&self) -> Option<&ps_prof::Profiler> {
+        self.api.prof()
+    }
 }
 
 impl Agent for ProcessAgent {
@@ -237,6 +240,14 @@ impl GroupSimBuilder {
     /// [`ps_obs::MetricsSampler`]). Keep a clone to read the series.
     pub fn sampler(mut self, sampler: ps_obs::MetricsSampler) -> Self {
         self.config = self.config.sampler(sampler);
+        self
+    }
+
+    /// Attaches a host-time profiler: engine, per-layer, and
+    /// observability dispatch costs are attributed into it (see
+    /// [`ps_prof::Profiler`]). Keep a clone to read after the run.
+    pub fn prof(mut self, prof: ps_prof::Profiler) -> Self {
+        self.config = self.config.prof(prof);
         self
     }
 

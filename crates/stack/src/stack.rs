@@ -51,6 +51,21 @@ pub trait StackEnv {
         let _ = cause;
         CauseId::NONE
     }
+    /// The live host-time profiler, or `None` when profiling is off.
+    ///
+    /// When present, the stack opens a `stack/<layer>` span around every
+    /// handler call so per-layer host cost is attributed. The default
+    /// keeps every existing environment profiler-free.
+    fn prof(&self) -> Option<&ps_prof::Profiler> {
+        None
+    }
+}
+
+/// Opens a `stack/<layer>` profiler span around a handler call. The
+/// guard owns its handle (it must not borrow `env`, which the handler
+/// needs mutably); profiling off means a free no-op guard.
+fn prof_span(env: &dyn StackEnv, name: &'static str) -> Option<ps_prof::OwnedSpan> {
+    env.prof().map(|p| p.owned_span(&["stack", name]))
 }
 
 /// Opens a layer span: records `LayerBegin` caused by the current env
@@ -156,10 +171,12 @@ impl Stack {
             let id = self.slots[i].id;
             let name = self.slots[i].layer.name();
             let span = span_open(env, name, LayerDir::Launch);
+            let _psp = prof_span(env, name);
             let mut ctx = LayerCtx::new(env, id);
             self.slots[i].layer.on_launch(&mut ctx);
             self.slots[i].layer.launch_nested(&mut ctx);
             let outs = std::mem::take(&mut ctx.outs);
+            drop(_psp);
             span_close(env, name, LayerDir::Launch, span);
             self.run(outs_to_work(outs, i, self.slots.len(), env.cause()), env);
         }
@@ -173,9 +190,11 @@ impl Stack {
             let id = self.slots[i].id;
             let name = self.slots[i].layer.name();
             let span = span_open(env, name, LayerDir::Restart);
+            let _psp = prof_span(env, name);
             let mut ctx = LayerCtx::new(env, id);
             self.slots[i].layer.on_restart(&mut ctx);
             let outs = std::mem::take(&mut ctx.outs);
+            drop(_psp);
             span_close(env, name, LayerDir::Restart, span);
             self.run(outs_to_work(outs, i, self.slots.len(), env.cause()), env);
         }
@@ -209,9 +228,11 @@ impl Stack {
             if slot_id == id {
                 let name = self.slots[i].layer.name();
                 let span = span_open(env, name, LayerDir::Timer);
+                let _psp = prof_span(env, name);
                 let mut ctx = LayerCtx::new(env, slot_id);
                 self.slots[i].layer.on_timer(token, &mut ctx);
                 let outs = std::mem::take(&mut ctx.outs);
+                drop(_psp);
                 span_close(env, name, LayerDir::Timer, span);
                 self.run(outs_to_work(outs, i, self.slots.len(), env.cause()), env);
                 return true;
@@ -245,9 +266,11 @@ impl Stack {
                     let name = self.slots[next].layer.name();
                     let prev = env.set_cause(cause);
                     let span = span_open(env, name, LayerDir::Down);
+                    let _psp = prof_span(env, name);
                     let mut ctx = LayerCtx::new(env, id);
                     self.slots[next].layer.on_down(frame, &mut ctx);
                     let outs = std::mem::take(&mut ctx.outs);
+                    drop(_psp);
                     span_close(env, name, LayerDir::Down, span);
                     let out_cause = env.cause();
                     env.set_cause(prev);
@@ -272,9 +295,11 @@ impl Stack {
                     let name = self.slots[idx].layer.name();
                     let prev = env.set_cause(cause);
                     let span = span_open(env, name, LayerDir::Up);
+                    let _psp = prof_span(env, name);
                     let mut ctx = LayerCtx::new(env, id);
                     self.slots[idx].layer.on_up(src, bytes, &mut ctx);
                     let outs = std::mem::take(&mut ctx.outs);
+                    drop(_psp);
                     span_close(env, name, LayerDir::Up, span);
                     let out_cause = env.cause();
                     env.set_cause(prev);

@@ -167,6 +167,45 @@ cargo run --release -q --bin repro -- campaign --quick --topology segments:2 \
     > target/ci-campaign/seg2-b.txt
 diff target/ci-campaign/seg2-a.txt target/ci-campaign/seg2-b.txt
 
+echo "==> profile smoke: repro profile attributes host time with a deterministic span structure (offline)"
+# `repro profile` must (a) exit clean on the quick scenario, (b) keep the
+# *structural* CSV columns (component, enters) byte-identical across
+# invocations — the nanosecond columns and `#` note lines are host noise
+# and are stripped before diffing — and (c) write a collapsed-stack
+# flamegraph whose every line parses as `frame;frame;... self_ns`.
+rm -rf target/ci-profile && mkdir -p target/ci-profile
+cargo run --release -q --bin repro -- profile --quick --csv \
+    --flame target/ci-profile/a.flame > target/ci-profile/a.csv
+cargo run --release -q --bin repro -- profile --quick --csv \
+    --flame target/ci-profile/b.flame > target/ci-profile/b.csv
+grep -v '^#' target/ci-profile/a.csv | cut -d, -f1,2 > target/ci-profile/a.structure
+grep -v '^#' target/ci-profile/b.csv | cut -d, -f1,2 > target/ci-profile/b.structure
+diff target/ci-profile/a.structure target/ci-profile/b.structure
+grep -q '^engine/dispatch,' target/ci-profile/a.csv
+grep -q '^stack/' target/ci-profile/a.csv
+test -s target/ci-profile/a.flame
+awk 'NF < 2 || $NF !~ /^[0-9]+$/ { exit 1 }' target/ci-profile/a.flame
+
+echo "==> ledger smoke: repro runs append self-describing rows that ledger_check accepts (offline)"
+# Two same-config monitor runs append two rows to one ledger (append, not
+# truncate); rows carry the ps-ledger shape; and ledger_check --strict
+# finds no drift between two independently recorded ledgers. A profile
+# row rides along to prove the profile summary embeds.
+rm -rf target/ci-ledger && mkdir -p target/ci-ledger
+cargo run --release -q --bin repro -- monitor --quick \
+    --ledger target/ci-ledger/a.jsonl > /dev/null
+cargo run --release -q --bin repro -- monitor --quick \
+    --ledger target/ci-ledger/a.jsonl > /dev/null
+test "$(wc -l < target/ci-ledger/a.jsonl)" -eq 2
+grep -q '"kind":"ps-ledger"' target/ci-ledger/a.jsonl
+cargo run --release -q --bin repro -- monitor --quick \
+    --ledger target/ci-ledger/b.jsonl > /dev/null
+cargo run --release -q --bin ledger_check -- \
+    target/ci-ledger/a.jsonl target/ci-ledger/b.jsonl --strict
+cargo run --release -q --bin repro -- profile --quick \
+    --ledger target/ci-ledger/profile.jsonl > /dev/null
+grep -q '"profile":{"kind":"ps-prof"' target/ci-ledger/profile.jsonl
+
 echo "==> cargo doc --no-deps with warnings denied (offline)"
 # ps-obs and ps-core carry #![deny(missing_docs)]; this gate extends the
 # no-warning bar to every rustdoc lint across the workspace.

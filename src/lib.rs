@@ -19,6 +19,7 @@
 //! | [`wire`] | `ps-wire` | binary codec and header framing |
 //! | [`rt`] | `ps-rt` | real-time runtime: the same stacks on OS threads |
 //! | [`obs`] | `ps-obs` | structured tracing: ring-buffer recorder, latency histograms, JSON-lines / Chrome-trace exporters |
+//! | [`prof`] | `ps-prof` | in-engine host-time profiler: RAII span stacks, cost tables, collapsed-stack flamegraphs |
 //! | [`workload`] | `ps-workload` | seeded traffic-profile generator: typed profiles, deterministic schedules, byte-stable manifests |
 //! | [`harness`] | `ps-harness` | the experiments regenerating every table and figure |
 //!
@@ -57,6 +58,7 @@
 pub use ps_core as switch;
 pub use ps_harness as harness;
 pub use ps_obs as obs;
+pub use ps_prof as prof;
 pub use ps_protocols as protocols;
 pub use ps_rt as rt;
 pub use ps_simnet as simnet;
