@@ -1,12 +1,13 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|explain|chaos|campaign|profile|all]
+//! repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|explain|chaos|campaign|profile|real|all]
 //!       [--quick] [--csv] [--counterexamples] [--serial]
 //!       [--trace PATH] [--trace-format jsonl|chrome]
 //!       [--fault] [--series PATH] [--manifests PATH]
 //!       [--postmortem PATH] [--topology segments:<n>]
 //!       [--flame PATH] [--ledger PATH]
+//!       [--compare] [--trace-sim PATH] [--trace-real PATH] [--bench PATH]
 //! ```
 //!
 //! Sweeps run on a worker pool by default (`PS_SWEEP_WORKERS` overrides
@@ -65,6 +66,19 @@
 //! `all` (its output is host-dependent by design). Exits 1 if the run
 //! has violations.
 //!
+//! `repro real` runs the same seeded scenario (hybrid total-order stack,
+//! scripted mid-run switch, `ps-workload` schedule) over **UDP loopback**
+//! — real sockets, one OS thread per process, unmodified layers — with
+//! the monitors streaming. With `--compare` it also runs the simulated
+//! medium and prints the sim-vs-real diff: deterministic rows (monitor
+//! verdicts, delivery counts, switch completions) must match, `(wall)`
+//! rows are host measurements. `--trace-sim` / `--trace-real` export
+//! either side's event trace (JSON-lines, `trace_lint`-clean);
+//! `--bench PATH` writes the `BENCH_real.json` rows. Not part of `all`
+//! (its latency columns are wall-clock by design). Exits 1 on any
+//! monitor violation or deterministic-field divergence. See
+//! docs/transport.md.
+//!
 //! `--ledger PATH` (every subcommand) appends one self-describing
 //! JSON line per subcommand run to `PATH`: the command, seed, a
 //! digest of the effective config, tier-0 metrics including a digest
@@ -73,7 +87,7 @@
 
 use ps_harness::experiments::{ablation, fig2, oscillation, overhead, table1, table2};
 use ps_harness::ledger::LedgerEntry;
-use ps_harness::{campaign, chaos, explain, monitor_run, profile, trace_run, SweepRunner};
+use ps_harness::{campaign, chaos, explain, monitor_run, profile, real, trace_run, SweepRunner};
 
 struct Opts {
     what: String,
@@ -90,6 +104,10 @@ struct Opts {
     segments: u32,
     flame_path: Option<String>,
     ledger_path: Option<String>,
+    compare: bool,
+    trace_sim_path: Option<String>,
+    trace_real_path: Option<String>,
+    bench_path: Option<String>,
 }
 
 fn parse() -> Opts {
@@ -107,6 +125,10 @@ fn parse() -> Opts {
     let mut segments = 1;
     let mut flame_path = None;
     let mut ledger_path = None;
+    let mut compare = false;
+    let mut trace_sim_path = None;
+    let mut trace_real_path = None;
+    let mut bench_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -115,6 +137,28 @@ fn parse() -> Opts {
             "--counterexamples" => counterexamples = true,
             "--serial" => runner = SweepRunner::serial(),
             "--fault" => fault = true,
+            "--compare" => compare = true,
+            "--trace-sim" => match args.next() {
+                Some(p) => trace_sim_path = Some(p),
+                None => {
+                    eprintln!("--trace-sim needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-real" => match args.next() {
+                Some(p) => trace_real_path = Some(p),
+                None => {
+                    eprintln!("--trace-real needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--bench" => match args.next() {
+                Some(p) => bench_path = Some(p),
+                None => {
+                    eprintln!("--bench needs a file path");
+                    std::process::exit(2);
+                }
+            },
             "--series" => match args.next() {
                 Some(p) => series_path = Some(p),
                 None => {
@@ -184,7 +228,7 @@ fn parse() -> Opts {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|explain|chaos|campaign|profile|all] [--quick] [--csv] [--counterexamples] [--serial] [--trace PATH] [--trace-format jsonl|chrome] [--fault] [--series PATH] [--manifests PATH] [--postmortem PATH] [--topology segments:<n>] [--flame PATH] [--ledger PATH]"
+                    "usage: repro [table1|table2|fig2|overhead|oscillation|ablation|trace|monitor|explain|chaos|campaign|profile|real|all] [--quick] [--csv] [--counterexamples] [--serial] [--trace PATH] [--trace-format jsonl|chrome] [--fault] [--series PATH] [--manifests PATH] [--postmortem PATH] [--topology segments:<n>] [--flame PATH] [--ledger PATH] [--compare] [--trace-sim PATH] [--trace-real PATH] [--bench PATH]"
                 );
                 std::process::exit(0);
             }
@@ -210,6 +254,10 @@ fn parse() -> Opts {
         segments,
         flame_path,
         ledger_path,
+        compare,
+        trace_sim_path,
+        trace_real_path,
+        bench_path,
     }
 }
 
@@ -509,6 +557,58 @@ fn main() {
         if !chaos::all_pass(&results) {
             let failed = results.iter().filter(|r| !r.pass).count();
             eprintln!("chaos: {failed} scenario(s) failed (wedged switch or property violation)");
+            std::process::exit(1);
+        }
+    }
+    // Not part of `all`: the run takes real wall-clock time and its
+    // latency columns are host measurements by design.
+    if opts.what == "real" {
+        let cfg =
+            if opts.quick { real::RealRunConfig::quick() } else { real::RealRunConfig::default() };
+        let write_trace = |path: &Option<String>, which: &str, m: &real::MediumReport| {
+            if let Some(path) = path {
+                let body = ps_obs::export::to_jsonl_with(&m.events, m.overwritten);
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("cannot write {which} trace to {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {} {which} events to {path}", m.events.len());
+            }
+        };
+        let (violations, diverged, rendered) = if opts.compare {
+            let r = real::run_compare(&cfg);
+            let t = real::render_compare(&r);
+            emit(&opts, &t);
+            if let Some(path) = &opts.bench_path {
+                if let Err(e) = std::fs::write(path, real::bench_jsonl(&cfg, &r)) {
+                    eprintln!("cannot write bench rows to {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote sim-vs-real bench rows to {path}");
+            }
+            write_trace(&opts.trace_sim_path, "simnet", &r.sim);
+            write_trace(&opts.trace_real_path, "udp-loopback", &r.real);
+            for d in r.divergences() {
+                eprintln!("real: media diverged on {d}");
+            }
+            (r.sim.violations.len() + r.real.violations.len(), !r.media_agree(), t.to_string())
+        } else {
+            let m = real::run_real(&cfg);
+            let t = real::render_medium(&m);
+            emit(&opts, &t);
+            write_trace(&opts.trace_real_path, "udp-loopback", &m);
+            (m.violations.len(), false, t.to_string())
+        };
+        append_ledger(
+            &opts,
+            LedgerEntry::new("real", cfg.seed)
+                .config(&format!("{cfg:?} compare={}", opts.compare))
+                .metric("violations", violations as u64)
+                .metric("diverged", u64::from(diverged))
+                .output(&rendered),
+        );
+        if violations > 0 || diverged {
+            eprintln!("real: {violations} violation(s), deterministic divergence: {diverged}");
             std::process::exit(1);
         }
     }

@@ -13,6 +13,7 @@
 //! | [`explain`] | §7 — causal critical-path attribution per switch + post-mortem flight recorder | `repro explain` |
 //! | [`campaign`] | §7 — judged campaign grid: traffic profiles × stacks × faults, monitored | `repro campaign` |
 //! | [`profile`] | host-time attribution of the monitored run (engine/layer/obs components) | `repro profile --flame out.folded` |
+//! | [`real`] | sim-vs-real: the same seeded scenario on simnet and UDP loopback, diffed | `repro real --compare` |
 //!
 //! Every experiment is deterministic given its config (all randomness is
 //! seeded) and returns a typed result that both the CLI and the Criterion
@@ -28,6 +29,7 @@ pub mod ledger;
 pub mod measure;
 pub mod monitor_run;
 pub mod profile;
+pub mod real;
 pub mod report;
 pub mod sweep;
 pub mod trace_run;

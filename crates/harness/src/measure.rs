@@ -1,7 +1,12 @@
-//! Latency measurement over a [`ps_stack::GroupSim`] run.
+//! Latency measurement over any finished [`Driver`] run.
+//!
+//! Originally written against [`ps_stack::GroupSim`]; since the transport
+//! split these functions take `&dyn Driver`, so the same statistics come
+//! off a simulated run or a `ps-net` loopback run unchanged — which is
+//! what makes `repro real --compare`'s sim-vs-real columns commensurable.
 
 use ps_simnet::SimTime;
-use ps_stack::GroupSim;
+use ps_stack::Driver;
 use ps_trace::ProcessId;
 
 /// Which part of a run to measure: drop warm-up and drain phases so the
@@ -60,7 +65,7 @@ impl LatencyStats {
 ///
 /// Expects `sim` to have finished running; a message counts as incomplete
 /// if fewer than `sim.group().len()` processes delivered it.
-pub fn latency_stats(sim: &GroupSim, window: SteadyStateWindow) -> LatencyStats {
+pub fn latency_stats(sim: &dyn Driver, window: SteadyStateWindow) -> LatencyStats {
     let sends = sim.send_times();
     let n = sim.group().len();
     let mut lat: Vec<u64> = Vec::new();
@@ -105,7 +110,7 @@ pub fn latency_stats(sim: &GroupSim, window: SteadyStateWindow) -> LatencyStats 
 /// Unlike [`latency_stats`] this gives bucketed quantiles (≤12.5 %
 /// relative error) from bounded memory — the shape the repro tables report
 /// alongside the exact means.
-pub fn latency_histogram(sim: &GroupSim, window: SteadyStateWindow) -> ps_obs::Histogram {
+pub fn latency_histogram(sim: &dyn Driver, window: SteadyStateWindow) -> ps_obs::Histogram {
     let sends = sim.send_times();
     let h = ps_obs::Histogram::new();
     for d in sim.deliveries() {
@@ -119,7 +124,12 @@ pub fn latency_histogram(sim: &GroupSim, window: SteadyStateWindow) -> ps_obs::H
 
 /// The largest gap between consecutive deliveries at `process` within
 /// `[from, to]` — the application-perceived "hiccup" of §7.
-pub fn max_delivery_gap(sim: &GroupSim, process: ProcessId, from: SimTime, to: SimTime) -> SimTime {
+pub fn max_delivery_gap(
+    sim: &dyn Driver,
+    process: ProcessId,
+    from: SimTime,
+    to: SimTime,
+) -> SimTime {
     let mut times: Vec<SimTime> = sim
         .deliveries()
         .into_iter()
@@ -134,7 +144,7 @@ pub fn max_delivery_gap(sim: &GroupSim, process: ProcessId, from: SimTime, to: S
 mod tests {
     use super::*;
     use ps_simnet::PointToPoint;
-    use ps_stack::{GroupSimBuilder, Stack};
+    use ps_stack::{GroupSim, GroupSimBuilder, Stack};
 
     fn run() -> GroupSim {
         let mut b = GroupSimBuilder::new(3)

@@ -1,0 +1,89 @@
+//! End-to-end over real sockets: the paper's hybrid total-order stack —
+//! sequencer protocol, one scripted switch, token protocol — running
+//! unmodified on UDP loopback, with the standard monitor set watching.
+//!
+//! This is the tentpole claim in executable form: no `Layer` knows which
+//! medium it is on. The same `hybrid_total_order` constructor the
+//! simulator runs is handed to `UdpGroup` via a `GroupSpec`, and total
+//! order must hold across the switch on a real wire.
+
+use ps_core::{hybrid_total_order, ManualOracle, NeverOracle, Oracle, SwitchConfig, SwitchHandle};
+use ps_net::{NetConfig, UdpGroup};
+use ps_obs::{MonitorSet, Recorder};
+use ps_simnet::SimTime;
+use ps_stack::{Driver, GroupSpec};
+use ps_trace::props::{Property, Reliability, TotalOrder};
+use ps_trace::ProcessId;
+use std::sync::{Arc, Mutex};
+
+#[test]
+fn hybrid_switch_over_loopback_keeps_total_order_and_monitors_clean() {
+    let n: u16 = 2;
+    let rec = Recorder::with_capacity(16 * 1024);
+    // Generous liveness bound: wall-clock switch latency includes OS
+    // scheduling, not just protocol rounds.
+    let monitors = MonitorSet::standard(u32::from(n), 2_000_000);
+    monitors.attach(&rec);
+
+    let handles: Arc<Mutex<Vec<SwitchHandle>>> = Arc::new(Mutex::new(Vec::new()));
+    let handles_in = Arc::clone(&handles);
+
+    let mut spec =
+        GroupSpec::new(n).seed(0xBEEF).recorder(rec.clone()).stack_factory(move |p, _, ids| {
+            let oracle: Box<dyn Oracle> = if p == ProcessId(0) {
+                // Script the switch at 60 ms — mid-workload, so messages
+                // straddle the sequencer→token handover.
+                Box::new(ManualOracle::new(vec![(SimTime::from_millis(60), 1)]))
+            } else {
+                Box::new(NeverOracle)
+            };
+            let (stack, handle) =
+                hybrid_total_order(ids, SwitchConfig::default(), ProcessId(0), oracle);
+            handles_in.lock().unwrap().push(handle);
+            stack
+        });
+    for i in 0..12u64 {
+        spec = spec.send_at(
+            SimTime::from_millis(5 + 8 * i),
+            ProcessId((i % u64::from(n)) as u16),
+            format!("e2e-{i}"),
+        );
+    }
+
+    let mut group = UdpGroup::launch(spec, NetConfig::default());
+    // Workload ends ~93 ms in; leave ample drain time for token rounds.
+    group.run_until(SimTime::from_millis(700));
+    let trace = group.app_trace();
+    let report = group.shutdown();
+
+    assert_eq!(report.malformed_per_process.iter().sum::<usize>(), 0, "every datagram must decode");
+
+    let members = [ProcessId(0), ProcessId(1)];
+    assert_eq!(trace.sent_ids().len(), 12);
+    assert!(
+        Reliability::new(members).holds(&trace),
+        "all 12 messages delivered everywhere:\n{trace}"
+    );
+    assert!(
+        TotalOrder.holds(&trace),
+        "total order must survive the switch on a real medium:\n{trace}"
+    );
+
+    // The switch actually happened on every process (not a trivial pass
+    // where the oracle never fired).
+    for handle in handles.lock().unwrap().iter() {
+        let stats = handle.snapshot();
+        assert_eq!(stats.current, 1, "process still on the sequencer protocol");
+        assert!(!stats.switching, "switch left dangling");
+        assert_eq!(stats.aborted, 0, "switch aborted on loopback");
+    }
+
+    if rec.is_enabled() {
+        let violations = monitors.finish();
+        assert!(violations.is_empty(), "monitor violations on loopback: {violations:?}");
+        assert!(
+            rec.snapshot().iter().any(|e| matches!(e.ev, ps_obs::ObsEvent::SwitchPhase { .. })),
+            "switch phases should be observable over the real transport"
+        );
+    }
+}

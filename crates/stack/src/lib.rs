@@ -18,6 +18,10 @@
 //!   a `ps-simnet` simulation, schedules application workload, and records
 //!   the application-level [`ps_trace::Trace`] — so any run's output can be
 //!   fed straight into the property checkers.
+//! * [`driver`] — the transport split: a [`GroupSpec`] describes a run
+//!   without naming a medium, and the [`Driver`] trait is what any
+//!   transport (simnet here, UDP loopback in `ps-net`) exposes back, so
+//!   the same unmodified layers run simulated or over real sockets.
 //!
 //! # Examples
 //!
@@ -42,12 +46,14 @@
 //! ```
 
 pub mod channel;
+pub mod driver;
 mod layer;
 mod runtime;
 mod stack;
 mod tap;
 
 pub use channel::ChannelId;
+pub use driver::{Driver, GroupSpec};
 pub use layer::{Cast, Frame, IdGen, Layer, LayerCtx, LayerId};
 pub use runtime::{DeliveryRecord, GroupSim, GroupSimBuilder, StackFactory};
 pub use stack::{Stack, StackEnv};

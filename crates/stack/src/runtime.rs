@@ -272,6 +272,24 @@ impl GroupSimBuilder {
         self
     }
 
+    /// Lifts a transport-independent [`crate::GroupSpec`] into a simnet
+    /// builder. Medium, topology, service times, and the profiler stay at
+    /// their defaults — chain the usual builder methods to set them.
+    /// This is the simulated half of the [`crate::Driver`] split; the
+    /// real-transport half is `ps_net::UdpGroup::launch` on the same spec.
+    pub fn from_spec(spec: crate::GroupSpec) -> Self {
+        let mut b = Self::new(spec.n).seed(spec.seed);
+        if let Some(rec) = spec.recorder {
+            b = b.recorder(rec);
+        }
+        if let Some(sampler) = spec.sampler {
+            b = b.sampler(sampler);
+        }
+        b.factory = spec.factory;
+        b.sends = spec.sends;
+        b
+    }
+
     /// Builds the simulation.
     ///
     /// # Panics
@@ -439,6 +457,33 @@ impl GroupSim {
         } else {
             Some(SimTime::from_micros(total / count))
         }
+    }
+}
+
+impl crate::Driver for GroupSim {
+    fn run_until(&mut self, deadline: SimTime) {
+        GroupSim::run_until(self, deadline);
+    }
+    fn now(&self) -> SimTime {
+        GroupSim::now(self)
+    }
+    fn group(&self) -> &[ProcessId] {
+        GroupSim::group(self)
+    }
+    fn app_trace(&self) -> Trace {
+        GroupSim::app_trace(self)
+    }
+    fn send_times(&self) -> BTreeMap<MsgId, SimTime> {
+        GroupSim::send_times(self)
+    }
+    fn deliveries(&self) -> Vec<DeliveryRecord> {
+        GroupSim::deliveries(self)
+    }
+    fn recorder(&self) -> &ps_obs::Recorder {
+        GroupSim::recorder(self)
+    }
+    fn mean_delivery_latency(&self) -> Option<SimTime> {
+        GroupSim::mean_delivery_latency(self)
     }
 }
 

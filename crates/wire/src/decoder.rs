@@ -137,6 +137,14 @@ impl<'a> Decoder<'a> {
     /// Returns [`WireError::VarintOverflow`] if the encoding exceeds 10
     /// bytes, or [`WireError::UnexpectedEof`] if the input ends mid-varint.
     pub fn get_varint(&mut self) -> Result<u64, WireError> {
+        // Fast path: a clear continuation bit on the first byte ends the
+        // varint immediately — one bounds check, no loop state.
+        if let Some(&first) = self.buf.get(self.pos) {
+            if first & 0x80 == 0 {
+                self.pos += 1;
+                return Ok(u64::from(first));
+            }
+        }
         let mut result: u64 = 0;
         for i in 0..10 {
             let byte = self.get_u8()?;

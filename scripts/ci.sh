@@ -206,6 +206,30 @@ cargo run --release -q --bin repro -- profile --quick \
     --ledger target/ci-ledger/profile.jsonl > /dev/null
 grep -q '"profile":{"kind":"ps-prof"' target/ci-ledger/profile.jsonl
 
+echo "==> real-transport smoke: the same stacks over UDP loopback agree with simnet (offline)"
+# `repro real` runs unmodified stacks over real UDP sockets between OS
+# threads. The gate: (a) the quick loopback run exits 0 (repro exits
+# non-zero on any monitor violation), (b) the --compare report's
+# deterministic core — everything except rows marked "(wall)", which
+# carry wall-clock timings — is identical across two full sim-vs-real
+# runs, (c) both emitted traces pass trace_lint including causal-link
+# validation, and (d) the simnet-side trace is byte-identical across
+# runs (the recorder schema is shared; only the real side may jitter).
+rm -rf target/ci-real && mkdir -p target/ci-real
+cargo run --release -q --bin repro -- real --quick > /dev/null
+cargo run --release -q --bin repro -- real --quick --compare \
+    --trace-sim target/ci-real/sim-a.jsonl \
+    --trace-real target/ci-real/real-a.jsonl > target/ci-real/a.txt
+cargo run --release -q --bin repro -- real --quick --compare \
+    --trace-sim target/ci-real/sim-b.jsonl \
+    --trace-real target/ci-real/real-b.jsonl > target/ci-real/b.txt
+grep -v '(wall)' target/ci-real/a.txt > target/ci-real/a.det
+grep -v '(wall)' target/ci-real/b.txt > target/ci-real/b.det
+diff target/ci-real/a.det target/ci-real/b.det
+cargo run --release -q --bin trace_lint -- \
+    target/ci-real/sim-a.jsonl target/ci-real/real-a.jsonl
+diff target/ci-real/sim-a.jsonl target/ci-real/sim-b.jsonl
+
 echo "==> cargo doc --no-deps with warnings denied (offline)"
 # ps-obs and ps-core carry #![deny(missing_docs)]; this gate extends the
 # no-warning bar to every rustdoc lint across the workspace.

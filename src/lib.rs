@@ -18,6 +18,7 @@
 //! | [`simnet`] | `ps-simnet` | deterministic discrete-event network simulator (shared-Ethernet model, fault injection) |
 //! | [`wire`] | `ps-wire` | binary codec and header framing |
 //! | [`rt`] | `ps-rt` | real-time runtime: the same stacks on OS threads |
+//! | [`net`] | `ps-net` | real transport: the same stacks over UDP loopback sockets, recorded for sim-vs-real diffing |
 //! | [`obs`] | `ps-obs` | structured tracing: ring-buffer recorder, latency histograms, JSON-lines / Chrome-trace exporters |
 //! | [`prof`] | `ps-prof` | in-engine host-time profiler: RAII span stacks, cost tables, collapsed-stack flamegraphs |
 //! | [`workload`] | `ps-workload` | seeded traffic-profile generator: typed profiles, deterministic schedules, byte-stable manifests |
@@ -57,6 +58,7 @@
 
 pub use ps_core as switch;
 pub use ps_harness as harness;
+pub use ps_net as net;
 pub use ps_obs as obs;
 pub use ps_prof as prof;
 pub use ps_protocols as protocols;
@@ -83,8 +85,8 @@ pub mod prelude {
         Partitioned, PointToPoint, SharedBus, SimConfig, SimTime, TimedPartition,
     };
     pub use ps_stack::{
-        Cast, ChannelId, Frame, GroupSim, GroupSimBuilder, IdGen, Layer, LayerCtx, Stack, StackEnv,
-        TapLayer, TapLog,
+        Cast, ChannelId, Driver, Frame, GroupSim, GroupSimBuilder, GroupSpec, IdGen, Layer,
+        LayerCtx, Stack, StackEnv, TapLayer, TapLog,
     };
     pub use ps_trace::props::{
         standard_suite, Amoeba, CausalOrder, Confidentiality, Integrity, NoReplay,
